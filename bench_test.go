@@ -1,0 +1,291 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation: each runs
+// the corresponding harness at benchmark scale and reports the headline
+// quantities as custom metrics, so `go test -bench . -benchmem` regenerates
+// the study end to end. The absolute numbers come from the simulated
+// substrate (see DESIGN.md); the shapes match the paper (EXPERIMENTS.md).
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchCfg keeps benchmark iterations affordable while preserving every
+// qualitative result.
+func benchCfg() experiments.Config {
+	return experiments.Config{Seed: 1, Scale: 0.05, Decimate: 16}
+}
+
+func BenchmarkFig03SpatialWiFiVsPLC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig03(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.PctPLCFaster, "%plc-faster")
+		b.ReportMetric(r.MaxSigmaW, "maxσ-wifi")
+		b.ReportMetric(r.MaxSigmaP, "maxσ-plc")
+	}
+}
+
+func BenchmarkFig04TemporalWiFiVsPLC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig04(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Good.SigmaWiFi/maxNonZero(r.Good.SigmaPLC), "σ-ratio-good")
+	}
+}
+
+func BenchmarkFig06Asymmetry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig06(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.PctAbove1_5x, "%asym>1.5x")
+		b.ReportMetric(r.WorstRatio, "worst-ratio")
+	}
+}
+
+func BenchmarkFig07DistanceAndPBerr(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig07(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.CorrDistance, "corr-dist")
+		b.ReportMetric(r.BareCableDropMbps, "bare-70m-drop")
+	}
+}
+
+func BenchmarkFig09InvarianceScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig09(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Average.SpreadMbps, "slot-spread")
+		b.ReportMetric(r.Good.PeriodicityScore, "periodicity")
+	}
+}
+
+func BenchmarkFig10CycleScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig10(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(r.Traces)), "traces")
+	}
+}
+
+func BenchmarkFig11AlphaVsQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig11(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.CorrQualityAlpha, "corr-α")
+		b.ReportMetric(r.CorrQualityStd, "corr-σ")
+	}
+}
+
+func BenchmarkFig12RandomScale2Days(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig12(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.NightGainMbps, "21:00-gain")
+		b.ReportMetric(r.DayDipMbps, "day-dip")
+	}
+}
+
+func BenchmarkFig13TwoWeeksGoodLink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig13(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanStd, "hourly-σ")
+	}
+}
+
+func BenchmarkFig14TwoWeeksBadLink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig14(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanStd, "hourly-σ")
+		b.ReportMetric(r.DayNightDip, "day-dip")
+	}
+}
+
+func BenchmarkFig15BLEvsThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig15(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Slope, "slope")
+		b.ReportMetric(r.R2, "r2")
+	}
+}
+
+func BenchmarkFig16ConvergenceVsRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig16(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Curves[0].TimeTo90.Seconds(), "t90-1pps-s")
+		b.ReportMetric(r.Curves[3].TimeTo90.Seconds(), "t90-200pps-s")
+	}
+}
+
+func BenchmarkFig17PauseResume(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig17(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 1.0
+		for _, l := range r.Links {
+			if l.RetainedRatio < worst {
+				worst = l.RetainedRatio
+			}
+		}
+		b.ReportMetric(worst, "retention")
+	}
+}
+
+func BenchmarkFig18ProbeSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig18(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Sizes[1].FinalBLE, "ble-520B")
+		b.ReportMetric(r.Sizes[3].FinalBLE, "ble-1300B")
+	}
+}
+
+func BenchmarkFig19ProbingPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig19(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.OverheadSavingPct, "%overhead-saved")
+		b.ReportMetric(r.AccuracyRatio, "err-vs-5s")
+	}
+}
+
+func BenchmarkFig20HybridAggregation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig20(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Aggregate.HybridVsSumRatio, "hybrid/sum")
+		b.ReportMetric(r.Aggregate.RoundRobinVs2MinRate, "rr/2min")
+		b.ReportMetric(r.MeanSpeedup, "dl-speedup")
+	}
+}
+
+func BenchmarkFig21BroadcastETX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig21(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.FracAtFloor, "%at-floor")
+	}
+}
+
+func BenchmarkFig22UETX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig22(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.CorrPBerr, "corr-pberr")
+		b.ReportMetric(r.CorrBLE, "corr-ble")
+	}
+}
+
+func BenchmarkFig23ContentionSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig23(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SensitiveSaturated.BLERatio, "sensitive-ratio")
+		b.ReportMetric(r.ImmuneSaturated.BLERatio, "immune-ratio")
+	}
+}
+
+func BenchmarkFig24BurstProbing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig24(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SinglePackets.BLERatio, "single-ratio")
+		b.ReportMetric(r.Bursts.BLERatio, "burst-ratio")
+	}
+}
+
+func BenchmarkTable1Findings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTable1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok := 0
+		for _, f := range r.Findings {
+			if f.Holds {
+				ok++
+			}
+		}
+		b.ReportMetric(float64(ok)/float64(len(r.Findings)), "findings-ok")
+	}
+}
+
+func BenchmarkTable2Methods(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTable2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok := 0
+		for _, c := range r.Checks {
+			if c.OK {
+				ok++
+			}
+		}
+		b.ReportMetric(float64(ok)/float64(len(r.Checks)), "methods-ok")
+	}
+}
+
+func BenchmarkTable3Guidelines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTable3(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(r.Guidelines)), "rows")
+	}
+}
+
+func maxNonZero(x float64) float64 {
+	if x <= 0 {
+		return 1e-9
+	}
+	return x
+}

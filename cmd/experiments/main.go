@@ -1,0 +1,57 @@
+// Command experiments regenerates the paper's tables and figures from the
+// simulated testbed.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig15 -scale 0.2 -tables
+//	experiments -run all
+//
+// Each experiment prints a one-line summary comparing the measured shape
+// with the paper's claim; -tables additionally dumps the figure's data
+// rows (suitable for plotting).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiments and exit")
+		run    = flag.String("run", "all", "experiment id to run, or 'all'")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		scale  = flag.Float64("scale", 0.2, "duration scale in (0,1]: 1.0 = paper-length campaigns")
+		decim  = flag.Int("decimate", 8, "carrier decimation (1 = full 917-carrier resolution)")
+		tables = flag.Bool("tables", false, "print full data tables, not just summaries")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Decimate: *decim}
+	ids := experiments.IDs()
+	if *run != "all" {
+		ids = []string{*run}
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Summary())
+		if *tables {
+			fmt.Println(res.Table())
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Mesh demonstrates hybrid multi-hop routing — the paper's §4.3 scenario:
+// "mesh configurations, hence routing and load balancing algorithms, are
+// needed for seamless connectivity". Stations 5 and 17 sit in different
+// PLC logical networks (the two distribution boards of Fig. 2) and their
+// direct WiFi path spans most of the floor, yet a route that alternates
+// technologies connects them.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/mesh"
+)
+
+func main() {
+	tb := repro.DefaultTestbed(1)
+
+	fmt.Println("surveying all links on both media (1905 metric collection)...")
+	g, mt, err := mesh.Survey(tb, 23*time.Hour, 2*time.Second)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("graph: %d stations, %d metric entries\n\n", g.Nodes(), mt.Len())
+
+	for _, pair := range [][2]int{{5, 17}, {0, 14}, {11, 12}} {
+		r, ok := g.BestRoute(pair[0], pair[1], 1500)
+		if !ok {
+			fmt.Printf("%d → %d: no route\n", pair[0], pair[1])
+			continue
+		}
+		fmt.Printf("%d → %d: %s\n", pair[0], pair[1], r)
+		fmt.Printf("         ETT %.0f µs | bottleneck %.0f Mb/s | %d technology alternations\n",
+			r.ETTMicros, r.BottleneckMbps, r.Alternations())
+	}
+
+	fmt.Println("\n(stations ≤11 and ≥12 share no PLC network — only hybrid routes bridge the wings,")
+	fmt.Println(" and the router prefers alternating media, as the paper's reference [17] advocates)")
+}

@@ -1,0 +1,65 @@
+// Probing demonstrates the §7.3 quality-adaptive probing schedule: in a
+// network of n stations, unicast probing costs O(n²); adapting the probe
+// interval to link quality cuts the overhead (the paper: 32%) while
+// keeping capacity estimates accurate.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func main() {
+	tb := repro.DefaultTestbed(1)
+	night := 23 * time.Hour
+
+	policies := []core.ProbingPolicy{
+		repro.PaperAdaptivePolicy(),
+		repro.FixedPolicy{Every: 5 * time.Second},
+		repro.FixedPolicy{Every: 80 * time.Second},
+	}
+	evals := make([]core.ProbingEval, len(policies))
+	for i := range evals {
+		evals[i].Policy = policies[i].Name()
+	}
+
+	// Trace 10 stations' outgoing links (network A) at the 50 ms MM
+	// rate, then replay each trace through the three policies.
+	links := 0
+	for a := 0; a < 10; a++ {
+		for b := 0; b < 10; b++ {
+			if a == b {
+				continue
+			}
+			l, err := tb.PLCLink(a, b)
+			if err != nil {
+				continue
+			}
+			ser := &stats.Series{}
+			for t := night; t < night+30*time.Second; t += 50 * time.Millisecond {
+				l.Saturate(t, t+50*time.Millisecond, 50*time.Millisecond)
+				ser.Add(t, l.AvgBLE())
+			}
+			for i, p := range policies {
+				ev := core.EvaluateProbing(ser, p)
+				evals[i].Errors = append(evals[i].Errors, ev.Errors...)
+				evals[i].Probes += ev.Probes
+				evals[i].Duration += ev.Duration
+			}
+			links++
+		}
+	}
+
+	fmt.Printf("probed %d directed links (10 stations → O(n²) overhead)\n\n", links)
+	fmt.Println("policy              mean err (Mb/s)   probes   overhead (kb/s, 1500B probes)")
+	for _, ev := range evals {
+		fmt.Printf("%-18s  %15.2f  %7d  %8.1f\n",
+			ev.Policy, ev.MeanError(), ev.Probes, ev.OverheadKbps(1500))
+	}
+	saving := 1 - float64(evals[0].Probes)/float64(evals[1].Probes)
+	fmt.Printf("\nadaptive vs fixed-5s: %.0f%% fewer probes (the paper reports 32%%)\n", saving*100)
+}

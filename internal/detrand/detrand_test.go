@@ -1,0 +1,96 @@
+package detrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	if Hash64(1, 2, 3) != Hash64(1, 2, 3) {
+		t.Fatal("hash not deterministic")
+	}
+	if Hash64(1, 2, 3) == Hash64(3, 2, 1) {
+		t.Fatal("hash ignores order")
+	}
+	if Hash64(1) == Hash64(2) {
+		t.Fatal("hash collision on trivial inputs")
+	}
+}
+
+func TestUniformRangeProperty(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		u := Uniform(a, b, c)
+		return u >= 0 && u < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	var sum, sum2 float64
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		u := Uniform(i, 42)
+		sum += u
+		sum2 += u * u
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v", mean)
+	}
+	if math.Abs(variance-1.0/12.0) > 0.005 {
+		t.Fatalf("uniform var = %v", variance)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	var sum, sum2 float64
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		g := Gaussian(i, 7)
+		sum += g
+		sum2 += g * g
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Fatalf("gaussian mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("gaussian var = %v", variance)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	hits := 0
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		if Bool(0.3, i, 99) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+func TestSign(t *testing.T) {
+	pos := 0
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		s := Sign(i, 3)
+		if s != 1 && s != -1 {
+			t.Fatalf("sign = %v", s)
+		}
+		if s == 1 {
+			pos++
+		}
+	}
+	if pos < n/3 || pos > 2*n/3 {
+		t.Fatalf("sign bias: %d/%d", pos, n)
+	}
+}

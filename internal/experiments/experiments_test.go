@@ -1,0 +1,435 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// testCfg runs experiments at minimal scale: every qualitative claim must
+// already hold there.
+func testCfg() Config {
+	return Config{Seed: 1, Scale: 0.05, Decimate: 16}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig03", "fig04", "fig06", "fig07", "fig09", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
+		"table1", "table2", "table3",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+		if Describe(id) == "" {
+			t.Fatalf("experiment %s lacks a description", id)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %s missing from registry", id)
+		}
+	}
+	if _, err := Run("nope", testCfg()); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestFig03SpatialClaims(t *testing.T) {
+	r, err := RunFig03(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Pairs) < 80 {
+		t.Fatalf("pairs measured = %d", len(r.Pairs))
+	}
+	// Connectivity: everything WiFi reaches, PLC reaches too; the
+	// reverse does not hold (blind spots).
+	if r.PctWiFiAlsoPLC < 95 {
+		t.Fatalf("WiFi⊆PLC = %.0f%%, paper: 100%%", r.PctWiFiAlsoPLC)
+	}
+	if r.PctPLCAlsoWiFi > 97 {
+		t.Fatalf("PLC also WiFi = %.0f%%, paper: 81%% (blind spots must exist)", r.PctPLCAlsoWiFi)
+	}
+	// Variability: WiFi σ dominates.
+	if r.MaxSigmaW <= 2*r.MaxSigmaP {
+		t.Fatalf("max σ_W %.1f vs σ_P %.1f: WiFi must be far more variable", r.MaxSigmaW, r.MaxSigmaP)
+	}
+	// PLC long-range coverage.
+	if r.LongRangePLCMbps < 5 {
+		t.Fatalf("long-range PLC = %.1f Mb/s, paper reports 41", r.LongRangePLCMbps)
+	}
+	// Both media win somewhere.
+	if r.PctPLCFaster < 10 || r.PctPLCFaster > 90 {
+		t.Fatalf("PLC faster on %.0f%% of pairs, paper: 52%%", r.PctPLCFaster)
+	}
+	if !strings.Contains(r.Summary(), "fig03") || r.Table() == "" {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFig04TemporalClaims(t *testing.T) {
+	r, err := RunFig04(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Good link: WiFi varies much more than PLC.
+	if r.Good.SigmaWiFi <= r.Good.SigmaPLC {
+		t.Fatalf("good link: σ_WiFi %.2f must exceed σ_PLC %.2f", r.Good.SigmaWiFi, r.Good.SigmaPLC)
+	}
+	if r.Good.PLC.Len() == 0 || r.Average.PLC.Len() == 0 {
+		t.Fatal("empty traces")
+	}
+}
+
+func TestFig06AsymmetryClaims(t *testing.T) {
+	r, err := RunFig06(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PctAbove1_5x < 10 || r.PctAbove1_5x > 70 {
+		t.Fatalf("asymmetric pairs = %.0f%%, paper: ~30%%", r.PctAbove1_5x)
+	}
+	if r.WorstRatio < 1.5 {
+		t.Fatalf("worst asymmetry = %.2f", r.WorstRatio)
+	}
+	if len(r.Pairs) > 1 && r.Pairs[0].Ratio < r.Pairs[1].Ratio {
+		t.Fatal("pairs must be sorted worst-first")
+	}
+}
+
+func TestFig07DistanceClaims(t *testing.T) {
+	r, err := RunFig07(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CorrDistance > -0.3 {
+		t.Fatalf("corr(distance, throughput) = %.2f, want clearly negative", r.CorrDistance)
+	}
+	if r.CorrPBerr > 0 {
+		t.Fatalf("corr(PBerr, throughput) = %.2f, want negative", r.CorrPBerr)
+	}
+	if r.BareCableDropMbps > 10 {
+		t.Fatalf("bare 70 m cable drop = %.1f Mb/s, paper: ~2", r.BareCableDropMbps)
+	}
+	if r.RigAsymmetryRatio < 1.1 {
+		t.Fatalf("appliance on isolated cable must create asymmetry: %.2f", r.RigAsymmetryRatio)
+	}
+	// AV500 outruns AV at the top end.
+	maxAV, maxAV5 := 0.0, 0.0
+	for _, l := range r.AV {
+		maxAV = maxf(maxAV, l.Mbps)
+	}
+	for _, l := range r.AV500 {
+		maxAV5 = maxf(maxAV5, l.Mbps)
+	}
+	if maxAV5 <= maxAV {
+		t.Fatalf("AV500 max %.0f must exceed AV max %.0f", maxAV5, maxAV)
+	}
+}
+
+func TestFig09InvarianceClaims(t *testing.T) {
+	r, err := RunFig09(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Fig09Capture{r.Good, r.Average} {
+		if len(c.SoFs) < 20 {
+			t.Fatalf("capture too small: %d frames", len(c.SoFs))
+		}
+		if c.PeriodicityScore < 0.8 {
+			t.Fatalf("BLEs not periodic with the half mains cycle: %.2f", c.PeriodicityScore)
+		}
+	}
+	if r.Average.SpreadMbps <= 0 {
+		t.Fatal("average link must show per-slot BLE variation")
+	}
+}
+
+func TestFig10And11CycleScaleClaims(t *testing.T) {
+	cfg := testCfg()
+	r10, err := RunFig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goodStd, badStd float64
+	var goodN, badN int
+	for _, tr := range r10.Traces {
+		switch tr.Class {
+		case "good":
+			goodStd += tr.Std
+			goodN++
+		case "bad":
+			badStd += tr.Std
+			badN++
+		}
+	}
+	if goodN == 0 || badN == 0 {
+		t.Fatalf("missing quality classes: good=%d bad=%d", goodN, badN)
+	}
+	if badStd/float64(badN) <= goodStd/float64(goodN) {
+		t.Fatalf("bad links must vary more: bad σ %.2f vs good σ %.2f", badStd/float64(badN), goodStd/float64(goodN))
+	}
+
+	r11, err := RunFig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r11.CorrQualityStd > -0.1 {
+		t.Fatalf("corr(quality, σ) = %.2f, want negative", r11.CorrQualityStd)
+	}
+	if r11.CorrQualityAlpha < 0.1 {
+		t.Fatalf("corr(quality, α) = %.2f, want positive", r11.CorrQualityAlpha)
+	}
+}
+
+func TestFig12RandomScaleClaims(t *testing.T) {
+	r, err := RunFig12(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NightGainMbps <= 0 {
+		t.Fatalf("21:00 lights-off must improve the channel: gain %.1f", r.NightGainMbps)
+	}
+	if r.DayDipMbps <= 0 {
+		t.Fatalf("working hours must depress BLE: dip %.1f", r.DayDipMbps)
+	}
+}
+
+func TestFig13Fig14TwoWeekClaims(t *testing.T) {
+	cfg := testCfg()
+	r13, err := RunFig13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r14, err := RunFig14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bad link varies more hour to hour than the good one.
+	if r14.MeanStd <= r13.MeanStd {
+		t.Fatalf("bad link σ %.2f must exceed good link σ %.2f", r14.MeanStd, r13.MeanStd)
+	}
+	// Weekday dips exist on the bad link.
+	if r14.DayNightDip <= 0 {
+		t.Fatalf("bad link should dip during weekday load: %.2f", r14.DayNightDip)
+	}
+	// The good link's weekend profile is flat relative to its level.
+	if r13.WeekendFlatness > 0.2*meanOf(r13.WeekendMean[:]) {
+		t.Fatalf("good link weekend spread %.1f too large", r13.WeekendFlatness)
+	}
+}
+
+func meanOf(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestFig15FitClaims(t *testing.T) {
+	r, err := RunFig15(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Slope < 1.4 || r.Slope > 2.1 {
+		t.Fatalf("fit slope = %.2f, paper: 1.70", r.Slope)
+	}
+	if r.R2 < 0.9 {
+		t.Fatalf("fit R² = %.3f, paper shows a tight line", r.R2)
+	}
+}
+
+func TestFig16ConvergenceClaims(t *testing.T) {
+	r, err := RunFig16(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Curves) != 4 {
+		t.Fatalf("curves = %d", len(r.Curves))
+	}
+	slow := r.Curves[0] // 1 pkt/s
+	fast := r.Curves[3] // 200 pkt/s
+	if fast.TimeTo90 >= slow.TimeTo90 {
+		t.Fatalf("faster probing must converge sooner: 200pps %v vs 1pps %v", fast.TimeTo90, slow.TimeTo90)
+	}
+	// Same asymptote (within 20%) — the final value does not depend on
+	// the probing rate, only the convergence time does.
+	if fast.Final < slow.Final*0.8 {
+		t.Fatalf("asymptotes diverge: %f vs %f", fast.Final, slow.Final)
+	}
+}
+
+func TestFig17PauseClaims(t *testing.T) {
+	r, err := RunFig17(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Links) == 0 {
+		t.Fatal("no links measured")
+	}
+	for _, l := range r.Links {
+		if l.RetainedRatio < 0.9 {
+			t.Fatalf("link %d-%d lost estimation state across the pause: %.2f", l.A, l.B, l.RetainedRatio)
+		}
+	}
+}
+
+func TestFig18ProbeSizeClaims(t *testing.T) {
+	r, err := RunFig18(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySize := map[int]Fig18Size{}
+	for _, s := range r.Sizes {
+		bySize[s.Bytes] = s
+	}
+	// One-PB-or-less probes trap below the one-symbol rate.
+	for _, sz := range []int{200, 520} {
+		if got := bySize[sz].FinalBLE; got > r.TrapRate*1.02 {
+			t.Fatalf("%dB probes escaped the one-symbol trap: %.1f > %.1f", sz, got, r.TrapRate)
+		}
+	}
+	// Just past one PB escapes it (on a link faster than the trap rate).
+	if r.TrueBLE > r.TrapRate*1.05 {
+		if got := bySize[1300].FinalBLE; got <= r.TrapRate {
+			t.Fatalf("1300B probes stuck at the trap: %.1f", got)
+		}
+	}
+}
+
+func TestFig19ProbingClaims(t *testing.T) {
+	r, err := RunFig19(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OverheadSavingPct < 15 {
+		t.Fatalf("adaptive probing saves only %.0f%%, paper: 32%%", r.OverheadSavingPct)
+	}
+	if r.AccuracyRatio > 3 {
+		t.Fatalf("adaptive accuracy %.2fx worse than 5 s probing", r.AccuracyRatio)
+	}
+	// 80 s fixed probing must be the least accurate.
+	if r.Policies[2].MeanErr < r.Policies[1].MeanErr {
+		t.Fatal("80 s probing should be less accurate than 5 s probing")
+	}
+}
+
+func TestFig20HybridClaims(t *testing.T) {
+	r, err := RunFig20(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Aggregate
+	if a.HybridVsSumRatio < 0.8 {
+		t.Fatalf("hybrid/sum = %.2f, paper: close to 1", a.HybridVsSumRatio)
+	}
+	if a.RoundRobinVs2MinRate > 1.15 {
+		t.Fatalf("round-robin exceeded 2·min: %.2f", a.RoundRobinVs2MinRate)
+	}
+	if a.Hybrid <= a.RoundRobin*0.95 {
+		t.Fatalf("hybrid %.1f should beat round-robin %.1f", a.Hybrid, a.RoundRobin)
+	}
+	if len(r.Completions) == 0 || r.MeanSpeedup < 1.1 {
+		t.Fatalf("hybrid download speedup %.2f over %d pairs", r.MeanSpeedup, len(r.Completions))
+	}
+}
+
+func TestFig21BroadcastClaims(t *testing.T) {
+	r, err := RunFig21(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FracAtFloor < 0.5 {
+		t.Fatalf("only %.0f%% of links at the loss floor; broadcast should look uniformly fine", 100*r.FracAtFloor)
+	}
+}
+
+func TestFig22UETXClaims(t *testing.T) {
+	r, err := RunFig22(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CorrBLE > -0.1 {
+		t.Fatalf("corr(BLE, U-ETX) = %.2f, want negative", r.CorrBLE)
+	}
+	if r.CorrPBerr < 0.6 {
+		t.Fatalf("corr(PBerr, U-ETX) = %.2f, want strongly positive", r.CorrPBerr)
+	}
+	if r.TimestampRuleAgreement < 0.9 {
+		t.Fatalf("10 ms SoF rule agreement = %.2f", r.TimestampRuleAgreement)
+	}
+}
+
+func TestFig23Fig24ContentionClaims(t *testing.T) {
+	cfg := testCfg()
+	r23, err := RunFig23(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r23.SensitiveSaturated.BLERatio > 0.75 {
+		t.Fatalf("capture-prone pair under saturated bg kept BLE: %.2f", r23.SensitiveSaturated.BLERatio)
+	}
+	if r23.SensitiveLowRate.BLERatio < 0.85 {
+		t.Fatalf("low-rate bg should not hurt: %.2f", r23.SensitiveLowRate.BLERatio)
+	}
+	if r23.ImmuneSaturated.BLERatio < 0.85 {
+		t.Fatalf("no-capture pair should be immune: %.2f", r23.ImmuneSaturated.BLERatio)
+	}
+
+	r24, err := RunFig24(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r24.Bursts.BLERatio < 0.8 {
+		t.Fatalf("burst probing should protect BLE: %.2f", r24.Bursts.BLERatio)
+	}
+	if r24.Bursts.BLERatio <= r24.SinglePackets.BLERatio {
+		t.Fatalf("bursts %.2f must beat single packets %.2f", r24.Bursts.BLERatio, r24.SinglePackets.BLERatio)
+	}
+}
+
+func TestTables(t *testing.T) {
+	cfg := testCfg()
+	t1, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range t1.Findings {
+		if !f.Holds {
+			t.Errorf("table1 finding failed: %s (%s)", f.Claim, f.Detail)
+		}
+	}
+	t2, err := RunTable2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range t2.Checks {
+		if !c.OK {
+			t.Errorf("table2 method failed: %s via %s (%s)", c.Metric, c.Method, c.Value)
+		}
+	}
+	t3, err := RunTable3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Guidelines) != 7 {
+		t.Fatalf("table3 rows = %d", len(t3.Guidelines))
+	}
+}
+
+func TestScaledDurations(t *testing.T) {
+	c := Config{Scale: 0.1}
+	if d := c.dur(100*time.Second, time.Second); d != 10*time.Second {
+		t.Fatalf("scaled duration = %v", d)
+	}
+	if d := c.dur(time.Second, 5*time.Second); d != 5*time.Second {
+		t.Fatalf("minimum not honoured: %v", d)
+	}
+	c = Config{}
+	if d := c.dur(time.Minute, time.Second); d != time.Minute {
+		t.Fatalf("unscaled duration = %v", d)
+	}
+}

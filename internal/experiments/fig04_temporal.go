@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Fig04Trace is one link's concurrent WiFi/PLC capacity trace over working
+// hours (§4.2): PLC capacity from BLE, WiFi capacity from MCS, averaged
+// over 50-packet windows (≈1 s here).
+type Fig04Trace struct {
+	A, B      int
+	PLC, WiFi *stats.Series
+	SigmaPLC  float64
+	SigmaWiFi float64
+}
+
+// Fig04Result reproduces Fig. 4: a good link whose WiFi capacity varies
+// far more than its PLC capacity, and an average link where both vary.
+type Fig04Result struct {
+	Good, Average Fig04Trace
+}
+
+// Name implements Result.
+func (*Fig04Result) Name() string { return "fig04" }
+
+// Table implements Result.
+func (r *Fig04Result) Table() string {
+	var b []byte
+	b = append(b, row("link", "medium", "mean(Mb/s)", "std(Mb/s)")...)
+	for _, tr := range []Fig04Trace{r.Good, r.Average} {
+		b = append(b, fmt.Sprintf("%2d-%2d  PLC   %8.1f  %8.2f\n", tr.A, tr.B, tr.PLC.Mean(), tr.SigmaPLC)...)
+		b = append(b, fmt.Sprintf("%2d-%2d  WiFi  %8.1f  %8.2f\n", tr.A, tr.B, tr.WiFi.Mean(), tr.SigmaWiFi)...)
+	}
+	return string(b)
+}
+
+// Summary implements Result.
+func (r *Fig04Result) Summary() string {
+	return fmt.Sprintf(
+		"fig04 temporal WiFi vs PLC (paper: good links vary much more on WiFi): "+
+			"good link %d-%d σ_WiFi %.2f vs σ_PLC %.2f | average link %d-%d σ_WiFi %.2f vs σ_PLC %.2f",
+		r.Good.A, r.Good.B, r.Good.SigmaWiFi, r.Good.SigmaPLC,
+		r.Average.A, r.Average.B, r.Average.SigmaWiFi, r.Average.SigmaPLC)
+}
+
+// RunFig04 traces capacity on a good and an average link concurrently on
+// both media during working hours.
+func RunFig04(cfg Config) (*Fig04Result, error) {
+	tb := cfg.build(specAV)
+	good, avg, err := classifyTwoLinks(tb)
+	if err != nil {
+		return nil, err
+	}
+	dur := cfg.dur(2*time.Hour, 2*time.Minute)
+	const sample = time.Second
+
+	trace := func(a, b int) (Fig04Trace, error) {
+		pl, err := tb.PLCLink(a, b)
+		if err != nil {
+			return Fig04Trace{}, err
+		}
+		wl := tb.WiFiLink(a, b)
+		tr := Fig04Trace{A: a, B: b, PLC: &stats.Series{}, WiFi: &stats.Series{}}
+		start := 16*time.Hour + 30*time.Minute // the paper's 4:30 pm run
+		warmLink(pl, start)
+		for t := start; t < start+dur; t += sample {
+			pl.Saturate(t, t+sample, 100*time.Millisecond)
+			tr.PLC.Add(t, pl.AvgBLE())
+			tr.WiFi.Add(t, wl.Capacity(t))
+		}
+		tr.SigmaPLC = tr.PLC.Std()
+		tr.SigmaWiFi = tr.WiFi.Std()
+		return tr, nil
+	}
+
+	res := &Fig04Result{}
+	if res.Good, err = trace(good[0], good[1]); err != nil {
+		return nil, err
+	}
+	if res.Average, err = trace(avg[0], avg[1]); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// classifyTwoLinks picks a good and an average link from the testbed by a
+// quick night-time BLE probe (quality classes per §6.2: good >100 Mb/s,
+// average 60-100).
+func classifyTwoLinks(tb *tbType) (good, avg [2]int, err error) {
+	goodSet, avgSet, _, err := classifyLinks(tb, 3*time.Second)
+	if err != nil {
+		return good, avg, err
+	}
+	if len(goodSet) == 0 || len(avgSet) == 0 {
+		return good, avg, fmt.Errorf("experiments: testbed lacks good (%d) or average (%d) links", len(goodSet), len(avgSet))
+	}
+	return goodSet[0], avgSet[0], nil
+}
+
+func init() {
+	register("fig04", "Fig. 4: concurrent temporal variation of WiFi and PLC capacity",
+		func(c Config) (Result, error) { return RunFig04(c) })
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Fig06Pair is one station pair's bidirectional throughput.
+type Fig06Pair struct {
+	A, B     int
+	Fwd, Rev float64 // Mb/s in each direction
+	Ratio    float64 // max/min
+}
+
+// Fig06Result reproduces Fig. 6 and the §5 asymmetry statistics: ~30% of
+// pairs show >1.5x throughput asymmetry, with examples where one direction
+// falls below 60% of the other.
+type Fig06Result struct {
+	Pairs        []Fig06Pair // sorted by ratio, worst first
+	PctAbove1_5x float64     // paper: ~30%
+	WorstRatio   float64
+}
+
+// Name implements Result.
+func (*Fig06Result) Name() string { return "fig06" }
+
+// Table implements Result.
+func (r *Fig06Result) Table() string {
+	var b []byte
+	b = append(b, row("link", "  fwd", "  rev", "ratio")...)
+	n := len(r.Pairs)
+	if n > 11 {
+		n = 11 // the paper shows its 11 most asymmetric links
+	}
+	for _, p := range r.Pairs[:n] {
+		b = append(b, fmt.Sprintf("%2d-%2d  %5.1f  %5.1f  %5.2f\n", p.A, p.B, p.Fwd, p.Rev, p.Ratio)...)
+	}
+	return string(b)
+}
+
+// Summary implements Result.
+func (r *Fig06Result) Summary() string {
+	return fmt.Sprintf("fig06 PLC asymmetry (paper: ~30%% of pairs >1.5x): %.0f%% of pairs >1.5x, worst ratio %.1fx",
+		r.PctAbove1_5x, r.WorstRatio)
+}
+
+// RunFig06 measures saturated throughput in both directions of every
+// same-network pair during working hours.
+func RunFig06(cfg Config) (*Fig06Result, error) {
+	tb := cfg.build(specAV)
+	dur := cfg.dur(time.Minute, 3*time.Second)
+	res := &Fig06Result{}
+	var above int
+	var counted int
+
+	for _, pr := range tb.SameNetworkPairs() {
+		if pr[0] > pr[1] {
+			continue
+		}
+		fwd, err := tb.PLCLink(pr[0], pr[1])
+		if err != nil {
+			return nil, err
+		}
+		rev, err := tb.PLCLink(pr[1], pr[0])
+		if err != nil {
+			return nil, err
+		}
+		start := workingHoursStart
+		fwd.Saturate(start, start+dur, 200*time.Millisecond)
+		rev.Saturate(start, start+dur, 200*time.Millisecond)
+		tf := fwd.Throughput(start + dur)
+		tr := rev.Throughput(start + dur)
+		if tf <= 0.5 && tr <= 0.5 {
+			continue // dead pair: asymmetry undefined
+		}
+		ratio := maxf(tf, tr) / maxf(0.1, minf(tf, tr))
+		res.Pairs = append(res.Pairs, Fig06Pair{A: pr[0], B: pr[1], Fwd: tf, Rev: tr, Ratio: ratio})
+		counted++
+		if ratio > 1.5 {
+			above++
+		}
+		if ratio > res.WorstRatio {
+			res.WorstRatio = ratio
+		}
+	}
+	sort.Slice(res.Pairs, func(i, j int) bool { return res.Pairs[i].Ratio > res.Pairs[j].Ratio })
+	if counted > 0 {
+		res.PctAbove1_5x = 100 * float64(above) / float64(counted)
+	}
+	return res, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func init() {
+	register("fig06", "Fig. 6: PLC throughput asymmetry across pairs",
+		func(c Config) (Result, error) { return RunFig06(c) })
+}

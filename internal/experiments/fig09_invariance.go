@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mains"
+	"repro/internal/plc/mac"
+	"repro/internal/stats"
+)
+
+// Fig09Capture is the sniffer view of one link's saturated stream: the
+// instantaneous BLEs of captured frames over a few mains cycles.
+type Fig09Capture struct {
+	A, B int
+	SoFs []mac.SoF
+	// SlotBLE is the observed mean BLEs per tone-map slot.
+	SlotBLE [mains.Slots]float64
+	// SpreadMbps is max-min across slots (the invariance-scale swing).
+	SpreadMbps float64
+	// PeriodicityScore is the correlation of BLEs(t) with BLEs(t+10 ms):
+	// ≈1 when the slot schedule repeats every half mains cycle.
+	PeriodicityScore float64
+}
+
+// Fig09Result reproduces Fig. 9: instantaneous per-slot BLE is periodic
+// with the 10 ms half mains cycle, and varies across slots even on good
+// links.
+type Fig09Result struct {
+	Good, Average Fig09Capture
+}
+
+// Name implements Result.
+func (*Fig09Result) Name() string { return "fig09" }
+
+// Table implements Result.
+func (r *Fig09Result) Table() string {
+	var b []byte
+	b = append(b, row("link", "slot0", "slot1", "slot2", "slot3", "slot4", "slot5", "spread")...)
+	for _, c := range []Fig09Capture{r.Good, r.Average} {
+		b = append(b, fmt.Sprintf("%2d-%2d", c.A, c.B)...)
+		for s := 0; s < mains.Slots; s++ {
+			b = append(b, fmt.Sprintf(" %6.1f", c.SlotBLE[s])...)
+		}
+		b = append(b, fmt.Sprintf("  %6.1f\n", c.SpreadMbps)...)
+	}
+	return string(b)
+}
+
+// Summary implements Result.
+func (r *Fig09Result) Summary() string {
+	return fmt.Sprintf(
+		"fig09 invariance scale (paper: BLEs periodic with 10 ms, significant per-slot variation): "+
+			"good link spread %.1f Mb/s periodicity %.2f | average link spread %.1f Mb/s periodicity %.2f",
+		r.Good.SpreadMbps, r.Good.PeriodicityScore, r.Average.SpreadMbps, r.Average.PeriodicityScore)
+}
+
+// RunFig09 captures SoF delimiters of saturated traffic on a good and an
+// average link and extracts the per-slot BLE structure.
+func RunFig09(cfg Config) (*Fig09Result, error) {
+	tb := cfg.build(specAV)
+	good, avg, err := classifyTwoLinks(tb)
+	if err != nil {
+		return nil, err
+	}
+	capture := func(a, b int) (Fig09Capture, error) {
+		l, err := tb.PLCLink(a, b)
+		if err != nil {
+			return Fig09Capture{}, err
+		}
+		start := workingHoursStart
+		// Warm the tone maps, then sniff ~100 ms of frames (≈10 half
+		// cycles), as in Fig. 9.
+		l.Saturate(start, start+5*time.Second, 100*time.Millisecond)
+		c := Fig09Capture{A: a, B: b}
+		l.Sniffer = func(s mac.SoF) { c.SoFs = append(c.SoFs, s) }
+		snifStart := start + 5*time.Second
+		l.Saturate(snifStart, snifStart+100*time.Millisecond, 50*time.Millisecond)
+		l.Sniffer = nil
+
+		var per [mains.Slots][]float64
+		for _, s := range c.SoFs {
+			per[s.Slot] = append(per[s.Slot], s.BLEs)
+		}
+		min, max := 1e18, -1e18
+		for s := 0; s < mains.Slots; s++ {
+			c.SlotBLE[s] = stats.Mean(per[s])
+			min = minf(min, c.SlotBLE[s])
+			max = maxf(max, c.SlotBLE[s])
+		}
+		c.SpreadMbps = max - min
+		c.PeriodicityScore = halfCyclePeriodicity(c.SoFs)
+		return c, nil
+	}
+
+	res := &Fig09Result{}
+	if res.Good, err = capture(good[0], good[1]); err != nil {
+		return nil, err
+	}
+	if res.Average, err = capture(avg[0], avg[1]); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// halfCyclePeriodicity scores how much of the BLEs variance is explained
+// by the tone-map slot alone: a signal that repeats every half mains cycle
+// has nearly all its variance between slots and almost none within a slot
+// across different cycles. Returns 1 - SS_within/SS_total in [0,1].
+func halfCyclePeriodicity(sofs []mac.SoF) float64 {
+	if len(sofs) < 8 {
+		return 0
+	}
+	var all []float64
+	var perSlot [mains.Slots][]float64
+	for _, s := range sofs {
+		all = append(all, s.BLEs)
+		perSlot[s.Slot] = append(perSlot[s.Slot], s.BLEs)
+	}
+	total := variance(all)
+	if total == 0 {
+		return 1 // constant trace: trivially periodic
+	}
+	var within float64
+	for s := 0; s < mains.Slots; s++ {
+		if len(perSlot[s]) < 2 {
+			continue
+		}
+		within += variance(perSlot[s]) * float64(len(perSlot[s])-1)
+	}
+	within /= float64(len(all) - 1)
+	score := 1 - within/total
+	if score < 0 {
+		return 0
+	}
+	return score
+}
+
+func variance(xs []float64) float64 {
+	_, sd := stats.MeanStd(xs)
+	return sd * sd
+}
+
+func init() {
+	register("fig09", "Fig. 9: invariance-scale variation of BLE across tone-map slots",
+		func(c Config) (Result, error) { return RunFig09(c) })
+}

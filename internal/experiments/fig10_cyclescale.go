@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/plc"
+	"repro/internal/stats"
+)
+
+// Fig10Trace is one link's 4-minute night-time BLE trace polled via MMs at
+// 50 ms (the paper's fastest MM rate).
+type Fig10Trace struct {
+	A, B    int
+	Class   string // good / average / bad
+	BLE     *stats.Series
+	Std     float64
+	Updates int // tone-map regenerations during the trace
+}
+
+// Fig10Result reproduces Fig. 10: cycle-scale BLE traces for links of
+// various qualities — bad links churn their tone maps and show high σ,
+// good links hold maps for seconds with small increments.
+type Fig10Result struct {
+	Traces []Fig10Trace
+}
+
+// Name implements Result.
+func (*Fig10Result) Name() string { return "fig10" }
+
+// Table implements Result.
+func (r *Fig10Result) Table() string {
+	var b []byte
+	b = append(b, row("link", "class  ", "mean BLE", "std", "tone-map updates")...)
+	for _, tr := range r.Traces {
+		b = append(b, fmt.Sprintf("%2d-%2d  %-7s  %7.1f  %5.2f  %d\n",
+			tr.A, tr.B, tr.Class, tr.BLE.Mean(), tr.Std, tr.Updates)...)
+	}
+	return string(b)
+}
+
+// Summary implements Result.
+func (r *Fig10Result) Summary() string {
+	var goodStd, badStd float64
+	var goodUpd, badUpd int
+	var ng, nb int
+	for _, tr := range r.Traces {
+		switch tr.Class {
+		case "good":
+			goodStd += tr.Std
+			goodUpd += tr.Updates
+			ng++
+		case "bad":
+			badStd += tr.Std
+			badUpd += tr.Updates
+			nb++
+		}
+	}
+	if ng > 0 {
+		goodStd /= float64(ng)
+		goodUpd /= ng
+	}
+	if nb > 0 {
+		badStd /= float64(nb)
+		badUpd /= nb
+	}
+	return fmt.Sprintf(
+		"fig10 cycle scale (paper: bad links update tone maps much more often and vary more): "+
+			"good links σ %.2f Mb/s, %d updates | bad links σ %.2f Mb/s, %d updates",
+		goodStd, goodUpd, badStd, badUpd)
+}
+
+// RunFig10 polls BLE via MMs every 50 ms for (scaled) 4 minutes at night
+// on two links of each quality class.
+func RunFig10(cfg Config) (*Fig10Result, error) {
+	tb := cfg.build(specAV)
+	good, avg, bad, err := classifyLinks(tb, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	pick := func(set [][2]int, n int) [][2]int {
+		if len(set) < n {
+			n = len(set)
+		}
+		return set[:n]
+	}
+	dur := cfg.dur(4*time.Minute, 10*time.Second)
+
+	res := &Fig10Result{}
+	for _, grp := range []struct {
+		class string
+		pairs [][2]int
+	}{
+		{"good", pick(good, 2)},
+		{"average", pick(avg, 2)},
+		{"bad", pick(bad, 2)},
+	} {
+		for _, pr := range grp.pairs {
+			tr, err := traceBLE(tb, pr[0], pr[1], nightStart, dur)
+			if err != nil {
+				return nil, err
+			}
+			tr.Class = grp.class
+			res.Traces = append(res.Traces, tr)
+		}
+	}
+	return res, nil
+}
+
+// traceBLE saturates a link and polls its BLE via MMs every 50 ms,
+// counting tone-map updates.
+func traceBLE(tb *tbType, a, b int, start, dur time.Duration) (Fig10Trace, error) {
+	l, err := tb.PLCLink(a, b)
+	if err != nil {
+		return Fig10Trace{}, err
+	}
+	tr := Fig10Trace{A: a, B: b, BLE: &stats.Series{}}
+	warmLink(l, start)
+	updates := 0
+	l.Est.OnUpdate = func(time.Duration) { updates++ }
+	defer func() { l.Est.OnUpdate = nil }()
+
+	const poll = plc.MMMinInterval // 50 ms, the fastest MM rate (§6.2)
+	for t := start; t < start+dur; t += poll {
+		l.Saturate(t, t+poll, poll)
+		tr.BLE.Add(t, l.AvgBLE())
+	}
+	tr.Std = tr.BLE.Std()
+	tr.Updates = updates
+	return tr, nil
+}
+
+func init() {
+	register("fig10", "Fig. 10: cycle-scale BLE traces per link quality",
+		func(c Config) (Result, error) { return RunFig10(c) })
+}

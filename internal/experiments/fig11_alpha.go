@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Fig11Link is one link's cycle-scale statistics: average BLE (quality),
+// mean tone-map update inter-arrival α, and BLE standard deviation.
+type Fig11Link struct {
+	A, B    int
+	AvgBLE  float64
+	AlphaMs float64
+	StdBLE  float64
+}
+
+// Fig11Result reproduces Fig. 11: good links update their tone maps less
+// often (large α) and show smaller BLE variability than bad links.
+type Fig11Result struct {
+	Links []Fig11Link // sorted by increasing quality, as the paper plots
+
+	// CorrQualityAlpha is corr(avg BLE, α): positive in the paper.
+	CorrQualityAlpha float64
+	// CorrQualityStd is corr(avg BLE, std BLE): negative in the paper.
+	CorrQualityStd float64
+}
+
+// Name implements Result.
+func (*Fig11Result) Name() string { return "fig11" }
+
+// Table implements Result.
+func (r *Fig11Result) Table() string {
+	var b []byte
+	b = append(b, row("link", "avgBLE", "α(ms)", "stdBLE")...)
+	for _, l := range r.Links {
+		b = append(b, fmt.Sprintf("%2d-%2d  %6.1f  %8.0f  %6.2f\n", l.A, l.B, l.AvgBLE, l.AlphaMs, l.StdBLE)...)
+	}
+	return string(b)
+}
+
+// Summary implements Result.
+func (r *Fig11Result) Summary() string {
+	return fmt.Sprintf(
+		"fig11 α vs quality (paper: good links probe/update less often, vary less): "+
+			"corr(BLE, α) %.2f (want >0) | corr(BLE, σ) %.2f (want <0)",
+		r.CorrQualityAlpha, r.CorrQualityStd)
+}
+
+// RunFig11 traces every link at night and extracts α (tone-map update
+// inter-arrival) and BLE standard deviation per link.
+func RunFig11(cfg Config) (*Fig11Result, error) {
+	tb := cfg.build(specAV)
+	dur := cfg.dur(4*time.Minute, 10*time.Second)
+
+	res := &Fig11Result{}
+	for _, pr := range tb.SameNetworkPairs() {
+		if pr[0] > pr[1] {
+			continue // one direction per pair keeps the sweep affordable
+		}
+		l, err := tb.PLCLink(pr[0], pr[1])
+		if err != nil {
+			return nil, err
+		}
+		warmLink(l, nightStart)
+		var updateTimes []time.Duration
+		l.Est.OnUpdate = func(t time.Duration) { updateTimes = append(updateTimes, t) }
+		ser := &stats.Series{}
+		for t := nightStart; t < nightStart+dur; t += 50 * time.Millisecond {
+			l.Saturate(t, t+50*time.Millisecond, 50*time.Millisecond)
+			ser.Add(t, l.AvgBLE())
+		}
+		l.Est.OnUpdate = nil
+
+		alpha := float64(dur.Milliseconds()) // no updates: α is the whole run
+		if len(updateTimes) > 1 {
+			var gaps []float64
+			for i := 1; i < len(updateTimes); i++ {
+				gaps = append(gaps, float64((updateTimes[i] - updateTimes[i-1]).Milliseconds()))
+			}
+			alpha = stats.Mean(gaps)
+		}
+		res.Links = append(res.Links, Fig11Link{
+			A: pr[0], B: pr[1],
+			AvgBLE:  ser.Mean(),
+			AlphaMs: alpha,
+			StdBLE:  ser.Std(),
+		})
+	}
+	sort.Slice(res.Links, func(i, j int) bool { return res.Links[i].AvgBLE < res.Links[j].AvgBLE })
+
+	var q, al, sd []float64
+	for _, l := range res.Links {
+		if l.AvgBLE < 10 {
+			continue // ROBO-floor links pin their BLE; no data tone maps to correlate
+		}
+		q = append(q, l.AvgBLE)
+		al = append(al, l.AlphaMs)
+		sd = append(sd, l.StdBLE)
+	}
+	res.CorrQualityAlpha = stats.Correlation(q, al)
+	res.CorrQualityStd = stats.Correlation(q, sd)
+	return res, nil
+}
+
+func init() {
+	register("fig11", "Fig. 11: tone-map update interval α and BLE std vs link quality",
+		func(c Config) (Result, error) { return RunFig11(c) })
+}

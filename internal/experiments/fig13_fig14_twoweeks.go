@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/stats"
+)
+
+// TwoWeekProfile is a link's random-scale profile over two weeks: hourly
+// BLE means and standard deviations split into weekdays and weekends
+// (Figs. 13 and 14).
+type TwoWeekProfile struct {
+	A, B int
+
+	WeekdayMean, WeekdayStd [24]float64
+	WeekendMean, WeekendStd [24]float64
+
+	// DayNightDip is the weekday working-hours dip versus night (Mb/s).
+	DayNightDip float64
+	// WeekendFlatness is the max-min of the weekend hourly means.
+	WeekendFlatness float64
+	// MeanStd is the average hourly σ (tiny for good links, larger for
+	// bad ones — the Fig. 13 vs Fig. 14 contrast).
+	MeanStd float64
+}
+
+// Fig13Result is the two-week profile of a good link (Fig. 13).
+type Fig13Result struct{ TwoWeekProfile }
+
+// Fig14Result is the two-week profile of a bad link (Fig. 14).
+type Fig14Result struct{ TwoWeekProfile }
+
+// Name implements Result.
+func (*Fig13Result) Name() string { return "fig13" }
+
+// Name implements Result.
+func (*Fig14Result) Name() string { return "fig14" }
+
+func (p *TwoWeekProfile) table() string {
+	var b []byte
+	b = append(b, row("hour", "weekday BLE ±σ", "weekend BLE ±σ")...)
+	for h := 0; h < 24; h++ {
+		b = append(b, fmt.Sprintf("%02d:00  %7.1f ±%5.2f  %7.1f ±%5.2f\n",
+			h, p.WeekdayMean[h], p.WeekdayStd[h], p.WeekendMean[h], p.WeekendStd[h])...)
+	}
+	return string(b)
+}
+
+// Table implements Result.
+func (r *Fig13Result) Table() string { return r.table() }
+
+// Table implements Result.
+func (r *Fig14Result) Table() string { return r.table() }
+
+// Summary implements Result.
+func (r *Fig13Result) Summary() string {
+	return fmt.Sprintf(
+		"fig13 two weeks, good link %d-%d (paper: tiny σ, flat weekends): "+
+			"day dip %.1f Mb/s | weekend spread %.1f Mb/s | mean hourly σ %.2f Mb/s",
+		r.A, r.B, r.DayNightDip, r.WeekendFlatness, r.MeanStd)
+}
+
+// Summary implements Result.
+func (r *Fig14Result) Summary() string {
+	return fmt.Sprintf(
+		"fig14 two weeks, bad link %d-%d (paper: larger σ, load-correlated dips): "+
+			"day dip %.1f Mb/s | weekend spread %.1f Mb/s | mean hourly σ %.2f Mb/s",
+		r.A, r.B, r.DayNightDip, r.WeekendFlatness, r.MeanStd)
+}
+
+// twoWeekTrace samples a link's BLE across two calendar weeks and folds it
+// into hourly weekday/weekend profiles.
+func twoWeekTrace(cfg Config, tb *tbType, a, b int) (TwoWeekProfile, error) {
+	l, err := tb.PLCLink(a, b)
+	if err != nil {
+		return TwoWeekProfile{}, err
+	}
+	p := TwoWeekProfile{A: a, B: b}
+
+	// Coarsen sampling, keep the full two-week calendar (the weekday vs
+	// weekend structure is what the figure shows).
+	sample := time.Duration(float64(time.Second) / cfg.scale())
+	if sample > 20*time.Minute {
+		sample = 20 * time.Minute
+	}
+	warmLink(l, 0)
+	weekday := &stats.Series{}
+	weekend := &stats.Series{}
+	for t := time.Duration(0); t < 2*grid.Week; t += sample {
+		l.Saturate(t, t+sample, maxDur(sample/4, 100*time.Millisecond))
+		if grid.IsWeekend(t) {
+			weekend.Add(t, l.AvgBLE())
+		} else {
+			weekday.Add(t, l.AvgBLE())
+		}
+	}
+	hourOf := func(d time.Duration) int { return grid.HourOfDay(d) }
+	p.WeekdayMean, p.WeekdayStd, _ = weekday.HourlyProfile(hourOf)
+	p.WeekendMean, p.WeekendStd, _ = weekend.HourlyProfile(hourOf)
+
+	day := (p.WeekdayMean[10] + p.WeekdayMean[14] + p.WeekdayMean[16]) / 3
+	night := (p.WeekdayMean[2] + p.WeekdayMean[4] + p.WeekdayMean[23]) / 3
+	p.DayNightDip = night - day
+
+	minW, maxW := 1e18, -1e18
+	var stdSum float64
+	for h := 0; h < 24; h++ {
+		minW = minf(minW, p.WeekendMean[h])
+		maxW = maxf(maxW, p.WeekendMean[h])
+		stdSum += p.WeekdayStd[h] + p.WeekendStd[h]
+	}
+	p.WeekendFlatness = maxW - minW
+	p.MeanStd = stdSum / 48
+	return p, nil
+}
+
+// RunFig13 profiles a good link over two weeks.
+func RunFig13(cfg Config) (*Fig13Result, error) {
+	tb := cfg.build(specAV)
+	good, _, _, err := classifyLinks(tb, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if len(good) == 0 {
+		return nil, fmt.Errorf("experiments: no good link for fig13")
+	}
+	p, err := twoWeekTrace(cfg, tb, good[0][0], good[0][1])
+	if err != nil {
+		return nil, err
+	}
+	return &Fig13Result{p}, nil
+}
+
+// RunFig14 profiles a bad link over two weeks.
+func RunFig14(cfg Config) (*Fig14Result, error) {
+	tb := cfg.build(specAV)
+	_, _, bad, err := classifyLinks(tb, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if len(bad) == 0 {
+		return nil, fmt.Errorf("experiments: no bad link for fig14")
+	}
+	p, err := twoWeekTrace(cfg, tb, bad[0][0], bad[0][1])
+	if err != nil {
+		return nil, err
+	}
+	return &Fig14Result{p}, nil
+}
+
+func init() {
+	register("fig13", "Fig. 13: two-week random-scale profile of a good link",
+		func(c Config) (Result, error) { return RunFig13(c) })
+	register("fig14", "Fig. 14: two-week random-scale profile of a bad link",
+		func(c Config) (Result, error) { return RunFig14(c) })
+}

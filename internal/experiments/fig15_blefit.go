@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Fig15Result reproduces Fig. 15: average BLE against measured saturated
+// throughput across all links, with the linear fit the paper reports as
+// BLE = 1.70·T − 0.65.
+type Fig15Result struct {
+	BLE, Throughput []float64
+
+	Slope, Intercept, R2 float64
+}
+
+// Name implements Result.
+func (*Fig15Result) Name() string { return "fig15" }
+
+// Table implements Result.
+func (r *Fig15Result) Table() string {
+	var b []byte
+	b = append(b, row("  BLE", "    T")...)
+	for i := range r.BLE {
+		b = append(b, fmt.Sprintf("%6.1f  %6.1f\n", r.BLE[i], r.Throughput[i])...)
+	}
+	return string(b)
+}
+
+// Summary implements Result.
+func (r *Fig15Result) Summary() string {
+	return fmt.Sprintf(
+		"fig15 BLE vs throughput (paper: BLE = 1.70·T − 0.65, tight linear): "+
+			"fit BLE = %.2f·T %+.2f, R² = %.3f over %d links",
+		r.Slope, r.Intercept, r.R2, len(r.BLE))
+}
+
+// RunFig15 saturates every link for (scaled) 4 minutes and pairs the
+// resulting BLE with the application throughput.
+func RunFig15(cfg Config) (*Fig15Result, error) {
+	tb := cfg.build(specAV)
+	dur := cfg.dur(4*time.Minute, 5*time.Second)
+
+	res := &Fig15Result{}
+	for _, pr := range tb.SameNetworkPairs() {
+		l, err := tb.PLCLink(pr[0], pr[1])
+		if err != nil {
+			return nil, err
+		}
+		start := workingHoursStart
+		l.Saturate(start, start+dur, 200*time.Millisecond)
+		tput := l.Throughput(start + dur)
+		if tput < 0.5 {
+			continue // dead links contribute no (T, BLE) point
+		}
+		res.BLE = append(res.BLE, l.AvgBLE())
+		res.Throughput = append(res.Throughput, tput)
+	}
+	slope, icpt, r2, err := stats.LinearFit(res.Throughput, res.BLE)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig15 fit: %w", err)
+	}
+	res.Slope, res.Intercept, res.R2 = slope, icpt, r2
+	return res, nil
+}
+
+func init() {
+	register("fig15", "Fig. 15: BLE as a capacity estimator (linear fit vs throughput)",
+		func(c Config) (Result, error) { return RunFig15(c) })
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Fig16Curve is one probing rate's estimated-capacity-vs-time curve after
+// a device reset.
+type Fig16Curve struct {
+	PacketsPerSecond int
+	Curve            *stats.Series
+	// TimeTo90 is when the estimate first reaches 90% of its final
+	// value; the convergence-time metric of Fig. 16.
+	TimeTo90 time.Duration
+	Final    float64
+}
+
+// Fig16Result reproduces Fig. 16: the estimated capacity converges to a
+// rate-independent value, but the convergence time shrinks as the probing
+// rate grows.
+type Fig16Result struct {
+	A, B   int
+	Curves []Fig16Curve
+}
+
+// Name implements Result.
+func (*Fig16Result) Name() string { return "fig16" }
+
+// Table implements Result.
+func (r *Fig16Result) Table() string {
+	var b []byte
+	b = append(b, row("pkt/s", "final BLE", "t(90%)")...)
+	for _, c := range r.Curves {
+		b = append(b, fmt.Sprintf("%5d  %8.1f  %s\n", c.PacketsPerSecond, c.Final, c.TimeTo90)...)
+	}
+	return string(b)
+}
+
+// Summary implements Result.
+func (r *Fig16Result) Summary() string {
+	s := fmt.Sprintf("fig16 convergence vs probe rate on link %d-%d (paper: same asymptote, faster probing converges sooner):", r.A, r.B)
+	for _, c := range r.Curves {
+		s += fmt.Sprintf(" %dpps→%.0f Mb/s in %s;", c.PacketsPerSecond, c.Final, c.TimeTo90)
+	}
+	return s
+}
+
+// RunFig16 resets the devices and probes a link at 1/10/50/200 packets of
+// 1300 B per second, tracking the estimated capacity.
+func RunFig16(cfg Config) (*Fig16Result, error) {
+	tb := cfg.build(specAV)
+	good, _, _, err := classifyLinks(tb, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if len(good) == 0 {
+		return nil, fmt.Errorf("experiments: no good link for fig16")
+	}
+	a, b := good[0][0], good[0][1]
+	dur := cfg.dur(30*time.Minute, time.Minute)
+
+	res := &Fig16Result{A: a, B: b}
+	for _, pps := range []int{1, 10, 50, 200} {
+		l, err := tb.PLCLink(a, b)
+		if err != nil {
+			return nil, err
+		}
+		l.Est.Reset()
+		c := Fig16Curve{PacketsPerSecond: pps, Curve: &stats.Series{}}
+		interval := time.Second / time.Duration(pps)
+		sampleEvery := dur / 200
+		if sampleEvery < time.Second {
+			sampleEvery = time.Second
+		}
+		nextSample := nightStart
+		for t := nightStart; t < nightStart+dur; t += interval {
+			l.Probe(t, 1300, 1)
+			if t >= nextSample {
+				c.Curve.Add(t-nightStart, l.AvgBLE())
+				nextSample += sampleEvery
+			}
+		}
+		c.Final = l.AvgBLE()
+		res.Curves = append(res.Curves, c)
+	}
+	// Convergence time is measured against the common asymptote (the
+	// best final value): slow probing that never reaches it gets the
+	// full run duration.
+	target := 0.0
+	for _, c := range res.Curves {
+		target = maxf(target, c.Final)
+	}
+	target *= 0.9
+	for i := range res.Curves {
+		res.Curves[i].TimeTo90 = dur
+		for j := 0; j < res.Curves[i].Curve.Len(); j++ {
+			if res.Curves[i].Curve.V[j] >= target {
+				res.Curves[i].TimeTo90 = res.Curves[i].Curve.T[j]
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// Fig17Link is one link's pause/resume trace.
+type Fig17Link struct {
+	A, B          int
+	BeforePause   float64
+	AfterResume   float64
+	RetainedRatio float64
+}
+
+// Fig17Result reproduces Fig. 17: pausing the probing for 7 minutes does
+// not reset the channel-estimation state — the estimate resumes from its
+// pre-pause value.
+type Fig17Result struct {
+	Links []Fig17Link
+}
+
+// Name implements Result.
+func (*Fig17Result) Name() string { return "fig17" }
+
+// Table implements Result.
+func (r *Fig17Result) Table() string {
+	var b []byte
+	b = append(b, row("link", "before", "after", "retained")...)
+	for _, l := range r.Links {
+		b = append(b, fmt.Sprintf("%2d-%2d  %6.1f  %6.1f  %5.2f\n", l.A, l.B, l.BeforePause, l.AfterResume, l.RetainedRatio)...)
+	}
+	return string(b)
+}
+
+// Summary implements Result.
+func (r *Fig17Result) Summary() string {
+	worst := 1.0
+	for _, l := range r.Links {
+		worst = minf(worst, l.RetainedRatio)
+	}
+	return fmt.Sprintf("fig17 pause/resume (paper: estimates retained across a 7-min pause): worst retention %.2f over %d links", worst, len(r.Links))
+}
+
+// RunFig17 probes four links at 20 packets/s, pauses for 7 minutes, then
+// resumes and compares estimates.
+func RunFig17(cfg Config) (*Fig17Result, error) {
+	tb := cfg.build(specAV)
+	good, avg, _, err := classifyLinks(tb, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	pairs := append(append([][2]int{}, good...), avg...)
+	if len(pairs) > 4 {
+		pairs = pairs[:4]
+	}
+	warm := cfg.dur(2300*time.Second, 30*time.Second)
+	const pause = 7 * time.Minute
+
+	res := &Fig17Result{}
+	for _, pr := range pairs {
+		l, err := tb.PLCLink(pr[0], pr[1])
+		if err != nil {
+			return nil, err
+		}
+		l.Est.Reset()
+		const interval = time.Second / 20
+		for t := nightStart; t < nightStart+warm; t += interval {
+			l.Probe(t, 1300, 1)
+		}
+		before := l.AvgBLE()
+		resume := nightStart + warm + pause
+		// First probes after the pause (one second's worth).
+		for t := resume; t < resume+time.Second; t += interval {
+			l.Probe(t, 1300, 1)
+		}
+		after := l.AvgBLE()
+		res.Links = append(res.Links, Fig17Link{
+			A: pr[0], B: pr[1],
+			BeforePause: before, AfterResume: after,
+			RetainedRatio: after / maxf(before, 0.01),
+		})
+	}
+	return res, nil
+}
+
+func init() {
+	register("fig16", "Fig. 16: capacity-estimation convergence vs probing rate after reset",
+		func(c Config) (Result, error) { return RunFig16(c) })
+	register("fig17", "Fig. 17: estimation state survives a 7-minute probing pause",
+		func(c Config) (Result, error) { return RunFig17(c) })
+}

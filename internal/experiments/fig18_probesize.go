@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/plc/phy"
+)
+
+// Fig18Size is the outcome of probing with one packet size.
+type Fig18Size struct {
+	Bytes    int
+	FinalBLE float64
+	// Trapped reports whether the estimate stalled at the one-symbol
+	// rate instead of the link's true capacity.
+	Trapped bool
+}
+
+// Fig18Result reproduces Fig. 18: probing once per second with packets of
+// one PB or less converges to the channel-independent one-symbol rate;
+// larger probes estimate the real capacity (§7.2).
+type Fig18Result struct {
+	A, B     int
+	TrueBLE  float64 // from saturated traffic
+	Sizes    []Fig18Size
+	TrapRate float64 // the one-symbol ceiling (≈101.6 Mb/s by Definition 1 accounting)
+}
+
+// Name implements Result.
+func (*Fig18Result) Name() string { return "fig18" }
+
+// Table implements Result.
+func (r *Fig18Result) Table() string {
+	var b []byte
+	b = append(b, row("probe(B)", "final BLE", "trapped")...)
+	for _, s := range r.Sizes {
+		b = append(b, fmt.Sprintf("%8d  %8.1f  %v\n", s.Bytes, s.FinalBLE, s.Trapped)...)
+	}
+	return string(b)
+}
+
+// Summary implements Result.
+func (r *Fig18Result) Summary() string {
+	s := fmt.Sprintf("fig18 probe size on link %d-%d, true BLE %.0f, one-symbol rate %.1f "+
+		"(paper: ≤1 PB converges to ≈89 Mb/s regardless of channel):", r.A, r.B, r.TrueBLE, r.TrapRate)
+	for _, z := range r.Sizes {
+		s += fmt.Sprintf(" %dB→%.0f(trapped=%v);", z.Bytes, z.FinalBLE, z.Trapped)
+	}
+	return s
+}
+
+// RunFig18 probes a good link at 1 packet/s with sizes around the one-PB
+// boundary (200/520/521/1300 bytes, as in the figure).
+func RunFig18(cfg Config) (*Fig18Result, error) {
+	tb := cfg.build(specAV)
+	good, _, _, err := classifyLinks(tb, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if len(good) == 0 {
+		return nil, fmt.Errorf("experiments: no good link for fig18")
+	}
+	a, b := good[0][0], good[0][1]
+	dur := cfg.dur(30*time.Minute, time.Minute)
+
+	res := &Fig18Result{A: a, B: b, TrapRate: phy.OneSymbolBLE}
+
+	// Ground truth from saturated traffic.
+	lt, err := tb.PLCLink(a, b)
+	if err != nil {
+		return nil, err
+	}
+	lt.Saturate(nightStart, nightStart+10*time.Second, 200*time.Millisecond)
+	res.TrueBLE = lt.AvgBLE()
+
+	for _, size := range []int{200, 520, 521, 1300} {
+		l, err := tb.PLCLink(a, b)
+		if err != nil {
+			return nil, err
+		}
+		l.Est.Reset()
+		for t := nightStart; t < nightStart+dur; t += time.Second {
+			l.Probe(t, size, 1)
+		}
+		final := l.AvgBLE()
+		res.Sizes = append(res.Sizes, Fig18Size{
+			Bytes:    size,
+			FinalBLE: final,
+			Trapped:  final <= phy.OneSymbolBLE*1.02 && res.TrueBLE > phy.OneSymbolBLE*1.05,
+		})
+	}
+	return res, nil
+}
+
+func init() {
+	register("fig18", "Fig. 18: the one-PB probe-size trap in capacity estimation",
+		func(c Config) (Result, error) { return RunFig18(c) })
+}

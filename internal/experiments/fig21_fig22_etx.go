@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Fig21Point is one link's broadcast-probe loss measurement.
+type Fig21Point struct {
+	A, B       int
+	Throughput float64
+	PBerr      float64
+	LossDay    float64
+	LossNight  float64
+}
+
+// Fig21Result reproduces Fig. 21: broadcast (ROBO) probe loss is a noisy,
+// nearly quality-blind metric — most links sit at the loss floor whatever
+// their throughput, so broadcast ETX carries no quality information
+// (§8.1).
+type Fig21Result struct {
+	Points []Fig21Point
+	// FracAtFloor is the share of links with night loss < 1e-3 (paper:
+	// a wide quality range collapses to ~1e-4).
+	FracAtFloor float64
+	// CorrLossThroughput is corr(loss, throughput) — weak in the paper.
+	CorrLossThroughput float64
+}
+
+// Name implements Result.
+func (*Fig21Result) Name() string { return "fig21" }
+
+// Table implements Result.
+func (r *Fig21Result) Table() string {
+	var b []byte
+	b = append(b, row("link", "  T", "PBerr", "loss(day)", "loss(night)")...)
+	for _, p := range r.Points {
+		b = append(b, fmt.Sprintf("%2d-%2d  %5.1f  %6.4f  %9.5f  %10.5f\n",
+			p.A, p.B, p.Throughput, p.PBerr, p.LossDay, p.LossNight)...)
+	}
+	return string(b)
+}
+
+// Summary implements Result.
+func (r *Fig21Result) Summary() string {
+	return fmt.Sprintf(
+		"fig21 broadcast ETX (paper: low loss across diverse qualities; uninformative): "+
+			"%.0f%% of links at the loss floor | corr(loss, T) %.2f",
+		100*r.FracAtFloor, r.CorrLossThroughput)
+}
+
+// RunFig21 broadcasts 1500 B probes at 10 Hz for (scaled) 500 s from every
+// station, day and night, and counts losses per receiving link.
+func RunFig21(cfg Config) (*Fig21Result, error) {
+	tb := cfg.build(specAV)
+	dur := cfg.dur(500*time.Second, 10*time.Second)
+	probes := int(dur / (100 * time.Millisecond))
+	rng := rand.New(rand.NewSource(cfg.Seed + 21))
+
+	res := &Fig21Result{}
+	var atFloor, counted int
+	for _, pr := range tb.SameNetworkPairs() {
+		l, err := tb.PLCLink(pr[0], pr[1])
+		if err != nil {
+			return nil, err
+		}
+		// Reference throughput/PBerr from a short saturated run (night).
+		l.Saturate(nightStart, nightStart+3*time.Second, 500*time.Millisecond)
+		tput := l.Throughput(nightStart + 3*time.Second)
+		pberr := l.PBerr(nightStart + 3*time.Second)
+
+		loss := func(start time.Duration) float64 {
+			missed := 0
+			for i := 0; i < probes; i++ {
+				t := start + time.Duration(i)*100*time.Millisecond
+				if rng.Float64() < l.BroadcastLossProbability(t) {
+					missed++
+				}
+			}
+			return float64(missed) / float64(probes)
+		}
+		p := Fig21Point{
+			A: pr[0], B: pr[1],
+			Throughput: tput, PBerr: pberr,
+			LossDay:   loss(workingHoursStart),
+			LossNight: loss(nightStart),
+		}
+		res.Points = append(res.Points, p)
+		counted++
+		if p.LossNight < 1e-3 {
+			atFloor++
+		}
+	}
+	if counted > 0 {
+		res.FracAtFloor = float64(atFloor) / float64(counted)
+	}
+	var ls, ts []float64
+	for _, p := range res.Points {
+		ls = append(ls, p.LossNight)
+		ts = append(ts, p.Throughput)
+	}
+	res.CorrLossThroughput = stats.Correlation(ls, ts)
+	return res, nil
+}
+
+// Fig22Point is one link's unicast ETX measurement.
+type Fig22Point struct {
+	A, B    int
+	AvgBLE  float64
+	PBerr   float64
+	UETX    float64
+	UETXStd float64
+}
+
+// Fig22Result reproduces Fig. 22: U-ETX decreases with BLE (with error
+// bars growing as quality drops) and is nearly linear in PBerr.
+type Fig22Result struct {
+	Points []Fig22Point
+	// CorrBLE is corr(BLE, U-ETX): negative.
+	CorrBLE float64
+	// CorrPBerr is corr(PBerr, U-ETX): strongly positive / near-linear.
+	CorrPBerr float64
+	// TimestampRuleAgreement is the mean relative difference between
+	// U-ETX computed from ground truth and from the 10 ms SoF timestamp
+	// rule the paper uses (§8.1).
+	TimestampRuleAgreement float64
+}
+
+// Name implements Result.
+func (*Fig22Result) Name() string { return "fig22" }
+
+// Table implements Result.
+func (r *Fig22Result) Table() string {
+	var b []byte
+	b = append(b, row("link", "avgBLE", "PBerr", "U-ETX", "±σ")...)
+	for _, p := range r.Points {
+		b = append(b, fmt.Sprintf("%2d-%2d  %6.1f  %6.4f  %5.2f  %5.2f\n",
+			p.A, p.B, p.AvgBLE, p.PBerr, p.UETX, p.UETXStd)...)
+	}
+	return string(b)
+}
+
+// Summary implements Result.
+func (r *Fig22Result) Summary() string {
+	return fmt.Sprintf(
+		"fig22 U-ETX (paper: negative corr. with BLE, ≈linear in PBerr): "+
+			"corr(BLE,U-ETX) %.2f | corr(PBerr,U-ETX) %.2f | SoF-timestamp rule agreement %.2f",
+		r.CorrBLE, r.CorrPBerr, r.TimestampRuleAgreement)
+}
+
+// RunFig22 sends 150 kb/s unicast traffic on every link for (scaled)
+// 5 minutes, counting frame transmissions per packet both from ground
+// truth and via the sniffer-timestamp rule.
+func RunFig22(cfg Config) (*Fig22Result, error) {
+	tb := cfg.build(specAV)
+	dur := cfg.dur(5*time.Minute, 10*time.Second)
+	rng := rand.New(rand.NewSource(cfg.Seed + 22))
+	u := func() float64 { return rng.Float64() }
+
+	res := &Fig22Result{}
+	var agreeSum float64
+	var agreeN int
+	for _, pr := range tb.SameNetworkPairs() {
+		if pr[0] > pr[1] {
+			continue
+		}
+		l, err := tb.PLCLink(pr[0], pr[1])
+		if err != nil {
+			return nil, err
+		}
+		// Warm tone maps with the unicast flow itself (low rate).
+		var stamps []time.Duration
+		l.Sniffer = func(s sofType) { stamps = append(stamps, s.Timestamp) }
+		var counts []int
+		var pbSum float64
+		for t := workingHoursStart; t < workingHoursStart+dur; t += 75 * time.Millisecond {
+			r := l.SendUnicast(t, 1500, u)
+			counts = append(counts, r.Transmissions)
+			pbSum += l.PBerr(t)
+		}
+		l.Sniffer = nil
+		if len(counts) == 0 {
+			continue
+		}
+		mean, std := core.UETX(counts)
+		p := Fig22Point{
+			A: pr[0], B: pr[1],
+			AvgBLE: l.AvgBLE(),
+			// PBerr is the run average, matching the paper's 500 ms
+			// ampstat polling alongside the unicast flow.
+			PBerr: pbSum / float64(len(counts)),
+			UETX:  mean, UETXStd: std,
+		}
+		res.Points = append(res.Points, p)
+
+		// Compare against the paper's 10 ms timestamp heuristic.
+		inferred := core.TransmissionsFromSoFTimestamps(stamps)
+		if len(inferred) > 0 {
+			im, _ := core.UETX(inferred)
+			if mean > 0 {
+				agreeSum += 1 - absf(im-mean)/mean
+				agreeN++
+			}
+		}
+	}
+	var bles, pbs, etx []float64
+	for _, p := range res.Points {
+		bles = append(bles, p.AvgBLE)
+		pbs = append(pbs, p.PBerr)
+		etx = append(etx, p.UETX)
+	}
+	res.CorrBLE = stats.Correlation(bles, etx)
+	res.CorrPBerr = stats.Correlation(pbs, etx)
+	if agreeN > 0 {
+		res.TimestampRuleAgreement = agreeSum / float64(agreeN)
+	}
+	return res, nil
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func init() {
+	register("fig21", "Fig. 21: broadcast-probe loss vs link quality (ETX is uninformative)",
+		func(c Config) (Result, error) { return RunFig21(c) })
+	register("fig22", "Fig. 22: unicast ETX vs BLE and PBerr",
+		func(c Config) (Result, error) { return RunFig22(c) })
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/plc/mac"
+)
+
+// contentionRun is one probe-vs-background contention scenario on the
+// CSMA/CA simulator.
+type contentionRun struct {
+	Label string
+	// BLERatio is the probe link's BLE after contention divided by its
+	// clean BLE.
+	BLERatio float64
+	// PeakPBerr is the probe estimator's peak error window during the run.
+	PeakPBerr float64
+}
+
+// Fig23Result reproduces Fig. 23: on capture-prone pairs, a low-rate probe
+// flow's BLE collapses (and PBerr explodes) under saturated background
+// traffic, while low-rate background leaves it untouched — and pairs
+// without capture advantage are immune.
+type Fig23Result struct {
+	SensitiveSaturated contentionRun // capture-prone pair, saturated bg
+	SensitiveLowRate   contentionRun // capture-prone pair, 150 kb/s bg
+	ImmuneSaturated    contentionRun // no-capture pair, saturated bg
+}
+
+// Name implements Result.
+func (*Fig23Result) Name() string { return "fig23" }
+
+// Table implements Result.
+func (r *Fig23Result) Table() string {
+	var b []byte
+	b = append(b, row("scenario                     ", "BLE ratio", "peak PBerr")...)
+	for _, c := range []contentionRun{r.SensitiveSaturated, r.SensitiveLowRate, r.ImmuneSaturated} {
+		b = append(b, fmt.Sprintf("%-29s  %9.2f  %10.3f\n", c.Label, c.BLERatio, c.PeakPBerr)...)
+	}
+	return string(b)
+}
+
+// Summary implements Result.
+func (r *Fig23Result) Summary() string {
+	return fmt.Sprintf(
+		"fig23 contention sensitivity (paper: BLE collapses and PBerr explodes on capture-prone pairs under "+
+			"saturated bg; insensitive to low-rate bg): sensitive+saturated BLE ratio %.2f (peak PBerr %.2f) | "+
+			"sensitive+low-rate %.2f | immune+saturated %.2f",
+		r.SensitiveSaturated.BLERatio, r.SensitiveSaturated.PeakPBerr,
+		r.SensitiveLowRate.BLERatio, r.ImmuneSaturated.BLERatio)
+}
+
+// Fig24Result reproduces Fig. 24: sending the same probing overhead as
+// 20-packet bursts (which aggregate into background-length frames) removes
+// the sensitivity.
+type Fig24Result struct {
+	SinglePackets contentionRun
+	Bursts        contentionRun
+}
+
+// Name implements Result.
+func (*Fig24Result) Name() string { return "fig24" }
+
+// Table implements Result.
+func (r *Fig24Result) Table() string {
+	var b []byte
+	b = append(b, row("probing mode    ", "BLE ratio", "peak PBerr")...)
+	for _, c := range []contentionRun{r.SinglePackets, r.Bursts} {
+		b = append(b, fmt.Sprintf("%-16s  %9.2f  %10.3f\n", c.Label, c.BLERatio, c.PeakPBerr)...)
+	}
+	return string(b)
+}
+
+// Summary implements Result.
+func (r *Fig24Result) Summary() string {
+	return fmt.Sprintf(
+		"fig24 burst probing (paper: bursts remove the background-traffic sensitivity at equal overhead): "+
+			"single packets BLE ratio %.2f vs bursts %.2f",
+		r.SinglePackets.BLERatio, r.Bursts.BLERatio)
+}
+
+// runContention executes one probe-vs-background scenario on the CSMA/CA
+// DES and reports the probe link's BLE degradation.
+func runContention(cfg Config, label string, probePat, bgPat mac.TrafficPattern, captureAdvDB float64, dur time.Duration) (contentionRun, error) {
+	tb := cfg.build(specAV)
+	good, avg, _, err := classifyLinks(tb, 2*time.Second)
+	if err != nil {
+		return contentionRun{}, err
+	}
+	if len(good) == 0 || len(good)+len(avg) < 2 {
+		return contentionRun{}, fmt.Errorf("experiments: not enough links for contention")
+	}
+	probePair := good[0]
+	var bgPair [2]int
+	if len(avg) > 0 {
+		bgPair = avg[0]
+	} else {
+		bgPair = good[1]
+	}
+
+	probeLink, err := tb.PLCLink(probePair[0], probePair[1])
+	if err != nil {
+		return contentionRun{}, err
+	}
+	bgLink, err := tb.PLCLink(bgPair[0], bgPair[1])
+	if err != nil {
+		return contentionRun{}, err
+	}
+	// Warm both estimators.
+	warmEnd := nightStart + 10*time.Second
+	probeLink.Saturate(nightStart, warmEnd, 200*time.Millisecond)
+	bgLink.Saturate(nightStart, warmEnd, 200*time.Millisecond)
+	clean := probeLink.AvgBLE()
+
+	probe := &mac.Flow{ID: 0, Pat: probePat, Est: probeLink.Est, MeanRxSNRdB: probeLink.Ch.MeanSNRdB(0)}
+	bg := &mac.Flow{ID: 1, Pat: bgPat, Est: bgLink.Est, MeanRxSNRdB: bgLink.Ch.MeanSNRdB(0)}
+	m := mac.NewMedium(rand.New(rand.NewSource(cfg.Seed+23)), probe, bg)
+	m.InterferenceSNRdB = func(victim, interferer *mac.Flow) float64 {
+		if victim == probe {
+			return victim.MeanRxSNRdB - captureAdvDB
+		}
+		return victim.MeanRxSNRdB
+	}
+
+	run := contentionRun{Label: label}
+	m.FastForward(warmEnd) // align the medium clock with the warm-up
+	end := warmEnd + dur
+	for t := m.Now(); t < end; t = m.Now() {
+		m.Run(t + time.Second)
+		if w := probeLink.Est.WindowPBerr(); w > run.PeakPBerr {
+			run.PeakPBerr = w
+		}
+	}
+	run.BLERatio = probeLink.AvgBLE() / maxf(clean, 0.01)
+	return run, nil
+}
+
+// RunFig23 compares sensitive and immune pairs under background traffic.
+func RunFig23(cfg Config) (*Fig23Result, error) {
+	dur := cfg.dur(400*time.Second, 40*time.Second)
+	probePat := mac.TrafficPattern{Interval: 75 * time.Millisecond, PacketSize: 1500} // 150 kb/s
+	satBG := mac.TrafficPattern{Saturated: true, PacketSize: 1500}
+	lowBG := mac.TrafficPattern{Interval: 75 * time.Millisecond, PacketSize: 1500}
+
+	res := &Fig23Result{}
+	var err error
+	if res.SensitiveSaturated, err = runContention(cfg, "capture-prone + saturated bg", probePat, satBG, 12, dur); err != nil {
+		return nil, err
+	}
+	if res.SensitiveLowRate, err = runContention(cfg, "capture-prone + 150kb/s bg", probePat, lowBG, 12, dur); err != nil {
+		return nil, err
+	}
+	if res.ImmuneSaturated, err = runContention(cfg, "no capture + saturated bg", probePat, satBG, 0, dur); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunFig24 compares single-packet probing against 20-packet bursts at the
+// same 150 kb/s overhead on the capture-prone pair.
+func RunFig24(cfg Config) (*Fig24Result, error) {
+	dur := cfg.dur(400*time.Second, 40*time.Second)
+	satBG := mac.TrafficPattern{Saturated: true, PacketSize: 1500}
+	single := mac.TrafficPattern{Interval: 75 * time.Millisecond, PacketSize: 1500}
+	bursts := mac.TrafficPattern{Interval: 1500 * time.Millisecond, Burst: 20, PacketSize: 1300}
+
+	res := &Fig24Result{}
+	var err error
+	if res.SinglePackets, err = runContention(cfg, "single packets", single, satBG, 12, dur); err != nil {
+		return nil, err
+	}
+	if res.Bursts, err = runContention(cfg, "20-packet bursts", bursts, satBG, 12, dur); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func init() {
+	register("fig23", "Fig. 23: link-metric sensitivity to background traffic (capture effect)",
+		func(c Config) (Result, error) { return RunFig23(c) })
+	register("fig24", "Fig. 24: burst probing removes the background-traffic sensitivity",
+		func(c Config) (Result, error) { return RunFig24(c) })
+}

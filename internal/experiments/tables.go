@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/plc"
+)
+
+// Table1Finding is one row of the paper's Table 1, checked against our
+// measurements.
+type Table1Finding struct {
+	Claim   string
+	Section string
+	Holds   bool
+	Detail  string
+}
+
+// Table1Result re-derives the paper's main findings from the underlying
+// experiments.
+type Table1Result struct {
+	Findings []Table1Finding
+}
+
+// Name implements Result.
+func (*Table1Result) Name() string { return "table1" }
+
+// Table implements Result.
+func (r *Table1Result) Table() string {
+	var b []byte
+	for _, f := range r.Findings {
+		mark := "OK "
+		if !f.Holds {
+			mark = "FAIL"
+		}
+		b = append(b, fmt.Sprintf("[%s] §%-8s %s — %s\n", mark, f.Section, f.Claim, f.Detail)...)
+	}
+	return string(b)
+}
+
+// Summary implements Result.
+func (r *Table1Result) Summary() string {
+	ok := 0
+	for _, f := range r.Findings {
+		if f.Holds {
+			ok++
+		}
+	}
+	return fmt.Sprintf("table1 main findings: %d/%d reproduced", ok, len(r.Findings))
+}
+
+// RunTable1 executes the underlying experiments and checks each Table 1
+// claim.
+func RunTable1(cfg Config) (*Table1Result, error) {
+	res := &Table1Result{}
+	add := func(claim, section string, holds bool, detail string) {
+		res.Findings = append(res.Findings, Table1Finding{claim, section, holds, detail})
+	}
+
+	f3, err := RunFig03(cfg)
+	if err != nil {
+		return nil, err
+	}
+	add("Short distances: WiFi faster but far more variable than PLC", "4.1",
+		f3.MaxSigmaW > 2*f3.MaxSigmaP,
+		fmt.Sprintf("max σ_W %.1f vs max σ_P %.1f", f3.MaxSigmaW, f3.MaxSigmaP))
+	add("PLC extends coverage beyond WiFi blind spots", "4.1",
+		f3.PctWiFiAlsoPLC >= 99 && f3.PctPLCAlsoWiFi < 99 && f3.LongRangePLCMbps > 5,
+		fmt.Sprintf("WiFi⊆PLC %.0f%%, PLC also WiFi %.0f%%, >35 m PLC up to %.0f Mb/s",
+			f3.PctWiFiAlsoPLC, f3.PctPLCAlsoWiFi, f3.LongRangePLCMbps))
+
+	f6, err := RunFig06(cfg)
+	if err != nil {
+		return nil, err
+	}
+	add("PLC links can exhibit severe asymmetry", "5",
+		f6.PctAbove1_5x > 10 && f6.WorstRatio > 2,
+		fmt.Sprintf("%.0f%% of pairs >1.5x, worst %.1fx", f6.PctAbove1_5x, f6.WorstRatio))
+
+	f11, err := RunFig11(cfg)
+	if err != nil {
+		return nil, err
+	}
+	add("Link quality and metric variability are strongly correlated", "6.2",
+		f11.CorrQualityStd < -0.2 && f11.CorrQualityAlpha > 0.2,
+		fmt.Sprintf("corr(BLE,σ) %.2f, corr(BLE,α) %.2f", f11.CorrQualityStd, f11.CorrQualityAlpha))
+
+	f19, err := RunFig19(cfg)
+	if err != nil {
+		return nil, err
+	}
+	add("Good links can be probed much less often than bad ones", "7.3",
+		f19.OverheadSavingPct > 15 && f19.AccuracyRatio < 5,
+		fmt.Sprintf("%.0f%% overhead saving at %.2fx error", f19.OverheadSavingPct, f19.AccuracyRatio))
+
+	f20, err := RunFig20(cfg)
+	if err != nil {
+		return nil, err
+	}
+	add("Hybrid PLC+WiFi yields high gains in aggregation and coverage", "7.4",
+		f20.Aggregate.HybridVsSumRatio > 0.85 && f20.MeanSpeedup > 1.2,
+		fmt.Sprintf("hybrid/sum %.2f, download speedup %.2fx", f20.Aggregate.HybridVsSumRatio, f20.MeanSpeedup))
+
+	f21, err := RunFig21(cfg)
+	if err != nil {
+		return nil, err
+	}
+	add("Broadcast probing gives no link-quality information", "8.1",
+		f21.FracAtFloor > 0.5,
+		fmt.Sprintf("%.0f%% of links at the loss floor", 100*f21.FracAtFloor))
+
+	f22, err := RunFig22(cfg)
+	if err != nil {
+		return nil, err
+	}
+	add("PBerr predicts retransmissions (U-ETX)", "8.1",
+		f22.CorrPBerr > 0.6 && f22.CorrBLE < 0,
+		fmt.Sprintf("corr(PBerr,U-ETX) %.2f, corr(BLE,U-ETX) %.2f", f22.CorrPBerr, f22.CorrBLE))
+
+	return res, nil
+}
+
+// Table2Check is one metric/method row of Table 2 exercised end to end.
+type Table2Check struct {
+	Metric string
+	Method string
+	OK     bool
+	Value  string
+}
+
+// Table2Result exercises every metric through the measurement method the
+// paper lists for it (Table 2).
+type Table2Result struct {
+	Checks []Table2Check
+}
+
+// Name implements Result.
+func (*Table2Result) Name() string { return "table2" }
+
+// Table implements Result.
+func (r *Table2Result) Table() string {
+	var b []byte
+	b = append(b, row("metric            ", "method            ", "ok", "value")...)
+	for _, c := range r.Checks {
+		b = append(b, fmt.Sprintf("%-18s  %-18s  %-5v %s\n", c.Metric, c.Method, c.OK, c.Value)...)
+	}
+	return string(b)
+}
+
+// Summary implements Result.
+func (r *Table2Result) Summary() string {
+	ok := 0
+	for _, c := range r.Checks {
+		if c.OK {
+			ok++
+		}
+	}
+	return fmt.Sprintf("table2 metric/method matrix: %d/%d methods operational", ok, len(r.Checks))
+}
+
+// RunTable2 measures one link through every Table 2 method.
+func RunTable2(cfg Config) (*Table2Result, error) {
+	tb := cfg.build(specAV)
+	good, _, _, err := classifyLinks(tb, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if len(good) == 0 {
+		return nil, fmt.Errorf("experiments: no good link for table2")
+	}
+	a, b := good[0][0], good[0][1]
+	l, err := tb.PLCLink(a, b)
+	if err != nil {
+		return nil, err
+	}
+	st := tb.Stations[a]
+	res := &Table2Result{}
+
+	// Arrival timestamp + BLE via SoF capture.
+	var sofs []sofType
+	l.Sniffer = func(s sofType) { sofs = append(sofs, s) }
+	l.Saturate(nightStart, nightStart+time.Second, 100*time.Millisecond)
+	l.Sniffer = nil
+	res.Checks = append(res.Checks, Table2Check{
+		Metric: "t (arrival)", Method: "SoF delimiter",
+		OK:    len(sofs) > 0 && sofs[0].Timestamp >= nightStart,
+		Value: fmt.Sprintf("%d frames captured", len(sofs)),
+	})
+	okBLE := len(sofs) > 0 && sofs[0].BLEs > 0
+	res.Checks = append(res.Checks, Table2Check{
+		Metric: "BLE (instant)", Method: "SoF delimiter",
+		OK:    okBLE,
+		Value: fmt.Sprintf("BLEs=%.1f Mb/s", firstBLE(sofs)),
+	})
+
+	// PBerr via MM (ampstat) and average BLE via MM (int6krate).
+	pberr, err1 := st.QueryPBerr(nightStart+2*time.Second, l)
+	avgBLE, err2 := st.QueryBLE(nightStart+2*time.Second+plc.MMMinInterval, l)
+	res.Checks = append(res.Checks, Table2Check{
+		Metric: "PBerr", Method: "MM (ampstat)",
+		OK: err1 == nil && pberr >= 0, Value: fmt.Sprintf("%.4f", pberr),
+	})
+	res.Checks = append(res.Checks, Table2Check{
+		Metric: "avg BLE", Method: "MM (int6krate)",
+		OK: err2 == nil && avgBLE > 0, Value: fmt.Sprintf("%.1f Mb/s", avgBLE),
+	})
+
+	// Throughput via the traffic generator (iperf analogue).
+	tput := l.Throughput(nightStart + 3*time.Second)
+	res.Checks = append(res.Checks, Table2Check{
+		Metric: "throughput", Method: "iperf (saturated)",
+		OK: tput > 0, Value: fmt.Sprintf("%.1f Mb/s", tput),
+	})
+
+	// WiFi MCS via frame control.
+	wl := tb.WiFiLink(a, b)
+	mcs, connected := wl.MCSAt(nightStart)
+	res.Checks = append(res.Checks, Table2Check{
+		Metric: "MCS (WiFi)", Method: "frame control",
+		OK: connected, Value: fmt.Sprintf("MCS %d (%.0f Mb/s)", mcs.Index, mcs.Mbps),
+	})
+	return res, nil
+}
+
+func firstBLE(sofs []sofType) float64 {
+	if len(sofs) == 0 {
+		return 0
+	}
+	return sofs[0].BLEs
+}
+
+// Table3Result renders the guideline table (§9) with pointers to the
+// experiments that validate each row.
+type Table3Result struct {
+	Guidelines []core.Guideline
+}
+
+// Name implements Result.
+func (*Table3Result) Name() string { return "table3" }
+
+// Table implements Result.
+func (r *Table3Result) Table() string {
+	var b strings.Builder
+	for _, g := range r.Guidelines {
+		b.WriteString(g.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Summary implements Result.
+func (r *Table3Result) Summary() string {
+	return fmt.Sprintf("table3 guidelines: %d rows (validated by fig09/fig11/fig18/fig19/fig21/fig22/fig24)", len(r.Guidelines))
+}
+
+// RunTable3 returns the guideline table.
+func RunTable3(Config) (*Table3Result, error) {
+	return &Table3Result{Guidelines: core.Guidelines()}, nil
+}
+
+func init() {
+	register("table1", "Table 1: main findings, re-derived from the experiments",
+		func(c Config) (Result, error) { return RunTable1(c) })
+	register("table2", "Table 2: metrics and measurement methods, exercised end to end",
+		func(c Config) (Result, error) { return RunTable2(c) })
+	register("table3", "Table 3: link-metric estimation guidelines",
+		func(c Config) (Result, error) { return RunTable3(c) })
+}

@@ -1,0 +1,62 @@
+package grid
+
+import "time"
+
+// The simulation calendar: virtual time zero is Monday 00:00. Appliance
+// schedules (office hours, the 9 pm building lights-off event, weekends)
+// are defined against this calendar, which is what produces the paper's
+// "random scale" channel variation (§6.3, Figs. 12-14).
+
+// Day is the length of one calendar day.
+const Day = 24 * time.Hour
+
+// Week is the length of one calendar week.
+const Week = 7 * Day
+
+// TimeOfDay returns the offset of t within its day, in [0, Day).
+func TimeOfDay(t time.Duration) time.Duration {
+	d := t % Day
+	if d < 0 {
+		d += Day
+	}
+	return d
+}
+
+// HourOfDay returns the integer hour (0..23) at time t.
+func HourOfDay(t time.Duration) int {
+	return int(TimeOfDay(t) / time.Hour)
+}
+
+// DayIndex returns the number of full days elapsed at t (day 0 is a Monday).
+func DayIndex(t time.Duration) int64 {
+	d := t / Day
+	if t < 0 && t%Day != 0 {
+		d--
+	}
+	return int64(d)
+}
+
+// Weekday returns 0 for Monday through 6 for Sunday.
+func Weekday(t time.Duration) int {
+	w := DayIndex(t) % 7
+	if w < 0 {
+		w += 7
+	}
+	return int(w)
+}
+
+// IsWeekend reports whether t falls on Saturday or Sunday.
+func IsWeekend(t time.Duration) bool {
+	w := Weekday(t)
+	return w == 5 || w == 6
+}
+
+// IsWorkingHours reports whether t is within 8:00-19:00 on a weekday —
+// the regime the paper calls "working hours".
+func IsWorkingHours(t time.Duration) bool {
+	if IsWeekend(t) {
+		return false
+	}
+	h := TimeOfDay(t)
+	return h >= 8*time.Hour && h < 19*time.Hour
+}

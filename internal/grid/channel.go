@@ -1,0 +1,410 @@
+package grid
+
+import (
+	"math"
+	"math/cmplx"
+	"time"
+
+	"repro/internal/detrand"
+	"repro/internal/mains"
+)
+
+// Physical constants of the propagation model. The transfer function
+// follows the standard multipath PLC model (Zimmermann & Dostert):
+//
+//	H(f) = Σ_i g_i · A(f, d_i) · exp(-j·2πf·d_i/v)
+//
+// with one path per structural tap (outlet/junction branch stubs) and per
+// appliance, and A(f,d) combining a *small* cable loss with the through
+// losses of the taps along the route. The paper's §5 control experiment
+// pins this decomposition: a bare 70 m cable costs at most ~2 Mb/s, so
+// essentially all attenuation comes from the multipath created by taps and
+// appliances. Constants are calibrated so that clean short links reach
+// near-maximum rate and 30-100 m office links span the good-to-dead range
+// of Fig. 7 depending on the appliance population.
+const (
+	// TxPSDdBmHz is the HomePlug AV transmit power spectral density.
+	TxPSDdBmHz = -55.0
+
+	// attA0 and attA1 parameterise bare-cable attenuation per metre:
+	// attDB(f,d) = 8.686·(attA0 + attA1·f)·d. Deliberately small.
+	attA0 = 0.004  // 1/m
+	attA1 = 0.8e-9 // s/m
+
+	// propVelocity is the propagation speed on mains cable (m/s).
+	propVelocity = 1.5e8
+
+	// directGain is the amplitude coupling of the direct path.
+	directGain = 0.85
+
+	// applianceTapLossFactor scales how much an on-path appliance eats
+	// from the direct path: factor = 1 - applianceTapLossFactor·|Γ|.
+	applianceTapLossFactor = 0.28
+
+	// bounceGain scales first-order reflection paths.
+	bounceGain = 0.5
+
+	// echoGain scales the second-order echo of each reflection.
+	echoGain = 0.45
+
+	// stubExtraM and echoExtraM are the extra path lengths of a
+	// reflection and of its echo (outlet drop, round trip).
+	stubExtraM = 3.0
+	echoExtraM = 8.0
+
+	// couplerLossMaxDB bounds the per-node, per-direction coupling loss
+	// modelling outlet/AFE quality spread.
+	couplerLossMaxDB = 6.0
+)
+
+// attDB returns the bare-cable attenuation in dB (power) for frequency f
+// (Hz) over d metres.
+func attDB(f, d float64) float64 {
+	return 8.686 * (attA0 + attA1*f) * d
+}
+
+// Link is the PLC channel between two outlets, maintained incrementally as
+// appliances switch. It is the grid-side state behind one directed
+// (transmitter, receiver) pair; the OFDM PHY reads per-carrier SNR from it.
+type Link struct {
+	g      *Grid
+	tx, rx NodeID
+	freqs  []float64
+
+	// Channel state at the current epoch (appliance mask).
+	mask    uint64
+	epoch   uint64
+	started bool
+
+	d0      float64      // direct path cable distance
+	direct  []complex128 // direct path phasor incl. structural tap losses
+	tapProd float64      // product of (1 - k·Γ) over on-path *appliances*
+	refl    []complex128 // static reflections from structural taps
+	hRefl   []complex128 // appliance reflection sum (state-dependent)
+	fixedDB float64      // cross-board penalty + coupler losses
+
+	onPath []bool // per appliance: does it sit on the direct path?
+
+	// Per-appliance reusable data.
+	pathVec  [][]complex128 // reflection phasor per appliance (incl. echo)
+	noiseVec [][]float64    // attenuated noise PSD at rx per appliance (linear mW/Hz)
+	noiseW   []float64      // band-average of noiseVec (scalar weights)
+
+	bgLin   []float64   // background noise, linear
+	bgW     float64     // band-average background, linear
+	slotMul [][]float64 // [appliance][slot] linear multiplier from SlotProfileDB
+
+	noiseLin [mains.Slots][]float64 // current-mask per-slot noise (linear)
+	gainDB   []float64              // 20·log10|H| + fixedDB at current mask
+	snrBase  [mains.Slots][]float64 // SNR per carrier per slot at current mask
+	snrValid [mains.Slots]bool
+}
+
+// NewLink prepares the channel state for a directed tx→rx pair over the
+// given carrier frequencies (Hz).
+func (g *Grid) NewLink(tx, rx NodeID, freqs []float64) *Link {
+	l := &Link{g: g, tx: tx, rx: rx, freqs: freqs}
+	n := len(freqs)
+	na := len(g.Appliances)
+
+	l.d0 = g.Dist(tx, rx)
+	l.direct = make([]complex128, n)
+	l.refl = make([]complex128, n)
+	l.hRefl = make([]complex128, n)
+	l.gainDB = make([]float64, n)
+	l.bgLin = make([]float64, n)
+	l.onPath = make([]bool, na)
+	l.pathVec = make([][]complex128, na)
+	l.noiseVec = make([][]float64, na)
+	l.noiseW = make([]float64, na)
+	l.slotMul = make([][]float64, na)
+
+	for s := range l.noiseLin {
+		l.noiseLin[s] = make([]float64, n)
+		l.snrBase[s] = make([]float64, n)
+	}
+
+	// Fixed attenuation: cross-board penalty plus the directional
+	// coupler losses of the two outlets.
+	if g.Nodes[tx].Board != g.Nodes[rx].Board {
+		l.fixedDB -= g.BoardCrossingPenaltyDB
+	}
+	l.fixedDB -= detrand.Uniform(uint64(g.seed), uint64(tx), 0x7c0) * couplerLossMaxDB
+	l.fixedDB -= detrand.Uniform(uint64(g.seed), uint64(rx), 0x7c1) * couplerLossMaxDB
+
+	// Direct-path phasor, carrying the structural tap losses of every
+	// junction it crosses (the dominant attenuation).
+	if !math.IsInf(l.d0, 1) {
+		structDB := g.tapSumDB(tx, rx)
+		for c, f := range freqs {
+			db := attDB(f, l.d0) + structDB
+			amp := directGain * math.Pow(10, -db/20)
+			phase := -2 * math.Pi * f * l.d0 / propVelocity
+			l.direct[c] = cmplx.Rect(amp, phase)
+		}
+
+		// Static reflections from structural taps (non-appliance
+		// multipath): one bounce per reachable node.
+		for i := range g.Nodes {
+			nd := NodeID(i)
+			if nd == tx || nd == rx {
+				continue
+			}
+			dTx, dRx := g.rawDist(tx, nd), g.rawDist(nd, rx)
+			if math.IsInf(dTx, 1) || math.IsInf(dRx, 1) {
+				continue
+			}
+			dRefl := dTx + dRx + stubExtraM
+			lossDB := g.tapSumDB(tx, nd) + g.tapSumDB(nd, rx)
+			gamma := g.Nodes[nd].Gamma
+			sign := detrand.Sign(uint64(g.seed), uint64(nd), 0x516)
+			co := sign * bounceGain * gamma
+			for c, f := range freqs {
+				db := attDB(f, dRefl) + lossDB
+				amp := math.Pow(10, -db/20)
+				l.refl[c] += complex(co*amp, 0) *
+					cmplx.Rect(1, -2*math.Pi*f*dRefl/propVelocity)
+			}
+		}
+	}
+
+	// Per-appliance geometry: reflection phasors, on-path flags, and
+	// attenuated noise vectors.
+	for i, a := range g.Appliances {
+		dTx := g.rawDist(tx, a.Node)
+		dRx := g.rawDist(rx, a.Node)
+		l.onPath[i] = !math.IsInf(dTx, 1) && !math.IsInf(dRx, 1) &&
+			dTx+dRx <= g.rawDist(tx, rx)+1.0
+
+		l.pathVec[i] = make([]complex128, n)
+		l.noiseVec[i] = make([]float64, n)
+		if math.IsInf(dTx, 1) || math.IsInf(dRx, 1) {
+			continue // appliance electrically unreachable
+		}
+		dRefl := dTx + dRx + stubExtraM
+		lossDB := g.tapSumDB(tx, a.Node) + g.tapSumDB(a.Node, rx)
+		sign := a.ReflectionSign()
+		for c, f := range freqs {
+			base := math.Pow(10, -(attDB(f, dRefl)+lossDB)/20)
+			p1 := -2 * math.Pi * f * dRefl / propVelocity
+			a2 := math.Pow(10, -(attDB(f, dRefl+echoExtraM)+lossDB)/20)
+			p2 := -2 * math.Pi * f * (dRefl + echoExtraM) / propVelocity
+			l.pathVec[i][c] = complex(sign, 0) *
+				(cmplx.Rect(base, p1) + complex(echoGain, 0)*cmplx.Rect(a2, p2))
+		}
+
+		noiseLossDB := g.tapSumDB(a.Node, rx)
+		var wsum float64
+		for c, f := range freqs {
+			lin := math.Pow(10, (a.Class.NoiseDBmHz-attDB(f, dRx)-noiseLossDB)/10)
+			l.noiseVec[i][c] = lin
+			wsum += lin
+		}
+		l.noiseW[i] = wsum / float64(n)
+
+		l.slotMul[i] = make([]float64, mains.Slots)
+		for s := 0; s < mains.Slots; s++ {
+			l.slotMul[i][s] = math.Pow(10, a.Class.SlotProfileDB[s]/10)
+		}
+	}
+
+	// Background noise.
+	var bg float64
+	for c, f := range freqs {
+		l.bgLin[c] = math.Pow(10, backgroundNoiseDBmHz(f)/10)
+		bg += l.bgLin[c]
+	}
+	l.bgW = bg / float64(n)
+	for s := 0; s < mains.Slots; s++ {
+		copy(l.noiseLin[s], l.bgLin)
+	}
+	return l
+}
+
+// backgroundNoiseDBmHz is the coloured background noise floor of the mains
+// (high at low frequencies, flattening out above ~10 MHz).
+func backgroundNoiseDBmHz(f float64) float64 {
+	return -110 + 30*math.Exp(-f/1e6/3.0)
+}
+
+// Carriers returns the carrier frequencies of the link.
+func (l *Link) Carriers() []float64 { return l.freqs }
+
+// TxNode identifies the transmitting outlet.
+func (l *Link) TxNode() NodeID { return l.tx }
+
+// RxNode returns the receiving outlet.
+func (l *Link) RxNode() NodeID { return l.rx }
+
+// CableDistance returns the direct cable run in metres.
+func (l *Link) CableDistance() float64 { return l.d0 }
+
+// Advance brings the channel state up to time t, applying any appliance
+// switches since the last call, and returns the current epoch. The epoch
+// increments exactly when the appliance state mask changes, so callers can
+// cache derived state per epoch.
+func (l *Link) Advance(t time.Duration) uint64 {
+	m := l.g.StateMask(t)
+	if l.started && m == l.mask {
+		return l.epoch
+	}
+	if !l.started {
+		l.rebuild(m)
+		l.started = true
+		l.mask = m
+		return l.epoch
+	}
+	diff := m ^ l.mask
+	for i := 0; diff != 0; i++ {
+		if diff&1 != 0 {
+			l.toggle(i, m&(1<<uint(i)) != 0)
+		}
+		diff >>= 1
+	}
+	l.mask = m
+	l.epoch++
+	l.finishUpdate()
+	return l.epoch
+}
+
+// coeff returns the reflection coefficient multiplier of appliance i in the
+// given state.
+func (l *Link) coeff(i int, on bool) float64 {
+	return bounceGain * l.g.Appliances[i].ReflectionCoeff(l.g.Z0, on)
+}
+
+// tapFactor returns the direct-path transmission factor of an on-path
+// appliance tap.
+func (l *Link) tapFactor(i int, on bool) float64 {
+	return 1 - applianceTapLossFactor*l.g.Appliances[i].ReflectionCoeff(l.g.Z0, on)
+}
+
+// rebuild computes the full channel state for a mask from scratch.
+func (l *Link) rebuild(mask uint64) {
+	for c := range l.hRefl {
+		l.hRefl[c] = 0
+	}
+	l.tapProd = 1
+	for s := 0; s < mains.Slots; s++ {
+		copy(l.noiseLin[s], l.bgLin)
+	}
+	for i := range l.g.Appliances {
+		on := mask&(1<<uint(i)) != 0
+		co := l.coeff(i, on)
+		for c := range l.hRefl {
+			l.hRefl[c] += complex(co, 0) * l.pathVec[i][c]
+		}
+		if l.onPath[i] {
+			l.tapProd *= l.tapFactor(i, on)
+		}
+		if on {
+			l.addNoise(i, +1)
+		}
+	}
+	l.finishUpdate()
+}
+
+// toggle flips appliance i to the given state, updating reflections, tap
+// losses and noise incrementally.
+func (l *Link) toggle(i int, on bool) {
+	oldCo := l.coeff(i, !on)
+	newCo := l.coeff(i, on)
+	d := complex(newCo-oldCo, 0)
+	for c := range l.hRefl {
+		l.hRefl[c] += d * l.pathVec[i][c]
+	}
+	if l.onPath[i] {
+		l.tapProd *= l.tapFactor(i, on) / l.tapFactor(i, !on)
+	}
+	if on {
+		l.addNoise(i, +1)
+	} else {
+		l.addNoise(i, -1)
+	}
+}
+
+func (l *Link) addNoise(i int, sign float64) {
+	if l.slotMul[i] == nil {
+		return // unreachable appliance
+	}
+	for s := 0; s < mains.Slots; s++ {
+		mul := sign * l.slotMul[i][s]
+		nv := l.noiseVec[i]
+		dst := l.noiseLin[s]
+		for c := range dst {
+			dst[c] += mul * nv[c]
+		}
+	}
+}
+
+// finishUpdate recomputes the per-carrier gain and invalidates SNR caches.
+func (l *Link) finishUpdate() {
+	tp := complex(l.tapProd, 0)
+	for c := range l.gainDB {
+		h := l.direct[c]*tp + l.refl[c] + l.hRefl[c]
+		p := real(h)*real(h) + imag(h)*imag(h)
+		if p < 1e-30 {
+			p = 1e-30
+		}
+		l.gainDB[c] = 10*math.Log10(p) + l.fixedDB
+	}
+	for s := range l.snrValid {
+		l.snrValid[s] = false
+	}
+}
+
+// SNRBase returns the per-carrier SNR (dB) in the given tone-map slot at
+// the current epoch, excluding the fast flicker/impulse component (which is
+// reported separately by ShiftDB). The returned slice is owned by the Link
+// and valid until the next Advance call.
+func (l *Link) SNRBase(slot int) []float64 {
+	if l.snrValid[slot] {
+		return l.snrBase[slot]
+	}
+	out := l.snrBase[slot]
+	nl := l.noiseLin[slot]
+	for c := range out {
+		nDB := 10 * math.Log10(nl[c])
+		out[c] = TxPSDdBmHz + l.gainDB[c] - nDB
+	}
+	l.snrValid[slot] = true
+	return out
+}
+
+// ShiftDB returns the band-average noise-floor shift (dB) at time t caused
+// by appliance flicker and switching impulses, relative to the flicker-free
+// baseline that SNRBase reports. Positive values mean more noise (SNR
+// drops by the same amount, uniformly across carriers — an approximation
+// documented in DESIGN.md).
+func (l *Link) ShiftDB(t time.Duration) float64 {
+	base := l.bgW
+	moved := l.bgW
+	mask := l.mask
+	if !l.started {
+		mask = l.g.StateMask(t)
+	}
+	for i, a := range l.g.Appliances {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		w := l.noiseW[i]
+		if w == 0 {
+			continue
+		}
+		base += w
+		db := a.FlickerDB(t) + a.ImpulseBoostDB(t)
+		moved += w * math.Pow(10, db/10)
+	}
+	return 10 * math.Log10(moved/base)
+}
+
+// MeanSNRdB returns the carrier-average SNR in dB for a slot — a scalar
+// summary used for coarse link classification and by tests.
+func (l *Link) MeanSNRdB(slot int) float64 {
+	snr := l.SNRBase(slot)
+	var s float64
+	for _, v := range snr {
+		s += v
+	}
+	return s / float64(len(snr))
+}

@@ -1,0 +1,182 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// officeGrid builds a denser test network: a 10-junction trunk with drops
+// and a mixed appliance population.
+func officeGrid() *Grid {
+	g := New(DefaultConfig())
+	prev := g.AddNode(0, 0, 0)
+	for i := 1; i <= 10; i++ {
+		cur := g.AddNode(float64(i)*8, 0, 0)
+		g.AddCable(prev, cur, 8)
+		prev = cur
+	}
+	// Drops with stations/appliances.
+	for i := 0; i < 5; i++ {
+		n := g.AddNode(float64(i)*16+4, 5, 0)
+		g.AddCable(NodeID(2*i), n, 6)
+		g.Plug(ClassDesktopPC, n)
+		if i%2 == 0 {
+			g.Plug(ClassFluorescent, n)
+		}
+	}
+	g.Plug(ClassDimmer, 5)
+	g.Plug(ClassFridge, 8)
+	return g
+}
+
+func TestTapSumSymmetric(t *testing.T) {
+	g := officeGrid()
+	for a := NodeID(0); a < 10; a += 3 {
+		for b := NodeID(1); b < 10; b += 2 {
+			if g.tapSumDB(a, b) != g.tapSumDB(b, a) {
+				t.Fatalf("tapSumDB asymmetric for %d-%d", a, b)
+			}
+		}
+	}
+}
+
+func TestOnPathNodesExcludesEndpoints(t *testing.T) {
+	g := officeGrid()
+	nodes := g.onPathNodes(0, 10)
+	for _, n := range nodes {
+		if n == 0 || n == 10 {
+			t.Fatal("endpoints must be excluded from the tap path")
+		}
+	}
+	if len(nodes) < 8 {
+		t.Fatalf("trunk path should cross the intermediate junctions: %d", len(nodes))
+	}
+}
+
+func TestNodeTapLossPositive(t *testing.T) {
+	g := officeGrid()
+	for i := range g.Nodes {
+		if l := nodeTapLossDB(&g.Nodes[i]); l <= 0 || l > 10 {
+			t.Fatalf("node %d tap loss %.2f dB out of range", i, l)
+		}
+	}
+}
+
+// Property: more distance through the tapped trunk never increases the
+// band-average SNR at night (no appliances on, so monotonicity is purely
+// structural).
+func TestStructuralMonotonicityProperty(t *testing.T) {
+	g := officeGrid()
+	freqs := testFreqs()
+	night := 26 * time.Hour
+	prev := math.Inf(1)
+	// Compare over trunk junctions 2,4,6,8,10 (coupler losses are hashed
+	// per node, so allow a small non-monotone slack).
+	for _, dst := range []NodeID{2, 4, 6, 8, 10} {
+		l := g.NewLink(0, dst, freqs)
+		l.Advance(night)
+		snr := l.MeanSNRdB(0)
+		if snr > prev+couplerLossMaxDB {
+			t.Fatalf("SNR rose with distance beyond coupler slack: %v at node %d", snr, dst)
+		}
+		prev = snr
+	}
+}
+
+// Property: appliance toggling is exactly reversible — toggling a device on
+// then off returns bit-identical channel state.
+func TestToggleReversibleProperty(t *testing.T) {
+	f := func(which uint8, hourRaw uint8) bool {
+		g := officeGrid()
+		freqs := testFreqs()
+		l := g.NewLink(0, 10, freqs)
+		base := time.Duration(hourRaw%24) * time.Hour
+		l.Advance(base)
+		before := append([]float64(nil), l.SNRBase(3)...)
+
+		idx := int(which) % len(g.Appliances)
+		on := l.mask&(1<<uint(idx)) != 0
+		l.toggle(idx, !on)
+		l.finishUpdate()
+		l.toggle(idx, on)
+		l.finishUpdate()
+		after := l.SNRBase(3)
+		for c := range before {
+			if math.Abs(before[c]-after[c]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaDeterministicPerSeed(t *testing.T) {
+	a := officeGrid()
+	b := officeGrid()
+	for i := range a.Nodes {
+		if a.Nodes[i].Gamma != b.Nodes[i].Gamma {
+			t.Fatal("node gammas must be deterministic")
+		}
+	}
+}
+
+func TestApplianceNoiseRaisesFloorLocally(t *testing.T) {
+	// Receiver near the dimmer suffers more than a distant one when the
+	// dimmer is on (lights schedule: on at noon).
+	g := officeGrid()
+	freqs := testFreqs()
+	near := g.NewLink(0, 6, freqs) // node 6 is one hop from the dimmer at 5
+	far := g.NewLink(5, 0, freqs)  // receiver at node 0, far from the dimmer
+	noon := 12 * time.Hour
+	night := 26 * time.Hour
+	near.Advance(noon)
+	dayNear := near.MeanSNRdB(0)
+	near.Advance(night)
+	nightNear := near.MeanSNRdB(0)
+	far.Advance(noon)
+	dayFar := far.MeanSNRdB(0)
+	far.Advance(night)
+	nightFar := far.MeanSNRdB(0)
+
+	lossNear := nightNear - dayNear
+	lossFar := nightFar - dayFar
+	if lossNear <= lossFar {
+		t.Fatalf("noise should hit the nearby receiver harder: near %.1f dB vs far %.1f dB", lossNear, lossFar)
+	}
+}
+
+func TestShiftDBBounded(t *testing.T) {
+	g := officeGrid()
+	l := g.NewLink(0, 10, testFreqs())
+	l.Advance(12 * time.Hour)
+	for i := 0; i < 200; i++ {
+		s := l.ShiftDB(12*time.Hour + time.Duration(i)*100*time.Millisecond)
+		if math.IsNaN(s) || s < -30 || s > 40 {
+			t.Fatalf("shift out of bounds: %v", s)
+		}
+	}
+}
+
+func TestDisconnectedLinkIsDead(t *testing.T) {
+	g := officeGrid()
+	iso := g.AddNode(999, 999, 0) // never cabled
+	l := g.NewLink(0, iso, testFreqs())
+	l.Advance(0)
+	if snr := l.MeanSNRdB(0); snr > -100 {
+		t.Fatalf("disconnected link has signal: %v dB", snr)
+	}
+}
+
+func BenchmarkNewLink(b *testing.B) {
+	g := officeGrid()
+	freqs := testFreqs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.NewLink(0, 10, freqs)
+	}
+}

@@ -1,0 +1,267 @@
+// Package grid models the electrical network that PLC signals traverse: the
+// cable graph of a building, its distribution boards, and the appliances
+// plugged into it.
+//
+// The model follows the paper's own explanation of PLC behaviour (§5, §6):
+// the two components of the channel are attenuation — dominated by
+// multipath reflections at impedance mismatches created by appliances — and
+// noise — injected by appliances, periodic with the mains cycle, fluctuating
+// at second scale, and restructured when devices switch. Both are modelled
+// here; the OFDM PHY in internal/plc/phy consumes the per-carrier SNR this
+// package produces.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/detrand"
+)
+
+// NodeID identifies an outlet (or junction) of the electrical network.
+type NodeID int
+
+// Node is one point of the cable graph. Position is on the floor plan
+// (metres) and is shared with the WiFi path-loss model so both media see
+// the same geometry.
+type Node struct {
+	ID    NodeID
+	X, Y  float64
+	Board int // distribution board feeding this outlet (0 or 1 in the testbed)
+
+	// Gamma is the node's structural reflection coefficient: every
+	// outlet/junction carries branch stubs that mismatch the line even
+	// with nothing plugged in. The paper's §5 control experiment shows
+	// attenuation is dominated by this multipath, not by cable loss —
+	// a bare 70 m cable costs at most ~2 Mb/s.
+	Gamma float64
+}
+
+// Cable is an undirected cable segment between two nodes.
+type Cable struct {
+	A, B   NodeID
+	Length float64 // metres
+}
+
+// Grid is the full electrical network.
+type Grid struct {
+	Nodes      []Node
+	Cables     []Cable
+	Appliances []*Appliance
+
+	// Z0 is the characteristic impedance of the mains cable (ohms).
+	Z0 float64
+
+	// BoardCrossingPenaltyDB is the extra attenuation for links whose
+	// endpoints hang off different distribution boards (breaker panels
+	// and the basement interconnection; §3.1 of the paper). The basement
+	// cable run itself is modelled as an ordinary cable edge by the
+	// testbed builder.
+	BoardCrossingPenaltyDB float64
+
+	adj  map[NodeID][]edge
+	dist map[NodeID][]float64 // per-source Dijkstra cache
+
+	seed int64
+}
+
+type edge struct {
+	to NodeID
+	w  float64
+}
+
+// Config bundles the tunable physical constants of the grid. Defaults are
+// calibrated so the synthetic testbed matches the paper's coarse anchors
+// (good links < 30 m, mixed quality 30-100 m, no cross-board connectivity).
+type Config struct {
+	Z0                     float64
+	BoardCrossingPenaltyDB float64
+	Seed                   int64
+}
+
+// DefaultConfig returns the calibrated defaults.
+func DefaultConfig() Config {
+	return Config{
+		Z0:                     90,
+		BoardCrossingPenaltyDB: 45,
+		Seed:                   1,
+	}
+}
+
+// New creates an empty grid with the given configuration.
+func New(cfg Config) *Grid {
+	return &Grid{
+		Z0:                     cfg.Z0,
+		BoardCrossingPenaltyDB: cfg.BoardCrossingPenaltyDB,
+		adj:                    make(map[NodeID][]edge),
+		dist:                   make(map[NodeID][]float64),
+		seed:                   cfg.Seed,
+	}
+}
+
+// AddNode appends a node and returns its ID.
+func (g *Grid) AddNode(x, y float64, board int) NodeID {
+	id := NodeID(len(g.Nodes))
+	gamma := 0.15 + 0.55*detrand.Uniform(uint64(g.seed), uint64(id), 0x6a)
+	g.Nodes = append(g.Nodes, Node{ID: id, X: x, Y: y, Board: board, Gamma: gamma})
+	g.dist = make(map[NodeID][]float64) // cached rows have the old node count
+	return id
+}
+
+// AddCable connects two nodes with a cable of the given length.
+func (g *Grid) AddCable(a, b NodeID, length float64) {
+	if length <= 0 {
+		panic(fmt.Sprintf("grid: non-positive cable length %v", length))
+	}
+	g.Cables = append(g.Cables, Cable{A: a, B: b, Length: length})
+	g.adj[a] = append(g.adj[a], edge{to: b, w: length})
+	g.adj[b] = append(g.adj[b], edge{to: a, w: length})
+	g.dist = make(map[NodeID][]float64) // invalidate cache
+}
+
+// Plug attaches an appliance of the given class to a node.
+func (g *Grid) Plug(class *ApplianceClass, node NodeID) *Appliance {
+	if len(g.Appliances) >= 64 {
+		panic("grid: more than 64 appliances (state mask is a uint64)")
+	}
+	a := &Appliance{
+		Class: class,
+		Node:  node,
+		id:    detrand.Hash64(uint64(g.seed), uint64(node), uint64(len(g.Appliances)), 0xa11),
+		seed:  g.seed,
+	}
+	g.Appliances = append(g.Appliances, a)
+	return a
+}
+
+// Dist returns the shortest cable distance between two nodes in metres.
+// It returns +Inf for electrically disconnected pairs.
+func (g *Grid) Dist(a, b NodeID) float64 {
+	return g.rawDist(a, b)
+}
+
+// rawDist is the pure graph shortest path.
+func (g *Grid) rawDist(a, b NodeID) float64 {
+	da, ok := g.dist[a]
+	if !ok {
+		da = g.dijkstra(a)
+		g.dist[a] = da
+	}
+	return da[b]
+}
+
+func (g *Grid) dijkstra(src NodeID) []float64 {
+	n := len(g.Nodes)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	visited := make([]bool, n)
+	// n is small (tens of outlets); a simple O(n²) scan is clearest.
+	for {
+		best := -1
+		bd := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !visited[i] && dist[i] < bd {
+				best, bd = i, dist[i]
+			}
+		}
+		if best < 0 {
+			return dist
+		}
+		visited[best] = true
+		for _, e := range g.adj[NodeID(best)] {
+			if nd := bd + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+			}
+		}
+	}
+}
+
+// StateMask returns the on/off state of all appliances at t as a bitmask
+// (bit i = appliance i on). Channel gains are cached per mask.
+func (g *Grid) StateMask(t time.Duration) uint64 {
+	var m uint64
+	for i, a := range g.Appliances {
+		if a.On(t) {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// OnCount returns the number of appliances on at t.
+func (g *Grid) OnCount(t time.Duration) int {
+	m := g.StateMask(t)
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}
+
+// EuclidDist returns the straight-line (floor-plan) distance between two
+// nodes in metres. The WiFi model uses this; PLC uses cable Dist.
+func (g *Grid) EuclidDist(a, b NodeID) float64 {
+	na, nb := g.Nodes[a], g.Nodes[b]
+	dx, dy := na.X-nb.X, na.Y-nb.Y
+	return math.Hypot(dx, dy)
+}
+
+// appliancesByDistance returns appliance indices sorted by cable distance
+// from the given node.
+func (g *Grid) appliancesByDistance(n NodeID) []int {
+	idx := make([]int, len(g.Appliances))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		return g.rawDist(n, g.Appliances[idx[i]].Node) < g.rawDist(n, g.Appliances[idx[j]].Node)
+	})
+	return idx
+}
+
+// nodeTapLossDB is the through-loss (dB) a signal pays passing the node's
+// structural branch stubs.
+func nodeTapLossDB(n *Node) float64 {
+	f := 1 - 0.6*n.Gamma
+	return -20 * math.Log10(f)
+}
+
+// onPathNodes returns the intermediate nodes lying on the shortest cable
+// route between a and b (excluding the endpoints themselves).
+func (g *Grid) onPathNodes(a, b NodeID) []NodeID {
+	d0 := g.rawDist(a, b)
+	if math.IsInf(d0, 1) {
+		return nil
+	}
+	var out []NodeID
+	for i := range g.Nodes {
+		n := NodeID(i)
+		if n == a || n == b {
+			continue
+		}
+		da, db := g.rawDist(a, n), g.rawDist(n, b)
+		if math.IsInf(da, 1) || math.IsInf(db, 1) {
+			continue
+		}
+		if da+db <= d0+0.5 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// tapSumDB returns the total structural tap loss (dB) along the route
+// a → b, excluding both endpoints.
+func (g *Grid) tapSumDB(a, b NodeID) float64 {
+	var sum float64
+	for _, n := range g.onPathNodes(a, b) {
+		sum += nodeTapLossDB(&g.Nodes[n])
+	}
+	return sum
+}

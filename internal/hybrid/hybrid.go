@@ -1,0 +1,157 @@
+// Package hybrid implements the WiFi+PLC bandwidth-aggregation layer of
+// §7.4: a Click-style element pipeline sitting between IP and MAC that
+// splits packets across media proportionally to their estimated
+// capacities, reorders at the receiver using the IP identification
+// sequence, and is compared against a capacity-blind round-robin scheduler.
+package hybrid
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Iface is one attachment of the hybrid node: a live capacity estimate
+// (from BLE or MCS probing) plus the goodput the medium actually delivers.
+type Iface struct {
+	Name string
+	// Capacity returns the current capacity estimate in Mb/s — what the
+	// balancer believes.
+	Capacity func(t time.Duration) float64
+	// Throughput returns the goodput the medium sustains at t in Mb/s —
+	// what the medium actually delivers.
+	Throughput func(t time.Duration) float64
+}
+
+// Scheduler picks an interface for each packet.
+type Scheduler interface {
+	Name() string
+	// Weights returns the traffic share per interface at time t; the
+	// shares must sum to 1 for any usable interface set.
+	Weights(t time.Duration, ifaces []*Iface) []float64
+}
+
+// Proportional is the paper's load balancer: share ∝ estimated capacity.
+type Proportional struct{}
+
+// Name implements Scheduler.
+func (Proportional) Name() string { return "hybrid" }
+
+// Weights implements Scheduler.
+func (Proportional) Weights(t time.Duration, ifaces []*Iface) []float64 {
+	w := make([]float64, len(ifaces))
+	var sum float64
+	for i, f := range ifaces {
+		c := f.Capacity(t)
+		if c < 0 {
+			c = 0
+		}
+		w[i] = c
+		sum += c
+	}
+	if sum == 0 {
+		// No estimates: fall back to equal split.
+		for i := range w {
+			w[i] = 1 / float64(len(w))
+		}
+		return w
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// RoundRobin alternates packets blindly — the paper's baseline whose
+// aggregate is limited to twice the slowest medium.
+type RoundRobin struct{}
+
+// Name implements Scheduler.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Weights implements Scheduler.
+func (RoundRobin) Weights(t time.Duration, ifaces []*Iface) []float64 {
+	w := make([]float64, len(ifaces))
+	for i := range w {
+		w[i] = 1 / float64(len(w))
+	}
+	return w
+}
+
+// AggregateThroughput returns the saturated goodput of the hybrid node at
+// time t: the largest input rate R such that no interface receives more
+// than it can deliver, i.e. R = min_i throughput_i / weight_i. With
+// accurate capacity estimates the proportional scheduler approaches
+// Σ throughput_i, while round-robin is pinned at n·min_i throughput_i —
+// the Fig. 20 contrast.
+func AggregateThroughput(t time.Duration, s Scheduler, ifaces []*Iface) float64 {
+	if len(ifaces) == 0 {
+		return 0
+	}
+	w := s.Weights(t, ifaces)
+	rate := -1.0
+	for i, f := range ifaces {
+		tp := f.Throughput(t)
+		if w[i] <= 0 {
+			continue // interface unused: does not bound the rate
+		}
+		r := tp / w[i]
+		if rate < 0 || r < rate {
+			rate = r
+		}
+	}
+	if rate < 0 {
+		return 0
+	}
+	return rate
+}
+
+// Transfer simulates moving size bytes through the hybrid node starting at
+// start, integrating the aggregate goodput over wall-clock steps, and
+// returns the completion time (§7.4's 600 MB download comparison).
+// A zero aggregate rate longer than stallLimit aborts with an error.
+func Transfer(start time.Duration, sizeBytes int64, step time.Duration, s Scheduler, ifaces []*Iface) (time.Duration, error) {
+	const stallLimit = 10 * time.Minute
+	if step <= 0 {
+		step = 100 * time.Millisecond
+	}
+	remaining := float64(sizeBytes) * 8 // bits
+	t := start
+	stalled := time.Duration(0)
+	for remaining > 0 {
+		r := AggregateThroughput(t, s, ifaces) // Mb/s
+		bits := r * 1e6 * step.Seconds()
+		if bits <= 0 {
+			stalled += step
+			if stalled > stallLimit {
+				return 0, fmt.Errorf("hybrid: transfer stalled for %v", stallLimit)
+			}
+		} else {
+			stalled = 0
+		}
+		if bits >= remaining && r > 0 {
+			frac := remaining / bits
+			t += time.Duration(float64(step) * frac)
+			return t - start, nil
+		}
+		remaining -= bits
+		t += step
+	}
+	return t - start, nil
+}
+
+// SingleIface adapts one medium into an interface list, for baseline runs.
+func SingleIface(f *Iface) []*Iface { return []*Iface{f} }
+
+// FromMetricTable builds a capacity function reading the 1905 metric table
+// (so balancer behaviour follows probed metrics, not ground truth).
+func FromMetricTable(mt *core.MetricTable, src, dst int) func(time.Duration) float64 {
+	return func(time.Duration) float64 {
+		m, ok := mt.Lookup(src, dst)
+		if !ok {
+			return 0
+		}
+		return m.CapacityMbps
+	}
+}

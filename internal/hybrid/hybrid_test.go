@@ -1,0 +1,258 @@
+package hybrid
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+)
+
+func constIface(name string, cap, tput float64) *Iface {
+	return &Iface{
+		Name:       name,
+		Capacity:   func(time.Duration) float64 { return cap },
+		Throughput: func(time.Duration) float64 { return tput },
+	}
+}
+
+func TestProportionalApproachesSum(t *testing.T) {
+	// Accurate estimates: hybrid ≈ sum of the two media (Fig. 20).
+	wifi := constIface("wifi", 30, 30)
+	plc := constIface("plc", 45, 45)
+	got := AggregateThroughput(0, Proportional{}, []*Iface{wifi, plc})
+	if got < 74 || got > 76 {
+		t.Fatalf("hybrid aggregate = %.1f, want ≈75", got)
+	}
+}
+
+func TestRoundRobinPinnedAtTwiceMin(t *testing.T) {
+	wifi := constIface("wifi", 30, 30)
+	plc := constIface("plc", 45, 45)
+	got := AggregateThroughput(0, RoundRobin{}, []*Iface{wifi, plc})
+	if got < 59 || got > 61 {
+		t.Fatalf("round-robin aggregate = %.1f, want 2*min = 60", got)
+	}
+}
+
+func TestHybridBeatsRoundRobinWhenUnbalanced(t *testing.T) {
+	wifi := constIface("wifi", 10, 10)
+	plc := constIface("plc", 90, 90)
+	h := AggregateThroughput(0, Proportional{}, []*Iface{wifi, plc})
+	rr := AggregateThroughput(0, RoundRobin{}, []*Iface{wifi, plc})
+	if h <= rr*2 {
+		t.Fatalf("proportional %.1f should dominate round-robin %.1f on skewed links", h, rr)
+	}
+}
+
+func TestStaleEstimateHurts(t *testing.T) {
+	// The balancer believes the media are equal but PLC actually
+	// delivers 3x — the motivation for accurate capacity estimation.
+	wifi := constIface("wifi", 50, 30)
+	plc := constIface("plc", 50, 90)
+	got := AggregateThroughput(0, Proportional{}, []*Iface{wifi, plc})
+	if got >= 90 {
+		t.Fatalf("stale estimates should cost throughput: %.1f", got)
+	}
+}
+
+func TestZeroCapacityFallback(t *testing.T) {
+	a := constIface("a", 0, 20)
+	b := constIface("b", 0, 20)
+	if got := AggregateThroughput(0, Proportional{}, []*Iface{a, b}); got < 39 || got > 41 {
+		t.Fatalf("equal fallback aggregate = %.1f, want 40", got)
+	}
+	if got := AggregateThroughput(0, Proportional{}, nil); got != 0 {
+		t.Fatalf("no interfaces = %.1f", got)
+	}
+}
+
+func TestUnusedIfaceDoesNotBound(t *testing.T) {
+	dead := constIface("dead", 0, 0)
+	live := constIface("live", 50, 50)
+	got := AggregateThroughput(0, Proportional{}, []*Iface{dead, live})
+	if got < 49 || got > 51 {
+		t.Fatalf("dead interface should not drag the aggregate: %.1f", got)
+	}
+}
+
+func TestTransferCompletionTimes(t *testing.T) {
+	wifi := constIface("wifi", 30, 30)
+	plc := constIface("plc", 45, 45)
+	const size = 600 << 20 // the paper's 600 MB download
+	hyb, err := Transfer(0, size, time.Second, Proportional{}, []*Iface{wifi, plc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := Transfer(0, size, time.Second, Proportional{}, SingleIface(wifi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyb >= solo {
+		t.Fatalf("hybrid %.0fs should beat WiFi-only %.0fs", hyb.Seconds(), solo.Seconds())
+	}
+	// Sanity: 600 MB at 75 Mb/s ≈ 67 s.
+	want := float64(size*8) / (75e6)
+	if hyb.Seconds() < want*0.95 || hyb.Seconds() > want*1.1 {
+		t.Fatalf("hybrid completion %.1fs, want ≈%.1fs", hyb.Seconds(), want)
+	}
+}
+
+func TestTransferStalls(t *testing.T) {
+	dead := constIface("dead", 0, 0)
+	if _, err := Transfer(0, 1<<20, time.Second, Proportional{}, SingleIface(dead)); err == nil {
+		t.Fatal("transfer over a dead medium must error")
+	}
+}
+
+func TestFromMetricTable(t *testing.T) {
+	mt := core.NewMetricTable()
+	mt.Update(0, 1, core.LinkMetrics{Medium: core.PLC, CapacityMbps: 80})
+	f := FromMetricTable(mt, 0, 1)
+	if f(0) != 80 {
+		t.Fatalf("capacity from table = %v", f(0))
+	}
+	if g := FromMetricTable(mt, 3, 4); g(0) != 0 {
+		t.Fatal("missing table entry must read 0")
+	}
+}
+
+func TestReordererInOrderPassThrough(t *testing.T) {
+	r := NewReorderer(0, time.Second)
+	for i := uint32(0); i < 10; i++ {
+		out := r.Deliver(Packet{ID: i, Arrived: time.Duration(i) * time.Millisecond})
+		if len(out) != 1 || out[0].ID != i {
+			t.Fatalf("in-order packet %d not released immediately: %v", i, out)
+		}
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("pending = %d", r.Pending())
+	}
+}
+
+func TestReordererHoldsGap(t *testing.T) {
+	r := NewReorderer(0, time.Hour)
+	if out := r.Deliver(Packet{ID: 1, Arrived: 0}); len(out) != 0 {
+		t.Fatalf("gap packet released early: %v", out)
+	}
+	out := r.Deliver(Packet{ID: 0, Arrived: time.Millisecond})
+	if len(out) != 2 || out[0].ID != 0 || out[1].ID != 1 {
+		t.Fatalf("release after gap fill = %v", out)
+	}
+}
+
+func TestReordererTimeoutSkips(t *testing.T) {
+	r := NewReorderer(0, 10*time.Millisecond)
+	r.Deliver(Packet{ID: 1, Arrived: 0})
+	out := r.Deliver(Packet{ID: 2, Arrived: 20 * time.Millisecond})
+	if len(out) != 2 {
+		t.Fatalf("timeout should skip the lost head: %v", out)
+	}
+	if r.Skipped != 1 {
+		t.Fatalf("skipped = %d", r.Skipped)
+	}
+}
+
+// Property: whatever the arrival order, released IDs are strictly
+// increasing and no packet is released twice.
+func TestReordererOrderInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50
+		perm := rng.Perm(n)
+		r := NewReorderer(0, 0) // no timeout: strict order
+		var released []uint32
+		for i, p := range perm {
+			for _, q := range r.Deliver(Packet{ID: uint32(p), Arrived: time.Duration(i) * time.Millisecond}) {
+				released = append(released, q.ID)
+			}
+		}
+		if len(released) != n {
+			return false
+		}
+		if !sort.SliceIsSorted(released, func(i, j int) bool { return released[i] < released[j] }) {
+			return false
+		}
+		seen := map[uint32]bool{}
+		for _, id := range released {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJitter(t *testing.T) {
+	// Regular deliveries: zero jitter.
+	var ts []time.Duration
+	for i := 0; i < 10; i++ {
+		ts = append(ts, time.Duration(i)*10*time.Millisecond)
+	}
+	mean, std := Jitter(ts)
+	if mean != 10*time.Millisecond || std != 0 {
+		t.Fatalf("regular jitter = %v ± %v", mean, std)
+	}
+	// Irregular: positive std.
+	irr := []time.Duration{0, 10 * time.Millisecond, 40 * time.Millisecond, 45 * time.Millisecond}
+	if _, s := Jitter(irr); s <= 0 {
+		t.Fatal("irregular deliveries must show jitter")
+	}
+	if m, s := Jitter(nil); m != 0 || s != 0 {
+		t.Fatal("empty trace must be zero")
+	}
+}
+
+func BenchmarkReorderer(b *testing.B) {
+	r := NewReorderer(0, time.Second)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Two-interface interleaving pattern.
+		id := uint32(i)
+		if i%3 == 0 && i > 0 {
+			id = uint32(i - 1)
+		}
+		r.Deliver(Packet{ID: id, Arrived: time.Duration(i) * time.Microsecond})
+	}
+}
+
+// Property: scheduler weights are a probability distribution whenever any
+// interface has capacity.
+func TestWeightsDistributionProperty(t *testing.T) {
+	f := func(caps []uint8) bool {
+		if len(caps) == 0 {
+			return true
+		}
+		var ifaces []*Iface
+		for _, c := range caps {
+			c := float64(c)
+			ifaces = append(ifaces, constIface("x", c, c))
+		}
+		for _, s := range []Scheduler{Proportional{}, RoundRobin{}} {
+			w := s.Weights(0, ifaces)
+			if len(w) != len(ifaces) {
+				return false
+			}
+			var sum float64
+			for _, v := range w {
+				if v < 0 {
+					return false
+				}
+				sum += v
+			}
+			if sum < 0.999 || sum > 1.001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

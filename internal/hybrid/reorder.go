@@ -1,0 +1,109 @@
+package hybrid
+
+import (
+	"math"
+	"time"
+)
+
+// Packet is one IP packet traversing the hybrid node. ID is the IP
+// identification sequence the destination reorders on (§7.4).
+type Packet struct {
+	ID      uint32
+	Size    int
+	Iface   int
+	Arrived time.Duration
+}
+
+// Reorderer restores packet order at the destination using the IP
+// identification sequence, releasing a packet only when every smaller ID
+// has been delivered (or given up on after Timeout).
+type Reorderer struct {
+	// Timeout bounds head-of-line blocking: a missing ID is skipped once
+	// the buffer has waited this long for it.
+	Timeout time.Duration
+
+	next    uint32
+	buf     map[uint32]Packet
+	oldest  time.Duration
+	started bool
+
+	// Skipped counts IDs abandoned by timeout.
+	Skipped int64
+}
+
+// NewReorderer returns a reorderer expecting IDs from first.
+func NewReorderer(first uint32, timeout time.Duration) *Reorderer {
+	return &Reorderer{Timeout: timeout, next: first, buf: make(map[uint32]Packet)}
+}
+
+// Deliver accepts one packet and returns the packets releasable in order.
+func (r *Reorderer) Deliver(p Packet) []Packet {
+	if p.ID < r.next {
+		return nil // duplicate or late beyond the skip point
+	}
+	r.buf[p.ID] = p
+	if !r.started || p.Arrived < r.oldest {
+		r.started = true
+	}
+	var out []Packet
+	for {
+		q, ok := r.buf[r.next]
+		if ok {
+			delete(r.buf, r.next)
+			r.next++
+			out = append(out, q)
+			continue
+		}
+		// Head missing: skip only if something newer has waited too long.
+		if r.Timeout > 0 && len(r.buf) > 0 {
+			wait := p.Arrived - r.minArrived()
+			if wait >= r.Timeout {
+				r.next++
+				r.Skipped++
+				continue
+			}
+		}
+		break
+	}
+	return out
+}
+
+func (r *Reorderer) minArrived() time.Duration {
+	first := true
+	var m time.Duration
+	for _, q := range r.buf {
+		if first || q.Arrived < m {
+			m = q.Arrived
+			first = false
+		}
+	}
+	return m
+}
+
+// Pending reports the number of buffered out-of-order packets.
+func (r *Reorderer) Pending() int { return len(r.buf) }
+
+// Jitter summarises inter-delivery spacing: mean and standard deviation of
+// gaps between consecutive in-order deliveries. The paper verifies the
+// hybrid path does not worsen jitter versus a single interface (§7.4).
+func Jitter(deliveryTimes []time.Duration) (mean, std time.Duration) {
+	if len(deliveryTimes) < 2 {
+		return 0, 0
+	}
+	var gaps []float64
+	for i := 1; i < len(deliveryTimes); i++ {
+		gaps = append(gaps, float64(deliveryTimes[i]-deliveryTimes[i-1]))
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	m := sum / float64(len(gaps))
+	var ss float64
+	for _, g := range gaps {
+		d := g - m
+		ss += d * d
+	}
+	variance := ss / float64(len(gaps))
+	return time.Duration(m), time.Duration(math.Sqrt(variance))
+}

@@ -1,0 +1,205 @@
+// Package mesh implements multi-hop routing over hybrid WiFi+PLC link
+// metrics — the capability the paper's §4.3 motivates: "mesh
+// configurations, hence routing and load balancing algorithms, are needed
+// for seamless connectivity", with the reminder that such algorithms need
+// accurate per-medium capacity and loss metrics (and that alternating
+// technologies across hops performs well, the paper's reference [17]).
+//
+// Edges carry the two IEEE 1905 metrics this repository estimates
+// (capacity and loss); the route metric is the expected transmission time
+// (ETT) of Draves et al. — the paper's reference [8] — with the
+// retransmission factor computed per medium: the SACK-based selective
+// retransmission model for PLC, classic 1/(1-loss) for WiFi.
+package mesh
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Edge is one directed link of the hybrid mesh.
+type Edge struct {
+	From, To     int
+	Medium       core.Medium
+	CapacityMbps float64
+	// Loss is PBerr for PLC edges and frame loss for WiFi edges.
+	Loss float64
+}
+
+// ETTMicros returns the expected transmission time of a packet over the
+// edge in microseconds: air time at the estimated capacity times the
+// medium's retransmission factor.
+func (e Edge) ETTMicros(packetBytes int) float64 {
+	if e.CapacityMbps <= 0 {
+		return math.Inf(1)
+	}
+	bits := float64(packetBytes) * 8
+	base := bits / e.CapacityMbps // µs, since capacity is in Mb/s = bits/µs
+	l := e.Loss
+	if l >= 1 {
+		return math.Inf(1)
+	}
+	if l < 0 {
+		l = 0
+	}
+	// Both media pay 1/(1-loss) — but the loss semantics differ: PLC's
+	// SACK retransmits only failed PBs, so its loss is the *per-PB* error
+	// rate, while WiFi retransmits whole frames, so its loss is the
+	// per-frame rate (≈ nPB-fold larger at equal channel quality). This
+	// is the §8.1 advantage of selective retransmission, expressed in the
+	// metric rather than hidden in it.
+	return base / (1 - l)
+}
+
+// Graph is a directed multigraph: a station pair may carry one edge per
+// medium.
+type Graph struct {
+	adj   map[int][]Edge
+	nodes map[int]bool
+}
+
+// NewGraph returns an empty mesh graph.
+func NewGraph() *Graph {
+	return &Graph{adj: make(map[int][]Edge), nodes: make(map[int]bool)}
+}
+
+// AddEdge inserts a directed edge.
+func (g *Graph) AddEdge(e Edge) {
+	g.adj[e.From] = append(g.adj[e.From], e)
+	g.nodes[e.From] = true
+	g.nodes[e.To] = true
+}
+
+// Nodes reports the number of stations known to the graph.
+func (g *Graph) Nodes() int { return len(g.nodes) }
+
+// EdgesFrom returns the outgoing edges of a station.
+func (g *Graph) EdgesFrom(n int) []Edge { return g.adj[n] }
+
+// Route is a multi-hop path.
+type Route struct {
+	Hops []Edge
+	// ETTMicros is the summed expected transmission time.
+	ETTMicros float64
+	// BottleneckMbps is the smallest hop capacity.
+	BottleneckMbps float64
+}
+
+// Alternations counts technology switches along the route (the paper's
+// reference [17] argues alternating-technology routes perform well because
+// consecutive same-medium hops share a collision domain).
+func (r Route) Alternations() int {
+	n := 0
+	for i := 1; i < len(r.Hops); i++ {
+		if r.Hops[i].Medium != r.Hops[i-1].Medium {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the route as "5 -PLC-> 11 -WiFi-> 13".
+func (r Route) String() string {
+	if len(r.Hops) == 0 {
+		return "<empty route>"
+	}
+	s := fmt.Sprintf("%d", r.Hops[0].From)
+	for _, h := range r.Hops {
+		s += fmt.Sprintf(" -%s-> %d", h.Medium, h.To)
+	}
+	return s
+}
+
+// sameMediumPenalty discourages consecutive hops on one medium: they share
+// a collision domain, so their airtime does not parallelise (ref. [17]).
+const sameMediumPenalty = 1.35
+
+// BestRoute runs Dijkstra on ETT (with the same-medium contention penalty)
+// and returns the best route from src to dst for the given packet size.
+func (g *Graph) BestRoute(src, dst, packetBytes int) (Route, bool) {
+	dist := map[routeState]float64{}
+	prev := map[routeState]prevHop{}
+	start := routeState{node: src}
+	dist[start] = 0
+	pq := &ettHeap{{start, 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(ettItem)
+		if cur.cost > dist[cur.st]+1e-12 {
+			continue
+		}
+		for _, e := range g.adj[cur.st.node] {
+			w := e.ETTMicros(packetBytes)
+			if math.IsInf(w, 1) {
+				continue
+			}
+			if cur.st.hasMed && cur.st.medium == e.Medium {
+				w *= sameMediumPenalty
+			}
+			next := routeState{node: e.To, medium: e.Medium, hasMed: true}
+			nd := cur.cost + w
+			if old, ok := dist[next]; !ok || nd < old {
+				dist[next] = nd
+				prev[next] = prevHop{cur.st, e}
+				heap.Push(pq, ettItem{next, nd})
+			}
+		}
+	}
+
+	// Best terminal state at dst over either arrival medium.
+	var best routeState
+	bestCost := math.Inf(1)
+	for st, d := range dist {
+		if st.node == dst && d < bestCost {
+			best, bestCost = st, d
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		return Route{}, false
+	}
+	var hops []Edge
+	for st := best; st != start; {
+		p, ok := prev[st]
+		if !ok {
+			return Route{}, false
+		}
+		hops = append([]Edge{p.edge}, hops...)
+		st = p.st
+	}
+	r := Route{Hops: hops, ETTMicros: bestCost, BottleneckMbps: math.Inf(1)}
+	for _, h := range hops {
+		if h.CapacityMbps < r.BottleneckMbps {
+			r.BottleneckMbps = h.CapacityMbps
+		}
+	}
+	return r, true
+}
+
+// routeState is a Dijkstra state: the node plus the medium of the edge
+// used to reach it (the same-medium contention penalty makes the arrival
+// medium part of the state).
+type routeState struct {
+	node   int
+	medium core.Medium
+	hasMed bool
+}
+
+type prevHop struct {
+	st   routeState
+	edge Edge
+}
+
+type ettItem struct {
+	st   routeState
+	cost float64
+}
+
+type ettHeap []ettItem
+
+func (h ettHeap) Len() int           { return len(h) }
+func (h ettHeap) Less(i, j int) bool { return h[i].cost < h[j].cost }
+func (h ettHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *ettHeap) Push(x any)        { *h = append(*h, x.(ettItem)) }
+func (h *ettHeap) Pop() (v any)      { old := *h; n := len(old); v = old[n-1]; *h = old[:n-1]; return }

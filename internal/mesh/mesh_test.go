@@ -1,0 +1,195 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/plc/phy"
+	"repro/internal/testbed"
+)
+
+func TestETTBasics(t *testing.T) {
+	e := Edge{Medium: core.WiFi, CapacityMbps: 80, Loss: 0}
+	// 1000 bytes at 80 Mb/s = 8000 bits / 80 bits/µs = 100 µs.
+	if got := e.ETTMicros(1000); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("ETT = %v µs, want 100", got)
+	}
+	lossy := Edge{Medium: core.WiFi, CapacityMbps: 80, Loss: 0.5}
+	if got := lossy.ETTMicros(1000); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("lossy ETT = %v µs, want 200", got)
+	}
+	dead := Edge{Medium: core.PLC, CapacityMbps: 0}
+	if !math.IsInf(dead.ETTMicros(1000), 1) {
+		t.Fatal("zero-capacity edge must be unusable")
+	}
+}
+
+func TestETTSelectiveRetransmissionAdvantage(t *testing.T) {
+	// At equal channel quality (per-PB error e), PLC retransmits only the
+	// failed PBs while WiFi loses whole frames: the WiFi edge's loss is
+	// 1-(1-e)^nPB, so its ETT multiplier is larger for multi-PB packets.
+	const e = 0.2
+	nPB := 3.0
+	plc := Edge{Medium: core.PLC, CapacityMbps: 50, Loss: e}
+	wifi := Edge{Medium: core.WiFi, CapacityMbps: 50, Loss: 1 - math.Pow(1-e, nPB)}
+	if plc.ETTMicros(1500) >= wifi.ETTMicros(1500) {
+		t.Fatalf("selective retransmission should be cheaper: PLC %v vs WiFi %v",
+			plc.ETTMicros(1500), wifi.ETTMicros(1500))
+	}
+}
+
+func TestBestRouteDirectVsRelay(t *testing.T) {
+	g := NewGraph()
+	// Weak direct link, strong two-hop path.
+	g.AddEdge(Edge{From: 0, To: 2, Medium: core.PLC, CapacityMbps: 2, Loss: 0.1})
+	g.AddEdge(Edge{From: 0, To: 1, Medium: core.PLC, CapacityMbps: 90, Loss: 0.01})
+	g.AddEdge(Edge{From: 1, To: 2, Medium: core.WiFi, CapacityMbps: 80, Loss: 0.01})
+	r, ok := g.BestRoute(0, 2, 1500)
+	if !ok {
+		t.Fatal("no route found")
+	}
+	if len(r.Hops) != 2 {
+		t.Fatalf("route = %s, want the two-hop relay", r)
+	}
+	if r.Alternations() != 1 {
+		t.Fatalf("alternations = %d", r.Alternations())
+	}
+	if r.BottleneckMbps != 80 {
+		t.Fatalf("bottleneck = %v", r.BottleneckMbps)
+	}
+}
+
+func TestSameMediumPenaltyPrefersAlternation(t *testing.T) {
+	g := NewGraph()
+	// Two equal-capacity relay paths; one alternates media, one does not.
+	g.AddEdge(Edge{From: 0, To: 1, Medium: core.PLC, CapacityMbps: 50, Loss: 0.01})
+	g.AddEdge(Edge{From: 1, To: 2, Medium: core.PLC, CapacityMbps: 50, Loss: 0.01})
+	g.AddEdge(Edge{From: 0, To: 3, Medium: core.PLC, CapacityMbps: 50, Loss: 0.01})
+	g.AddEdge(Edge{From: 3, To: 2, Medium: core.WiFi, CapacityMbps: 50, Loss: 0.01})
+	r, ok := g.BestRoute(0, 2, 1500)
+	if !ok {
+		t.Fatal("no route")
+	}
+	if r.Alternations() != 1 {
+		t.Fatalf("router should prefer the alternating path (ref. [17]): %s", r)
+	}
+}
+
+func TestNoRoute(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(Edge{From: 0, To: 1, Medium: core.PLC, CapacityMbps: 50})
+	if _, ok := g.BestRoute(0, 99, 1500); ok {
+		t.Fatal("route to unknown node must fail")
+	}
+}
+
+// Property: a route's ETT never exceeds the direct edge's ETT (Dijkstra
+// optimality on random graphs).
+func TestRouteOptimalityProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		g := NewGraph()
+		// Deterministic pseudo-random small graph.
+		x := uint32(seed) + 1
+		next := func(n uint32) uint32 { x = x*1664525 + 1013904223; return x % n }
+		const nodes = 7
+		for i := 0; i < 14; i++ {
+			from := int(next(nodes))
+			to := int(next(nodes))
+			if from == to {
+				continue
+			}
+			med := core.PLC
+			if next(2) == 1 {
+				med = core.WiFi
+			}
+			g.AddEdge(Edge{
+				From: from, To: to, Medium: med,
+				CapacityMbps: 5 + float64(next(100)),
+				Loss:         float64(next(30)) / 100,
+			})
+		}
+		for a := 0; a < nodes; a++ {
+			for _, e := range g.EdgesFrom(a) {
+				r, ok := g.BestRoute(a, e.To, 1500)
+				if !ok {
+					return false // direct edge exists, route must too
+				}
+				if r.ETTMicros > e.ETTMicros(1500)+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSurveyCrossWingRouting(t *testing.T) {
+	// The headline §4.3 scenario: stations 5 (right-wing corner) and 17
+	// (left wing) share no PLC network, and their direct WiFi path spans
+	// most of the floor. The mesh must bridge the wings, and PLC must
+	// carry some hop (pure-WiFi multi-hop would halve throughput in one
+	// collision domain).
+	tb := testbed.New(testbed.Options{Spec: phy.AV, Decimate: 16, Seed: 1})
+	g, mt, err := Survey(tb, 23*time.Hour, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Len() == 0 {
+		t.Fatal("survey produced no metrics")
+	}
+	r, ok := g.BestRoute(5, 17, 1500)
+	if !ok {
+		t.Fatal("no cross-wing route found")
+	}
+	if len(r.Hops) < 2 {
+		t.Fatalf("cross-wing route must be multi-hop: %s", r)
+	}
+	hasWiFi := false
+	for _, h := range r.Hops {
+		if h.Medium == core.WiFi {
+			hasWiFi = true
+		}
+	}
+	if !hasWiFi {
+		t.Fatalf("only WiFi can bridge the two PLC networks: %s", r)
+	}
+	if r.BottleneckMbps < 5 {
+		t.Fatalf("route bottleneck %.1f Mb/s too weak: %s", r.BottleneckMbps, r)
+	}
+	t.Logf("cross-wing route: %s (ETT %.0f µs, bottleneck %.0f Mb/s)", r, r.ETTMicros, r.BottleneckMbps)
+}
+
+func TestSurveyInWingPrefersDirectGoodLink(t *testing.T) {
+	tb := testbed.New(testbed.Options{Spec: phy.AV, Decimate: 16, Seed: 1})
+	g, _, err := Survey(tb, 23*time.Hour, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adjacent stations: the direct link should win (no relay can beat a
+	// one-hop good link on summed ETT).
+	r, ok := g.BestRoute(0, 1, 1500)
+	if !ok {
+		t.Fatal("no route between neighbours")
+	}
+	if len(r.Hops) != 1 {
+		t.Fatalf("neighbours should use the direct link: %s", r)
+	}
+}
+
+func BenchmarkBestRoute(b *testing.B) {
+	tb := testbed.New(testbed.Options{Spec: phy.AV, Decimate: 16, Seed: 1})
+	g, _, err := Survey(tb, 23*time.Hour, time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BestRoute(i%19, (i+7)%19, 1500)
+	}
+}

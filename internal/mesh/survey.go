@@ -1,0 +1,51 @@
+package mesh
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/testbed"
+)
+
+// Survey probes every link of the testbed on both media at the given
+// virtual time and builds the hybrid mesh graph from the resulting 1905
+// metrics: PLC capacity from BLE with PBerr as loss, WiFi capacity from
+// the MCS with a loss estimate from the SNR margin. probeDur bounds the
+// per-link PLC warm-up.
+func Survey(tb *testbed.Testbed, at time.Duration, probeDur time.Duration) (*Graph, *core.MetricTable, error) {
+	g := NewGraph()
+	mt := core.NewMetricTable()
+
+	for _, pr := range tb.SameNetworkPairs() {
+		l, err := tb.PLCLink(pr[0], pr[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		l.Saturate(at, at+probeDur, 500*time.Millisecond)
+		capMbps := l.Throughput(at + probeDur)
+		loss := l.PBerr(at + probeDur)
+		m := core.LinkMetrics{Medium: core.PLC, CapacityMbps: capMbps, Loss: loss, UpdatedAt: at}
+		mt.Update(pr[0], pr[1], m)
+		if capMbps > 0.5 {
+			g.AddEdge(Edge{From: pr[0], To: pr[1], Medium: core.PLC, CapacityMbps: capMbps, Loss: loss})
+		}
+	}
+	for _, pr := range tb.AllPairs() {
+		wl := tb.WiFiLink(pr[0], pr[1])
+		capMbps := wl.Throughput(at)
+		if capMbps <= 0.5 {
+			continue
+		}
+		// Frame loss estimate from the margin between the instantaneous
+		// SNR and the selected MCS requirement.
+		mcs, ok := wl.MCSAt(at)
+		loss := 0.01
+		if ok && wl.SNR(at) < mcs.MinSNRdB {
+			loss = 0.2
+		}
+		m := core.LinkMetrics{Medium: core.WiFi, CapacityMbps: capMbps, Loss: loss, UpdatedAt: at}
+		mt.Update(pr[0], pr[1], m)
+		g.AddEdge(Edge{From: pr[0], To: pr[1], Medium: core.WiFi, CapacityMbps: capMbps, Loss: loss})
+	}
+	return g, mt, nil
+}

@@ -1,0 +1,401 @@
+package mac
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/mains"
+	"repro/internal/plc/phy"
+)
+
+// This file implements the slot-level IEEE 1901 CSMA/CA simulation used by
+// the contention experiments (§8.2, Figs. 23-24). Its distinguishing
+// feature versus 802.11 is the deferral counter: a station escalates its
+// backoff stage not only after collisions but also after sensing the medium
+// busy DC times (the paper's reference [19]).
+
+// TrafficPattern describes a flow's offered load.
+type TrafficPattern struct {
+	// Saturated keeps the queue always full of PacketSize packets.
+	Saturated bool
+	// Interval and Burst produce Burst packets of PacketSize bytes every
+	// Interval (Burst >= 1). Ignored when Saturated.
+	Interval time.Duration
+	Burst    int
+	// PacketSize is the Ethernet payload per packet, bytes.
+	PacketSize int
+}
+
+// Flow is one unidirectional sender in the contention domain.
+type Flow struct {
+	ID  int
+	Pat TrafficPattern
+	// Est is the channel estimator of the link direction; frames drive
+	// it exactly as real traffic would.
+	Est *phy.Estimator
+
+	// MeanRxSNRdB summarises the flow's own receive quality; the capture
+	// model compares it against interference (set by the experiment from
+	// grid state).
+	MeanRxSNRdB float64
+
+	// Sniffer, if set, receives the SoF of every frame this flow
+	// transmits (SACKed frames only — as a real sniffer would decode).
+	Sniffer func(SoF)
+
+	// Stats.
+	DeliveredBytes int64
+	FramesSent     int64
+	Collisions     int64
+	Retransmitted  int64 // PB retransmissions
+	PacketsQueued  int64
+	PacketsDropped int64
+
+	queue       []PB
+	nextArrival time.Duration
+	arrivalSet  bool
+	nextPktID   uint32
+
+	stage int
+	bc    int // backoff counter
+	dc    int // deferral counter
+}
+
+const flowQueueCapPBs = 4096
+
+// refill adds packet arrivals up to time t.
+func (f *Flow) refill(t time.Duration, maxPB int) {
+	if !f.arrivalSet && !f.Pat.Saturated {
+		// Anchor the CBR schedule at the first observation instant so
+		// flows created mid-calendar do not enqueue a day's backlog.
+		f.nextArrival = t
+		f.arrivalSet = true
+	}
+	if f.Pat.Saturated {
+		for len(f.queue) < maxPB*2 {
+			f.queue = append(f.queue, Segment(f.nextPktID, f.Pat.PacketSize)...)
+			f.nextPktID++
+			f.PacketsQueued++
+		}
+		return
+	}
+	for f.nextArrival <= t {
+		burst := f.Pat.Burst
+		if burst < 1 {
+			burst = 1
+		}
+		for b := 0; b < burst; b++ {
+			pbs := Segment(f.nextPktID, f.Pat.PacketSize)
+			if len(f.queue)+len(pbs) > flowQueueCapPBs {
+				f.PacketsDropped++ // PLC queues are non-blocking (§7.4 fn. 11)
+			} else {
+				f.queue = append(f.queue, pbs...)
+				f.PacketsQueued++
+			}
+			f.nextPktID++
+		}
+		f.nextArrival += f.Pat.Interval
+	}
+}
+
+func (f *Flow) redraw(rng *rand.Rand) {
+	if f.stage >= len(CWStages) {
+		f.stage = len(CWStages) - 1
+	}
+	f.bc = rng.Intn(CWStages[f.stage])
+	f.dc = DCStages[f.stage]
+}
+
+// onBusy applies the 1901 deferral rule: sensing the medium busy decrements
+// DC; exhausting it escalates the stage and redraws.
+func (f *Flow) onBusy(rng *rand.Rand) {
+	if len(f.queue) == 0 {
+		return
+	}
+	if f.dc == 0 {
+		if f.stage < len(CWStages)-1 {
+			f.stage++
+		}
+		f.redraw(rng)
+		return
+	}
+	f.dc--
+}
+
+// Medium is a single PLC contention domain.
+type Medium struct {
+	Flows []*Flow
+	// CaptureThresholdDB is the SNR advantage a receiver needs to decode
+	// its frame through a collision (the capture effect of §8.2).
+	CaptureThresholdDB float64
+	// CollisionPBerr is the per-PB failure probability of a captured
+	// frame during the overlap.
+	CollisionPBerr float64
+	// InterferenceSNRdB(victim, interferer) returns the strength of the
+	// interferer's signal at the victim flow's receiver; nil means equal
+	// to the victim's own signal (no capture possible).
+	InterferenceSNRdB func(victim, interferer *Flow) float64
+
+	// DisableDeferral turns off the 1901 deferral-counter rule, leaving
+	// 802.11-style backoff (stage escalation only on collisions). Used
+	// by the ablation of the paper's [19] comparison.
+	DisableDeferral bool
+
+	now time.Duration
+	rng *rand.Rand
+}
+
+// NewMedium creates a contention domain over the given flows.
+func NewMedium(rng *rand.Rand, flows ...*Flow) *Medium {
+	m := &Medium{
+		Flows:              flows,
+		CaptureThresholdDB: 8,
+		CollisionPBerr:     0.6,
+		rng:                rng,
+	}
+	for _, f := range flows {
+		f.redraw(rng)
+	}
+	return m
+}
+
+// Now reports the medium's current virtual time.
+func (m *Medium) Now() time.Duration { return m.now }
+
+// FastForward advances the medium clock without simulating exchanges —
+// used to align a freshly created contention domain with an experiment's
+// virtual calendar. It never moves the clock backwards.
+func (m *Medium) FastForward(t time.Duration) {
+	if t > m.now {
+		m.now = t
+	}
+}
+
+// Run advances the contention domain until the given virtual time.
+func (m *Medium) Run(until time.Duration) {
+	for m.now < until {
+		if !m.step(until) {
+			return
+		}
+	}
+}
+
+// step performs one channel access (or idles to the next arrival) and
+// reports whether progress was made.
+func (m *Medium) step(until time.Duration) bool {
+	// Refill queues; find flows with data.
+	ready := m.readyFlows()
+	if len(ready) == 0 {
+		next := until
+		for _, f := range m.Flows {
+			if !f.Pat.Saturated && f.nextArrival < next {
+				next = f.nextArrival
+			}
+		}
+		if next <= m.now {
+			next = m.now + time.Millisecond
+		}
+		m.now = next
+		return m.now < until
+	}
+
+	// Priority resolution, then backoff slots until the minimum counter
+	// expires.
+	minBC := ready[0].bc
+	for _, f := range ready[1:] {
+		if f.bc < minBC {
+			minBC = f.bc
+		}
+	}
+	var winners []*Flow
+	for _, f := range ready {
+		f.bc -= minBC
+		if f.bc == 0 {
+			winners = append(winners, f)
+		}
+	}
+	m.now += time.Duration((2*PRSMicros + float64(minBC)*SlotMicros) * float64(time.Microsecond))
+
+	// Build the winners' frames.
+	var txs []txn
+	for _, f := range winners {
+		slot := mains.SlotAt(m.now)
+		tm := f.Est.Maps().ForSlot(slot)
+		frame, n := BuildFrame(f.ID, -1, f.queue, tm, slot)
+		if frame == nil {
+			// Undecodable loading (pre-estimation): send one PB via ROBO.
+			robo := f.Est.Maps().Default
+			frame, n = BuildFrame(f.ID, -1, f.queue[:1], &robo, slot)
+			if frame == nil {
+				f.queue = f.queue[1:]
+				continue
+			}
+		}
+		txs = append(txs, txn{f, frame, n})
+	}
+	if len(txs) == 0 {
+		return true
+	}
+
+	// Air the frames; medium busy until the longest ends.
+	var maxAir time.Duration
+	for _, tx := range txs {
+		if a := tx.frame.Airtime(); a > maxAir {
+			maxAir = a
+		}
+	}
+	start := m.now
+	m.now += maxAir + time.Duration((RIFSMicros+PreambleFCMicros+CIFSMicros)*float64(time.Microsecond))
+
+	// Losers of this round sensed the medium busy.
+	for _, f := range ready {
+		isWinner := false
+		for _, tx := range txs {
+			if tx.f == f {
+				isWinner = true
+				break
+			}
+		}
+		if !isWinner && !m.DisableDeferral {
+			f.onBusy(m.rng)
+		}
+	}
+
+	if len(txs) == 1 {
+		m.deliver(txs[0].f, txs[0].frame, txs[0].n, start)
+		return true
+	}
+
+	// Collision.
+	for _, tx := range txs {
+		tx.f.Collisions++
+		m.resolveCollision(tx.f, tx.frame, tx.n, txs, start, maxAir)
+	}
+	return true
+}
+
+func (m *Medium) readyFlows() []*Flow {
+	var ready []*Flow
+	for _, f := range m.Flows {
+		slot := mains.SlotAt(m.now)
+		maxPB := MaxPBsPerFrame(f.Est.Maps().ForSlot(slot).TotalBits, phy.FECRate)
+		if maxPB < 1 {
+			maxPB = 1
+		}
+		f.refill(m.now, maxPB)
+		if len(f.queue) > 0 {
+			ready = append(ready, f)
+		}
+	}
+	return ready
+}
+
+// deliver handles a collision-free frame: channel errors via the estimator,
+// SACK, selective retransmission.
+func (m *Medium) deliver(f *Flow, frame *Frame, n int, start time.Duration) {
+	pb := f.Est.OnTraffic(start, 1, n, frame.Symbols)
+	f.FramesSent++
+	var failed int
+	for i := 0; i < n; i++ {
+		if m.rng.Float64() < pb {
+			failed++
+		}
+	}
+	// Failed PBs stay at the queue head (selective retransmission);
+	// delivered ones leave.
+	for _, p := range f.queue[:n-failed] {
+		f.DeliveredBytes += int64(p.Payload)
+	}
+	f.queue = append(f.queue[n-failed:n:n], f.queue[n:]...)
+	f.Retransmitted += int64(failed)
+	f.stage = 0
+	f.redraw(m.rng)
+	if f.Sniffer != nil {
+		f.Sniffer(SoF{
+			Timestamp: start, Src: frame.Src, Dst: frame.Dst,
+			TMI: frame.TMI, BLEs: frame.BLEs, Slot: frame.Slot,
+			Airtime: frame.Airtime(), NPBs: n,
+		})
+	}
+}
+
+// txn is one winner's pending transmission in a contention round.
+type txn struct {
+	f     *Flow
+	frame *Frame
+	n     int
+}
+
+// resolveCollision decides each colliding frame's fate via the capture
+// model and applies the estimator-pollution rule of §8.2.
+func (m *Medium) resolveCollision(f *Flow, frame *Frame, n int, all []txn, start, maxAir time.Duration) {
+	// Strongest interferer at f's receiver.
+	worst := -1e9
+	var otherAir time.Duration
+	for _, tx := range all {
+		if tx.f == f {
+			continue
+		}
+		var inter float64
+		if m.InterferenceSNRdB != nil {
+			inter = m.InterferenceSNRdB(f, tx.f)
+		} else {
+			inter = f.MeanRxSNRdB
+		}
+		if inter > worst {
+			worst = inter
+		}
+		if a := tx.frame.Airtime(); a > otherAir {
+			otherAir = a
+		}
+	}
+	captured := f.MeanRxSNRdB-worst >= m.CaptureThresholdDB
+
+	if !captured {
+		// Preamble lost: no SACK, whole frame retransmits, stage
+		// escalates. The estimator sees nothing (a collision is not a
+		// channel error).
+		if f.stage < len(CWStages)-1 {
+			f.stage++
+		}
+		f.redraw(m.rng)
+		f.FramesSent++
+		f.Retransmitted += int64(n)
+		return
+	}
+
+	// Captured: the receiver decodes through the interference with
+	// elevated PB errors and returns a SACK.
+	var failed int
+	for i := 0; i < n; i++ {
+		if m.rng.Float64() < m.CollisionPBerr {
+			failed++
+		}
+	}
+	for _, p := range f.queue[:n-failed] {
+		f.DeliveredBytes += int64(p.Payload)
+	}
+	f.queue = append(f.queue[n-failed:n:n], f.queue[n:]...)
+	f.FramesSent++
+	f.Retransmitted += int64(failed)
+	f.stage = 0
+	f.redraw(m.rng)
+
+	// Pollution rule (§8.2): when the colliding frames have similar
+	// durations (saturated vs saturated), the estimation procedure
+	// recognises the event as a collision and discards the SACK errors;
+	// a short probe captured through a long frame is indistinguishable
+	// from channel errors and poisons the estimator.
+	mine := frame.Airtime()
+	ratio := float64(mine) / float64(maxDuration(otherAir, mine))
+	if ratio < 0.5 {
+		f.Est.OnSACKSample(start, float64(failed)/float64(n), n)
+	}
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+package mac
+
+import (
+	"math"
+	"time"
+)
+
+// This file adds the fairness analysis the paper points to in §2.2: the
+// 1901 deferral counter makes stations escalate their contention window on
+// sensing the medium busy, which reduces collisions but produces
+// short-term unfairness and jitter (the paper's references [19] and [21]).
+// The ablation — the same medium with the deferral rule disabled, i.e.
+// 802.11-style backoff — quantifies both effects.
+
+// FairnessReport summarises a two-or-more-flow contention run.
+type FairnessReport struct {
+	// JainShortTerm is the mean Jain fairness index over windows of
+	// WindowFrames consecutive deliveries; JainLongTerm is the index
+	// over the whole run. 1901's CSMA/CA is long-term fair but
+	// short-term unfair (ref. [21]).
+	JainShortTerm float64
+	JainLongTerm  float64
+	// CollisionRate is collisions per channel access across flows.
+	CollisionRate float64
+	// WindowFrames is the short-term window used.
+	WindowFrames int
+}
+
+// windowFrames is the short-term horizon of the fairness analysis.
+const windowFrames = 20
+
+// jain computes Jain's fairness index over per-flow shares.
+func jain(shares []float64) float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, s := range shares {
+		sum += s
+		sumSq += s * s
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// MeasureFairness runs the contention domain for dur and reports Jain
+// fairness at both horizons plus the collision rate. The flows must
+// already be attached to the medium.
+func (m *Medium) MeasureFairness(dur time.Duration) FairnessReport {
+	type event struct{ flow int }
+	var order []event
+	baseFrames := make([]int64, len(m.Flows))
+	baseColl := make([]int64, len(m.Flows))
+	for i, f := range m.Flows {
+		baseFrames[i] = f.FramesSent
+		baseColl[i] = f.Collisions
+		idx := i
+		prevSniffer := f.Sniffer
+		f.Sniffer = func(s SoF) {
+			order = append(order, event{idx})
+			if prevSniffer != nil {
+				prevSniffer(s)
+			}
+		}
+	}
+	m.Run(m.Now() + dur)
+
+	// Long-term shares.
+	shares := make([]float64, len(m.Flows))
+	var accesses, collisions float64
+	for i, f := range m.Flows {
+		sent := float64(f.FramesSent - baseFrames[i])
+		shares[i] = sent
+		accesses += sent
+		collisions += float64(f.Collisions - baseColl[i])
+	}
+	rep := FairnessReport{
+		JainLongTerm: jain(shares),
+		WindowFrames: windowFrames,
+	}
+	if accesses > 0 {
+		rep.CollisionRate = collisions / accesses
+	}
+
+	// Short-term: Jain over sliding windows of delivered frames.
+	if len(order) >= windowFrames {
+		var sum float64
+		var cnt int
+		for start := 0; start+windowFrames <= len(order); start += windowFrames {
+			w := make([]float64, len(m.Flows))
+			for _, ev := range order[start : start+windowFrames] {
+				w[ev.flow]++
+			}
+			sum += jain(w)
+			cnt++
+		}
+		rep.JainShortTerm = sum / float64(cnt)
+	} else {
+		rep.JainShortTerm = math.NaN()
+	}
+	return rep
+}

@@ -1,0 +1,395 @@
+package mac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/mains"
+	"repro/internal/plc/phy"
+)
+
+func TestSegmentSizes(t *testing.T) {
+	cases := []struct {
+		size, want int
+	}{
+		{1, 1}, {511, 1}, {520, 1}, {521, 2}, {1040, 2}, {1500, 3}, {0, 1},
+	}
+	for _, c := range cases {
+		pbs := Segment(1, c.size)
+		if len(pbs) != c.want {
+			t.Fatalf("Segment(%d) = %d PBs, want %d", c.size, len(pbs), c.want)
+		}
+	}
+}
+
+// Property: segmentation round-trips through reassembly for any size.
+func TestSegmentReassembleProperty(t *testing.T) {
+	f := func(sz uint16, id uint32) bool {
+		size := int(sz)
+		if size == 0 {
+			size = 1
+		}
+		pbs := Segment(id, size)
+		got, err := Reassemble(pbs)
+		return err == nil && got == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReassembleRejectsCorruption(t *testing.T) {
+	pbs := Segment(7, 1500)
+	mixed := append([]PB(nil), pbs...)
+	mixed[1].PacketID = 8
+	if _, err := Reassemble(mixed); err == nil {
+		t.Fatal("mixed packet IDs must fail")
+	}
+	swapped := append([]PB(nil), pbs...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if _, err := Reassemble(swapped); err == nil {
+		t.Fatal("out-of-order PBs must fail")
+	}
+	if _, err := Reassemble(nil); err == nil {
+		t.Fatal("empty PB set must fail")
+	}
+}
+
+func TestSymbolsForPBs(t *testing.T) {
+	// One PB at a loading that fits one symbol exactly.
+	bits := float64(phy.PBOnWire*8) / phy.FECRate
+	if s := SymbolsForPBs(1, bits, phy.FECRate); s != 1 {
+		t.Fatalf("one PB should fit one symbol: %d", s)
+	}
+	// Tiny loading: many symbols.
+	if s := SymbolsForPBs(1, 100, phy.FECRate); s < 40 {
+		t.Fatalf("low loading should need many symbols: %d", s)
+	}
+	if s := SymbolsForPBs(0, bits, phy.FECRate); s != 0 {
+		t.Fatalf("zero PBs need zero symbols: %d", s)
+	}
+}
+
+// Property: a frame never exceeds the maximum duration.
+func TestFrameDurationBoundProperty(t *testing.T) {
+	f := func(rawBits uint16, nq uint8) bool {
+		bits := 200 + float64(rawBits%9000)
+		tm := &phy.ToneMap{TMI: 1, TotalBits: bits, FECRate: phy.FECRate, PBerrTarget: 0.02}
+		queue := Segment(1, int(nq)*100+1500)
+		frame, n := BuildFrame(0, 1, queue, tm, 0)
+		if frame == nil {
+			return MaxPBsPerFrame(bits, phy.FECRate) < 1
+		}
+		if n < 1 || n > len(queue) {
+			return false
+		}
+		return frame.Airtime() <= FrameAirtime(MaxFrameSymbols)+time.Microsecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPThroughputShape(t *testing.T) {
+	// Monotone in BLE, and in the calibrated range of the Fig. 15 fit:
+	// T ≈ (BLE + 0.65) / 1.7.
+	prev := 0.0
+	for ble := 10.0; ble <= 150; ble += 10 {
+		tp := UDPThroughput(ble, 0.02)
+		if tp <= prev {
+			t.Fatalf("throughput not monotone at BLE %.0f", ble)
+		}
+		prev = tp
+	}
+	t150 := UDPThroughput(150, 0.02)
+	if t150 < 75 || t150 > 100 {
+		t.Fatalf("UDP at BLE 150 = %.1f, want ~85-90 (measured INT6300 range)", t150)
+	}
+	ratio := 150 / t150
+	if ratio < 1.5 || ratio > 2.0 {
+		t.Fatalf("BLE/T = %.2f, want ≈1.7 (Fig. 15)", ratio)
+	}
+	if UDPThroughput(0, 0.02) != 0 {
+		t.Fatal("zero BLE must carry nothing")
+	}
+}
+
+func TestUDPThroughputErrorPenalty(t *testing.T) {
+	clean := UDPThroughput(100, 0.0)
+	lossy := UDPThroughput(100, 0.3)
+	if lossy >= clean*0.8 {
+		t.Fatalf("PBerr must cost throughput: %.1f vs %.1f", lossy, clean)
+	}
+}
+
+func TestExpectedFrameTransmissions(t *testing.T) {
+	if f := ExpectedFrameTransmissions(0, 3); f != 1 {
+		t.Fatalf("error-free ETX = %v", f)
+	}
+	// Single PB: geometric mean 1/(1-e).
+	e := 0.2
+	want := 1 / (1 - e)
+	if f := ExpectedFrameTransmissions(e, 1); math.Abs(f-want) > 1e-6 {
+		t.Fatalf("single-PB ETX = %v, want %v", f, want)
+	}
+	// More PBs need at least as many rounds.
+	if ExpectedFrameTransmissions(0.2, 3) < ExpectedFrameTransmissions(0.2, 1) {
+		t.Fatal("more PBs cannot need fewer frames")
+	}
+}
+
+// Property: ETX is monotone in PBerr.
+func TestETXMonotoneProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		ea := float64(a) / 300.0
+		eb := float64(b) / 300.0
+		if ea > eb {
+			ea, eb = eb, ea
+		}
+		return ExpectedFrameTransmissions(ea, 3) <= ExpectedFrameTransmissions(eb, 3)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// estChannel builds an estimator over a synthetic flat-tilted channel.
+func estChannel(base float64) *phy.Estimator {
+	fc := newTestChannel(120, base)
+	e := phy.NewEstimator(fc, phy.PlanFor(phy.AV, 8), phy.DefaultEstimatorConfig())
+	// Prime with traffic so tone maps exist and are converged.
+	for tm := time.Duration(0); tm < 2*time.Minute; tm += 50 * time.Millisecond {
+		e.OnTraffic(tm, 1, 50, 40)
+	}
+	return e
+}
+
+// testChannel is a minimal phy.Channel.
+type testChannel struct {
+	freqs []float64
+	snr   [mains.Slots][]float64
+}
+
+func newTestChannel(n int, base float64) *testChannel {
+	tc := &testChannel{}
+	for i := 0; i < n; i++ {
+		tc.freqs = append(tc.freqs, 2e6+float64(i)*2e5)
+	}
+	for s := 0; s < mains.Slots; s++ {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = base + 16*float64(i)/float64(n) - 8
+		}
+		tc.snr[s] = v
+	}
+	return tc
+}
+
+func (c *testChannel) Carriers() []float64          { return c.freqs }
+func (c *testChannel) Advance(time.Duration) uint64 { return 0 }
+func (c *testChannel) SNRBase(s int) []float64      { return c.snr[s] }
+func (c *testChannel) ShiftDB(time.Duration) float64 {
+	return 0
+}
+
+func TestMediumSingleSaturatedFlow(t *testing.T) {
+	est := estChannel(30)
+	f := &Flow{ID: 0, Pat: TrafficPattern{Saturated: true, PacketSize: 1500}, Est: est, MeanRxSNRdB: 30}
+	m := NewMedium(rand.New(rand.NewSource(1)), f)
+	m.Run(2 * time.Minute) // continue from the priming epoch
+	if f.FramesSent == 0 || f.DeliveredBytes == 0 {
+		t.Fatal("saturated flow moved no data")
+	}
+	// Throughput should be in the same ballpark as the analytic model.
+	dur := m.Now().Seconds()
+	tput := float64(f.DeliveredBytes) * 8 / dur / 1e6
+	want := UDPThroughput(est.Maps().AverageBLE(), 0.02)
+	if tput < want*0.5 || tput > want*1.6 {
+		t.Fatalf("DES throughput %.1f vs analytic %.1f Mb/s", tput, want)
+	}
+}
+
+func TestMediumFairnessTwoSaturated(t *testing.T) {
+	e1, e2 := estChannel(30), estChannel(30)
+	f1 := &Flow{ID: 0, Pat: TrafficPattern{Saturated: true, PacketSize: 1500}, Est: e1, MeanRxSNRdB: 30}
+	f2 := &Flow{ID: 1, Pat: TrafficPattern{Saturated: true, PacketSize: 1500}, Est: e2, MeanRxSNRdB: 30}
+	m := NewMedium(rand.New(rand.NewSource(2)), f1, f2)
+	m.Run(time.Minute)
+	if f1.DeliveredBytes == 0 || f2.DeliveredBytes == 0 {
+		t.Fatal("a flow starved completely")
+	}
+	r := float64(f1.DeliveredBytes) / float64(f2.DeliveredBytes)
+	if r < 0.5 || r > 2.0 {
+		t.Fatalf("long-run share ratio = %.2f, want within 2x", r)
+	}
+	if f1.Collisions == 0 && f2.Collisions == 0 {
+		t.Fatal("two saturated flows must collide sometimes")
+	}
+}
+
+func TestCollisionPollutionNeedsCapture(t *testing.T) {
+	run := func(captureAdv float64) float64 {
+		probeEst := estChannel(34)
+		bgEst := estChannel(30)
+		clean := probeEst.Maps().AverageBLE()
+		probe := &Flow{
+			ID:  0,
+			Pat: TrafficPattern{Interval: 75 * time.Millisecond, PacketSize: 1500},
+			Est: probeEst, MeanRxSNRdB: 34,
+		}
+		probe.nextArrival, probe.arrivalSet = 2*time.Minute, true
+		bg := &Flow{ID: 1, Pat: TrafficPattern{Saturated: true, PacketSize: 1500}, Est: bgEst, MeanRxSNRdB: 30}
+		m := NewMedium(rand.New(rand.NewSource(3)), probe, bg)
+		m.InterferenceSNRdB = func(victim, interferer *Flow) float64 {
+			if victim == probe {
+				return victim.MeanRxSNRdB - captureAdv
+			}
+			return victim.MeanRxSNRdB // background receiver never captures
+		}
+		m.FastForward(2 * time.Minute)
+		m.Run(2*time.Minute + 90*time.Second)
+		return probeEst.Maps().AverageBLE() / clean
+	}
+	sensitive := run(12) // strong capture: probe decodes through collisions
+	immune := run(0)     // no capture advantage: collisions are clean losses
+	if sensitive > 0.75 {
+		t.Fatalf("captured probe link should lose BLE under background traffic: ratio %.2f", sensitive)
+	}
+	if immune < 0.9 {
+		t.Fatalf("non-captured link should keep its BLE: ratio %.2f", immune)
+	}
+}
+
+func TestBurstProbingAvoidsPollution(t *testing.T) {
+	probeEst := estChannel(34)
+	bgEst := estChannel(30)
+	clean := probeEst.Maps().AverageBLE()
+	// Same overhead as 150 kb/s probing, but 20 packets per 1.5 s burst
+	// (Fig. 24): frames aggregate to near background length.
+	probe := &Flow{
+		ID:  0,
+		Pat: TrafficPattern{Interval: 1500 * time.Millisecond, Burst: 20, PacketSize: 1300},
+		Est: probeEst, MeanRxSNRdB: 34,
+	}
+	probe.nextArrival, probe.arrivalSet = 2*time.Minute, true
+	bg := &Flow{ID: 1, Pat: TrafficPattern{Saturated: true, PacketSize: 1500}, Est: bgEst, MeanRxSNRdB: 30}
+	m := NewMedium(rand.New(rand.NewSource(4)), probe, bg)
+	m.InterferenceSNRdB = func(victim, interferer *Flow) float64 {
+		if victim == probe {
+			return victim.MeanRxSNRdB - 12 // capture-prone pair, as above
+		}
+		return victim.MeanRxSNRdB
+	}
+	m.FastForward(2 * time.Minute)
+	m.Run(2*time.Minute + 90*time.Second)
+	ratio := probeEst.Maps().AverageBLE() / clean
+	if ratio < 0.8 {
+		t.Fatalf("burst probing should protect BLE (Fig. 24): ratio %.2f", ratio)
+	}
+}
+
+func TestDeferralCounterEscalates(t *testing.T) {
+	// A flow that keeps sensing the medium busy must escalate its stage
+	// even without collisions.
+	f := &Flow{ID: 0, Pat: TrafficPattern{Saturated: true, PacketSize: 1500}}
+	rng := rand.New(rand.NewSource(5))
+	f.queue = Segment(0, 1500)
+	f.redraw(rng)
+	f.stage = 0
+	busyCount := DCStages[0] + DCStages[1] + 2
+	for i := 0; i < busyCount; i++ {
+		f.onBusy(rng)
+	}
+	if f.stage < 2 {
+		t.Fatalf("stage after %d busy events = %d, want >= 2", busyCount, f.stage)
+	}
+}
+
+func BenchmarkMediumTwoFlows(b *testing.B) {
+	e1, e2 := estChannel(30), estChannel(28)
+	f1 := &Flow{ID: 0, Pat: TrafficPattern{Saturated: true, PacketSize: 1500}, Est: e1, MeanRxSNRdB: 30}
+	f2 := &Flow{ID: 1, Pat: TrafficPattern{Saturated: true, PacketSize: 1500}, Est: e2, MeanRxSNRdB: 28}
+	m := NewMedium(rand.New(rand.NewSource(6)), f1, f2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(m.Now() + 100*time.Millisecond)
+	}
+}
+
+func BenchmarkUDPThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		UDPThroughput(float64(10+i%140), 0.02)
+	}
+}
+
+func TestShortTermUnfairness(t *testing.T) {
+	// §2.2: the 1901 CSMA/CA is long-term fair but short-term unfair
+	// (deferral counters let one station capture the medium in bursts).
+	e1, e2 := estChannel(30), estChannel(30)
+	f1 := &Flow{ID: 0, Pat: TrafficPattern{Saturated: true, PacketSize: 1500}, Est: e1, MeanRxSNRdB: 30}
+	f2 := &Flow{ID: 1, Pat: TrafficPattern{Saturated: true, PacketSize: 1500}, Est: e2, MeanRxSNRdB: 30}
+	m := NewMedium(rand.New(rand.NewSource(7)), f1, f2)
+	m.FastForward(2 * time.Minute)
+	rep := m.MeasureFairness(2 * time.Minute)
+	if rep.JainLongTerm < 0.9 {
+		t.Fatalf("long-term Jain = %.3f, 1901 is long-term fair", rep.JainLongTerm)
+	}
+	if rep.JainShortTerm >= rep.JainLongTerm {
+		t.Fatalf("short-term Jain %.3f should be below long-term %.3f (§2.2 unfairness)",
+			rep.JainShortTerm, rep.JainLongTerm)
+	}
+}
+
+func TestDeferralCounterReducesCollisions(t *testing.T) {
+	// Ablation of the 1901-vs-802.11 backoff difference (ref. [19]):
+	// escalating on busy sensing spreads stations over larger windows,
+	// cutting the collision rate under multi-station saturation.
+	run := func(disable bool) float64 {
+		var flows []*Flow
+		for i := 0; i < 4; i++ {
+			flows = append(flows, &Flow{
+				ID: i, Pat: TrafficPattern{Saturated: true, PacketSize: 1500},
+				Est: estChannel(30), MeanRxSNRdB: 30,
+			})
+		}
+		m := NewMedium(rand.New(rand.NewSource(11)), flows...)
+		m.DisableDeferral = disable
+		m.FastForward(2 * time.Minute)
+		rep := m.MeasureFairness(2 * time.Minute)
+		return rep.CollisionRate
+	}
+	with := run(false)
+	without := run(true)
+	if with >= without {
+		t.Fatalf("deferral counter should reduce collisions: with %.3f vs without %.3f", with, without)
+	}
+}
+
+func BenchmarkAblationDeferralCounter(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "1901-deferral"
+		if disable {
+			name = "80211-style"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var flows []*Flow
+				for j := 0; j < 4; j++ {
+					flows = append(flows, &Flow{
+						ID: j, Pat: TrafficPattern{Saturated: true, PacketSize: 1500},
+						Est: estChannel(30), MeanRxSNRdB: 30,
+					})
+				}
+				m := NewMedium(rand.New(rand.NewSource(int64(i))), flows...)
+				m.DisableDeferral = disable
+				m.FastForward(2 * time.Minute)
+				rep := m.MeasureFairness(30 * time.Second)
+				b.ReportMetric(rep.CollisionRate, "collisions/access")
+				b.ReportMetric(rep.JainShortTerm, "jain-short")
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+// Package mac implements the IEEE 1901 / HomePlug AV MAC layer: physical
+// block segmentation, two-level frame aggregation, selective ACKs with
+// per-PB retransmission, the saturated-throughput model tying BLE to UDP
+// goodput (the paper's Fig. 15 relation), and the 1901 CSMA/CA protocol
+// with deferral counters used by the contention experiments (§8.2).
+package mac
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/plc/phy"
+)
+
+// IEEE 1901 CSMA/CA timing constants (µs), as used in the paper's MAC
+// references [19], [21].
+const (
+	SlotMicros       = 35.84   // contention slot
+	PRSMicros        = 35.84   // one priority-resolution slot (two are used)
+	CIFSMicros       = 100.0   // contention inter-frame space
+	RIFSMicros       = 140.0   // response inter-frame space
+	PreambleFCMicros = 110.48  // preamble + frame control (SoF or SACK)
+	MaxFrameMicros   = 2501.12 // maximum PLC frame duration
+)
+
+// MaxFrameSymbols is the payload symbol budget of a maximum-length frame.
+const MaxFrameSymbols = 58 // floor((MaxFrameMicros - PreambleFCMicros) / TSym)
+
+// CW and DC schedules per backoff stage for the default CA1 priority
+// (IEEE 1901 §9; the deferral counter is the key difference from 802.11:
+// stations escalate stages on sensing the medium busy, not only on
+// collisions).
+var (
+	CWStages = []int{8, 16, 32, 64}
+	DCStages = []int{0, 1, 3, 15}
+)
+
+// etherPayloadEfficiency accounts for Ethernet/IP/UDP headers between the
+// iperf payload and the PB stream (1472-byte UDP payload in a 1514-byte
+// Ethernet frame, as the paper's iperf setup produces).
+const etherPayloadEfficiency = 1472.0 / 1514.0
+
+// chipEfficiency is the calibrated firmware/host processing factor.
+// Measured INT6300 devices deliver ~85-90 Mb/s UDP at ~150 Mb/s BLE; the
+// protocol overheads below explain most of the gap and this factor absorbs
+// the firmware rest, calibrated so the Fig. 15 relation (BLE ≈ 1.7·T)
+// holds. See DESIGN.md §4.
+const chipEfficiency = 0.80
+
+// SymbolsForPBs returns the OFDM symbol count needed to carry n physical
+// blocks at the tone map's raw loading B (bits/symbol) and FEC rate r.
+// A frame always occupies at least one symbol (padding — the root of the
+// §7.2 probe-size trap).
+func SymbolsForPBs(n int, totalBits, fecRate float64) int {
+	if n <= 0 {
+		return 0
+	}
+	usable := totalBits * fecRate
+	if usable <= 0 {
+		return math.MaxInt32 // undecodable loading: effectively infinite airtime
+	}
+	wire := float64(n) * phy.PBOnWire * 8
+	syms := int(math.Ceil(wire / usable))
+	if syms < 1 {
+		syms = 1
+	}
+	return syms
+}
+
+// MaxPBsPerFrame returns how many PBs fit a maximum-duration frame under
+// the given loading.
+func MaxPBsPerFrame(totalBits, fecRate float64) int {
+	usable := totalBits * fecRate
+	if usable <= 0 {
+		return 0
+	}
+	return int(float64(MaxFrameSymbols) * usable / (phy.PBOnWire * 8))
+}
+
+// FrameAirtime returns the on-air duration of a frame of the given symbol
+// count, including preamble and frame control.
+func FrameAirtime(symbols int) time.Duration {
+	us := PreambleFCMicros + float64(symbols)*phy.TSymMicros
+	return time.Duration(us * float64(time.Microsecond))
+}
+
+// ExchangeOverheadMicros is the fixed per-exchange cost around the data
+// frame: two priority-resolution slots, the mean single-station backoff
+// (CW₀ = 8 → 3.5 slots), the SACK and both inter-frame spaces.
+func ExchangeOverheadMicros() float64 {
+	avgBackoff := float64(CWStages[0]-1) / 2 * SlotMicros
+	return 2*PRSMicros + avgBackoff + RIFSMicros + PreambleFCMicros + CIFSMicros
+}
+
+// UDPThroughput models the saturated UDP goodput (Mb/s) of a link whose
+// tone maps average the given BLE (Mb/s) and whose live PB error rate is
+// pberr. This is the quantity iperf reports in the paper's experiments;
+// with the defaults it reproduces the Fig. 15 linear relation
+// BLE ≈ 1.7·T − 0.65.
+func UDPThroughput(avgBLE, pberr float64) float64 {
+	if avgBLE <= 0 {
+		return 0
+	}
+	// Recover the raw loading from the BLE definition.
+	usableBitsPerSym := avgBLE * phy.TSymMicros / (1 - phy.DefaultPBerrTarget)
+	nPB := int(float64(MaxFrameSymbols) * usableBitsPerSym / (phy.PBOnWire * 8))
+	if nPB < 1 {
+		return 0
+	}
+	syms := SymbolsForPBs(nPB, usableBitsPerSym, 1) // usable already includes FEC
+	frameUs := PreambleFCMicros + float64(syms)*phy.TSymMicros
+	totalUs := frameUs + ExchangeOverheadMicros()
+	payloadBits := float64(nPB) * phy.PBSize * 8 * (1 - clampPBerr(pberr))
+	return payloadBits / totalUs * etherPayloadEfficiency * chipEfficiency
+}
+
+func clampPBerr(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ExpectedFrameTransmissions returns the expected number of frame
+// transmissions needed to deliver a packet segmented into nPB physical
+// blocks when each PB independently fails with probability pberr and only
+// failed PBs are retransmitted (the SACK mechanism of §2.2). This is the
+// model behind the unicast ETX of §8.1.
+func ExpectedFrameTransmissions(pberr float64, nPB int) float64 {
+	e := clampPBerr(pberr)
+	if nPB <= 0 {
+		return 0
+	}
+	if e == 0 {
+		return 1
+	}
+	if e >= 1 {
+		return math.Inf(1)
+	}
+	// F = Σ_{k≥0} P(some PB still undelivered after k rounds)
+	//   = Σ_{k≥0} 1 - (1 - e^k)^n   truncated when negligible.
+	sum := 0.0
+	ek := 1.0 // e^k, k=0 → round always happens
+	for k := 0; k < 10000; k++ {
+		miss := 1 - math.Pow(1-ek, float64(nPB))
+		sum += miss
+		if miss < 1e-9 {
+			break
+		}
+		ek *= e
+	}
+	return sum
+}

@@ -1,0 +1,134 @@
+// Package phy implements the HomePlug AV / IEEE 1901 OFDM physical layer:
+// carrier plans, per-carrier bit loading, tone maps, the BLE (bit loading
+// estimate) of IEEE 1901 Definition 1, and the vendor channel-estimation
+// procedure whose dynamics the paper measures in §6-§7.
+package phy
+
+import "time"
+
+// OFDM timing and framing constants of HomePlug AV (IEEE 1901-2010).
+const (
+	// TSymMicros is the OFDM symbol length including guard interval, µs.
+	TSymMicros = 40.96
+
+	// PBSize is the payload of one physical block, bytes.
+	PBSize = 512
+
+	// PBOnWire is a physical block including its 8-byte header, bytes.
+	PBOnWire = 520
+
+	// FECRate is the turbo-convolutional code rate used by data tone
+	// maps (16/21 in HPAV).
+	FECRate = 16.0 / 21.0
+
+	// ROBOFECRate and ROBOCopies define the robust broadcast mode:
+	// QPSK on all carriers, rate-1/2 code, 4 interleaved copies.
+	ROBOFECRate = 0.5
+	ROBOCopies  = 4
+
+	// DefaultPBerrTarget is the PB error rate a fresh tone map is
+	// engineered for (the PBerr term of Definition 1).
+	DefaultPBerrTarget = 0.02
+
+	// ToneMapExpiry is the tone-map validity interval after which the
+	// standard requires re-estimation (30 s, §2.1 of the paper).
+	ToneMapExpiry = 30 * time.Second
+)
+
+// OneSymbolBLE is the bit-loading estimate that a rate search converges to
+// when every estimation frame fits in a single OFDM symbol: carrying one PB
+// per symbol cannot go faster than PBOnWire·8/TSym regardless of the
+// channel. This is the probe-size trap of §7.2 (the paper computes
+// ≈89.4 Mb/s with slightly different overhead accounting; the mechanism —
+// convergence to a channel-independent constant — is identical).
+const OneSymbolBLE = PBOnWire * 8 / TSymMicros // ≈ 101.6 Mb/s
+
+// Spec selects the HomePlug generation.
+type Spec int
+
+const (
+	// AV is HomePlug AV: 1.8-30 MHz, 917 data carriers, up to
+	// ~150 Mb/s PHY rate ("AV" in the paper's figures).
+	AV Spec = iota
+	// AV500 is HomePlug AV500: the band extends to 68 MHz
+	// (footnote 3 of the paper), roughly tripling the carrier count.
+	AV500
+)
+
+// String implements fmt.Stringer.
+func (s Spec) String() string {
+	switch s {
+	case AV:
+		return "HPAV"
+	case AV500:
+		return "HPAV500"
+	}
+	return "unknown-spec"
+}
+
+// CarrierPlan is the set of OFDM carrier frequencies of a spec.
+type CarrierPlan struct {
+	Spec  Spec
+	Freqs []float64 // Hz, ascending
+}
+
+// carrierSpacing approximates the HPAV carrier raster. The real system
+// uses 24.414 kHz spacing with a regulatory mask; we place carriers evenly
+// over the active band, which preserves the carrier count and the band
+// edges that matter to the channel model.
+const (
+	avLowHz       = 1.8e6
+	avHighHz      = 30e6
+	av500High     = 68e6
+	avCarriers    = 917
+	av500Carriers = 2152 // same spectral density as AV over 1.8-68 MHz
+)
+
+// PlanFor returns the carrier plan of a spec. decimate > 1 keeps every
+// k-th carrier (each then representing k carriers in rate computations) —
+// used to trade spectral resolution for speed in long simulations.
+func PlanFor(spec Spec, decimate int) *CarrierPlan {
+	if decimate < 1 {
+		decimate = 1
+	}
+	high := avHighHz
+	n := avCarriers
+	if spec == AV500 {
+		high = av500High
+		// Same spectral density as AV over the wider band.
+		n = av500Carriers
+	}
+	step := (high - avLowHz) / float64(n-1)
+	var freqs []float64
+	for i := 0; i < n; i += decimate {
+		freqs = append(freqs, avLowHz+float64(i)*step)
+	}
+	return &CarrierPlan{Spec: spec, Freqs: freqs}
+}
+
+// CarriersRepresented reports how many physical carriers each plan entry
+// stands for (the decimation factor).
+func (p *CarrierPlan) CarriersRepresented() float64 {
+	n := avCarriers
+	if p.Spec == AV500 {
+		n = av500Carriers
+	}
+	return float64(n) / float64(len(p.Freqs))
+}
+
+// Channel is the view of the electrical medium the PHY needs. grid.Link
+// implements it.
+type Channel interface {
+	// Carriers returns the carrier frequencies (Hz).
+	Carriers() []float64
+	// Advance updates the channel to time t and returns an epoch counter
+	// that increments whenever the appliance state (and hence the
+	// per-carrier SNR) changes.
+	Advance(t time.Duration) uint64
+	// SNRBase returns per-carrier SNR (dB) in a tone-map slot at the
+	// current epoch, excluding fast noise flicker.
+	SNRBase(slot int) []float64
+	// ShiftDB returns the band-average fast noise shift (dB) at t;
+	// positive means the noise floor is elevated above SNRBase.
+	ShiftDB(t time.Duration) float64
+}

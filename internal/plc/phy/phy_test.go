@@ -1,0 +1,404 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/mains"
+)
+
+func TestPlanCarrierCounts(t *testing.T) {
+	av := PlanFor(AV, 1)
+	if len(av.Freqs) != 917 {
+		t.Fatalf("AV carriers = %d, want 917", len(av.Freqs))
+	}
+	if av.Freqs[0] != 1.8e6 || av.Freqs[len(av.Freqs)-1] != 30e6 {
+		t.Fatalf("AV band = [%v, %v]", av.Freqs[0], av.Freqs[len(av.Freqs)-1])
+	}
+	av500 := PlanFor(AV500, 1)
+	if len(av500.Freqs) <= 2*len(av.Freqs) {
+		t.Fatalf("AV500 should have >2x the carriers: %d", len(av500.Freqs))
+	}
+	if av500.Freqs[len(av500.Freqs)-1] < 67e6 {
+		t.Fatalf("AV500 top carrier = %v", av500.Freqs[len(av500.Freqs)-1])
+	}
+}
+
+func TestPlanDecimationPreservesWeight(t *testing.T) {
+	full := PlanFor(AV, 1)
+	dec := PlanFor(AV, 4)
+	wFull := float64(len(full.Freqs)) * full.CarriersRepresented()
+	wDec := float64(len(dec.Freqs)) * dec.CarriersRepresented()
+	if math.Abs(wFull-wDec)/wFull > 0.01 {
+		t.Fatalf("decimation loses carriers: %v vs %v", wFull, wDec)
+	}
+}
+
+func TestBitsForSNRMonotone(t *testing.T) {
+	prev := 0
+	for snr := -5.0; snr <= 45; snr += 0.5 {
+		b := BitsForSNR(snr, 0)
+		if b < prev {
+			t.Fatalf("bit loading not monotone at %v dB", snr)
+		}
+		prev = b
+	}
+	if BitsForSNR(3.9, 0) != 0 {
+		t.Fatal("below BPSK threshold must load 0 bits")
+	}
+	if BitsForSNR(35, 0) != 10 {
+		t.Fatal("high SNR must load 1024-QAM")
+	}
+	if BitsForSNR(35, 5) != BitsForSNR(30, 0) {
+		t.Fatal("margin must shift the effective SNR")
+	}
+}
+
+// Property: LoadCurve matches the direct per-carrier sum for arbitrary SNR
+// vectors and shifts.
+func TestLoadCurveMatchesDirectSum(t *testing.T) {
+	f := func(raw []int8, shiftRaw int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		snr := make([]float64, len(raw))
+		for i, r := range raw {
+			snr[i] = float64(r) / 2.0 // -64..63.5 dB
+		}
+		shift := float64(shiftRaw) / 8.0
+		lc := NewLoadCurve(snr, 1)
+		var direct float64
+		for _, s := range snr {
+			direct += float64(BitsForSNR(s-shift, 0))
+		}
+		return math.Abs(lc.TotalBits(shift, 0)-direct) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TotalBits is non-increasing in the shift.
+func TestLoadCurveMonotoneProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		snr := make([]float64, len(raw))
+		for i, r := range raw {
+			snr[i] = float64(r) / 2.0
+		}
+		lc := NewLoadCurve(snr, 1)
+		prev := math.Inf(1)
+		for sh := -20.0; sh <= 20; sh += 0.5 {
+			b := lc.TotalBits(sh, 0)
+			if b > prev+1e-9 {
+				return false
+			}
+			prev = b
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBLEDefinition(t *testing.T) {
+	tm := ToneMap{TotalBits: 5000, FECRate: FECRate, PBerrTarget: 0.02}
+	want := 5000 * FECRate * 0.98 / TSymMicros
+	if math.Abs(tm.BLE()-want) > 1e-9 {
+		t.Fatalf("BLE = %v, want %v", tm.BLE(), want)
+	}
+}
+
+func TestROBOIsSlow(t *testing.T) {
+	robo := NewROBOMap(PlanFor(AV, 1))
+	if ble := robo.BLE(); ble < 3 || ble > 15 {
+		t.Fatalf("ROBO BLE = %.1f Mb/s, want a few Mb/s", ble)
+	}
+}
+
+func TestMaxRateNearNominal(t *testing.T) {
+	// A perfect channel should load close to HPAV's ~150 Mb/s PHY rate.
+	snr := make([]float64, 917)
+	for i := range snr {
+		snr[i] = 40
+	}
+	lc := NewLoadCurve(snr, 1)
+	b := lc.TotalBits(0, 1.5)
+	tm := ToneMap{TotalBits: b, FECRate: FECRate, PBerrTarget: 0.02}
+	if ble := tm.BLE(); ble < 140 || ble > 180 {
+		t.Fatalf("max BLE = %.1f, want ~150-170", ble)
+	}
+}
+
+// fakeChannel is a controllable phy.Channel for estimator tests.
+type fakeChannel struct {
+	freqs []float64
+	snr   [mains.Slots][]float64
+	shift func(time.Duration) float64
+	epoch uint64
+}
+
+func newFakeChannel(n int, base float64) *fakeChannel {
+	fc := &fakeChannel{shift: func(time.Duration) float64 { return 0 }}
+	for i := 0; i < n; i++ {
+		fc.freqs = append(fc.freqs, 2e6+float64(i)*1e5)
+	}
+	for s := 0; s < mains.Slots; s++ {
+		v := make([]float64, n)
+		for i := range v {
+			// Realistic frequency-selective tilt: ±8 dB across the
+			// band so bit loading responds continuously to shifts.
+			v[i] = base + 16*float64(i)/float64(n) - 8
+		}
+		fc.snr[s] = v
+	}
+	return fc
+}
+
+func (f *fakeChannel) Carriers() []float64             { return f.freqs }
+func (f *fakeChannel) Advance(time.Duration) uint64    { return f.epoch }
+func (f *fakeChannel) SNRBase(slot int) []float64      { return f.snr[slot] }
+func (f *fakeChannel) ShiftDB(t time.Duration) float64 { return f.shift(t) }
+
+func driveTraffic(e *Estimator, from, to time.Duration, step time.Duration, frames, pbs, syms int) {
+	for tm := from; tm < to; tm += step {
+		e.OnTraffic(tm, frames, pbs, syms)
+	}
+}
+
+func TestEstimatorConvergesFromReset(t *testing.T) {
+	ch := newFakeChannel(100, 30)
+	plan := PlanFor(AV, 8)
+	e := NewEstimator(ch, plan, DefaultEstimatorConfig())
+	e.Reset()
+	e.OnTraffic(0, 1, 3, 10)
+	early := e.Maps().AverageBLE()
+	driveTraffic(e, time.Second, 5*time.Minute, 50*time.Millisecond, 1, 3, 10)
+	late := e.Maps().AverageBLE()
+	if late <= early*1.2 {
+		t.Fatalf("no convergence ramp: early %.1f late %.1f", early, late)
+	}
+	// More samples -> higher estimate, asymptotically the true loading.
+	truth := NewLoadCurve(ch.snr[0], plan.CarriersRepresented()).TotalBits(0, DefaultEstimatorConfig().MarginDB)
+	tm := ToneMap{TotalBits: truth, FECRate: FECRate, PBerrTarget: DefaultPBerrTarget}
+	if late < 0.8*tm.BLE() {
+		t.Fatalf("converged BLE %.1f too far from truth %.1f", late, tm.BLE())
+	}
+}
+
+func TestEstimatorRateDependsOnProbeRate(t *testing.T) {
+	cfg := DefaultEstimatorConfig()
+	run := func(pktPerSec int) float64 {
+		ch := newFakeChannel(100, 30)
+		e := NewEstimator(ch, PlanFor(AV, 8), cfg)
+		e.Reset()
+		step := time.Second / time.Duration(pktPerSec)
+		driveTraffic(e, 0, 60*time.Second, step, 1, 3, 10)
+		return e.Maps().AverageBLE()
+	}
+	slow := run(1)
+	fast := run(200)
+	if fast <= slow {
+		t.Fatalf("faster probing must converge faster: 1pps=%.1f 200pps=%.1f", slow, fast)
+	}
+}
+
+func TestEstimatorStateSurvivesPause(t *testing.T) {
+	ch := newFakeChannel(100, 30)
+	e := NewEstimator(ch, PlanFor(AV, 8), DefaultEstimatorConfig())
+	e.Reset()
+	driveTraffic(e, 0, 2*time.Minute, 50*time.Millisecond, 1, 3, 10)
+	before := e.Maps().AverageBLE()
+	// 7-minute pause with no traffic (Fig. 17), then one probe.
+	resume := 2*time.Minute + 7*time.Minute
+	e.OnTraffic(resume, 1, 3, 10)
+	after := e.Maps().AverageBLE()
+	if after < before*0.95 {
+		t.Fatalf("estimation state lost across pause: %.1f -> %.1f", before, after)
+	}
+}
+
+func TestProbeSizeTrap(t *testing.T) {
+	// Single-symbol probes on an excellent channel must converge to the
+	// one-symbol rate, not the true capacity (Fig. 18).
+	ch := newFakeChannel(200, 38)
+	plan := PlanFor(AV, 4)
+	e := NewEstimator(ch, plan, DefaultEstimatorConfig())
+	e.Reset()
+	driveTraffic(e, 0, 10*time.Minute, 50*time.Millisecond, 1, 1, 1)
+	ble := e.Maps().AverageBLE()
+	if ble > OneSymbolBLE*1.02 {
+		t.Fatalf("single-symbol probing leaked past the one-symbol rate: %.1f > %.1f", ble, OneSymbolBLE)
+	}
+	if ble < OneSymbolBLE*0.75 {
+		t.Fatalf("single-symbol probing should approach the one-symbol rate: %.1f", ble)
+	}
+
+	// The same channel probed with multi-symbol frames exceeds the trap.
+	e2 := NewEstimator(ch, plan, DefaultEstimatorConfig())
+	e2.Reset()
+	driveTraffic(e2, 0, 10*time.Minute, 50*time.Millisecond, 1, 3, 5)
+	if b2 := e2.Maps().AverageBLE(); b2 <= OneSymbolBLE {
+		t.Fatalf("multi-symbol probing stuck at one-symbol rate: %.1f", b2)
+	}
+}
+
+func TestNoiseRiseRaisesPBerrAndTriggersUpdate(t *testing.T) {
+	ch := newFakeChannel(100, 25)
+	e := NewEstimator(ch, PlanFor(AV, 8), DefaultEstimatorConfig())
+	e.Reset()
+	driveTraffic(e, 0, time.Minute, 50*time.Millisecond, 1, 3, 10)
+	quietPB := e.CurrentPBerr(time.Minute)
+	base := e.Maps().AverageBLE()
+	updatesBefore := e.Updates()
+
+	// Noise floor jumps 6 dB.
+	ch.shift = func(time.Duration) float64 { return 6 }
+	noisyPB := e.CurrentPBerr(time.Minute + time.Millisecond)
+	if noisyPB <= quietPB {
+		t.Fatalf("PBerr did not rise with noise: %v -> %v", quietPB, noisyPB)
+	}
+	driveTraffic(e, time.Minute, time.Minute+5*time.Second, 50*time.Millisecond, 1, 3, 10)
+	if e.Updates() == updatesBefore {
+		t.Fatal("error threshold did not trigger re-estimation")
+	}
+	if e.Maps().AverageBLE() >= base {
+		t.Fatalf("BLE did not drop after noise rise: %.1f", e.Maps().AverageBLE())
+	}
+}
+
+func TestCollisionPollutionCollapsesBLE(t *testing.T) {
+	// Injected SACK error samples (collisions mistaken for channel
+	// errors) must trigger a conservative collapse (Fig. 23) and the
+	// estimator must recover once they stop (improvement trigger).
+	ch := newFakeChannel(100, 30)
+	e := NewEstimator(ch, PlanFor(AV, 8), DefaultEstimatorConfig())
+	e.Reset()
+	driveTraffic(e, 0, time.Minute, 50*time.Millisecond, 1, 3, 10)
+	clean := e.Maps().AverageBLE()
+
+	tm := time.Minute
+	for i := 0; i < 200; i++ {
+		tm += 75 * time.Millisecond
+		e.OnTraffic(tm, 1, 3, 10)
+		if i%3 == 0 { // every third frame hit by a collision
+			e.OnSACKSample(tm, 0.7, 3)
+		}
+	}
+	polluted := e.Maps().AverageBLE()
+	if polluted > clean*0.7 {
+		t.Fatalf("collision pollution did not depress BLE: %.1f vs clean %.1f", polluted, clean)
+	}
+
+	// Pollution stops; improvement trigger recovers the rate.
+	driveTraffic(e, tm, tm+2*time.Minute, 50*time.Millisecond, 1, 3, 10)
+	recovered := e.Maps().AverageBLE()
+	if recovered < clean*0.85 {
+		t.Fatalf("no recovery after pollution: %.1f vs clean %.1f", recovered, clean)
+	}
+}
+
+func TestToneMapExpiry(t *testing.T) {
+	ch := newFakeChannel(50, 25)
+	e := NewEstimator(ch, PlanFor(AV, 16), DefaultEstimatorConfig())
+	e.OnTraffic(0, 1, 3, 10)
+	u := e.Updates()
+	// Sparse traffic, stable channel: only expiry updates.
+	for tm := time.Second; tm <= 70*time.Second; tm += time.Second {
+		e.OnTraffic(tm, 1, 3, 10)
+	}
+	got := e.Updates() - u
+	if got < 2 || got > 4 {
+		t.Fatalf("expiry updates over 70s = %d, want 2-3 (30s expiry)", got)
+	}
+}
+
+func TestUpdateCallbackAndTMI(t *testing.T) {
+	ch := newFakeChannel(50, 25)
+	e := NewEstimator(ch, PlanFor(AV, 16), DefaultEstimatorConfig())
+	var stamps []time.Duration
+	e.OnUpdate = func(tm time.Duration) { stamps = append(stamps, tm) }
+	driveTraffic(e, 0, 65*time.Second, 500*time.Millisecond, 1, 3, 10)
+	if len(stamps) == 0 {
+		t.Fatal("no update callbacks")
+	}
+	if e.Maps().ForSlot(0).TMI == 0 {
+		t.Fatal("TMI must be nonzero after estimation")
+	}
+}
+
+func TestDeadChannelLoadsNothing(t *testing.T) {
+	ch := newFakeChannel(100, -20)
+	e := NewEstimator(ch, PlanFor(AV, 8), DefaultEstimatorConfig())
+	driveTraffic(e, 0, 30*time.Second, 100*time.Millisecond, 1, 3, 10)
+	if ble := e.Maps().AverageBLE(); ble > 1 {
+		t.Fatalf("dead channel BLE = %.2f, want ~0", ble)
+	}
+}
+
+func BenchmarkEstimatorOnTraffic(b *testing.B) {
+	ch := newFakeChannel(917, 25)
+	e := NewEstimator(ch, PlanFor(AV, 1), DefaultEstimatorConfig())
+	e.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.OnTraffic(time.Duration(i)*50*time.Millisecond, 1, 3, 10)
+	}
+}
+
+func BenchmarkLoadCurveTotalBits(b *testing.B) {
+	snr := make([]float64, 917)
+	for i := range snr {
+		snr[i] = 25 + 10*math.Sin(float64(i)/40)
+	}
+	lc := NewLoadCurve(snr, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lc.TotalBits(float64(i%10)-5, 1.5)
+	}
+}
+
+// Property: the estimated BLE never exceeds the loading the channel truly
+// sustains (the estimator is conservative by construction).
+func TestEstimatorConservativeProperty(t *testing.T) {
+	f := func(baseRaw uint8, minutes uint8) bool {
+		base := 10 + float64(baseRaw%30)
+		ch := newFakeChannel(80, base)
+		plan := PlanFor(AV, 12)
+		e := NewEstimator(ch, plan, DefaultEstimatorConfig())
+		until := time.Duration(1+minutes%5) * time.Minute
+		driveTraffic(e, 0, until, 100*time.Millisecond, 1, 10, 10)
+		truth := NewLoadCurve(ch.snr[0], plan.CarriersRepresented()).
+			TotalBits(0, DefaultEstimatorConfig().MarginDB)
+		for s := 0; s < mains.Slots; s++ {
+			tm := e.Maps().ForSlot(s)
+			if tm.Robust {
+				continue // ROBO floor is legitimately below data loading
+			}
+			if tm.TotalBits > truth+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTMIAdvancesOnUpdates(t *testing.T) {
+	ch := newFakeChannel(60, 26)
+	e := NewEstimator(ch, PlanFor(AV, 16), DefaultEstimatorConfig())
+	e.OnTraffic(0, 1, 3, 10)
+	first := e.Maps().ForSlot(0).TMI
+	driveTraffic(e, 0, 70*time.Second, time.Second, 1, 3, 10)
+	second := e.Maps().ForSlot(0).TMI
+	if first == 0 || second == first {
+		t.Fatalf("TMI must advance across tone-map updates: %d -> %d", first, second)
+	}
+}

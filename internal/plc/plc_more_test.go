@@ -1,0 +1,121 @@
+package plc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/mains"
+	"repro/internal/plc/mac"
+	"repro/internal/plc/phy"
+)
+
+func TestQuerySlotBLEs(t *testing.T) {
+	d, _ := smallTestbed(t)
+	s := d.Stations[0]
+	l, _ := d.Link(s, d.Stations[2])
+	l.Saturate(0, 5*time.Second, 100*time.Millisecond)
+	slots, err := s.QuerySlotBLEs(6*time.Second, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range slots {
+		if v <= 0 {
+			t.Fatalf("slot BLE missing: %v", slots)
+		}
+		sum += v
+	}
+	if avg := sum / mains.Slots; avg != l.AvgBLE() {
+		t.Fatalf("MM slot average %.2f != AvgBLE %.2f", avg, l.AvgBLE())
+	}
+}
+
+func TestBroadcastLossDayVsNight(t *testing.T) {
+	// On a marginal link, day noise should not *decrease* broadcast loss
+	// (the paper finds day/night nearly indistinguishable, with a few bad
+	// links worse during the day).
+	d, _ := smallTestbed(t)
+	l, _ := d.Link(d.Stations[0], d.Stations[5])
+	day := l.BroadcastLossProbability(13 * time.Hour)
+	night := l.BroadcastLossProbability(26 * time.Hour)
+	if day+1e-9 < night {
+		t.Fatalf("day broadcast loss %v below night %v", day, night)
+	}
+}
+
+func TestUnicastRetransmissionTimestamps(t *testing.T) {
+	// Retransmissions must land within the 10 ms window the paper's §8.1
+	// classification rule depends on.
+	d, _ := smallTestbed(t)
+	l, _ := d.Link(d.Stations[0], d.Stations[5]) // weaker link: some retries
+	l.Saturate(0, 10*time.Second, 100*time.Millisecond)
+
+	var sofs []mac.SoF
+	l.Sniffer = func(s mac.SoF) { sofs = append(sofs, s) }
+	rng := rand.New(rand.NewSource(3))
+	sent := 0
+	for i := 0; i < 100; i++ {
+		r := l.SendUnicast(10*time.Second+time.Duration(i)*75*time.Millisecond, 1500, rng.Float64)
+		sent += r.Transmissions
+	}
+	l.Sniffer = nil
+	if len(sofs) != sent {
+		t.Fatalf("sniffer saw %d frames, %d transmitted", len(sofs), sent)
+	}
+	for i := 1; i < len(sofs); i++ {
+		gap := sofs[i].Timestamp - sofs[i-1].Timestamp
+		if gap < 0 {
+			t.Fatal("SoF timestamps must be non-decreasing")
+		}
+		// Within one packet's retransmissions the gap is below the 10 ms
+		// window; between packets it is the 75 ms pacing. A gap in
+		// between would defeat the paper's classification rule.
+		if gap >= 10*time.Millisecond && gap < 70*time.Millisecond {
+			t.Fatalf("ambiguous inter-frame gap %v defeats the 10 ms rule", gap)
+		}
+	}
+}
+
+func TestThroughputROBOFloorOnWeakLink(t *testing.T) {
+	// A link too weak for data tone maps but decodable at ROBO must keep
+	// a small positive throughput (the §4.1 connectivity edge).
+	dep := weakRig(t)
+	l, err := dep.Link(dep.Stations[0], dep.Stations[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Saturate(0, 10*time.Second, 200*time.Millisecond)
+	tm := l.Est.Maps().ForSlot(0)
+	if !tm.Robust {
+		t.Skipf("rig not weak enough for ROBO fallback (BLE %.1f)", l.AvgBLE())
+	}
+	if tp := l.Throughput(10 * time.Second); tp <= 0 || tp > 10 {
+		t.Fatalf("ROBO-floor throughput = %.2f, want small positive", tp)
+	}
+}
+
+// weakRig builds a long, heavily tapped two-station line that cannot
+// sustain data tone maps.
+func weakRig(t *testing.T) *Deployment {
+	t.Helper()
+	g := grid.New(grid.DefaultConfig())
+	prev := g.AddNode(0, 0, 0)
+	for i := 1; i <= 30; i++ {
+		cur := g.AddNode(float64(i)*10, 0, 0)
+		g.AddCable(prev, cur, 10)
+		prev = cur
+	}
+	d := NewDeployment(g, DefaultConfig())
+	d.AddStation(0, 0)
+	d.AddStation(30, 0)
+	return d
+}
+
+func TestSpecSurfacesInPlan(t *testing.T) {
+	d, _ := smallTestbed(t)
+	if d.Cfg.Spec != phy.AV {
+		t.Fatal("default deployment must be HomePlug AV")
+	}
+}

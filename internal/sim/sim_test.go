@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(3*time.Second, func() { got = append(got, 3) })
+	s.At(1*time.Second, func() { got = append(got, 1) })
+	s.At(2*time.Second, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestPastEventClamped(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.At(time.Second, func() {
+		s.At(0, func() { fired = true }) // in the past; must still run
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("past-scheduled event never fired")
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("clock moved backwards: %v", s.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.At(time.Second, func() { fired = true })
+	e.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	count := 0
+	s.Every(0, time.Second, func(time.Duration) { count++ })
+	s.RunUntil(10*time.Second + 500*time.Millisecond)
+	if count != 11 { // t = 0..10s inclusive
+		t.Fatalf("ticks = %d, want 11", count)
+	}
+	if s.Now() != 10*time.Second+500*time.Millisecond {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tk *Ticker
+	tk = s.Every(0, time.Second, func(time.Duration) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	s.RunUntil(time.Minute)
+	if count != 3 {
+		t.Fatalf("ticks after stop: %d, want 3", count)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			s.After(time.Millisecond, rec)
+		}
+	}
+	s.After(0, rec)
+	s.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if s.Now() != 99*time.Millisecond {
+		t.Fatalf("Now = %v, want 99ms", s.Now())
+	}
+}
+
+func TestRNGDeterministicPerLabel(t *testing.T) {
+	a := New(42).RNG("x")
+	b := New(42).RNG("x")
+	c := New(42).RNG("y")
+	same, diff := true, false
+	for i := 0; i < 32; i++ {
+		va, vb, vc := a.Int63(), b.Int63(), c.Int63()
+		if va != vb {
+			same = false
+		}
+		if va != vc {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same (seed,label) produced different streams")
+	}
+	if !diff {
+		t.Fatal("different labels produced identical streams")
+	}
+}
+
+func TestRNGDependsOnSeed(t *testing.T) {
+	a := New(1).RNG("x")
+	b := New(2).RNG("x")
+	diff := false
+	for i := 0; i < 32; i++ {
+		if a.Int63() != b.Int63() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// Property: the clock never moves backwards, regardless of the (possibly
+// out-of-order, possibly negative) times events are scheduled at.
+func TestClockMonotonicProperty(t *testing.T) {
+	f := func(offsets []int16) bool {
+		s := New(7)
+		last := time.Duration(-1)
+		ok := true
+		for _, o := range offsets {
+			d := time.Duration(o) * time.Millisecond
+			s.At(d, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduler(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if s.Pending() > 1024 {
+			for s.Pending() > 0 {
+				s.Step()
+			}
+		}
+	}
+	s.Run()
+}

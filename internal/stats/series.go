@@ -1,0 +1,84 @@
+package stats
+
+import "time"
+
+// Series is a time-stamped sequence of scalar samples (throughput, BLE, …).
+type Series struct {
+	T []time.Duration
+	V []float64
+}
+
+// Add appends one sample.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int { return len(s.V) }
+
+// Mean returns the mean of all values.
+func (s *Series) Mean() float64 { return Mean(s.V) }
+
+// Std returns the sample standard deviation of all values.
+func (s *Series) Std() float64 { return Std(s.V) }
+
+// Slice returns the sub-series with from <= t < to.
+func (s *Series) Slice(from, to time.Duration) *Series {
+	out := &Series{}
+	for i, t := range s.T {
+		if t >= from && t < to {
+			out.Add(t, s.V[i])
+		}
+	}
+	return out
+}
+
+// Downsample averages the series over consecutive bins of the given width,
+// stamping each bin at its start. Empty bins are skipped.
+func (s *Series) Downsample(bin time.Duration) *Series {
+	if bin <= 0 || s.Len() == 0 {
+		return &Series{T: append([]time.Duration(nil), s.T...), V: append([]float64(nil), s.V...)}
+	}
+	out := &Series{}
+	var cur time.Duration = -1
+	var sum float64
+	var n int
+	flush := func() {
+		if n > 0 {
+			out.Add(cur, sum/float64(n))
+		}
+		sum, n = 0, 0
+	}
+	for i, t := range s.T {
+		b := t / bin * bin
+		if b != cur {
+			flush()
+			cur = b
+		}
+		sum += s.V[i]
+		n++
+	}
+	flush()
+	return out
+}
+
+// HourlyProfile aggregates samples by hour-of-day using the supplied
+// hour-extraction function and returns per-hour mean and std. Hours without
+// samples have NaN-free zero entries and count 0.
+func (s *Series) HourlyProfile(hourOf func(time.Duration) int) (mean, std [24]float64, count [24]int) {
+	var buckets [24][]float64
+	for i, t := range s.T {
+		h := hourOf(t)
+		if h >= 0 && h < 24 {
+			buckets[h] = append(buckets[h], s.V[i])
+		}
+	}
+	for h := 0; h < 24; h++ {
+		if len(buckets[h]) > 0 {
+			mean[h], std[h] = MeanStd(buckets[h])
+			count[h] = len(buckets[h])
+		}
+	}
+	return mean, std, count
+}

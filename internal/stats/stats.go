@@ -1,0 +1,216 @@
+// Package stats provides the small statistical toolkit used by the
+// measurement harnesses: moments, empirical CDFs, least-squares fits and
+// streaming accumulators. Everything is dependency-free and deterministic.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation (n-1 denominator) of xs.
+// It returns 0 for fewer than two samples.
+func Std(xs []float64) float64 {
+	_, s := MeanStd(xs)
+	return s
+}
+
+// MeanStd returns the mean and sample standard deviation of xs in one pass.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between order statistics. xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from samples (copied, then sorted).
+func NewCDF(samples []float64) CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return CDF{sorted: s}
+}
+
+// Len reports the number of samples backing the CDF.
+func (c CDF) Len() int { return len(c.sorted) }
+
+// F returns P(X <= x).
+func (c CDF) F(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x; we
+	// want the count of samples <= x.
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest x with F(x) >= p, for p in (0,1].
+func (c CDF) Quantile(p float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return c.sorted[0]
+	}
+	if p >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(math.Ceil(p*float64(len(c.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.sorted[i]
+}
+
+// ErrFitDegenerate is returned by LinearFit when the x values carry no
+// variance, so a slope cannot be identified.
+var ErrFitDegenerate = errors.New("stats: degenerate linear fit (no variance in x)")
+
+// LinearFit performs an ordinary least-squares fit y = slope*x + intercept
+// and also returns the coefficient of determination r².
+func LinearFit(x, y []float64) (slope, intercept, r2 float64, err error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, 0, errors.New("stats: need >= 2 paired samples")
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, ErrFitDegenerate
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1, nil
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return slope, intercept, r2, nil
+}
+
+// Correlation returns the Pearson correlation coefficient of x and y, or NaN
+// when undefined.
+func Correlation(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Welford is a streaming mean/variance accumulator (Welford's algorithm).
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N reports the number of samples seen so far.
+func (w *Welford) N() int { return w.n }
+
+// Mean reports the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Std reports the running sample standard deviation.
+func (w *Welford) Std() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}

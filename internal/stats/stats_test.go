@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, s := MeanStd(xs)
+	if !almost(m, 5, 1e-12) {
+		t.Fatalf("mean = %v", m)
+	}
+	// sample std of this classic set is sqrt(32/7)
+	if !almost(s, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("std = %v", s)
+	}
+}
+
+func TestMeanStdEdgeCases(t *testing.T) {
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Fatalf("empty: %v %v", m, s)
+	}
+	if m, s := MeanStd([]float64{3}); m != 3 || s != 0 {
+		t.Fatalf("single: %v %v", m, s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if p := Percentile(xs, 0); p != 15 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 50 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Percentile(xs, 50); p != 35 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := Percentile(xs, 25); p != 20 {
+		t.Fatalf("p25 = %v", p)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	if f := c.F(0); f != 0 {
+		t.Fatalf("F(0) = %v", f)
+	}
+	if f := c.F(2); f != 0.75 {
+		t.Fatalf("F(2) = %v", f)
+	}
+	if f := c.F(10); f != 1 {
+		t.Fatalf("F(10) = %v", f)
+	}
+	if q := c.Quantile(0.5); q != 2 {
+		t.Fatalf("Q(.5) = %v", q)
+	}
+	if q := c.Quantile(1); q != 3 {
+		t.Fatalf("Q(1) = %v", q)
+	}
+}
+
+// Property: a CDF is monotone non-decreasing and bounded in [0,1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(samples []float64, probes []float64) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		for _, s := range samples {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				return true
+			}
+		}
+		c := NewCDF(samples)
+		prevX := math.Inf(-1)
+		prevF := 0.0
+		for _, x := range probes {
+			if math.IsNaN(x) {
+				continue
+			}
+			if x < prevX {
+				prevX, prevF = math.Inf(-1), 0 // restart ordering
+			}
+			fx := c.F(x)
+			if fx < 0 || fx > 1 {
+				return false
+			}
+			if x >= prevX && fx < prevF {
+				return false
+			}
+			prevX, prevF = x, fx
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 1.7*v - 0.65
+	}
+	slope, icpt, r2, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(slope, 1.7, 1e-12) || !almost(icpt, -0.65, 1e-12) || !almost(r2, 1, 1e-12) {
+		t.Fatalf("fit = %v %v %v", slope, icpt, r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected degenerate-fit error")
+	}
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("expected too-few-samples error")
+	}
+}
+
+func TestCorrelationSigns(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	up := []float64{2, 4, 6, 8}
+	down := []float64{8, 6, 4, 2}
+	if c := Correlation(x, up); !almost(c, 1, 1e-12) {
+		t.Fatalf("corr up = %v", c)
+	}
+	if c := Correlation(x, down); !almost(c, -1, 1e-12) {
+		t.Fatalf("corr down = %v", c)
+	}
+}
+
+// Property: Welford matches the two-pass computation.
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var w Welford
+		for i, r := range raw {
+			xs[i] = float64(r) / 7.0
+			w.Add(xs[i])
+		}
+		m, s := MeanStd(xs)
+		return almost(w.Mean(), m, 1e-6) && almost(w.Std(), s, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	s := &Series{}
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	d := s.Downsample(2 * time.Second)
+	if d.Len() != 5 {
+		t.Fatalf("bins = %d", d.Len())
+	}
+	if d.V[0] != 0.5 || d.V[4] != 8.5 {
+		t.Fatalf("bin means = %v", d.V)
+	}
+	if d.T[1] != 2*time.Second {
+		t.Fatalf("bin stamp = %v", d.T[1])
+	}
+}
+
+func TestSeriesSlice(t *testing.T) {
+	s := &Series{}
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	sub := s.Slice(2*time.Second, 5*time.Second)
+	if sub.Len() != 3 || sub.V[0] != 2 || sub.V[2] != 4 {
+		t.Fatalf("slice = %+v", sub)
+	}
+}
+
+func TestHourlyProfile(t *testing.T) {
+	s := &Series{}
+	// 48 samples, one per half hour over one day.
+	for i := 0; i < 48; i++ {
+		s.Add(time.Duration(i)*30*time.Minute, float64(i/2))
+	}
+	hourOf := func(d time.Duration) int { return int(d/time.Hour) % 24 }
+	mean, _, count := s.HourlyProfile(hourOf)
+	for h := 0; h < 24; h++ {
+		if count[h] != 2 {
+			t.Fatalf("hour %d count %d", h, count[h])
+		}
+		if mean[h] != float64(h) {
+			t.Fatalf("hour %d mean %v", h, mean[h])
+		}
+	}
+}

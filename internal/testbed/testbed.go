@@ -1,0 +1,328 @@
+// Package testbed builds the paper's measurement environment (§3.1,
+// Fig. 2): 19 stations on one office floor of 70 m × 40 m, fed by two
+// distribution boards joined only in the basement, forming two logical PLC
+// networks (CCo at stations 11 and 15), with WiFi sharing the same
+// geometry. It also provides the isolated-cable rig used for the
+// controlled attenuation experiments of §5.
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/plc"
+	"repro/internal/plc/phy"
+	"repro/internal/wifi"
+)
+
+// NetworkA and NetworkB are the two AVLN identifiers of the floor.
+const (
+	NetworkA = 0 // stations 0-11, board B1, CCo 11
+	NetworkB = 1 // stations 12-18, board B2, CCo 15
+)
+
+// CCoA and CCoB are the statically pinned coordinators (§3.1).
+const (
+	CCoA = 11
+	CCoB = 15
+)
+
+// NumStations is the testbed's station count.
+const NumStations = 19
+
+// stationPos approximates the Fig. 2 floor plan (metres; x rightwards
+// 0-70, y upwards 0-40). Stations 0-11 occupy the right wing (board B1),
+// 12-18 the left wing (board B2).
+var stationPos = [NumStations][2]float64{
+	{44, 32}, // 0
+	{38, 34}, // 1
+	{50, 34}, // 2
+	{56, 32}, // 3
+	{62, 34}, // 4
+	{68, 30}, // 5
+	{66, 22}, // 6
+	{60, 20}, // 7
+	{54, 18}, // 8
+	{48, 16}, // 9
+	{42, 10}, // 10
+	{36, 6},  // 11
+	{12, 34}, // 12
+	{16, 30}, // 13
+	{8, 30},  // 14
+	{10, 22}, // 15
+	{14, 16}, // 16
+	{10, 10}, // 17
+	{16, 6},  // 18
+}
+
+// boardOf maps stations to distribution boards.
+func boardOf(station int) int {
+	if station <= 11 {
+		return 0 // B1
+	}
+	return 1 // B2
+}
+
+// networkOf maps stations to logical networks.
+func networkOf(station int) int {
+	if station <= 11 {
+		return NetworkA
+	}
+	return NetworkB
+}
+
+// Testbed is the assembled measurement floor.
+type Testbed struct {
+	Grid     *grid.Grid
+	Dep      *plc.Deployment
+	Stations []*plc.Station // indexed by paper station number
+
+	seed      int64
+	wifiLinks map[[2]int]*wifi.Link
+}
+
+// Options tunes the build.
+type Options struct {
+	Spec phy.Spec
+	// Decimate reduces carrier resolution for speed (default 4 keeps
+	// ~230 modelled carriers for AV).
+	Decimate int
+	Seed     int64
+	// Estimator overrides the channel-estimation tuning; zero value
+	// means defaults.
+	Estimator *phy.EstimatorConfig
+}
+
+// New assembles the Fig. 2 floor.
+func New(opts Options) *Testbed {
+	if opts.Decimate < 1 {
+		opts.Decimate = 4
+	}
+	gcfg := grid.DefaultConfig()
+	gcfg.Seed = opts.Seed
+	g := grid.New(gcfg)
+
+	// Distribution boards, one riser each, and a corridor spine per wing.
+	// Cable runs are longer than straight-line distance (wiring factor),
+	// giving the 20-100+ m cable-distance spread of Fig. 7.
+	b1 := g.AddNode(36, 20, 0)
+	b2 := g.AddNode(20, 20, 1)
+	// Basement interconnection: the >200 m run that separates the boards
+	// electrically (§3.1).
+	g.AddCable(b1, b2, 220)
+
+	spine := func(board int, root grid.NodeID, xs []float64, y float64) []grid.NodeID {
+		nodes := []grid.NodeID{root}
+		prev := root
+		px, py := g.Nodes[root].X, g.Nodes[root].Y
+		for _, x := range xs {
+			n := g.AddNode(x, y, board)
+			dist := wiringLen(px, py, x, y)
+			g.AddCable(prev, n, dist)
+			nodes = append(nodes, n)
+			prev, px, py = n, x, y
+		}
+		return nodes
+	}
+	// Right wing: a northern and a southern corridor, junction boxes
+	// every few metres (each is a structural tap — the multipath that
+	// dominates attenuation per the §5 control experiment).
+	northR := spine(0, b1, []float64{38, 42, 46, 50, 54, 58, 62, 66, 69}, 30)
+	southR := spine(0, b1, []float64{39, 43, 47, 51, 55, 59, 63, 66}, 14)
+	// Left wing likewise.
+	northL := spine(1, b2, []float64{17, 14, 11, 8}, 30)
+	southL := spine(1, b2, []float64{17, 14, 11, 8, 13}, 12)
+
+	// Mid-corridor cross-ties: junction boxes joining the two circuits of
+	// each wing (without them, cross-corridor routes accumulate twice the
+	// tap losses and die — contradicting the paper's observation that
+	// every WiFi-connected pair is also PLC-connected).
+	g.AddCable(northR[5], southR[4], 18)
+	g.AddCable(northL[2], southL[2], 20)
+
+	tb := &Testbed{Grid: g, seed: opts.Seed, wifiLinks: make(map[[2]int]*wifi.Link)}
+
+	// Station outlets drop from the nearest spine junction of their wing.
+	spines := map[int][][]grid.NodeID{
+		0: {northR, southR},
+		1: {northL, southL},
+	}
+	var stationNodes [NumStations]grid.NodeID
+	for s := 0; s < NumStations; s++ {
+		x, y := stationPos[s][0], stationPos[s][1]
+		board := boardOf(s)
+		var best grid.NodeID
+		bestD := 1e18
+		for _, sp := range spines[board] {
+			for _, n := range sp[1:] { // skip the board itself
+				d := wiringLen(g.Nodes[n].X, g.Nodes[n].Y, x, y)
+				if d < bestD {
+					best, bestD = n, d
+				}
+			}
+		}
+		outlet := g.AddNode(x, y, board)
+		g.AddCable(best, outlet, bestD+2) // drop plus in-wall slack
+		stationNodes[s] = outlet
+	}
+
+	// Office appliances: a PC and lighting at every station outlet, plus
+	// shared equipment on the spines. This is the population whose
+	// schedules drive the §6 temporal variation.
+	for s := 0; s < NumStations; s++ {
+		g.Plug(grid.ClassDesktopPC, stationNodes[s])
+		if s%2 == 0 {
+			g.Plug(grid.ClassFluorescent, stationNodes[s])
+		}
+	}
+	shared := []struct {
+		class *grid.ApplianceClass
+		node  grid.NodeID
+	}{
+		{grid.ClassDimmer, northR[3]},
+		{grid.ClassDimmer, southL[1]},
+		{grid.ClassFridge, southR[2]},
+		{grid.ClassFridge, northL[1]},
+		{grid.ClassKettle, southR[4]},
+		{grid.ClassKettle, northL[2]},
+		{grid.ClassLabEquipment, southR[1]},
+		{grid.ClassLabEquipment, northR[5]},
+		{grid.ClassPhoneCharger, northR[1]},
+		{grid.ClassPhoneCharger, southL[2]},
+		{grid.ClassPhoneCharger, northL[2]},
+		{grid.ClassRouter, northR[2]},
+		{grid.ClassRouter, southL[3]},
+		// Always-on noisy gear: the reason some links are bad *and*
+		// variable even at night (the §6.2 quality/variability coupling).
+		{grid.ClassServerRack, southR[6]},
+		{grid.ClassVendingMachine, northL[3]},
+	}
+	for _, sh := range shared {
+		g.Plug(sh.class, sh.node)
+	}
+
+	pcfg := plc.DefaultConfig()
+	pcfg.Spec = opts.Spec
+	pcfg.Decimate = opts.Decimate
+	pcfg.Seed = opts.Seed
+	if opts.Estimator != nil {
+		pcfg.Estimator = *opts.Estimator
+	}
+	dep := plc.NewDeployment(g, pcfg)
+	for s := 0; s < NumStations; s++ {
+		dep.AddStation(stationNodes[s], networkOf(s))
+	}
+	dep.SetCCo(dep.Stations[CCoA])
+	dep.SetCCo(dep.Stations[CCoB])
+	tb.Dep = dep
+	tb.Stations = dep.Stations
+	return tb
+}
+
+// wiringLen converts a straight run into an in-wall cable length
+// (manhattan routing with slack).
+func wiringLen(x1, y1, x2, y2 float64) float64 {
+	dx, dy := x2-x1, y2-y1
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return (dx + dy) * 1.15
+}
+
+// PLCLink returns the directed PLC link between two station numbers.
+func (tb *Testbed) PLCLink(src, dst int) (*plc.Link, error) {
+	if src < 0 || src >= NumStations || dst < 0 || dst >= NumStations {
+		return nil, fmt.Errorf("testbed: station out of range (%d, %d)", src, dst)
+	}
+	return tb.Dep.Link(tb.Stations[src], tb.Stations[dst])
+}
+
+// WiFiLink returns the directed WiFi link between two station numbers.
+func (tb *Testbed) WiFiLink(src, dst int) *wifi.Link {
+	key := [2]int{src, dst}
+	if l, ok := tb.wifiLinks[key]; ok {
+		return l
+	}
+	l := wifi.NewLink(tb.Grid, tb.Stations[src].Node, tb.Stations[dst].Node, tb.seed)
+	tb.wifiLinks[key] = l
+	return l
+}
+
+// SameNetworkPairs enumerates the ordered station pairs that can form PLC
+// links (both directions; Fig. 2's two networks).
+func (tb *Testbed) SameNetworkPairs() [][2]int {
+	var out [][2]int
+	for a := 0; a < NumStations; a++ {
+		for b := 0; b < NumStations; b++ {
+			if a != b && networkOf(a) == networkOf(b) {
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// AllPairs enumerates every ordered station pair (WiFi has no network
+// partition).
+func (tb *Testbed) AllPairs() [][2]int {
+	var out [][2]int
+	for a := 0; a < NumStations; a++ {
+		for b := 0; b < NumStations; b++ {
+			if a != b {
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// NewIsolatedRig builds the §5 control experiment: two stations joined by
+// a bare cable of the given length, optionally with appliances plugged at
+// given fractions along it.
+func NewIsolatedRig(lengthM float64, seed int64, spec phy.Spec, appliances map[float64]*grid.ApplianceClass) *Testbed {
+	gcfg := grid.DefaultConfig()
+	gcfg.Seed = seed
+	g := grid.New(gcfg)
+	a := g.AddNode(0, 0, 0)
+	b := g.AddNode(lengthM, 0, 0)
+
+	// Build the cable with junctions at the appliance positions.
+	type tap struct {
+		frac  float64
+		class *grid.ApplianceClass
+	}
+	var taps []tap
+	for f, c := range appliances {
+		taps = append(taps, tap{f, c})
+	}
+	// Insertion order must be deterministic.
+	for i := 0; i < len(taps); i++ {
+		for j := i + 1; j < len(taps); j++ {
+			if taps[j].frac < taps[i].frac {
+				taps[i], taps[j] = taps[j], taps[i]
+			}
+		}
+	}
+	prev := a
+	prevPos := 0.0
+	for _, tp := range taps {
+		pos := tp.frac * lengthM
+		n := g.AddNode(pos, 0, 0)
+		g.AddCable(prev, n, pos-prevPos)
+		g.Plug(tp.class, n)
+		prev, prevPos = n, pos
+	}
+	g.AddCable(prev, b, lengthM-prevPos)
+
+	pcfg := plc.DefaultConfig()
+	pcfg.Spec = spec
+	pcfg.Seed = seed
+	dep := plc.NewDeployment(g, pcfg)
+	dep.AddStation(a, 0)
+	dep.AddStation(b, 0)
+	dep.SetCCo(dep.Stations[0])
+	return &Testbed{Grid: g, Dep: dep, Stations: dep.Stations, seed: seed, wifiLinks: make(map[[2]int]*wifi.Link)}
+}

@@ -1,0 +1,176 @@
+// Package wifi models the 802.11n substrate the paper compares against:
+// 2 spatial streams, 20 MHz, ~130 Mb/s nominal PHY rate (§4.1 footnote 5).
+//
+// The model captures the properties the paper contrasts with PLC: a single
+// modulation-and-coding scheme for all carriers (so bursty fades force the
+// whole link down), fast temporal fading that is stronger during working
+// hours (people moving), steep distance decay producing blind spots beyond
+// ~35 m, and mild asymmetry. Geometry comes from the same floor plan as
+// the electrical grid so the two media see one world.
+package wifi
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/detrand"
+	"repro/internal/grid"
+)
+
+// MCS describes one entry of the 802.11n rate table.
+type MCS struct {
+	Index    int
+	Mbps     float64
+	MinSNRdB float64
+}
+
+// RateTable2SS20MHz is the two-spatial-stream, 20 MHz, long-guard-interval
+// table (MCS 8-15), topping at the paper's 130 Mb/s.
+var RateTable2SS20MHz = []MCS{
+	{8, 13, 5},
+	{9, 26, 8},
+	{10, 39, 11},
+	{11, 52, 14},
+	{12, 78, 18},
+	{13, 104, 23},
+	{14, 117, 26},
+	{15, 130, 28},
+}
+
+// Propagation and MAC constants, calibrated to the paper's anchors: near
+// the maximum rate below ~10 m, degraded past 20 m, no connectivity beyond
+// ~35 m (§4.1 "Connectivity"), and UDP goodput ≈ 0.65 × PHY rate.
+const (
+	txPowerDBm      = 15.0
+	noiseFloorDBm   = -92.0 // thermal + NF over 20 MHz
+	pathLossAt1m    = 40.0
+	pathLossExp     = 4.0 // indoor, through walls
+	macEfficiency   = 0.66
+	shadowSigmaDB   = 4.0
+	asymMaxDB       = 1.5
+	fadeSigmaNight  = 2.0
+	fadeSigmaDay    = 4.5
+	deepFadeDB      = 12.0
+	deepFadeProbDay = 0.08
+	fadeBlock       = 100 * time.Millisecond
+	deepFadeBlock   = 2 * time.Second
+	rateEWMAAlpha   = 0.3
+)
+
+// Link is a directed WiFi link between two floor positions.
+type Link struct {
+	g        *grid.Grid
+	src, dst grid.NodeID
+	seed     int64
+
+	dist    float64
+	shadow  float64 // per-link lognormal shadowing, symmetric
+	asymDB  float64 // per-direction offset
+	snrEWMA float64 // rate-adaptation state
+	ewmaSet bool
+}
+
+// NewLink creates the directed WiFi link src→dst using the floor-plan
+// positions of the given grid nodes.
+func NewLink(g *grid.Grid, src, dst grid.NodeID, seed int64) *Link {
+	lo, hi := src, dst
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	l := &Link{g: g, src: src, dst: dst, seed: seed, dist: g.EuclidDist(src, dst)}
+	// Shadowing is a property of the path (symmetric); the directional
+	// term models antenna/TX-chain differences (§5: WiFi asymmetry is
+	// real but mild, up to ~1.5x on good links).
+	l.shadow = shadowSigmaDB * detrand.Gaussian(uint64(seed), uint64(lo), uint64(hi), 0x5ad0)
+	l.asymDB = asymMaxDB * (2*detrand.Uniform(uint64(seed), uint64(src), uint64(dst), 0xa51) - 1)
+	return l
+}
+
+// Distance reports the link's straight-line length in metres.
+func (l *Link) Distance() float64 { return l.dist }
+
+// meanSNR is the long-term SNR before fast fading.
+func (l *Link) meanSNR() float64 {
+	d := l.dist
+	if d < 1 {
+		d = 1
+	}
+	pl := pathLossAt1m + 10*pathLossExp*math.Log10(d)
+	return txPowerDBm - pl - noiseFloorDBm + l.shadow + l.asymDB
+}
+
+// fade returns the fast-fading term at time t (dB), stronger during
+// working hours and with occasional deep fades (people, doors, rotation
+// of the channel) — the source of the σW ≫ σP observation of Fig. 3.
+func (l *Link) fade(t time.Duration) float64 {
+	sigma := fadeSigmaNight
+	deepP := 0.0
+	if grid.IsWorkingHours(t) {
+		sigma = fadeSigmaDay
+		deepP = deepFadeProbDay
+	}
+	block := uint64(t / fadeBlock)
+	f := sigma * detrand.Gaussian(uint64(l.seed), uint64(l.src), uint64(l.dst), block, 0xfade)
+	dblock := uint64(t / deepFadeBlock)
+	if deepP > 0 && detrand.Bool(deepP, uint64(l.seed), uint64(l.src), uint64(l.dst), dblock, 0xdeef) {
+		f -= deepFadeDB
+	}
+	return f
+}
+
+// SNR returns the instantaneous SNR at time t in dB.
+func (l *Link) SNR(t time.Duration) float64 {
+	return l.meanSNR() + l.fade(t)
+}
+
+// MCSAt performs rate adaptation at time t: the sender tracks an EWMA of
+// the SNR and picks the densest MCS it sustains. ok is false when even
+// MCS 8 is unusable (a blind spot).
+func (l *Link) MCSAt(t time.Duration) (MCS, bool) {
+	snr := l.SNR(t)
+	if !l.ewmaSet {
+		l.snrEWMA, l.ewmaSet = snr, true
+	} else {
+		l.snrEWMA += rateEWMAAlpha * (snr - l.snrEWMA)
+	}
+	var best MCS
+	ok := false
+	for _, m := range RateTable2SS20MHz {
+		if l.snrEWMA >= m.MinSNRdB {
+			best = m
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// Capacity returns the PHY rate (Mb/s) the rate adaptation selects at t —
+// the paper's WiFi capacity estimate from the frame-control MCS (Table 2).
+func (l *Link) Capacity(t time.Duration) float64 {
+	m, ok := l.MCSAt(t)
+	if !ok {
+		return 0
+	}
+	return m.Mbps
+}
+
+// Throughput returns the modelled saturated UDP goodput at t (Mb/s).
+// When the instantaneous SNR dips below the selected MCS's requirement the
+// adaptation lags and retransmissions dominate — the bursty collapse that
+// makes WiFi throughput variance so much higher than PLC's (§4.1).
+func (l *Link) Throughput(t time.Duration) float64 {
+	m, ok := l.MCSAt(t)
+	if !ok {
+		return 0
+	}
+	tp := m.Mbps * macEfficiency
+	if l.SNR(t) < m.MinSNRdB-1 {
+		tp *= 0.3
+	}
+	return tp
+}
+
+// Connected reports whether the link sustains any MCS on its mean SNR.
+func (l *Link) Connected() bool {
+	return l.meanSNR() >= RateTable2SS20MHz[0].MinSNRdB
+}

@@ -1,0 +1,132 @@
+// Package repro is the public facade of the reproduction of "Electri-Fi
+// Your Data: Measuring and Combining Power-Line Communications with WiFi"
+// (Vlachou, Henri, Thiran — IMC 2015).
+//
+// It re-exports the pieces a downstream user needs:
+//
+//   - the simulated measurement environment (the paper's Fig. 2 testbed
+//     with its electrical grid, HomePlug AV stations and WiFi radios);
+//   - the link-metric machinery of the paper's contribution (BLE-based
+//     capacity estimation, PBerr, probing policies, ETX/U-ETX);
+//   - the hybrid WiFi+PLC load-balancing layer of §7.4;
+//   - one runnable harness per table and figure of the evaluation.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results. The examples/ directory shows the API on
+// realistic scenarios.
+package repro
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/plc"
+	"repro/internal/plc/phy"
+	"repro/internal/testbed"
+	"repro/internal/wifi"
+)
+
+// Re-exported core types: the measurement environment.
+type (
+	// Testbed is the paper's 19-station floor (Fig. 2).
+	Testbed = testbed.Testbed
+	// TestbedOptions tunes the build (spec, seed, carrier decimation).
+	TestbedOptions = testbed.Options
+	// PLCLink is a directed HomePlug AV link with live channel
+	// estimation.
+	PLCLink = plc.Link
+	// WiFiLink is a directed 802.11n link over the same floor plan.
+	WiFiLink = wifi.Link
+	// Spec selects the HomePlug generation (AV or AV500).
+	Spec = phy.Spec
+)
+
+// HomePlug generations.
+const (
+	AV    = phy.AV
+	AV500 = phy.AV500
+)
+
+// NewTestbed builds the Fig. 2 floor with the given options.
+func NewTestbed(opts TestbedOptions) *Testbed { return testbed.New(opts) }
+
+// DefaultTestbed builds the floor with sensible defaults for the given
+// seed (HomePlug AV, moderate carrier resolution).
+func DefaultTestbed(seed int64) *Testbed {
+	return testbed.New(testbed.Options{Spec: phy.AV, Decimate: 8, Seed: seed})
+}
+
+// Re-exported metric machinery: the paper's contribution.
+type (
+	// LinkMetrics is a 1905-style metric-table entry.
+	LinkMetrics = core.LinkMetrics
+	// MetricTable registers per-link metrics.
+	MetricTable = core.MetricTable
+	// ProbingPolicy schedules capacity probes.
+	ProbingPolicy = core.ProbingPolicy
+	// FixedPolicy probes at one interval.
+	FixedPolicy = core.FixedPolicy
+	// AdaptivePolicy probes by link quality (§7.3).
+	AdaptivePolicy = core.AdaptivePolicy
+)
+
+// NewMetricTable returns an empty 1905-style metric registry.
+func NewMetricTable() *MetricTable { return core.NewMetricTable() }
+
+// PaperAdaptivePolicy returns the §7.3 quality-adaptive probing schedule.
+func PaperAdaptivePolicy() AdaptivePolicy { return core.PaperAdaptivePolicy() }
+
+// Guidelines returns the paper's Table 3 link-metric estimation rules.
+func Guidelines() []core.Guideline { return core.Guidelines() }
+
+// ExperimentConfig controls a paper-experiment run.
+type ExperimentConfig = experiments.Config
+
+// ExperimentResult is the common interface of experiment outputs.
+type ExperimentResult = experiments.Result
+
+// Experiments lists the identifiers of every table/figure harness.
+func Experiments() []string { return experiments.IDs() }
+
+// DescribeExperiment returns an experiment's paper reference.
+func DescribeExperiment(id string) string { return experiments.Describe(id) }
+
+// RunExperiment executes one table/figure harness.
+func RunExperiment(id string, cfg ExperimentConfig) (ExperimentResult, error) {
+	return experiments.Run(id, cfg)
+}
+
+// DefaultExperimentConfig is a laptop-scale configuration that still
+// reproduces every qualitative result of the paper.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// RunAll executes every registered experiment in order, writing each
+// summary line to w as it completes, and returns the results.
+func RunAll(w io.Writer, cfg ExperimentConfig) ([]ExperimentResult, error) {
+	var out []ExperimentResult
+	for _, id := range experiments.IDs() {
+		r, err := experiments.Run(id, cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+		if w != nil {
+			io.WriteString(w, r.Summary()+"\n")
+		}
+	}
+	return out, nil
+}
+
+// MeasureLink is a convenience helper: it saturates the directed PLC link
+// a→b for dur and returns (throughput Mb/s, average BLE Mb/s, PBerr) at
+// the given virtual start time.
+func MeasureLink(tb *Testbed, a, b int, start, dur time.Duration) (throughput, avgBLE, pberr float64, err error) {
+	l, err := tb.PLCLink(a, b)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	l.Saturate(start, start+dur, 100*time.Millisecond)
+	return l.Throughput(start + dur), l.AvgBLE(), l.PBerr(start + dur), nil
+}

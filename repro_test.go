@@ -1,0 +1,81 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFacadeMeasureLink(t *testing.T) {
+	tb := DefaultTestbed(1)
+	tput, ble, pberr, err := MeasureLink(tb, 0, 2, 23*time.Hour, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tput <= 0 || ble <= 0 {
+		t.Fatalf("measured nothing: T=%v BLE=%v", tput, ble)
+	}
+	if pberr < 0 || pberr > 1 {
+		t.Fatalf("PBerr out of range: %v", pberr)
+	}
+	if r := ble / tput; r < 1.3 || r > 2.2 {
+		t.Fatalf("BLE/T = %.2f, want near the paper's 1.7", r)
+	}
+	if _, _, _, err := MeasureLink(tb, 0, 15, 0, time.Second); err == nil {
+		t.Fatal("cross-network link must error")
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 23 {
+		t.Fatalf("experiments = %d, want 23 (20 figures/traces + 3 tables)", len(ids))
+	}
+	for _, id := range ids {
+		if DescribeExperiment(id) == "" {
+			t.Fatalf("no description for %s", id)
+		}
+	}
+	// Run the cheapest experiment end to end through the facade.
+	r, err := RunExperiment("table3", DefaultExperimentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "table3" || !strings.Contains(r.Table(), "Unicast") {
+		t.Fatalf("table3 rendering: %q", r.Table())
+	}
+}
+
+func TestFacadeGuidelines(t *testing.T) {
+	if len(Guidelines()) != 7 {
+		t.Fatal("Table 3 has 7 guidelines")
+	}
+	p := PaperAdaptivePolicy()
+	if p.Interval(30) >= p.Interval(120) {
+		t.Fatal("bad links must be probed more often than good ones")
+	}
+}
+
+func TestFacadeMetricTable(t *testing.T) {
+	mt := NewMetricTable()
+	mt.Update(1, 2, LinkMetrics{CapacityMbps: 90})
+	mt.Update(2, 1, LinkMetrics{CapacityMbps: 45})
+	ratio, ok := mt.Asymmetry(1, 2)
+	if !ok || ratio != 2 {
+		t.Fatalf("asymmetry = %v %v", ratio, ok)
+	}
+}
+
+func TestDeterminismAcrossFacade(t *testing.T) {
+	run := func() float64 {
+		tb := DefaultTestbed(99)
+		tput, _, _, err := MeasureLink(tb, 1, 9, 11*time.Hour, 3*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tput
+	}
+	if run() != run() {
+		t.Fatal("same seed must reproduce identical measurements")
+	}
+}
