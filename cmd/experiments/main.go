@@ -5,53 +5,122 @@
 //
 //	experiments -list
 //	experiments -run fig15 -scale 0.2 -tables
-//	experiments -run all
+//	experiments -run all -parallel 4 -timeout 2m
+//	experiments -run all -json > campaign.json
 //
 // Each experiment prints a one-line summary comparing the measured shape
 // with the paper's claim; -tables additionally dumps the figure's data
-// rows (suitable for plotting).
+// rows (suitable for plotting) and -json emits the whole campaign as a
+// machine-readable array. With -parallel > 1 experiments execute
+// concurrently (output order stays deterministic; progress goes to
+// stderr). If any harness fails, the command reports every failing
+// experiment id on stderr and exits non-zero.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list experiments and exit")
-		run    = flag.String("run", "all", "experiment id to run, or 'all'")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		scale  = flag.Float64("scale", 0.2, "duration scale in (0,1]: 1.0 = paper-length campaigns")
-		decim  = flag.Int("decimate", 8, "carrier decimation (1 = full 917-carrier resolution)")
-		tables = flag.Bool("tables", false, "print full data tables, not just summaries")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "all", "experiment id to run, or 'all'")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		scale    = flag.Float64("scale", 0.2, "duration scale in (0,1]: 1.0 = paper-length campaigns")
+		decim    = flag.Int("decimate", 8, "carrier decimation (1 = full 917-carrier resolution)")
+		tables   = flag.Bool("tables", false, "print full data tables, not just summaries")
+		parallel = flag.Int("parallel", 1, "worker count; 0 = all CPUs, 1 = serial")
+		timeout  = flag.Duration("timeout", 0, "per-experiment timeout (0 = none)")
+		asJSON   = flag.Bool("json", false, "emit results as a JSON array instead of text")
+		quiet    = flag.Bool("quiet", false, "suppress progress lines on stderr")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, id := range experiments.IDs() {
-			fmt.Printf("%-8s %s\n", id, experiments.Describe(id))
+		for _, m := range experiments.List() {
+			fmt.Printf("%-8s %s\n", m.ID, m.Ref)
 		}
 		return
 	}
 
 	cfg := experiments.Config{Seed: *seed, Scale: *scale, Decimate: *decim}
-	ids := experiments.IDs()
+	opts := campaign.Options{Workers: *parallel, Timeout: *timeout}
+	if *parallel == 0 {
+		opts.Workers = runtime.NumCPU()
+	}
 	if *run != "all" {
-		ids = []string{*run}
+		opts.IDs = []string{*run}
 	}
-	for _, id := range ids {
-		res, err := experiments.Run(id, cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		fmt.Println(res.Summary())
-		if *tables {
-			fmt.Println(res.Table())
+	if !*quiet {
+		opts.Observer = func(ev campaign.Event) {
+			switch ev.Kind {
+			case campaign.EventFinished:
+				fmt.Fprintf(os.Stderr, "[%2d/%d] %-8s done in %v\n", ev.Done, ev.Total, ev.Meta.ID, ev.Elapsed.Round(time.Millisecond))
+			case campaign.EventFailed:
+				fmt.Fprintf(os.Stderr, "[%2d/%d] %-8s FAILED after %v: %v\n", ev.Done, ev.Total, ev.Meta.ID, ev.Elapsed.Round(time.Millisecond), ev.Err)
+			}
 		}
 	}
+
+	// Ctrl-C cancels the campaign; in-flight harnesses stop between
+	// measurement windows.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	outcomes, err := campaign.Run(ctx, cfg, opts)
+	if werr := emit(outcomes, *asJSON, *tables); werr != nil && err == nil {
+		err = werr
+	}
+	if err != nil {
+		// Report harnesses that actually ran and failed; never-started
+		// experiments (Worker -1, cancelled in the queue) would only
+		// repeat the campaign-level cause.
+		printed := false
+		for _, o := range outcomes {
+			if o.Err != nil && o.Worker >= 0 {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", o.Meta.ID, o.Err)
+				printed = true
+			}
+		}
+		if !printed {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// emit prints the campaign outcomes in registry order.
+func emit(outcomes []campaign.Outcome, asJSON, tables bool) error {
+	if asJSON {
+		exports := make([]experiments.Export, 0, len(outcomes))
+		for _, o := range outcomes {
+			if o.Result != nil {
+				exports = append(exports, experiments.NewExport(o.Result))
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(exports)
+	}
+	for _, o := range outcomes {
+		if o.Result == nil || o.Err != nil {
+			continue
+		}
+		fmt.Println(o.Result.Summary())
+		if tables {
+			fmt.Println(o.Result.Table())
+		}
+	}
+	return nil
 }

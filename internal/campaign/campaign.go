@@ -1,0 +1,272 @@
+// Package campaign executes the paper's measurement campaign — the
+// registered experiment harnesses — concurrently. Each harness builds its
+// own seeded testbed, so runs are independent and the campaign's results
+// are bit-identical however many workers execute them.
+//
+// The engine is a worker pool fed longest-first (by the registry's
+// estimated cost) to minimise makespan, with context cancellation and
+// per-experiment timeouts threaded down into the harness loops, progress
+// events for observers, and outcomes reported in stable registry order.
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/testbed"
+)
+
+// EventKind tags a progress event.
+type EventKind int
+
+// Event kinds, in lifecycle order.
+const (
+	// EventStarted fires when a worker picks an experiment up.
+	EventStarted EventKind = iota
+	// EventFinished fires when an experiment completes successfully.
+	EventFinished
+	// EventFailed fires when an experiment returns an error (including
+	// cancellation and per-experiment timeout).
+	EventFailed
+)
+
+// String renders the kind for logs.
+func (k EventKind) String() string {
+	switch k {
+	case EventStarted:
+		return "started"
+	case EventFinished:
+		return "finished"
+	case EventFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one progress notification of a running campaign.
+type Event struct {
+	Kind EventKind
+	// Meta identifies the experiment.
+	Meta experiments.Meta
+	// Worker is the index of the pool worker handling the experiment.
+	Worker int
+	// Done and Total report campaign progress: Done counts experiments
+	// finished or failed at the time of the event.
+	Done, Total int
+	// Elapsed is the experiment's runtime (finished/failed events).
+	Elapsed time.Duration
+	// Err is the failure cause (failed events).
+	Err error
+}
+
+// Options tunes a campaign run.
+type Options struct {
+	// Workers caps the number of experiments in flight; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Timeout bounds each experiment's runtime; 0 means no bound.
+	Timeout time.Duration
+	// IDs selects a subset of experiments (in the order given); nil
+	// runs the whole registry in presentation order.
+	IDs []string
+	// Observer, when set, receives progress events. Calls are
+	// serialised; the callback must not block for long.
+	Observer func(Event)
+	// NoMemoize disables the shared testbed pool (each harness then
+	// rebuilds its floors from scratch, as a standalone run would).
+	NoMemoize bool
+}
+
+// Outcome is one experiment's result within a campaign.
+type Outcome struct {
+	Meta experiments.Meta
+	// Result is nil when the experiment failed or was never started
+	// before cancellation.
+	Result experiments.Result
+	// Err is the harness error, ctx.Err() for experiments cancelled or
+	// never started, or nil.
+	Err error
+	// Elapsed is the wall-clock runtime (zero if never started).
+	Elapsed time.Duration
+	// Worker is the pool worker that ran the experiment (-1 if never
+	// started).
+	Worker int
+}
+
+// Run executes the selected experiments on a worker pool and returns one
+// outcome per experiment in the order selected (registry order for a nil
+// subset), regardless of completion order.
+//
+// Error contract: every runnable experiment is attempted even when a
+// sibling fails; the returned error is the first failure in outcome
+// order, wrapped with its experiment id. Cancelling ctx stops the
+// campaign promptly — in-flight harnesses observe ctx between measurement
+// windows — and Run returns ctx.Err(); experiments never started carry
+// ctx.Err() in their outcome.
+func Run(ctx context.Context, cfg experiments.Config, opts Options) ([]Outcome, error) {
+	metas, err := selectExperiments(opts.IDs)
+	if err != nil {
+		return nil, err
+	}
+	total := len(metas)
+	outcomes := make([]Outcome, total)
+	for i, m := range metas {
+		outcomes[i] = Outcome{Meta: m, Worker: -1}
+	}
+	if total == 0 {
+		return outcomes, ctx.Err()
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	var factory *testbed.Factory
+	if !opts.NoMemoize {
+		factory = testbed.NewFactory()
+	}
+
+	// Longest-first schedule: sort indices by estimated cost, stable on
+	// the selection order so equal-cost experiments keep a deterministic
+	// feed order.
+	order := make([]int, total)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return metas[order[a]].Cost > metas[order[b]].Cost
+	})
+
+	var (
+		mu   sync.Mutex // guards done counter and observer calls
+		done int
+	)
+	emit := func(ev Event) {
+		mu.Lock()
+		if ev.Kind != EventStarted {
+			done++
+		}
+		ev.Done, ev.Total = done, total
+		obs := opts.Observer
+		if obs != nil {
+			obs(ev)
+		}
+		mu.Unlock()
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for idx := range jobs {
+				outcomes[idx] = runOne(ctx, cfg, metas[idx], worker, opts.Timeout, factory, emit)
+			}
+		}(w)
+	}
+feed:
+	for _, idx := range order {
+		select {
+		case jobs <- idx:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Experiments never handed to a worker keep their zero Result; mark
+	// them with the cancellation cause.
+	if err := ctx.Err(); err != nil {
+		for i := range outcomes {
+			if outcomes[i].Result == nil && outcomes[i].Err == nil {
+				outcomes[i].Err = err
+			}
+		}
+		return outcomes, err
+	}
+	for _, o := range outcomes {
+		if o.Err != nil {
+			return outcomes, fmt.Errorf("campaign: %s: %w", o.Meta.ID, o.Err)
+		}
+	}
+	return outcomes, nil
+}
+
+// runOne executes a single experiment with its own testbed session and
+// optional timeout.
+func runOne(ctx context.Context, cfg experiments.Config, m experiments.Meta, worker int, timeout time.Duration, factory *testbed.Factory, emit func(Event)) Outcome {
+	runCtx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if factory != nil {
+		sess := factory.Session()
+		cfg.Testbeds = sess
+		// Results hold plain data, never testbed references, so the
+		// leases can be recycled as soon as the harness returns.
+		defer sess.Close()
+	}
+	emit(Event{Kind: EventStarted, Meta: m, Worker: worker})
+	begin := time.Now()
+	res, err := experiments.Run(runCtx, m.ID, cfg)
+	elapsed := time.Since(begin)
+	if err != nil {
+		// Failed harnesses return typed-nil results through the Result
+		// interface; normalise so Outcome.Result == nil holds.
+		res = nil
+	}
+	o := Outcome{Meta: m, Result: res, Err: err, Elapsed: elapsed, Worker: worker}
+	if err != nil {
+		emit(Event{Kind: EventFailed, Meta: m, Worker: worker, Elapsed: elapsed, Err: err})
+	} else {
+		emit(Event{Kind: EventFinished, Meta: m, Worker: worker, Elapsed: elapsed})
+	}
+	return o
+}
+
+// selectExperiments resolves an id subset against the registry.
+func selectExperiments(ids []string) ([]experiments.Meta, error) {
+	all := experiments.List()
+	if ids == nil {
+		return all, nil
+	}
+	byID := make(map[string]experiments.Meta, len(all))
+	for _, m := range all {
+		byID[m.ID] = m
+	}
+	out := make([]experiments.Meta, 0, len(ids))
+	for _, id := range ids {
+		m, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("campaign: unknown experiment %q (have %s)", id, strings.Join(experiments.IDs(), ", "))
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Results extracts the successful results of a campaign in outcome order,
+// mirroring what the serial facade returns.
+func Results(outs []Outcome) []experiments.Result {
+	var rs []experiments.Result
+	for _, o := range outs {
+		if o.Result != nil {
+			rs = append(rs, o.Result)
+		}
+	}
+	return rs
+}

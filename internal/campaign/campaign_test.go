@@ -1,0 +1,230 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// testCfg mirrors the experiment suite's minimal scale.
+func testCfg() experiments.Config {
+	return experiments.Config{Seed: 1, Scale: 0.05, Decimate: 16}
+}
+
+// subset is a spread of cheap harnesses covering both testbed specs, the
+// isolated rigs, the CSMA DES and the tables.
+var subset = []string{"fig04", "fig06", "fig09", "fig17", "fig18", "fig21", "table2", "table3"}
+
+// TestParallelMatchesSerial is the engine's core guarantee: a campaign
+// run on N workers (with the memoizing testbed pool active) renders
+// byte-identical tables and summaries to the serial, fresh-testbed path.
+func TestParallelMatchesSerial(t *testing.T) {
+	type render struct{ name, table, summary string }
+	serial := make([]render, 0, len(subset))
+	for _, id := range subset {
+		r, err := experiments.Run(context.Background(), id, testCfg())
+		if err != nil {
+			t.Fatalf("serial %s: %v", id, err)
+		}
+		serial = append(serial, render{r.Name(), r.Table(), r.Summary()})
+	}
+
+	outs, err := Run(context.Background(), testCfg(), Options{Workers: 4, IDs: subset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(subset) {
+		t.Fatalf("outcomes = %d, want %d", len(outs), len(subset))
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("%s failed: %v", o.Meta.ID, o.Err)
+		}
+		if o.Meta.ID != subset[i] {
+			t.Fatalf("outcome %d is %s, want %s (selection order must be preserved)", i, o.Meta.ID, subset[i])
+		}
+		got := render{o.Result.Name(), o.Result.Table(), o.Result.Summary()}
+		if got != serial[i] {
+			t.Fatalf("%s diverged from serial run:\nparallel table:\n%s\nserial table:\n%s", o.Meta.ID, got.table, serial[i].table)
+		}
+		if o.Worker < 0 || o.Elapsed <= 0 {
+			t.Fatalf("%s missing execution metadata: worker %d elapsed %v", o.Meta.ID, o.Worker, o.Elapsed)
+		}
+	}
+}
+
+// TestRunAllRegistryOrder checks a full-registry run reports outcomes in
+// presentation order whatever the (longest-first) execution order was.
+func TestRunAllRegistryOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign is slow")
+	}
+	outs, err := Run(context.Background(), testCfg(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := experiments.IDs()
+	if len(outs) != len(ids) {
+		t.Fatalf("outcomes = %d, want %d", len(outs), len(ids))
+	}
+	for i, o := range outs {
+		if o.Meta.ID != ids[i] {
+			t.Fatalf("outcome %d is %s, want %s", i, o.Meta.ID, ids[i])
+		}
+		if o.Err != nil {
+			t.Fatalf("%s: %v", o.Meta.ID, o.Err)
+		}
+	}
+}
+
+// TestCancellationStopsPromptly cancels a campaign mid-flight and checks
+// Run returns ctx.Err() quickly, with unfinished experiments marked.
+func TestCancellationStopsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	opts := Options{
+		Workers: 2,
+		// Big scale so harnesses run long enough to be caught mid-loop:
+		// the cancel lands 300 ms after the first start, well inside the
+		// first harness's measurement sweep.
+		Observer: func(ev Event) {
+			if ev.Kind == EventStarted {
+				once.Do(func() {
+					go func() {
+						time.Sleep(300 * time.Millisecond)
+						cancel()
+					}()
+				})
+			}
+		},
+	}
+	cfg := experiments.Config{Seed: 1, Scale: 0.5, Decimate: 8}
+	begin := time.Now()
+	outs, err := Run(ctx, cfg, opts)
+	elapsed := time.Since(begin)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The full campaign at this scale takes minutes; cancellation right
+	// after the first start must abort orders of magnitude sooner.
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	var cancelled int
+	for _, o := range outs {
+		if errors.Is(o.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no outcome carries the cancellation error")
+	}
+}
+
+// TestErrorOrdering drives every selected harness into failure (via an
+// unmeetable per-experiment timeout) and checks the campaign still runs
+// the rest, reports all outcomes, and propagates the first failure in
+// selection order.
+func TestErrorOrdering(t *testing.T) {
+	ids := []string{"fig06", "fig04", "table3"}
+	outs, err := Run(context.Background(), testCfg(), Options{Workers: 2, IDs: ids, Timeout: time.Nanosecond})
+	if err == nil {
+		t.Fatal("want an error from failing harnesses")
+	}
+	if !strings.Contains(err.Error(), "fig06") {
+		t.Fatalf("error %q must name the first failing experiment in selection order (fig06)", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped DeadlineExceeded", err)
+	}
+	if len(outs) != len(ids) {
+		t.Fatalf("outcomes = %d, want %d (failures must not discard siblings)", len(outs), len(ids))
+	}
+	for _, o := range outs {
+		if !errors.Is(o.Err, context.DeadlineExceeded) {
+			t.Fatalf("%s: err = %v, want DeadlineExceeded", o.Meta.ID, o.Err)
+		}
+		// Harnesses return typed-nil pointers through the Result
+		// interface on failure; the engine must normalise them so
+		// callers can rely on a plain nil check before rendering.
+		if o.Result != nil {
+			t.Fatalf("%s: failed outcome carries non-nil Result %#v", o.Meta.ID, o.Result)
+		}
+	}
+}
+
+// TestUnknownExperiment checks subset validation.
+func TestUnknownExperiment(t *testing.T) {
+	_, err := Run(context.Background(), testCfg(), Options{IDs: []string{"fig99"}})
+	if err == nil || !strings.Contains(err.Error(), "fig99") {
+		t.Fatalf("err = %v, want unknown-experiment naming fig99", err)
+	}
+}
+
+// TestSchedulingAndEvents checks the longest-first feed order and the
+// observer's progress accounting on a single worker.
+func TestSchedulingAndEvents(t *testing.T) {
+	ids := []string{"table3", "fig18", "fig09"}
+	byID := map[string]experiments.Meta{}
+	for _, m := range experiments.List() {
+		byID[m.ID] = m
+	}
+	costliest := ids[0]
+	for _, id := range ids {
+		if byID[id].Cost > byID[costliest].Cost {
+			costliest = id
+		}
+	}
+
+	var mu sync.Mutex
+	var started []string
+	var finishes int
+	lastDone := 0
+	outs, err := Run(context.Background(), testCfg(), Options{
+		Workers: 1,
+		IDs:     ids,
+		Observer: func(ev Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			switch ev.Kind {
+			case EventStarted:
+				started = append(started, ev.Meta.ID)
+			case EventFinished:
+				finishes++
+				if ev.Done != lastDone+1 || ev.Total != len(ids) {
+					t.Errorf("progress %d/%d after %d finishes", ev.Done, ev.Total, finishes)
+				}
+				lastDone = ev.Done
+			case EventFailed:
+				t.Errorf("%s failed: %v", ev.Meta.ID, ev.Err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(ids) || finishes != len(ids) {
+		t.Fatalf("outcomes %d, finish events %d, want %d", len(outs), finishes, len(ids))
+	}
+	if started[0] != costliest {
+		t.Fatalf("first start = %s, want costliest %s (longest-first schedule)", started[0], costliest)
+	}
+}
+
+// TestResultsHelper checks the success extractor keeps order and drops
+// missing results.
+func TestResultsHelper(t *testing.T) {
+	outs, err := Run(context.Background(), testCfg(), Options{Workers: 2, IDs: []string{"table3", "table2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := Results(outs)
+	if len(rs) != 2 || rs[0].Name() != "table3" || rs[1].Name() != "table2" {
+		t.Fatalf("results = %v", rs)
+	}
+}

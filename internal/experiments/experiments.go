@@ -4,9 +4,18 @@
 // does (saturated iperf runs, MM polling, SoF sniffing, probe schedules),
 // and returns a typed result that can print the same rows/series the
 // paper reports. EXPERIMENTS.md records paper-vs-measured for each.
+//
+// Harnesses accept a context.Context and observe cancellation between
+// measurement windows, so a campaign can be aborted or deadlined without
+// waiting out a multi-hour virtual sweep. Every harness builds its own
+// seeded testbed (optionally through a memoizing testbed.Session), which
+// keeps runs independent: the same Config produces bit-identical results
+// whether experiments run serially or concurrently.
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -30,6 +39,11 @@ type Config struct {
 	Scale float64
 	// Decimate reduces carrier resolution (default 8 for sweeps).
 	Decimate int
+	// Testbeds, when set, memoizes testbed construction: harnesses that
+	// request an identical (spec, seed, decimate) floor check one out of
+	// the session's pool instead of rebuilding it. Nil always builds
+	// fresh testbeds.
+	Testbeds *testbed.Session
 }
 
 // DefaultConfig runs experiments at a laptop-friendly scale that still
@@ -61,10 +75,19 @@ func (c Config) decimate() int {
 	return c.Decimate
 }
 
-// build constructs the standard testbed for a spec.
+// build constructs (or checks out) the standard testbed for a spec.
 func (c Config) build(spec phy.Spec) *testbed.Testbed {
-	return testbed.New(testbed.Options{Spec: spec, Decimate: c.decimate(), Seed: c.Seed})
+	opts := testbed.Options{Spec: spec, Decimate: c.decimate(), Seed: c.Seed}
+	if c.Testbeds != nil {
+		return c.Testbeds.Get(opts)
+	}
+	return testbed.New(opts)
 }
+
+// Row is one machine-readable data point of a figure or table. Keys are
+// column names; values are JSON-marshallable scalars. Go's map marshalling
+// sorts keys, so the encoded form is deterministic.
+type Row map[string]any
 
 // Result is what every experiment returns.
 type Result interface {
@@ -74,31 +97,72 @@ type Result interface {
 	Table() string
 	// Summary states the headline comparison with the paper's claim.
 	Summary() string
+	// Rows exports the figure/table data as structured records, one per
+	// plotted point or table row, for consumption by services.
+	Rows() []Row
 }
 
-// Runner executes one experiment.
-type Runner func(Config) (Result, error)
+// Export is the machine-readable envelope of one experiment result.
+type Export struct {
+	ID      string `json:"id"`
+	Ref     string `json:"ref"`
+	Summary string `json:"summary"`
+	Rows    []Row  `json:"rows"`
+}
 
-// registry holds all experiments in presentation order.
-var registry []struct {
-	id  string
-	ref string
+// NewExport packages a result with its registry metadata.
+func NewExport(r Result) Export {
+	return Export{ID: r.Name(), Ref: Describe(r.Name()), Summary: r.Summary(), Rows: r.Rows()}
+}
+
+// MarshalResult renders a result as indented JSON.
+func MarshalResult(r Result) ([]byte, error) {
+	return json.MarshalIndent(NewExport(r), "", "  ")
+}
+
+// Runner executes one experiment. It must honour ctx cancellation between
+// measurement windows and return ctx.Err() when aborted.
+type Runner func(ctx context.Context, cfg Config) (Result, error)
+
+// Meta describes a registered experiment.
+type Meta struct {
+	// ID is the experiment identifier (e.g. "fig03").
+	ID string
+	// Ref is the paper reference the harness reproduces.
+	Ref string
+	// Cost is the estimated serial runtime of the harness relative to
+	// the cheapest one (arbitrary units). The campaign scheduler starts
+	// costlier experiments first to minimise makespan.
+	Cost float64
+}
+
+type entry struct {
+	Meta
 	run Runner
 }
 
-func register(id, ref string, run Runner) {
-	registry = append(registry, struct {
-		id  string
-		ref string
-		run Runner
-	}{id, ref, run})
+// registry holds all experiments in presentation order.
+var registry []entry
+
+func register(id, ref string, cost float64, run Runner) {
+	registry = append(registry, entry{Meta{ID: id, Ref: ref, Cost: cost}, run})
 }
 
 // IDs lists the registered experiment identifiers in order.
 func IDs() []string {
 	out := make([]string, len(registry))
 	for i, e := range registry {
-		out[i] = e.id
+		out[i] = e.ID
+	}
+	return out
+}
+
+// List returns the metadata of every registered experiment in
+// presentation order.
+func List() []Meta {
+	out := make([]Meta, len(registry))
+	for i, e := range registry {
+		out[i] = e.Meta
 	}
 	return out
 }
@@ -106,18 +170,21 @@ func IDs() []string {
 // Describe returns the paper reference of an experiment.
 func Describe(id string) string {
 	for _, e := range registry {
-		if e.id == id {
-			return e.ref
+		if e.ID == id {
+			return e.Ref
 		}
 	}
 	return ""
 }
 
-// Run executes one experiment by identifier.
-func Run(id string, cfg Config) (Result, error) {
+// Run executes one experiment by identifier, honouring ctx cancellation.
+func Run(ctx context.Context, id string, cfg Config) (Result, error) {
 	for _, e := range registry {
-		if e.id == id {
-			return e.run(cfg)
+		if e.ID == id {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return e.run(ctx, cfg)
 		}
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
@@ -174,13 +241,16 @@ const (
 // night-time warm-up and buckets it by average BLE, mirroring the paper's
 // good/average/bad language. Buckets are ordered by BLE (best first for
 // good, worst first for bad).
-func classifyLinks(tb *tbType, probeDur time.Duration) (good, avg, bad [][2]int, err error) {
+func classifyLinks(ctx context.Context, tb *tbType, probeDur time.Duration) (good, avg, bad [][2]int, err error) {
 	type scored struct {
 		pair [2]int
 		ble  float64
 	}
 	var all []scored
 	for _, pr := range tb.SameNetworkPairs() {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nil, err
+		}
 		l, err := tb.PLCLink(pr[0], pr[1])
 		if err != nil {
 			return nil, nil, nil, err

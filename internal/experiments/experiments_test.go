@@ -1,10 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
 )
+
+// bg is the default context of harness tests.
+var bg = context.Background()
 
 // testCfg runs experiments at minimal scale: every qualitative claim must
 // already hold there.
@@ -31,13 +35,13 @@ func TestRegistryComplete(t *testing.T) {
 			t.Fatalf("experiment %s missing from registry", id)
 		}
 	}
-	if _, err := Run("nope", testCfg()); err == nil {
+	if _, err := Run(bg, "nope", testCfg()); err == nil {
 		t.Fatal("unknown experiment must error")
 	}
 }
 
 func TestFig03SpatialClaims(t *testing.T) {
-	r, err := RunFig03(testCfg())
+	r, err := RunFig03(bg, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +74,7 @@ func TestFig03SpatialClaims(t *testing.T) {
 }
 
 func TestFig04TemporalClaims(t *testing.T) {
-	r, err := RunFig04(testCfg())
+	r, err := RunFig04(bg, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +88,7 @@ func TestFig04TemporalClaims(t *testing.T) {
 }
 
 func TestFig06AsymmetryClaims(t *testing.T) {
-	r, err := RunFig06(testCfg())
+	r, err := RunFig06(bg, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +104,7 @@ func TestFig06AsymmetryClaims(t *testing.T) {
 }
 
 func TestFig07DistanceClaims(t *testing.T) {
-	r, err := RunFig07(testCfg())
+	r, err := RunFig07(bg, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +134,7 @@ func TestFig07DistanceClaims(t *testing.T) {
 }
 
 func TestFig09InvarianceClaims(t *testing.T) {
-	r, err := RunFig09(testCfg())
+	r, err := RunFig09(bg, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +153,7 @@ func TestFig09InvarianceClaims(t *testing.T) {
 
 func TestFig10And11CycleScaleClaims(t *testing.T) {
 	cfg := testCfg()
-	r10, err := RunFig10(cfg)
+	r10, err := RunFig10(bg, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +176,7 @@ func TestFig10And11CycleScaleClaims(t *testing.T) {
 		t.Fatalf("bad links must vary more: bad σ %.2f vs good σ %.2f", badStd/float64(badN), goodStd/float64(goodN))
 	}
 
-	r11, err := RunFig11(cfg)
+	r11, err := RunFig11(bg, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +189,7 @@ func TestFig10And11CycleScaleClaims(t *testing.T) {
 }
 
 func TestFig12RandomScaleClaims(t *testing.T) {
-	r, err := RunFig12(testCfg())
+	r, err := RunFig12(bg, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,11 +203,11 @@ func TestFig12RandomScaleClaims(t *testing.T) {
 
 func TestFig13Fig14TwoWeekClaims(t *testing.T) {
 	cfg := testCfg()
-	r13, err := RunFig13(cfg)
+	r13, err := RunFig13(bg, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r14, err := RunFig14(cfg)
+	r14, err := RunFig14(bg, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +234,7 @@ func meanOf(xs []float64) float64 {
 }
 
 func TestFig15FitClaims(t *testing.T) {
-	r, err := RunFig15(testCfg())
+	r, err := RunFig15(bg, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +247,7 @@ func TestFig15FitClaims(t *testing.T) {
 }
 
 func TestFig16ConvergenceClaims(t *testing.T) {
-	r, err := RunFig16(testCfg())
+	r, err := RunFig16(bg, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +267,7 @@ func TestFig16ConvergenceClaims(t *testing.T) {
 }
 
 func TestFig17PauseClaims(t *testing.T) {
-	r, err := RunFig17(testCfg())
+	r, err := RunFig17(bg, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +282,7 @@ func TestFig17PauseClaims(t *testing.T) {
 }
 
 func TestFig18ProbeSizeClaims(t *testing.T) {
-	r, err := RunFig18(testCfg())
+	r, err := RunFig18(bg, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +305,7 @@ func TestFig18ProbeSizeClaims(t *testing.T) {
 }
 
 func TestFig19ProbingClaims(t *testing.T) {
-	r, err := RunFig19(testCfg())
+	r, err := RunFig19(bg, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +322,7 @@ func TestFig19ProbingClaims(t *testing.T) {
 }
 
 func TestFig20HybridClaims(t *testing.T) {
-	r, err := RunFig20(testCfg())
+	r, err := RunFig20(bg, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +342,7 @@ func TestFig20HybridClaims(t *testing.T) {
 }
 
 func TestFig21BroadcastClaims(t *testing.T) {
-	r, err := RunFig21(testCfg())
+	r, err := RunFig21(bg, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +352,7 @@ func TestFig21BroadcastClaims(t *testing.T) {
 }
 
 func TestFig22UETXClaims(t *testing.T) {
-	r, err := RunFig22(testCfg())
+	r, err := RunFig22(bg, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +369,7 @@ func TestFig22UETXClaims(t *testing.T) {
 
 func TestFig23Fig24ContentionClaims(t *testing.T) {
 	cfg := testCfg()
-	r23, err := RunFig23(cfg)
+	r23, err := RunFig23(bg, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +383,7 @@ func TestFig23Fig24ContentionClaims(t *testing.T) {
 		t.Fatalf("no-capture pair should be immune: %.2f", r23.ImmuneSaturated.BLERatio)
 	}
 
-	r24, err := RunFig24(cfg)
+	r24, err := RunFig24(bg, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +397,7 @@ func TestFig23Fig24ContentionClaims(t *testing.T) {
 
 func TestTables(t *testing.T) {
 	cfg := testCfg()
-	t1, err := RunTable1(cfg)
+	t1, err := RunTable1(bg, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -402,7 +406,7 @@ func TestTables(t *testing.T) {
 			t.Errorf("table1 finding failed: %s (%s)", f.Claim, f.Detail)
 		}
 	}
-	t2, err := RunTable2(cfg)
+	t2, err := RunTable2(bg, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +415,7 @@ func TestTables(t *testing.T) {
 			t.Errorf("table2 method failed: %s via %s (%s)", c.Metric, c.Method, c.Value)
 		}
 	}
-	t3, err := RunTable3(cfg)
+	t3, err := RunTable3(bg, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

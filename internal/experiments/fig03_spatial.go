@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,6 +47,20 @@ func (r *Fig03Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Fig03Result) Rows() []Row {
+	out := make([]Row, 0, len(r.Pairs))
+	for _, p := range r.Pairs {
+		out = append(out, Row{
+			"a": p.A, "b": p.B, "dist_m": p.DistM,
+			"plc_mbps": p.TP, "plc_sigma": p.SigmaP,
+			"wifi_mbps": p.TW, "wifi_sigma": p.SigmaW,
+			"plc_connected": p.PLCConnected, "wifi_connected": p.WiFiConnected,
+		})
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Fig03Result) Summary() string {
 	return fmt.Sprintf(
@@ -57,7 +72,7 @@ func (r *Fig03Result) Summary() string {
 
 // RunFig03 measures every same-network pair on both media back to back for
 // (scaled) 5 minutes at 100 ms samples during working hours.
-func RunFig03(cfg Config) (*Fig03Result, error) {
+func RunFig03(ctx context.Context, cfg Config) (*Fig03Result, error) {
 	tb := cfg.build(specAV)
 	dur := cfg.dur(5*time.Minute, 5*time.Second)
 	const step = 100 * time.Millisecond
@@ -66,6 +81,9 @@ func RunFig03(cfg Config) (*Fig03Result, error) {
 	var wifiConn, plcConn, both, plcAndWiFi, plcFaster, withTput int
 
 	for _, pr := range tb.SameNetworkPairs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if pr[0] > pr[1] {
 			continue // paper plots pairs; directions are averaged here
 		}
@@ -142,6 +160,6 @@ func RunFig03(cfg Config) (*Fig03Result, error) {
 }
 
 func init() {
-	register("fig03", "Fig. 3: spatial WiFi vs PLC (throughput, variance, connectivity)",
-		func(c Config) (Result, error) { return RunFig03(c) })
+	register("fig03", "Fig. 3: spatial WiFi vs PLC (throughput, variance, connectivity)", 18,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig03(ctx, c) })
 }

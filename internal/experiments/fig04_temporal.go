@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,6 +38,30 @@ func (r *Fig04Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Fig04Result) Rows() []Row {
+	var out []Row
+	for _, tr := range []struct {
+		class string
+		t     Fig04Trace
+	}{{"good", r.Good}, {"average", r.Average}} {
+		for _, m := range []struct {
+			medium string
+			mean   float64
+			sigma  float64
+		}{
+			{"plc", tr.t.PLC.Mean(), tr.t.SigmaPLC},
+			{"wifi", tr.t.WiFi.Mean(), tr.t.SigmaWiFi},
+		} {
+			out = append(out, Row{
+				"a": tr.t.A, "b": tr.t.B, "class": tr.class,
+				"medium": m.medium, "mean_mbps": m.mean, "sigma_mbps": m.sigma,
+			})
+		}
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Fig04Result) Summary() string {
 	return fmt.Sprintf(
@@ -48,9 +73,9 @@ func (r *Fig04Result) Summary() string {
 
 // RunFig04 traces capacity on a good and an average link concurrently on
 // both media during working hours.
-func RunFig04(cfg Config) (*Fig04Result, error) {
+func RunFig04(ctx context.Context, cfg Config) (*Fig04Result, error) {
 	tb := cfg.build(specAV)
-	good, avg, err := classifyTwoLinks(tb)
+	good, avg, err := classifyTwoLinks(ctx, tb)
 	if err != nil {
 		return nil, err
 	}
@@ -67,6 +92,9 @@ func RunFig04(cfg Config) (*Fig04Result, error) {
 		start := 16*time.Hour + 30*time.Minute // the paper's 4:30 pm run
 		warmLink(pl, start)
 		for t := start; t < start+dur; t += sample {
+			if err := ctx.Err(); err != nil {
+				return Fig04Trace{}, err
+			}
 			pl.Saturate(t, t+sample, 100*time.Millisecond)
 			tr.PLC.Add(t, pl.AvgBLE())
 			tr.WiFi.Add(t, wl.Capacity(t))
@@ -89,8 +117,8 @@ func RunFig04(cfg Config) (*Fig04Result, error) {
 // classifyTwoLinks picks a good and an average link from the testbed by a
 // quick night-time BLE probe (quality classes per §6.2: good >100 Mb/s,
 // average 60-100).
-func classifyTwoLinks(tb *tbType) (good, avg [2]int, err error) {
-	goodSet, avgSet, _, err := classifyLinks(tb, 3*time.Second)
+func classifyTwoLinks(ctx context.Context, tb *tbType) (good, avg [2]int, err error) {
+	goodSet, avgSet, _, err := classifyLinks(ctx, tb, 3*time.Second)
 	if err != nil {
 		return good, avg, err
 	}
@@ -101,6 +129,6 @@ func classifyTwoLinks(tb *tbType) (good, avg [2]int, err error) {
 }
 
 func init() {
-	register("fig04", "Fig. 4: concurrent temporal variation of WiFi and PLC capacity",
-		func(c Config) (Result, error) { return RunFig04(c) })
+	register("fig04", "Fig. 4: concurrent temporal variation of WiFi and PLC capacity", 7,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig04(ctx, c) })
 }

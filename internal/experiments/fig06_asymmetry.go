@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -39,6 +40,18 @@ func (r *Fig06Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Fig06Result) Rows() []Row {
+	out := make([]Row, 0, len(r.Pairs))
+	for _, p := range r.Pairs {
+		out = append(out, Row{
+			"a": p.A, "b": p.B,
+			"fwd_mbps": p.Fwd, "rev_mbps": p.Rev, "ratio": p.Ratio,
+		})
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Fig06Result) Summary() string {
 	return fmt.Sprintf("fig06 PLC asymmetry (paper: ~30%% of pairs >1.5x): %.0f%% of pairs >1.5x, worst ratio %.1fx",
@@ -47,7 +60,7 @@ func (r *Fig06Result) Summary() string {
 
 // RunFig06 measures saturated throughput in both directions of every
 // same-network pair during working hours.
-func RunFig06(cfg Config) (*Fig06Result, error) {
+func RunFig06(ctx context.Context, cfg Config) (*Fig06Result, error) {
 	tb := cfg.build(specAV)
 	dur := cfg.dur(time.Minute, 3*time.Second)
 	res := &Fig06Result{}
@@ -55,6 +68,9 @@ func RunFig06(cfg Config) (*Fig06Result, error) {
 	var counted int
 
 	for _, pr := range tb.SameNetworkPairs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if pr[0] > pr[1] {
 			continue
 		}
@@ -106,6 +122,6 @@ func minf(a, b float64) float64 {
 }
 
 func init() {
-	register("fig06", "Fig. 6: PLC throughput asymmetry across pairs",
-		func(c Config) (Result, error) { return RunFig06(c) })
+	register("fig06", "Fig. 6: PLC throughput asymmetry across pairs", 5,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig06(ctx, c) })
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -54,6 +55,22 @@ func (r *Fig07Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Fig07Result) Rows() []Row {
+	out := make([]Row, 0, len(r.AV)+len(r.AV500))
+	emit := func(spec string, links []Fig07Link) {
+		for _, l := range links {
+			out = append(out, Row{
+				"spec": spec, "a": l.A, "b": l.B,
+				"cable_m": l.CableM, "mbps": l.Mbps, "pberr": l.PBerr,
+			})
+		}
+	}
+	emit("AV", r.AV)
+	emit("AV500", r.AV500)
+	return out
+}
+
 // Summary implements Result.
 func (r *Fig07Result) Summary() string {
 	return fmt.Sprintf(
@@ -64,7 +81,7 @@ func (r *Fig07Result) Summary() string {
 
 // RunFig07 sweeps all links on AV and AV500 and runs the isolated-cable
 // control experiments.
-func RunFig07(cfg Config) (*Fig07Result, error) {
+func RunFig07(ctx context.Context, cfg Config) (*Fig07Result, error) {
 	dur := cfg.dur(time.Minute, 3*time.Second)
 	res := &Fig07Result{}
 
@@ -72,6 +89,9 @@ func RunFig07(cfg Config) (*Fig07Result, error) {
 		tb := cfg.build(spec)
 		var out []Fig07Link
 		for _, pr := range tb.SameNetworkPairs() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			l, err := tb.PLCLink(pr[0], pr[1])
 			if err != nil {
 				return nil, err
@@ -115,6 +135,9 @@ func RunFig07(cfg Config) (*Fig07Result, error) {
 	res.CorrPBerr = stats.Correlation(pbs, ts)
 
 	// Isolated-cable controls (§5).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	night := nightStart
 	rigT := func(tb *tbType, a, b int) float64 {
 		l, _ := tb.PLCLink(a, b)
@@ -137,6 +160,6 @@ func RunFig07(cfg Config) (*Fig07Result, error) {
 }
 
 func init() {
-	register("fig07", "Fig. 7: throughput vs cable distance (AV, AV500); PBerr vs throughput; §5 controls",
-		func(c Config) (Result, error) { return RunFig07(c) })
+	register("fig07", "Fig. 7: throughput vs cable distance (AV, AV500); PBerr vs throughput; §5 controls", 16,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig07(ctx, c) })
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -47,6 +48,26 @@ func (r *Fig09Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Fig09Result) Rows() []Row {
+	var out []Row
+	for _, c := range []struct {
+		class string
+		cap   Fig09Capture
+	}{{"good", r.Good}, {"average", r.Average}} {
+		rw := Row{
+			"a": c.cap.A, "b": c.cap.B, "class": c.class,
+			"frames": len(c.cap.SoFs), "spread_mbps": c.cap.SpreadMbps,
+			"periodicity": c.cap.PeriodicityScore,
+		}
+		for s := 0; s < mains.Slots; s++ {
+			rw[fmt.Sprintf("slot%d_ble", s)] = c.cap.SlotBLE[s]
+		}
+		out = append(out, rw)
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Fig09Result) Summary() string {
 	return fmt.Sprintf(
@@ -57,13 +78,16 @@ func (r *Fig09Result) Summary() string {
 
 // RunFig09 captures SoF delimiters of saturated traffic on a good and an
 // average link and extracts the per-slot BLE structure.
-func RunFig09(cfg Config) (*Fig09Result, error) {
+func RunFig09(ctx context.Context, cfg Config) (*Fig09Result, error) {
 	tb := cfg.build(specAV)
-	good, avg, err := classifyTwoLinks(tb)
+	good, avg, err := classifyTwoLinks(ctx, tb)
 	if err != nil {
 		return nil, err
 	}
 	capture := func(a, b int) (Fig09Capture, error) {
+		if err := ctx.Err(); err != nil {
+			return Fig09Capture{}, err
+		}
 		l, err := tb.PLCLink(a, b)
 		if err != nil {
 			return Fig09Capture{}, err
@@ -142,6 +166,6 @@ func variance(xs []float64) float64 {
 }
 
 func init() {
-	register("fig09", "Fig. 9: invariance-scale variation of BLE across tone-map slots",
-		func(c Config) (Result, error) { return RunFig09(c) })
+	register("fig09", "Fig. 9: invariance-scale variation of BLE across tone-map slots", 3,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig09(ctx, c) })
 }

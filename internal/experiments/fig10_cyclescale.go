@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -39,6 +40,18 @@ func (r *Fig10Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Fig10Result) Rows() []Row {
+	out := make([]Row, 0, len(r.Traces))
+	for _, tr := range r.Traces {
+		out = append(out, Row{
+			"a": tr.A, "b": tr.B, "class": tr.Class,
+			"mean_ble": tr.BLE.Mean(), "std_ble": tr.Std, "updates": tr.Updates,
+		})
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Fig10Result) Summary() string {
 	var goodStd, badStd float64
@@ -72,9 +85,9 @@ func (r *Fig10Result) Summary() string {
 
 // RunFig10 polls BLE via MMs every 50 ms for (scaled) 4 minutes at night
 // on two links of each quality class.
-func RunFig10(cfg Config) (*Fig10Result, error) {
+func RunFig10(ctx context.Context, cfg Config) (*Fig10Result, error) {
 	tb := cfg.build(specAV)
-	good, avg, bad, err := classifyLinks(tb, 3*time.Second)
+	good, avg, bad, err := classifyLinks(ctx, tb, 3*time.Second)
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +109,9 @@ func RunFig10(cfg Config) (*Fig10Result, error) {
 		{"bad", pick(bad, 2)},
 	} {
 		for _, pr := range grp.pairs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			tr, err := traceBLE(tb, pr[0], pr[1], nightStart, dur)
 			if err != nil {
 				return nil, err
@@ -131,6 +147,6 @@ func traceBLE(tb *tbType, a, b int, start, dur time.Duration) (Fig10Trace, error
 }
 
 func init() {
-	register("fig10", "Fig. 10: cycle-scale BLE traces per link quality",
-		func(c Config) (Result, error) { return RunFig10(c) })
+	register("fig10", "Fig. 10: cycle-scale BLE traces per link quality", 3,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig10(ctx, c) })
 }

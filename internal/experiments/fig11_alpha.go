@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -41,6 +42,18 @@ func (r *Fig11Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Fig11Result) Rows() []Row {
+	out := make([]Row, 0, len(r.Links))
+	for _, l := range r.Links {
+		out = append(out, Row{
+			"a": l.A, "b": l.B,
+			"avg_ble": l.AvgBLE, "alpha_ms": l.AlphaMs, "std_ble": l.StdBLE,
+		})
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Fig11Result) Summary() string {
 	return fmt.Sprintf(
@@ -51,12 +64,15 @@ func (r *Fig11Result) Summary() string {
 
 // RunFig11 traces every link at night and extracts α (tone-map update
 // inter-arrival) and BLE standard deviation per link.
-func RunFig11(cfg Config) (*Fig11Result, error) {
+func RunFig11(ctx context.Context, cfg Config) (*Fig11Result, error) {
 	tb := cfg.build(specAV)
 	dur := cfg.dur(4*time.Minute, 10*time.Second)
 
 	res := &Fig11Result{}
 	for _, pr := range tb.SameNetworkPairs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if pr[0] > pr[1] {
 			continue // one direction per pair keeps the sweep affordable
 		}
@@ -106,6 +122,6 @@ func RunFig11(cfg Config) (*Fig11Result, error) {
 }
 
 func init() {
-	register("fig11", "Fig. 11: tone-map update interval α and BLE std vs link quality",
-		func(c Config) (Result, error) { return RunFig11(c) })
+	register("fig11", "Fig. 11: tone-map update interval α and BLE std vs link quality", 4,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig11(ctx, c) })
 }

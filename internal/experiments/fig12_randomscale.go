@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,6 +43,21 @@ func (r *Fig12Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Fig12Result) Rows() []Row {
+	hourly := r.BLE.Downsample(time.Hour)
+	ht := r.Throughput.Downsample(time.Hour)
+	hp := r.PBerr.Downsample(time.Hour)
+	out := make([]Row, 0, hourly.Len())
+	for i := 0; i < hourly.Len(); i++ {
+		out = append(out, Row{
+			"a": r.A, "b": r.B, "hour": hourly.T[i].Hours(),
+			"ble_mbps": hourly.V[i], "throughput_mbps": ht.V[i], "pberr": hp.V[i],
+		})
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Fig12Result) Summary() string {
 	return fmt.Sprintf(
@@ -51,9 +67,9 @@ func (r *Fig12Result) Summary() string {
 }
 
 // RunFig12 measures one average link every second for two (scaled) days.
-func RunFig12(cfg Config) (*Fig12Result, error) {
+func RunFig12(ctx context.Context, cfg Config) (*Fig12Result, error) {
 	tb := cfg.build(specAV)
-	_, avg, bad, err := classifyLinks(tb, 3*time.Second)
+	_, avg, bad, err := classifyLinks(ctx, tb, 3*time.Second)
 	if err != nil {
 		return nil, err
 	}
@@ -101,6 +117,9 @@ func RunFig12(cfg Config) (*Fig12Result, error) {
 	warmLink(l, start)
 	end := start + 2*grid.Day
 	for t := start; t < end; t += sample {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		l.Saturate(t, t+sample, maxDur(sample/4, 100*time.Millisecond))
 		res.BLE.Add(t, l.AvgBLE())
 		res.Throughput.Add(t, l.Throughput(t+sample))
@@ -126,6 +145,6 @@ func maxDur(a, b time.Duration) time.Duration {
 }
 
 func init() {
-	register("fig12", "Fig. 12: random-scale variation over 2 days with the 21:00 lights-off event",
-		func(c Config) (Result, error) { return RunFig12(c) })
+	register("fig12", "Fig. 12: random-scale variation over 2 days with the 21:00 lights-off event", 27,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig12(ctx, c) })
 }

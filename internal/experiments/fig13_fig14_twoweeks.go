@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -54,6 +55,24 @@ func (r *Fig13Result) Table() string { return r.table() }
 // Table implements Result.
 func (r *Fig14Result) Table() string { return r.table() }
 
+func (p *TwoWeekProfile) rows() []Row {
+	out := make([]Row, 0, 24)
+	for h := 0; h < 24; h++ {
+		out = append(out, Row{
+			"a": p.A, "b": p.B, "hour": h,
+			"weekday_mean": p.WeekdayMean[h], "weekday_std": p.WeekdayStd[h],
+			"weekend_mean": p.WeekendMean[h], "weekend_std": p.WeekendStd[h],
+		})
+	}
+	return out
+}
+
+// Rows implements Result.
+func (r *Fig13Result) Rows() []Row { return r.rows() }
+
+// Rows implements Result.
+func (r *Fig14Result) Rows() []Row { return r.rows() }
+
 // Summary implements Result.
 func (r *Fig13Result) Summary() string {
 	return fmt.Sprintf(
@@ -72,7 +91,7 @@ func (r *Fig14Result) Summary() string {
 
 // twoWeekTrace samples a link's BLE across two calendar weeks and folds it
 // into hourly weekday/weekend profiles.
-func twoWeekTrace(cfg Config, tb *tbType, a, b int) (TwoWeekProfile, error) {
+func twoWeekTrace(ctx context.Context, cfg Config, tb *tbType, a, b int) (TwoWeekProfile, error) {
 	l, err := tb.PLCLink(a, b)
 	if err != nil {
 		return TwoWeekProfile{}, err
@@ -89,6 +108,9 @@ func twoWeekTrace(cfg Config, tb *tbType, a, b int) (TwoWeekProfile, error) {
 	weekday := &stats.Series{}
 	weekend := &stats.Series{}
 	for t := time.Duration(0); t < 2*grid.Week; t += sample {
+		if err := ctx.Err(); err != nil {
+			return TwoWeekProfile{}, err
+		}
 		l.Saturate(t, t+sample, maxDur(sample/4, 100*time.Millisecond))
 		if grid.IsWeekend(t) {
 			weekend.Add(t, l.AvgBLE())
@@ -117,16 +139,16 @@ func twoWeekTrace(cfg Config, tb *tbType, a, b int) (TwoWeekProfile, error) {
 }
 
 // RunFig13 profiles a good link over two weeks.
-func RunFig13(cfg Config) (*Fig13Result, error) {
+func RunFig13(ctx context.Context, cfg Config) (*Fig13Result, error) {
 	tb := cfg.build(specAV)
-	good, _, _, err := classifyLinks(tb, 3*time.Second)
+	good, _, _, err := classifyLinks(ctx, tb, 3*time.Second)
 	if err != nil {
 		return nil, err
 	}
 	if len(good) == 0 {
 		return nil, fmt.Errorf("experiments: no good link for fig13")
 	}
-	p, err := twoWeekTrace(cfg, tb, good[0][0], good[0][1])
+	p, err := twoWeekTrace(ctx, cfg, tb, good[0][0], good[0][1])
 	if err != nil {
 		return nil, err
 	}
@@ -134,16 +156,16 @@ func RunFig13(cfg Config) (*Fig13Result, error) {
 }
 
 // RunFig14 profiles a bad link over two weeks.
-func RunFig14(cfg Config) (*Fig14Result, error) {
+func RunFig14(ctx context.Context, cfg Config) (*Fig14Result, error) {
 	tb := cfg.build(specAV)
-	_, _, bad, err := classifyLinks(tb, 3*time.Second)
+	_, _, bad, err := classifyLinks(ctx, tb, 3*time.Second)
 	if err != nil {
 		return nil, err
 	}
 	if len(bad) == 0 {
 		return nil, fmt.Errorf("experiments: no bad link for fig14")
 	}
-	p, err := twoWeekTrace(cfg, tb, bad[0][0], bad[0][1])
+	p, err := twoWeekTrace(ctx, cfg, tb, bad[0][0], bad[0][1])
 	if err != nil {
 		return nil, err
 	}
@@ -151,8 +173,8 @@ func RunFig14(cfg Config) (*Fig14Result, error) {
 }
 
 func init() {
-	register("fig13", "Fig. 13: two-week random-scale profile of a good link",
-		func(c Config) (Result, error) { return RunFig13(c) })
-	register("fig14", "Fig. 14: two-week random-scale profile of a bad link",
-		func(c Config) (Result, error) { return RunFig14(c) })
+	register("fig13", "Fig. 13: two-week random-scale profile of a good link", 70,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig13(ctx, c) })
+	register("fig14", "Fig. 14: two-week random-scale profile of a bad link", 87,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig14(ctx, c) })
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -29,6 +30,15 @@ func (r *Fig15Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Fig15Result) Rows() []Row {
+	out := make([]Row, 0, len(r.BLE))
+	for i := range r.BLE {
+		out = append(out, Row{"ble_mbps": r.BLE[i], "throughput_mbps": r.Throughput[i]})
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Fig15Result) Summary() string {
 	return fmt.Sprintf(
@@ -39,12 +49,15 @@ func (r *Fig15Result) Summary() string {
 
 // RunFig15 saturates every link for (scaled) 4 minutes and pairs the
 // resulting BLE with the application throughput.
-func RunFig15(cfg Config) (*Fig15Result, error) {
+func RunFig15(ctx context.Context, cfg Config) (*Fig15Result, error) {
 	tb := cfg.build(specAV)
 	dur := cfg.dur(4*time.Minute, 5*time.Second)
 
 	res := &Fig15Result{}
 	for _, pr := range tb.SameNetworkPairs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		l, err := tb.PLCLink(pr[0], pr[1])
 		if err != nil {
 			return nil, err
@@ -67,6 +80,6 @@ func RunFig15(cfg Config) (*Fig15Result, error) {
 }
 
 func init() {
-	register("fig15", "Fig. 15: BLE as a capacity estimator (linear fit vs throughput)",
-		func(c Config) (Result, error) { return RunFig15(c) })
+	register("fig15", "Fig. 15: BLE as a capacity estimator (linear fit vs throughput)", 10,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig15(ctx, c) })
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -39,6 +40,18 @@ func (r *Fig16Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Fig16Result) Rows() []Row {
+	out := make([]Row, 0, len(r.Curves))
+	for _, c := range r.Curves {
+		out = append(out, Row{
+			"a": r.A, "b": r.B, "pkts_per_s": c.PacketsPerSecond,
+			"final_ble": c.Final, "t90_seconds": c.TimeTo90.Seconds(),
+		})
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Fig16Result) Summary() string {
 	s := fmt.Sprintf("fig16 convergence vs probe rate on link %d-%d (paper: same asymptote, faster probing converges sooner):", r.A, r.B)
@@ -50,9 +63,9 @@ func (r *Fig16Result) Summary() string {
 
 // RunFig16 resets the devices and probes a link at 1/10/50/200 packets of
 // 1300 B per second, tracking the estimated capacity.
-func RunFig16(cfg Config) (*Fig16Result, error) {
+func RunFig16(ctx context.Context, cfg Config) (*Fig16Result, error) {
 	tb := cfg.build(specAV)
-	good, _, _, err := classifyLinks(tb, 3*time.Second)
+	good, _, _, err := classifyLinks(ctx, tb, 3*time.Second)
 	if err != nil {
 		return nil, err
 	}
@@ -64,6 +77,9 @@ func RunFig16(cfg Config) (*Fig16Result, error) {
 
 	res := &Fig16Result{A: a, B: b}
 	for _, pps := range []int{1, 10, 50, 200} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		l, err := tb.PLCLink(a, b)
 		if err != nil {
 			return nil, err
@@ -134,6 +150,18 @@ func (r *Fig17Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Fig17Result) Rows() []Row {
+	out := make([]Row, 0, len(r.Links))
+	for _, l := range r.Links {
+		out = append(out, Row{
+			"a": l.A, "b": l.B,
+			"before_ble": l.BeforePause, "after_ble": l.AfterResume, "retained": l.RetainedRatio,
+		})
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Fig17Result) Summary() string {
 	worst := 1.0
@@ -145,9 +173,9 @@ func (r *Fig17Result) Summary() string {
 
 // RunFig17 probes four links at 20 packets/s, pauses for 7 minutes, then
 // resumes and compares estimates.
-func RunFig17(cfg Config) (*Fig17Result, error) {
+func RunFig17(ctx context.Context, cfg Config) (*Fig17Result, error) {
 	tb := cfg.build(specAV)
-	good, avg, _, err := classifyLinks(tb, 3*time.Second)
+	good, avg, _, err := classifyLinks(ctx, tb, 3*time.Second)
 	if err != nil {
 		return nil, err
 	}
@@ -160,6 +188,9 @@ func RunFig17(cfg Config) (*Fig17Result, error) {
 
 	res := &Fig17Result{}
 	for _, pr := range pairs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		l, err := tb.PLCLink(pr[0], pr[1])
 		if err != nil {
 			return nil, err
@@ -186,8 +217,8 @@ func RunFig17(cfg Config) (*Fig17Result, error) {
 }
 
 func init() {
-	register("fig16", "Fig. 16: capacity-estimation convergence vs probing rate after reset",
-		func(c Config) (Result, error) { return RunFig16(c) })
-	register("fig17", "Fig. 17: estimation state survives a 7-minute probing pause",
-		func(c Config) (Result, error) { return RunFig17(c) })
+	register("fig16", "Fig. 16: capacity-estimation convergence vs probing rate after reset", 6,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig16(ctx, c) })
+	register("fig17", "Fig. 17: estimation state survives a 7-minute probing pause", 4,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig17(ctx, c) })
 }

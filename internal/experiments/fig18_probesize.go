@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -39,6 +40,19 @@ func (r *Fig18Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Fig18Result) Rows() []Row {
+	out := make([]Row, 0, len(r.Sizes))
+	for _, s := range r.Sizes {
+		out = append(out, Row{
+			"a": r.A, "b": r.B, "probe_bytes": s.Bytes,
+			"final_ble": s.FinalBLE, "trapped": s.Trapped,
+			"true_ble": r.TrueBLE, "trap_rate": r.TrapRate,
+		})
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Fig18Result) Summary() string {
 	s := fmt.Sprintf("fig18 probe size on link %d-%d, true BLE %.0f, one-symbol rate %.1f "+
@@ -51,9 +65,9 @@ func (r *Fig18Result) Summary() string {
 
 // RunFig18 probes a good link at 1 packet/s with sizes around the one-PB
 // boundary (200/520/521/1300 bytes, as in the figure).
-func RunFig18(cfg Config) (*Fig18Result, error) {
+func RunFig18(ctx context.Context, cfg Config) (*Fig18Result, error) {
 	tb := cfg.build(specAV)
-	good, _, _, err := classifyLinks(tb, 3*time.Second)
+	good, _, _, err := classifyLinks(ctx, tb, 3*time.Second)
 	if err != nil {
 		return nil, err
 	}
@@ -74,6 +88,9 @@ func RunFig18(cfg Config) (*Fig18Result, error) {
 	res.TrueBLE = lt.AvgBLE()
 
 	for _, size := range []int{200, 520, 521, 1300} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		l, err := tb.PLCLink(a, b)
 		if err != nil {
 			return nil, err
@@ -93,6 +110,6 @@ func RunFig18(cfg Config) (*Fig18Result, error) {
 }
 
 func init() {
-	register("fig18", "Fig. 18: the one-PB probe-size trap in capacity estimation",
-		func(c Config) (Result, error) { return RunFig18(c) })
+	register("fig18", "Fig. 18: the one-PB probe-size trap in capacity estimation", 3,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig18(ctx, c) })
 }

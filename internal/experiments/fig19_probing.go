@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,6 +43,17 @@ func (r *Fig19Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Fig19Result) Rows() []Row {
+	out := make([]Row, 0, len(r.Policies))
+	for _, p := range r.Policies {
+		out = append(out, Row{
+			"policy": p.Name, "mean_err": p.MeanErr, "p90_err": p.P90Err, "probes": p.TotalProbes,
+		})
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Fig19Result) Summary() string {
 	return fmt.Sprintf(
@@ -52,7 +64,7 @@ func (r *Fig19Result) Summary() string {
 
 // RunFig19 collects cycle-scale BLE traces on every link and replays them
 // through the three §7.3 policies.
-func RunFig19(cfg Config) (*Fig19Result, error) {
+func RunFig19(ctx context.Context, cfg Config) (*Fig19Result, error) {
 	tb := cfg.build(specAV)
 	dur := cfg.dur(4*time.Minute, 20*time.Second)
 
@@ -67,6 +79,9 @@ func RunFig19(cfg Config) (*Fig19Result, error) {
 	}
 
 	for _, pr := range tb.SameNetworkPairs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if pr[0] > pr[1] {
 			continue
 		}
@@ -110,6 +125,6 @@ func RunFig19(cfg Config) (*Fig19Result, error) {
 }
 
 func init() {
-	register("fig19", "Fig. 19: probing-policy estimation error vs overhead",
-		func(c Config) (Result, error) { return RunFig19(c) })
+	register("fig19", "Fig. 19: probing-policy estimation error vs overhead", 4,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig19(ctx, c) })
 }

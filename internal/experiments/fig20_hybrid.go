@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -51,6 +52,24 @@ func (r *Fig20Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Fig20Result) Rows() []Row {
+	a := r.Aggregate
+	out := []Row{{
+		"kind": "aggregate", "a": a.A, "b": a.B,
+		"wifi_mbps": a.WiFiOnly, "plc_mbps": a.PLCOnly,
+		"hybrid_mbps": a.Hybrid, "round_robin_mbps": a.RoundRobin,
+		"hybrid_vs_sum": a.HybridVsSumRatio, "rr_vs_2min": a.RoundRobinVs2MinRate,
+	}}
+	for _, c := range r.Completions {
+		out = append(out, Row{
+			"kind": "completion", "a": c.A, "b": c.B,
+			"wifi_seconds": c.WiFiSeconds, "hybrid_seconds": c.HybridSeconds,
+		})
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Fig20Result) Summary() string {
 	a := r.Aggregate
@@ -63,7 +82,7 @@ func (r *Fig20Result) Summary() string {
 // RunFig20 builds hybrid interfaces over probed capacities and compares
 // schedulers on one link, then measures 600 MB completion times across
 // several pairs.
-func RunFig20(cfg Config) (*Fig20Result, error) {
+func RunFig20(ctx context.Context, cfg Config) (*Fig20Result, error) {
 	tb := cfg.build(specAV)
 	res := &Fig20Result{}
 
@@ -96,7 +115,7 @@ func RunFig20(cfg Config) (*Fig20Result, error) {
 	}
 
 	// Pick a pair where both media work (the paper's link 0-4 analogue).
-	pair, err := firstDualMediumPair(tb)
+	pair, err := firstDualMediumPair(ctx, tb)
 	if err != nil {
 		return nil, err
 	}
@@ -137,12 +156,15 @@ func RunFig20(cfg Config) (*Fig20Result, error) {
 	if size < 20<<20 {
 		size = 20 << 20
 	}
-	pairs, err := dualMediumPairs(tb, 13)
+	pairs, err := dualMediumPairs(ctx, tb, 13)
 	if err != nil {
 		return nil, err
 	}
 	var speedups []float64
 	for _, pr := range pairs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ifs, err := mkIfaces(pr[0], pr[1])
 		if err != nil {
 			return nil, err
@@ -173,8 +195,8 @@ func RunFig20(cfg Config) (*Fig20Result, error) {
 }
 
 // firstDualMediumPair finds a pair where WiFi and PLC both deliver.
-func firstDualMediumPair(tb *tbType) ([2]int, error) {
-	ps, err := dualMediumPairs(tb, 1)
+func firstDualMediumPair(ctx context.Context, tb *tbType) ([2]int, error) {
+	ps, err := dualMediumPairs(ctx, tb, 1)
 	if err != nil {
 		return [2]int{}, err
 	}
@@ -184,7 +206,7 @@ func firstDualMediumPair(tb *tbType) ([2]int, error) {
 	return ps[0], nil
 }
 
-func dualMediumPairs(tb *tbType, n int) ([][2]int, error) {
+func dualMediumPairs(ctx context.Context, tb *tbType, n int) ([][2]int, error) {
 	// Collect all dual-medium pairs, then spread the selection across the
 	// WiFi quality range — the paper's completion-time pairs (Fig. 20)
 	// include both strong and weak WiFi links, which is where the hybrid
@@ -195,6 +217,9 @@ func dualMediumPairs(tb *tbType, n int) ([][2]int, error) {
 	}
 	var all []cand
 	for _, pr := range tb.SameNetworkPairs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if pr[0] > pr[1] {
 			continue
 		}
@@ -225,6 +250,6 @@ func dualMediumPairs(tb *tbType, n int) ([][2]int, error) {
 }
 
 func init() {
-	register("fig20", "Fig. 20: hybrid WiFi+PLC bandwidth aggregation and download completion times",
-		func(c Config) (Result, error) { return RunFig20(c) })
+	register("fig20", "Fig. 20: hybrid WiFi+PLC bandwidth aggregation and download completion times", 2,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig20(ctx, c) })
 }

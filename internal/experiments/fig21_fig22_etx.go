@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -45,6 +46,18 @@ func (r *Fig21Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Fig21Result) Rows() []Row {
+	out := make([]Row, 0, len(r.Points))
+	for _, p := range r.Points {
+		out = append(out, Row{
+			"a": p.A, "b": p.B, "throughput_mbps": p.Throughput, "pberr": p.PBerr,
+			"loss_day": p.LossDay, "loss_night": p.LossNight,
+		})
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Fig21Result) Summary() string {
 	return fmt.Sprintf(
@@ -55,7 +68,7 @@ func (r *Fig21Result) Summary() string {
 
 // RunFig21 broadcasts 1500 B probes at 10 Hz for (scaled) 500 s from every
 // station, day and night, and counts losses per receiving link.
-func RunFig21(cfg Config) (*Fig21Result, error) {
+func RunFig21(ctx context.Context, cfg Config) (*Fig21Result, error) {
 	tb := cfg.build(specAV)
 	dur := cfg.dur(500*time.Second, 10*time.Second)
 	probes := int(dur / (100 * time.Millisecond))
@@ -64,6 +77,9 @@ func RunFig21(cfg Config) (*Fig21Result, error) {
 	res := &Fig21Result{}
 	var atFloor, counted int
 	for _, pr := range tb.SameNetworkPairs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		l, err := tb.PLCLink(pr[0], pr[1])
 		if err != nil {
 			return nil, err
@@ -144,6 +160,18 @@ func (r *Fig22Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Fig22Result) Rows() []Row {
+	out := make([]Row, 0, len(r.Points))
+	for _, p := range r.Points {
+		out = append(out, Row{
+			"a": p.A, "b": p.B, "avg_ble": p.AvgBLE, "pberr": p.PBerr,
+			"uetx": p.UETX, "uetx_std": p.UETXStd,
+		})
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Fig22Result) Summary() string {
 	return fmt.Sprintf(
@@ -155,7 +183,7 @@ func (r *Fig22Result) Summary() string {
 // RunFig22 sends 150 kb/s unicast traffic on every link for (scaled)
 // 5 minutes, counting frame transmissions per packet both from ground
 // truth and via the sniffer-timestamp rule.
-func RunFig22(cfg Config) (*Fig22Result, error) {
+func RunFig22(ctx context.Context, cfg Config) (*Fig22Result, error) {
 	tb := cfg.build(specAV)
 	dur := cfg.dur(5*time.Minute, 10*time.Second)
 	rng := rand.New(rand.NewSource(cfg.Seed + 22))
@@ -165,6 +193,9 @@ func RunFig22(cfg Config) (*Fig22Result, error) {
 	var agreeSum float64
 	var agreeN int
 	for _, pr := range tb.SameNetworkPairs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if pr[0] > pr[1] {
 			continue
 		}
@@ -229,8 +260,8 @@ func absf(x float64) float64 {
 }
 
 func init() {
-	register("fig21", "Fig. 21: broadcast-probe loss vs link quality (ETX is uninformative)",
-		func(c Config) (Result, error) { return RunFig21(c) })
-	register("fig22", "Fig. 22: unicast ETX vs BLE and PBerr",
-		func(c Config) (Result, error) { return RunFig22(c) })
+	register("fig21", "Fig. 21: broadcast-probe loss vs link quality (ETX is uninformative)", 33,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig21(ctx, c) })
+	register("fig22", "Fig. 22: unicast ETX vs BLE and PBerr", 22,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig22(ctx, c) })
 }

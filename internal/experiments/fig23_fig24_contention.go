@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -42,6 +43,11 @@ func (r *Fig23Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Fig23Result) Rows() []Row {
+	return contentionRows(r.SensitiveSaturated, r.SensitiveLowRate, r.ImmuneSaturated)
+}
+
 // Summary implements Result.
 func (r *Fig23Result) Summary() string {
 	return fmt.Sprintf(
@@ -73,6 +79,20 @@ func (r *Fig24Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Fig24Result) Rows() []Row {
+	return contentionRows(r.SinglePackets, r.Bursts)
+}
+
+// contentionRows renders contention scenarios as structured records.
+func contentionRows(runs ...contentionRun) []Row {
+	out := make([]Row, 0, len(runs))
+	for _, c := range runs {
+		out = append(out, Row{"scenario": c.Label, "ble_ratio": c.BLERatio, "peak_pberr": c.PeakPBerr})
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Fig24Result) Summary() string {
 	return fmt.Sprintf(
@@ -83,9 +103,9 @@ func (r *Fig24Result) Summary() string {
 
 // runContention executes one probe-vs-background scenario on the CSMA/CA
 // DES and reports the probe link's BLE degradation.
-func runContention(cfg Config, label string, probePat, bgPat mac.TrafficPattern, captureAdvDB float64, dur time.Duration) (contentionRun, error) {
+func runContention(ctx context.Context, cfg Config, label string, probePat, bgPat mac.TrafficPattern, captureAdvDB float64, dur time.Duration) (contentionRun, error) {
 	tb := cfg.build(specAV)
-	good, avg, _, err := classifyLinks(tb, 2*time.Second)
+	good, avg, _, err := classifyLinks(ctx, tb, 2*time.Second)
 	if err != nil {
 		return contentionRun{}, err
 	}
@@ -128,6 +148,9 @@ func runContention(cfg Config, label string, probePat, bgPat mac.TrafficPattern,
 	m.FastForward(warmEnd) // align the medium clock with the warm-up
 	end := warmEnd + dur
 	for t := m.Now(); t < end; t = m.Now() {
+		if err := ctx.Err(); err != nil {
+			return contentionRun{}, err
+		}
 		m.Run(t + time.Second)
 		if w := probeLink.Est.WindowPBerr(); w > run.PeakPBerr {
 			run.PeakPBerr = w
@@ -138,7 +161,7 @@ func runContention(cfg Config, label string, probePat, bgPat mac.TrafficPattern,
 }
 
 // RunFig23 compares sensitive and immune pairs under background traffic.
-func RunFig23(cfg Config) (*Fig23Result, error) {
+func RunFig23(ctx context.Context, cfg Config) (*Fig23Result, error) {
 	dur := cfg.dur(400*time.Second, 40*time.Second)
 	probePat := mac.TrafficPattern{Interval: 75 * time.Millisecond, PacketSize: 1500} // 150 kb/s
 	satBG := mac.TrafficPattern{Saturated: true, PacketSize: 1500}
@@ -146,13 +169,13 @@ func RunFig23(cfg Config) (*Fig23Result, error) {
 
 	res := &Fig23Result{}
 	var err error
-	if res.SensitiveSaturated, err = runContention(cfg, "capture-prone + saturated bg", probePat, satBG, 12, dur); err != nil {
+	if res.SensitiveSaturated, err = runContention(ctx, cfg, "capture-prone + saturated bg", probePat, satBG, 12, dur); err != nil {
 		return nil, err
 	}
-	if res.SensitiveLowRate, err = runContention(cfg, "capture-prone + 150kb/s bg", probePat, lowBG, 12, dur); err != nil {
+	if res.SensitiveLowRate, err = runContention(ctx, cfg, "capture-prone + 150kb/s bg", probePat, lowBG, 12, dur); err != nil {
 		return nil, err
 	}
-	if res.ImmuneSaturated, err = runContention(cfg, "no capture + saturated bg", probePat, satBG, 0, dur); err != nil {
+	if res.ImmuneSaturated, err = runContention(ctx, cfg, "no capture + saturated bg", probePat, satBG, 0, dur); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -160,7 +183,7 @@ func RunFig23(cfg Config) (*Fig23Result, error) {
 
 // RunFig24 compares single-packet probing against 20-packet bursts at the
 // same 150 kb/s overhead on the capture-prone pair.
-func RunFig24(cfg Config) (*Fig24Result, error) {
+func RunFig24(ctx context.Context, cfg Config) (*Fig24Result, error) {
 	dur := cfg.dur(400*time.Second, 40*time.Second)
 	satBG := mac.TrafficPattern{Saturated: true, PacketSize: 1500}
 	single := mac.TrafficPattern{Interval: 75 * time.Millisecond, PacketSize: 1500}
@@ -168,18 +191,18 @@ func RunFig24(cfg Config) (*Fig24Result, error) {
 
 	res := &Fig24Result{}
 	var err error
-	if res.SinglePackets, err = runContention(cfg, "single packets", single, satBG, 12, dur); err != nil {
+	if res.SinglePackets, err = runContention(ctx, cfg, "single packets", single, satBG, 12, dur); err != nil {
 		return nil, err
 	}
-	if res.Bursts, err = runContention(cfg, "20-packet bursts", bursts, satBG, 12, dur); err != nil {
+	if res.Bursts, err = runContention(ctx, cfg, "20-packet bursts", bursts, satBG, 12, dur); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
 func init() {
-	register("fig23", "Fig. 23: link-metric sensitivity to background traffic (capture effect)",
-		func(c Config) (Result, error) { return RunFig23(c) })
-	register("fig24", "Fig. 24: burst probing removes the background-traffic sensitivity",
-		func(c Config) (Result, error) { return RunFig24(c) })
+	register("fig23", "Fig. 23: link-metric sensitivity to background traffic (capture effect)", 14,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig23(ctx, c) })
+	register("fig24", "Fig. 24: burst probing removes the background-traffic sensitivity", 11,
+		func(ctx context.Context, c Config) (Result, error) { return RunFig24(ctx, c) })
 }

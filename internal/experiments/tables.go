@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -40,6 +41,17 @@ func (r *Table1Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Table1Result) Rows() []Row {
+	out := make([]Row, 0, len(r.Findings))
+	for _, f := range r.Findings {
+		out = append(out, Row{
+			"claim": f.Claim, "section": f.Section, "holds": f.Holds, "detail": f.Detail,
+		})
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Table1Result) Summary() string {
 	ok := 0
@@ -53,13 +65,13 @@ func (r *Table1Result) Summary() string {
 
 // RunTable1 executes the underlying experiments and checks each Table 1
 // claim.
-func RunTable1(cfg Config) (*Table1Result, error) {
+func RunTable1(ctx context.Context, cfg Config) (*Table1Result, error) {
 	res := &Table1Result{}
 	add := func(claim, section string, holds bool, detail string) {
 		res.Findings = append(res.Findings, Table1Finding{claim, section, holds, detail})
 	}
 
-	f3, err := RunFig03(cfg)
+	f3, err := RunFig03(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +83,7 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 		fmt.Sprintf("WiFi⊆PLC %.0f%%, PLC also WiFi %.0f%%, >35 m PLC up to %.0f Mb/s",
 			f3.PctWiFiAlsoPLC, f3.PctPLCAlsoWiFi, f3.LongRangePLCMbps))
 
-	f6, err := RunFig06(cfg)
+	f6, err := RunFig06(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +91,7 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 		f6.PctAbove1_5x > 10 && f6.WorstRatio > 2,
 		fmt.Sprintf("%.0f%% of pairs >1.5x, worst %.1fx", f6.PctAbove1_5x, f6.WorstRatio))
 
-	f11, err := RunFig11(cfg)
+	f11, err := RunFig11(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +99,7 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 		f11.CorrQualityStd < -0.2 && f11.CorrQualityAlpha > 0.2,
 		fmt.Sprintf("corr(BLE,σ) %.2f, corr(BLE,α) %.2f", f11.CorrQualityStd, f11.CorrQualityAlpha))
 
-	f19, err := RunFig19(cfg)
+	f19, err := RunFig19(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +107,7 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 		f19.OverheadSavingPct > 15 && f19.AccuracyRatio < 5,
 		fmt.Sprintf("%.0f%% overhead saving at %.2fx error", f19.OverheadSavingPct, f19.AccuracyRatio))
 
-	f20, err := RunFig20(cfg)
+	f20, err := RunFig20(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +115,7 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 		f20.Aggregate.HybridVsSumRatio > 0.85 && f20.MeanSpeedup > 1.2,
 		fmt.Sprintf("hybrid/sum %.2f, download speedup %.2fx", f20.Aggregate.HybridVsSumRatio, f20.MeanSpeedup))
 
-	f21, err := RunFig21(cfg)
+	f21, err := RunFig21(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +123,7 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 		f21.FracAtFloor > 0.5,
 		fmt.Sprintf("%.0f%% of links at the loss floor", 100*f21.FracAtFloor))
 
-	f22, err := RunFig22(cfg)
+	f22, err := RunFig22(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -149,6 +161,15 @@ func (r *Table2Result) Table() string {
 	return string(b)
 }
 
+// Rows implements Result.
+func (r *Table2Result) Rows() []Row {
+	out := make([]Row, 0, len(r.Checks))
+	for _, c := range r.Checks {
+		out = append(out, Row{"metric": c.Metric, "method": c.Method, "ok": c.OK, "value": c.Value})
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Table2Result) Summary() string {
 	ok := 0
@@ -161,9 +182,9 @@ func (r *Table2Result) Summary() string {
 }
 
 // RunTable2 measures one link through every Table 2 method.
-func RunTable2(cfg Config) (*Table2Result, error) {
+func RunTable2(ctx context.Context, cfg Config) (*Table2Result, error) {
 	tb := cfg.build(specAV)
-	good, _, _, err := classifyLinks(tb, 2*time.Second)
+	good, _, _, err := classifyLinks(ctx, tb, 2*time.Second)
 	if err != nil {
 		return nil, err
 	}
@@ -250,21 +271,30 @@ func (r *Table3Result) Table() string {
 	return b.String()
 }
 
+// Rows implements Result.
+func (r *Table3Result) Rows() []Row {
+	out := make([]Row, 0, len(r.Guidelines))
+	for _, g := range r.Guidelines {
+		out = append(out, Row{"policy": g.Policy, "explanation": g.Explanation, "section": g.Section})
+	}
+	return out
+}
+
 // Summary implements Result.
 func (r *Table3Result) Summary() string {
 	return fmt.Sprintf("table3 guidelines: %d rows (validated by fig09/fig11/fig18/fig19/fig21/fig22/fig24)", len(r.Guidelines))
 }
 
 // RunTable3 returns the guideline table.
-func RunTable3(Config) (*Table3Result, error) {
+func RunTable3(context.Context, Config) (*Table3Result, error) {
 	return &Table3Result{Guidelines: core.Guidelines()}, nil
 }
 
 func init() {
-	register("table1", "Table 1: main findings, re-derived from the experiments",
-		func(c Config) (Result, error) { return RunTable1(c) })
-	register("table2", "Table 2: metrics and measurement methods, exercised end to end",
-		func(c Config) (Result, error) { return RunTable2(c) })
-	register("table3", "Table 3: link-metric estimation guidelines",
-		func(c Config) (Result, error) { return RunTable3(c) })
+	register("table1", "Table 1: main findings, re-derived from the experiments", 89,
+		func(ctx context.Context, c Config) (Result, error) { return RunTable1(ctx, c) })
+	register("table2", "Table 2: metrics and measurement methods, exercised end to end", 3,
+		func(ctx context.Context, c Config) (Result, error) { return RunTable2(ctx, c) })
+	register("table3", "Table 3: link-metric estimation guidelines", 1,
+		func(ctx context.Context, c Config) (Result, error) { return RunTable3(ctx, c) })
 }

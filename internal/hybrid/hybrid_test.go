@@ -3,6 +3,7 @@ package hybrid
 import (
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -104,6 +105,70 @@ func TestTransferStalls(t *testing.T) {
 	dead := constIface("dead", 0, 0)
 	if _, err := Transfer(0, 1<<20, time.Second, Proportional{}, SingleIface(dead)); err == nil {
 		t.Fatal("transfer over a dead medium must error")
+	}
+}
+
+// outage delivers rate Mb/s except inside [from, to), where it is dark.
+func outage(rate float64, from, to time.Duration) *Iface {
+	f := func(t time.Duration) float64 {
+		if t >= from && t < to {
+			return 0
+		}
+		return rate
+	}
+	return &Iface{Name: "outage", Capacity: f, Throughput: f}
+}
+
+func TestTransferStallAbortsAtLimit(t *testing.T) {
+	// The medium dies 1 s in and never recovers: the transfer must abort
+	// once the 10-minute stall budget is exhausted, not spin forever.
+	iface := outage(10, time.Second, time.Hour)
+	_, err := Transfer(0, 1<<30, time.Second, Proportional{}, SingleIface(iface))
+	if err == nil {
+		t.Fatal("permanently stalled transfer must abort")
+	}
+	if want := "stalled"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("err = %q, want mention of %q", err, want)
+	}
+}
+
+func TestTransferSurvivesOutageShorterThanLimit(t *testing.T) {
+	// A 9-minute outage sits under the 10-minute stall budget: the
+	// transfer must resume and complete, and the completion time must
+	// include the dark window.
+	const rate = 80.0 // Mb/s
+	iface := outage(rate, time.Second, time.Second+9*time.Minute)
+	size := int64(10 << 20)
+	done, err := Transfer(0, size, time.Second, Proportional{}, SingleIface(iface))
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := float64(size*8) / (rate * 1e6)
+	min := 9*time.Minute + time.Duration(active*float64(time.Second))
+	if done < min || done > min+3*time.Second {
+		t.Fatalf("completion %v, want just over the %v outage", done, min)
+	}
+}
+
+func TestTransferIntermittentStallsDoNotAccumulate(t *testing.T) {
+	// The stall counter must reset whenever traffic flows: alternating
+	// 8-minute outages with working seconds never trips the 10-minute
+	// limit even though total dark time far exceeds it.
+	period := 8*time.Minute + time.Second
+	f := func(t time.Duration) float64 {
+		if t%period < 8*time.Minute {
+			return 0
+		}
+		return 100
+	}
+	iface := &Iface{Name: "flaky", Capacity: f, Throughput: f}
+	size := int64(30 << 20) // ≈252 Mb ≈ 2.5 working seconds → 3 outage cycles
+	done, err := Transfer(0, size, time.Second, Proportional{}, SingleIface(iface))
+	if err != nil {
+		t.Fatalf("intermittent stalls must not abort: %v", err)
+	}
+	if done < 3*8*time.Minute {
+		t.Fatalf("completion %v too fast to have crossed the outages", done)
 	}
 }
 

@@ -1,0 +1,103 @@
+package testbed
+
+import "sync"
+
+// Factory memoizes testbed construction. Testbeds are stateful (links
+// carry channel and estimation state), so instances are never shared:
+// Get hands each one out under an exclusive lease, and Close returns it
+// to the pool after a Reset that restores pristine state. Experiments
+// running back to back with an identical (spec, decimate, seed)
+// configuration therefore skip the expensive grid/channel construction
+// while still observing a bit-identical fresh floor.
+//
+// Factory and Session are safe for concurrent use; a leased *Testbed is
+// not (each experiment drives its own).
+type Factory struct {
+	mu     sync.Mutex
+	idle   map[Options][]*Testbed
+	built  int
+	reused int
+}
+
+// NewFactory returns an empty testbed pool.
+func NewFactory() *Factory {
+	return &Factory{idle: make(map[Options][]*Testbed)}
+}
+
+// Stats reports how many testbeds were constructed and how many Get calls
+// were served from the pool.
+func (f *Factory) Stats() (built, reused int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.built, f.reused
+}
+
+// get leases a pristine testbed for opts, building one on pool miss.
+func (f *Factory) get(opts Options) *Testbed {
+	if opts.Decimate < 1 {
+		opts.Decimate = 4 // normalise to New's default so keys collide
+	}
+	if opts.Estimator == nil { // pointer keys would never collide
+		f.mu.Lock()
+		if q := f.idle[opts]; len(q) > 0 {
+			tb := q[len(q)-1]
+			f.idle[opts] = q[:len(q)-1]
+			f.reused++
+			f.mu.Unlock()
+			return tb
+		}
+		f.built++
+		f.mu.Unlock()
+	}
+	return New(opts)
+}
+
+// put resets a testbed and returns it to the idle pool.
+func (f *Factory) put(tb *Testbed) {
+	if tb.opts.Estimator != nil {
+		return // not memoizable; drop
+	}
+	tb.Reset()
+	f.mu.Lock()
+	f.idle[tb.opts] = append(f.idle[tb.opts], tb)
+	f.mu.Unlock()
+}
+
+// Session tracks the testbeds one experiment checks out, so they can all
+// be returned to the factory once the experiment's results no longer
+// reference them. A nil *Session is valid and builds fresh testbeds.
+type Session struct {
+	f      *Factory
+	mu     sync.Mutex
+	leased []*Testbed
+}
+
+// Session opens a new lease scope on the pool.
+func (f *Factory) Session() *Session { return &Session{f: f} }
+
+// Get leases a testbed for opts for the duration of the session.
+func (s *Session) Get(opts Options) *Testbed {
+	if s == nil || s.f == nil {
+		return New(opts)
+	}
+	tb := s.f.get(opts)
+	s.mu.Lock()
+	s.leased = append(s.leased, tb)
+	s.mu.Unlock()
+	return tb
+}
+
+// Close returns every leased testbed to the pool. The caller must not
+// touch them afterwards.
+func (s *Session) Close() {
+	if s == nil || s.f == nil {
+		return
+	}
+	s.mu.Lock()
+	leased := s.leased
+	s.leased = nil
+	s.mu.Unlock()
+	for _, tb := range leased {
+		s.f.put(tb)
+	}
+}

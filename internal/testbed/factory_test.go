@@ -1,0 +1,108 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/plc/mac"
+	"repro/internal/plc/phy"
+)
+
+// measure drives a fixed probe/saturation schedule and fingerprints the
+// testbed's observable state: PLC throughput/BLE/PBerr over several
+// windows plus WiFi capacity, on two links.
+func measure(t *testing.T, tb *Testbed) []float64 {
+	t.Helper()
+	var fp []float64
+	for _, pr := range [][2]int{{0, 2}, {1, 9}} {
+		l, err := tb.PLCLink(pr[0], pr[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := tb.WiFiLink(pr[0], pr[1])
+		start := 11 * time.Hour
+		for k := 0; k < 5; k++ {
+			w := start + time.Duration(k)*time.Second
+			l.Saturate(w, w+time.Second, 100*time.Millisecond)
+			fp = append(fp, l.Throughput(w+time.Second), l.AvgBLE(), l.PBerr(w+time.Second), wl.Throughput(w))
+		}
+	}
+	return fp
+}
+
+// TestFactoryReuseBitIdentical is the pool's core guarantee: a testbed
+// checked out after a previous lease reproduces a freshly built one bit
+// for bit.
+func TestFactoryReuseBitIdentical(t *testing.T) {
+	opts := Options{Spec: phy.AV, Decimate: 8, Seed: 1}
+	fresh := measure(t, New(opts))
+
+	f := NewFactory()
+	for round := 0; round < 3; round++ {
+		s := f.Session()
+		got := measure(t, s.Get(opts))
+		s.Close()
+		for i := range fresh {
+			if got[i] != fresh[i] {
+				t.Fatalf("round %d sample %d: pooled %v != fresh %v", round, i, got[i], fresh[i])
+			}
+		}
+	}
+	built, reused := f.Stats()
+	if built != 1 || reused != 2 {
+		t.Fatalf("built %d reused %d, want 1 construction and 2 pool hits", built, reused)
+	}
+}
+
+// TestFactoryKeysByConfig checks distinct configurations never share an
+// instance.
+func TestFactoryKeysByConfig(t *testing.T) {
+	f := NewFactory()
+	s := f.Session()
+	a := s.Get(Options{Spec: phy.AV, Decimate: 8, Seed: 1})
+	b := s.Get(Options{Spec: phy.AV, Decimate: 8, Seed: 2})
+	c := s.Get(Options{Spec: phy.AV500, Decimate: 8, Seed: 1})
+	d := s.Get(Options{Spec: phy.AV, Decimate: 8, Seed: 1}) // same key as a, a still leased
+	if a == b || a == c || a == d {
+		t.Fatal("leased testbeds must be distinct instances")
+	}
+	s.Close()
+	s2 := f.Session()
+	if got := s2.Get(Options{Spec: phy.AV, Decimate: 8, Seed: 1}); got != a && got != d {
+		t.Fatal("after release, an identical configuration must come from the pool")
+	}
+	s2.Close()
+}
+
+// TestNilSessionBuildsFresh checks the nil session is a working
+// pass-through.
+func TestNilSessionBuildsFresh(t *testing.T) {
+	var s *Session
+	tb := s.Get(Options{Spec: phy.AV, Decimate: 8, Seed: 1})
+	if tb == nil || len(tb.Stations) != NumStations {
+		t.Fatal("nil session must build a full testbed")
+	}
+	s.Close() // must not panic
+}
+
+// TestResetClearsSniffersAndMMState checks Reset severs old hooks and
+// measurement throttles.
+func TestResetClearsSniffersAndMMState(t *testing.T) {
+	tb := New(Options{Spec: phy.AV, Decimate: 8, Seed: 1})
+	l, err := tb.PLCLink(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Sniffer = func(mac.SoF) {}
+	tb.Reset()
+	l2, err := tb.PLCLink(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2 == l {
+		t.Fatal("Reset must rebuild links")
+	}
+	if l2.Sniffer != nil {
+		t.Fatal("Reset must clear sniffer hooks")
+	}
+}

@@ -79,6 +79,14 @@ type Testbed struct {
 
 	seed      int64
 	wifiLinks map[[2]int]*wifi.Link
+
+	// Assembly inputs, retained so Reset can rebuild the mutable PLC
+	// deployment over the immutable grid.
+	opts         Options
+	pcfg         plc.Config
+	stationNodes []grid.NodeID
+	stationNets  []int
+	ccoStations  []int
 }
 
 // Options tunes the build.
@@ -140,7 +148,7 @@ func New(opts Options) *Testbed {
 	g.AddCable(northR[5], southR[4], 18)
 	g.AddCable(northL[2], southL[2], 20)
 
-	tb := &Testbed{Grid: g, seed: opts.Seed, wifiLinks: make(map[[2]int]*wifi.Link)}
+	tb := &Testbed{Grid: g, seed: opts.Seed}
 
 	// Station outlets drop from the nearest spine junction of their wing.
 	spines := map[int][][]grid.NodeID{
@@ -208,16 +216,43 @@ func New(opts Options) *Testbed {
 	if opts.Estimator != nil {
 		pcfg.Estimator = *opts.Estimator
 	}
-	dep := plc.NewDeployment(g, pcfg)
+	tb.opts = opts
+	tb.pcfg = pcfg
+	tb.stationNodes = stationNodes[:]
 	for s := 0; s < NumStations; s++ {
-		dep.AddStation(stationNodes[s], networkOf(s))
+		tb.stationNets = append(tb.stationNets, networkOf(s))
 	}
-	dep.SetCCo(dep.Stations[CCoA])
-	dep.SetCCo(dep.Stations[CCoB])
-	tb.Dep = dep
-	tb.Stations = dep.Stations
+	tb.ccoStations = []int{CCoA, CCoB}
+	tb.assemble()
 	return tb
 }
+
+// assemble (re)builds the PLC deployment and WiFi link cache from the
+// retained grid and assembly inputs.
+func (tb *Testbed) assemble() {
+	dep := plc.NewDeployment(tb.Grid, tb.pcfg)
+	for i, node := range tb.stationNodes {
+		dep.AddStation(node, tb.stationNets[i])
+	}
+	for _, s := range tb.ccoStations {
+		dep.SetCCo(dep.Stations[s])
+	}
+	tb.Dep = dep
+	tb.Stations = dep.Stations
+	tb.wifiLinks = make(map[[2]int]*wifi.Link)
+}
+
+// Reset discards every piece of mutable measurement state — PLC links with
+// their channel and estimator state, sniffer hooks, management-message
+// throttles, and WiFi rate-adaptation caches — by rebuilding the
+// deployment over the retained grid. The grid itself is immutable after
+// construction apart from pure shortest-path memos, so a reset testbed
+// reproduces a freshly built one bit for bit while skipping the expensive
+// grid/calendar construction.
+func (tb *Testbed) Reset() { tb.assemble() }
+
+// Opts reports the options the testbed was built with.
+func (tb *Testbed) Opts() Options { return tb.opts }
 
 // wiringLen converts a straight run into an in-wall cable length
 // (manhattan routing with slack).
@@ -320,9 +355,14 @@ func NewIsolatedRig(lengthM float64, seed int64, spec phy.Spec, appliances map[f
 	pcfg := plc.DefaultConfig()
 	pcfg.Spec = spec
 	pcfg.Seed = seed
-	dep := plc.NewDeployment(g, pcfg)
-	dep.AddStation(a, 0)
-	dep.AddStation(b, 0)
-	dep.SetCCo(dep.Stations[0])
-	return &Testbed{Grid: g, Dep: dep, Stations: dep.Stations, seed: seed, wifiLinks: make(map[[2]int]*wifi.Link)}
+	tb := &Testbed{
+		Grid: g, seed: seed,
+		opts:         Options{Spec: spec, Decimate: pcfg.Decimate, Seed: seed},
+		pcfg:         pcfg,
+		stationNodes: []grid.NodeID{a, b},
+		stationNets:  []int{0, 0},
+		ccoStations:  []int{0},
+	}
+	tb.assemble()
+	return tb
 }

@@ -17,9 +17,11 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/plc"
@@ -87,27 +89,63 @@ type ExperimentConfig = experiments.Config
 // ExperimentResult is the common interface of experiment outputs.
 type ExperimentResult = experiments.Result
 
+// ExperimentMeta describes a registered experiment (id, paper reference,
+// estimated cost used by the campaign scheduler).
+type ExperimentMeta = experiments.Meta
+
+// ExperimentRow is one structured data point of a figure or table.
+type ExperimentRow = experiments.Row
+
+// ExperimentExport is the machine-readable envelope of one result.
+type ExperimentExport = experiments.Export
+
+// CampaignOptions tunes a parallel campaign run (workers, per-experiment
+// timeout, id subset, progress observer).
+type CampaignOptions = campaign.Options
+
+// CampaignEvent is one progress notification of a running campaign.
+type CampaignEvent = campaign.Event
+
+// CampaignOutcome is one experiment's result within a campaign.
+type CampaignOutcome = campaign.Outcome
+
 // Experiments lists the identifiers of every table/figure harness.
 func Experiments() []string { return experiments.IDs() }
+
+// ListExperiments returns the metadata of every registered harness.
+func ListExperiments() []ExperimentMeta { return experiments.List() }
 
 // DescribeExperiment returns an experiment's paper reference.
 func DescribeExperiment(id string) string { return experiments.Describe(id) }
 
 // RunExperiment executes one table/figure harness.
 func RunExperiment(id string, cfg ExperimentConfig) (ExperimentResult, error) {
-	return experiments.Run(id, cfg)
+	return experiments.Run(context.Background(), id, cfg)
+}
+
+// RunExperimentContext executes one table/figure harness under ctx;
+// cancelling the context aborts the harness between measurement windows.
+func RunExperimentContext(ctx context.Context, id string, cfg ExperimentConfig) (ExperimentResult, error) {
+	return experiments.Run(ctx, id, cfg)
+}
+
+// ExportExperiment renders a result as indented JSON (id, paper ref,
+// summary, structured rows).
+func ExportExperiment(r ExperimentResult) ([]byte, error) {
+	return experiments.MarshalResult(r)
 }
 
 // DefaultExperimentConfig is a laptop-scale configuration that still
 // reproduces every qualitative result of the paper.
 func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
 
-// RunAll executes every registered experiment in order, writing each
-// summary line to w as it completes, and returns the results.
+// RunAll executes every registered experiment serially in presentation
+// order, writing each summary line to w as it completes, and returns the
+// results.
 func RunAll(w io.Writer, cfg ExperimentConfig) ([]ExperimentResult, error) {
 	var out []ExperimentResult
 	for _, id := range experiments.IDs() {
-		r, err := experiments.Run(id, cfg)
+		r, err := experiments.Run(context.Background(), id, cfg)
 		if err != nil {
 			return out, err
 		}
@@ -117,6 +155,16 @@ func RunAll(w io.Writer, cfg ExperimentConfig) ([]ExperimentResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// RunAllParallel executes the campaign on a worker pool: experiments run
+// concurrently (longest-first to minimise makespan), honour ctx
+// cancellation and opts.Timeout, and report outcomes in registry order.
+// Results are bit-identical to RunAll's for the same config — every
+// harness builds its own seeded testbed — so parallelism only changes
+// wall-clock time.
+func RunAllParallel(ctx context.Context, cfg ExperimentConfig, opts CampaignOptions) ([]CampaignOutcome, error) {
+	return campaign.Run(ctx, cfg, opts)
 }
 
 // MeasureLink is a convenience helper: it saturates the directed PLC link

@@ -1,6 +1,9 @@
 package repro
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -63,6 +66,60 @@ func TestFacadeMetricTable(t *testing.T) {
 	ratio, ok := mt.Asymmetry(1, 2)
 	if !ok || ratio != 2 {
 		t.Fatalf("asymmetry = %v %v", ratio, ok)
+	}
+}
+
+func TestFacadeParallelCampaign(t *testing.T) {
+	cfg := ExperimentConfig{Seed: 1, Scale: 0.05, Decimate: 16}
+	ids := []string{"fig18", "table2", "table3"}
+	outs, err := RunAllParallel(context.Background(), cfg, CampaignOptions{Workers: 2, IDs: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outs {
+		if o.Err != nil || o.Result == nil {
+			t.Fatalf("%s: %v", o.Meta.ID, o.Err)
+		}
+		if o.Meta.ID != ids[i] {
+			t.Fatalf("outcome %d = %s, want %s", i, o.Meta.ID, ids[i])
+		}
+		// Parallel results must match a direct serial run bit for bit.
+		serial, err := RunExperiment(o.Meta.ID, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Table() != o.Result.Table() || serial.Summary() != o.Result.Summary() {
+			t.Fatalf("%s: parallel output differs from serial", o.Meta.ID)
+		}
+	}
+}
+
+func TestFacadeStructuredExport(t *testing.T) {
+	r, err := RunExperiment("table3", DefaultExperimentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows()) != 7 {
+		t.Fatalf("table3 rows = %d, want 7", len(r.Rows()))
+	}
+	raw, err := ExportExperiment(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex ExperimentExport
+	if err := json.Unmarshal(raw, &ex); err != nil {
+		t.Fatal(err)
+	}
+	if ex.ID != "table3" || ex.Ref == "" || len(ex.Rows) != 7 || ex.Summary != r.Summary() {
+		t.Fatalf("export round-trip lost data: %+v", ex)
+	}
+}
+
+func TestFacadeContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunExperimentContext(ctx, "fig03", DefaultExperimentConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 
