@@ -1,11 +1,12 @@
 // Command hybridlb demonstrates the §7.4 bandwidth aggregation: it builds
-// one station pair's WiFi and PLC interfaces, estimates their capacities by
-// probing, and prints per-second goodput for WiFi-only, PLC-only, the
-// capacity-proportional hybrid, and the round-robin baseline.
+// one station pair's WiFi and PLC attachments through the IEEE 1905-style
+// abstraction layer, estimates their capacities by probing, and prints
+// per-second goodput for WiFi-only, PLC-only, the capacity-proportional
+// hybrid, and the round-robin baseline.
 //
 // Usage:
 //
-//	hybridlb -a 0 -b 4 -for 60s
+//	hybridlb -a 0 -b 4 -for 60s -spec AV500
 package main
 
 import (
@@ -14,9 +15,10 @@ import (
 	"os"
 	"time"
 
+	"repro/cmd/internal/cli"
+	"repro/internal/al"
+	"repro/internal/core"
 	"repro/internal/hybrid"
-	"repro/internal/plc/phy"
-	"repro/internal/testbed"
 )
 
 func main() {
@@ -24,45 +26,40 @@ func main() {
 		a     = flag.Int("a", 0, "station A (0-18)")
 		b     = flag.Int("b", 4, "station B (0-18)")
 		total = flag.Duration("for", 60*time.Second, "run duration (virtual)")
-		seed  = flag.Int64("seed", 1, "simulation seed")
 	)
+	tbf := cli.RegisterTestbedFlags()
 	flag.Parse()
 
-	tb := testbed.New(testbed.Options{Spec: phy.AV, Decimate: 8, Seed: *seed})
+	tb, err := tbf.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridlb:", err)
+		os.Exit(1)
+	}
 	pl, err := tb.PLCLink(*a, *b)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hybridlb:", err)
 		os.Exit(1)
 	}
-	wl := tb.WiFiLink(*a, *b)
+	wifiAL, err := tb.ALLink(core.WiFi, *a, *b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridlb:", err)
+		os.Exit(1)
+	}
 
 	start := 11 * time.Hour
+	plcAL := al.NewPLC(pl, al.WithCapacityProbe(1300, 1))
 	for t := start - 30*time.Second; t < start; t += time.Second {
-		pl.Probe(t, 1300, 1) // warm the PLC capacity estimate
+		plcAL.ProbeTrain(t, 1300, 1) // warm the PLC capacity estimate
 	}
-	ifaces := []*hybrid.Iface{
-		{
-			Name:       "wifi",
-			Capacity:   func(t time.Duration) float64 { return wl.Capacity(t) * 0.66 },
-			Throughput: wl.Throughput,
-		},
-		{
-			Name: "plc",
-			Capacity: func(t time.Duration) float64 {
-				pl.Probe(t, 1300, 1)
-				return pl.Throughput(t)
-			},
-			Throughput: pl.Throughput,
-		},
-	}
+	links := []al.Link{wifiAL, plcAL}
 
 	fmt.Printf("# link %d-%d: per-second goodput (Mb/s)\n", *a, *b)
 	fmt.Println("#    t   wifi    plc  hybrid  round-robin")
 	for t := start; t < start+*total; t += time.Second {
-		w := ifaces[0].Throughput(t)
-		p := ifaces[1].Throughput(t)
-		h := hybrid.AggregateThroughput(t, hybrid.Proportional{}, ifaces)
-		rr := hybrid.AggregateThroughput(t, hybrid.RoundRobin{}, ifaces)
+		w := links[0].Goodput(t)
+		p := links[1].Goodput(t)
+		h := hybrid.AggregateThroughput(t, hybrid.Proportional{}, links)
+		rr := hybrid.AggregateThroughput(t, hybrid.RoundRobin{}, links)
 		fmt.Printf("%5.0fs  %5.1f  %5.1f  %6.1f  %11.1f\n", (t - start).Seconds(), w, p, h, rr)
 	}
 }

@@ -1,0 +1,60 @@
+// Package cli holds the flag plumbing shared by the repro commands: every
+// tool that builds the Fig. 2 floor takes the same -seed/-spec/-decimate
+// trio and assembles the testbed the same way.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/plc/phy"
+	"repro/internal/testbed"
+)
+
+// TestbedFlags are the common testbed-construction flags.
+type TestbedFlags struct {
+	Seed     *int64
+	Spec     *string
+	Decimate *int
+}
+
+// RegisterTestbedFlags installs -seed, -spec and -decimate on the default
+// flag set, defaulting to testbed.DefaultOptions. Call before flag.Parse.
+func RegisterTestbedFlags() *TestbedFlags {
+	def := testbed.DefaultOptions()
+	return &TestbedFlags{
+		Seed:     flag.Int64("seed", def.Seed, "simulation seed"),
+		Spec:     flag.String("spec", specFlagValue(def.Spec), "HomePlug generation: AV or AV500"),
+		Decimate: flag.Int("decimate", def.Decimate, "carrier decimation (1 = full resolution)"),
+	}
+}
+
+// specFlagValue renders a spec as its flag spelling (ParseSpec's inverse).
+func specFlagValue(s phy.Spec) string {
+	if s == phy.AV500 {
+		return "AV500"
+	}
+	return "AV"
+}
+
+// Build assembles the Fig. 2 floor from the parsed flags.
+func (f *TestbedFlags) Build() (*testbed.Testbed, error) {
+	spec, err := ParseSpec(*f.Spec)
+	if err != nil {
+		return nil, err
+	}
+	return testbed.New(testbed.Options{Spec: spec, Decimate: *f.Decimate, Seed: *f.Seed}), nil
+}
+
+// ParseSpec resolves a -spec flag value to a PHY generation; the Stringer
+// spellings (HPAV, HPAV500) are accepted too.
+func ParseSpec(s string) (phy.Spec, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "AV", "HPAV":
+		return phy.AV, nil
+	case "AV500", "HPAV500":
+		return phy.AV500, nil
+	}
+	return phy.AV, fmt.Errorf("unknown spec %q (have AV, AV500)", s)
+}

@@ -1,0 +1,37 @@
+package cli
+
+import (
+	"testing"
+
+	"repro/internal/plc/phy"
+	"repro/internal/testbed"
+)
+
+func TestParseSpec(t *testing.T) {
+	for in, want := range map[string]phy.Spec{
+		"AV": phy.AV, "av": phy.AV, " HPAV ": phy.AV,
+		"AV500": phy.AV500, "av500": phy.AV500, "HPAV500": phy.AV500,
+	} {
+		got, err := ParseSpec(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSpec(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSpec("bogus"); err == nil {
+		t.Fatal("bogus spec must error")
+	}
+}
+
+func TestSpecFlagValueRoundTrips(t *testing.T) {
+	for _, s := range []phy.Spec{phy.AV, phy.AV500} {
+		got, err := ParseSpec(specFlagValue(s))
+		if err != nil || got != s {
+			t.Fatalf("round trip of %v = %v, %v", s, got, err)
+		}
+	}
+	// The flag defaults must resolve back to the shared default options.
+	def := testbed.DefaultOptions()
+	if got, _ := ParseSpec(specFlagValue(def.Spec)); got != def.Spec {
+		t.Fatal("default spec flag does not round-trip")
+	}
+}

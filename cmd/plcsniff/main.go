@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	plcsniff -src 0 -dst 2 -for 200ms
+//	plcsniff -src 0 -dst 2 -for 200ms -spec AV500
 package main
 
 import (
@@ -14,9 +14,8 @@ import (
 	"os"
 	"time"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/plc/mac"
-	"repro/internal/plc/phy"
-	"repro/internal/testbed"
 )
 
 func main() {
@@ -24,12 +23,16 @@ func main() {
 		src   = flag.Int("src", 0, "source station (0-18)")
 		dst   = flag.Int("dst", 2, "destination station (0-18)")
 		total = flag.Duration("for", 200*time.Millisecond, "capture duration (virtual)")
-		seed  = flag.Int64("seed", 1, "simulation seed")
 		at    = flag.Duration("at", 11*time.Hour, "virtual start time")
 	)
+	tbf := cli.RegisterTestbedFlags()
 	flag.Parse()
 
-	tb := testbed.New(testbed.Options{Spec: phy.AV, Decimate: 8, Seed: *seed})
+	tb, err := tbf.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plcsniff:", err)
+		os.Exit(1)
+	}
 	l, err := tb.PLCLink(*src, *dst)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "plcsniff:", err)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	plcstat -src 1 -dst 9 -poll 500ms -for 30s
+//	plcstat -src 1 -dst 9 -poll 500ms -for 30s -spec AV500 -decimate 4
 package main
 
 import (
@@ -14,9 +14,8 @@ import (
 	"os"
 	"time"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/plc"
-	"repro/internal/plc/phy"
-	"repro/internal/testbed"
 )
 
 func main() {
@@ -25,9 +24,9 @@ func main() {
 		dst   = flag.Int("dst", 9, "destination station (0-18)")
 		poll  = flag.Duration("poll", 500*time.Millisecond, "MM polling interval (>= 50ms)")
 		total = flag.Duration("for", 30*time.Second, "measurement duration (virtual)")
-		seed  = flag.Int64("seed", 1, "simulation seed")
 		at    = flag.Duration("at", 11*time.Hour, "virtual start time (0 = Monday 00:00)")
 	)
+	tbf := cli.RegisterTestbedFlags()
 	flag.Parse()
 
 	if *poll < plc.MMMinInterval {
@@ -35,7 +34,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	tb := testbed.New(testbed.Options{Spec: phy.AV, Decimate: 8, Seed: *seed})
+	tb, err := tbf.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plcstat:", err)
+		os.Exit(1)
+	}
 	l, err := tb.PLCLink(*src, *dst)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "plcstat:", err)

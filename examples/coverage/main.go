@@ -1,9 +1,12 @@
 // Coverage maps WiFi blind spots and shows how PLC eliminates them — the
 // §4.1 motivation scenario: "at long distance there is no wireless
-// connectivity whereas PLC offers up to 41 Mb/s".
+// connectivity whereas PLC offers up to 41 Mb/s". Both media are read
+// through the abstraction layer; the blind spot is exactly the pairs whose
+// WiFi link reports Connected == false.
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -11,7 +14,8 @@ import (
 )
 
 func main() {
-	tb := repro.DefaultTestbed(1)
+	tb := repro.NewTestbed(repro.WithSeed(1))
+	ctx := context.Background()
 	start := 11 * time.Hour // working hours
 
 	// Survey every same-network pair from station 5 (far corner of the
@@ -19,20 +23,27 @@ func main() {
 	// does PLC offer there?
 	const src = 5
 	fmt.Println("from station 5 (far corner):")
-	fmt.Println(" dst  dist(m)  WiFi(Mb/s)  PLC(Mb/s)  verdict")
+	fmt.Println(" dst  WiFi-connected  WiFi(Mb/s)  PLC(Mb/s)  verdict")
 	blind, covered := 0, 0
 	for dst := 0; dst <= 11; dst++ {
 		if dst == src {
 			continue
 		}
-		wl := tb.WiFiLink(src, dst)
-		wifiT := wl.Throughput(start)
-		plcT, _, _, err := repro.MeasureLink(tb, src, dst, start, 10*time.Second)
+		wl, err := tb.ALLink(repro.WiFi, src, dst)
 		if err != nil {
 			panic(err)
 		}
+		pl, err := tb.ALLink(repro.PLC, src, dst)
+		if err != nil {
+			panic(err)
+		}
+		if err := repro.ProbeLink(ctx, pl, start, 10*time.Second); err != nil {
+			panic(err)
+		}
+		at := start + 10*time.Second
+		wifiT, plcT := wl.Goodput(at), pl.Goodput(at)
 		verdict := "both media fine"
-		if wifiT < 1 && plcT >= 1 {
+		if !wl.Connected(at) && plcT >= 1 {
 			verdict = "WiFi BLIND SPOT — PLC covers it"
 			blind++
 			covered++
@@ -40,7 +51,7 @@ func main() {
 			verdict = "dead pair"
 			blind++
 		}
-		fmt.Printf("  %2d  %6.0f  %10.1f  %9.1f  %s\n", dst, wl.Distance(), wifiT, plcT, verdict)
+		fmt.Printf("  %2d  %14v  %10.1f  %9.1f  %s\n", dst, wl.Connected(at), wifiT, plcT, verdict)
 	}
 	fmt.Printf("\nWiFi blind spots: %d, of which PLC covers %d\n", blind, covered)
 	fmt.Println("(the paper: 100% of WiFi-connected pairs are PLC-connected; the reverse fails on 19%)")

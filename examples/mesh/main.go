@@ -4,9 +4,14 @@
 // PLC logical networks (the two distribution boards of Fig. 2) and their
 // direct WiFi path spans most of the floor, yet a route that alternates
 // technologies connects them.
+//
+// The mesh is built entirely from the IEEE 1905-style abstraction layer:
+// the testbed exposes a Topology of medium-agnostic links, the survey
+// probes them all, and the router never touches a PLC or WiFi type.
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,10 +20,17 @@ import (
 )
 
 func main() {
-	tb := repro.DefaultTestbed(1)
+	tb := repro.NewTestbed(repro.WithSeed(1))
+
+	topo, err := tb.Topology()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("abstraction layer: %d directed links over %d stations\n",
+		len(topo.Links()), len(topo.Stations()))
 
 	fmt.Println("surveying all links on both media (1905 metric collection)...")
-	g, mt, err := mesh.Survey(tb, 23*time.Hour, 2*time.Second)
+	g, mt, err := mesh.Survey(context.Background(), topo, 23*time.Hour, 2*time.Second)
 	if err != nil {
 		panic(err)
 	}

@@ -1,8 +1,10 @@
 // Quickstart: build the paper's testbed, measure one PLC link, and read
-// its IEEE 1905 metrics (capacity from BLE, loss from PBerr).
+// both media through the IEEE 1905-style abstraction layer (capacity from
+// BLE, loss from PBerr).
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -11,8 +13,10 @@ import (
 
 func main() {
 	// The Fig. 2 floor: 19 stations, two distribution boards, two PLC
-	// logical networks, shared WiFi geometry.
-	tb := repro.DefaultTestbed(1)
+	// logical networks, shared WiFi geometry. The facade takes functional
+	// options — repro.WithSpec(repro.AV500) would model the faster
+	// generation.
+	tb := repro.NewTestbed(repro.WithSeed(1))
 
 	// Measure station 1 → station 9 for 30 virtual seconds during
 	// working hours (Monday 11:00).
@@ -24,19 +28,29 @@ func main() {
 	fmt.Printf("PLC 1→9: throughput %.1f Mb/s | avg BLE %.1f Mb/s | PBerr %.4f\n", tput, ble, pberr)
 	fmt.Printf("  (the paper's Fig. 15 relation: BLE ≈ 1.7·T → %.2f here)\n", ble/tput)
 
-	// The same pair on WiFi.
-	wl := tb.WiFiLink(1, 9)
-	fmt.Printf("WiFi 1→9: capacity %.0f Mb/s | throughput %.1f Mb/s over %.0f m\n",
-		wl.Capacity(start), wl.Throughput(start), wl.Distance())
-
-	// Register both in a 1905-style metric table and query asymmetry.
-	mt := repro.NewMetricTable()
-	mt.Update(1, 9, repro.LinkMetrics{CapacityMbps: ble, Loss: pberr, UpdatedAt: start})
-	_, revBLE, revPB, err := repro.MeasureLink(tb, 9, 1, start, 30*time.Second)
+	// The same pair on WiFi, through the medium-agnostic link surface.
+	ctx := context.Background()
+	wl, err := tb.ALLink(repro.WiFi, 1, 9)
 	if err != nil {
 		panic(err)
 	}
-	mt.Update(9, 1, repro.LinkMetrics{CapacityMbps: revBLE, Loss: revPB, UpdatedAt: start})
+	fmt.Printf("WiFi 1→9: capacity %.0f Mb/s | goodput %.1f Mb/s | connected: %v\n",
+		wl.Capacity(start), wl.Goodput(start), wl.Connected(start))
+
+	// Register both directions of both media in a 1905-style metric table
+	// and query asymmetry. al.Link.Metrics feeds the table directly.
+	mt := repro.NewMetricTable()
+	for _, pair := range [][2]int{{1, 9}, {9, 1}} {
+		pl, err := tb.ALLink(repro.PLC, pair[0], pair[1])
+		if err != nil {
+			panic(err)
+		}
+		// Estimation is traffic-driven (§7): probe, then read.
+		if err := repro.ProbeLink(ctx, pl, start, 10*time.Second); err != nil {
+			panic(err)
+		}
+		mt.Update(pair[0], pair[1], pl.Metrics(start+10*time.Second))
+	}
 	if ratio, ok := mt.Asymmetry(1, 9); ok {
 		fmt.Printf("pair 1↔9 capacity asymmetry: %.2fx (the paper finds >1.5x on ~30%% of pairs)\n", ratio)
 	}

@@ -1,9 +1,14 @@
 // Streaming picks a medium for a constant-rate HD stream — the §4.1
 // conclusion scenario: at short range WiFi is faster on average, but PLC's
 // far lower variance is what a constant-rate application actually needs.
+//
+// Both media are consumed through the abstraction layer's Watch stream:
+// the service reads live 1905 metric samples from a channel and never
+// owns a probing loop.
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,43 +20,52 @@ import (
 const streamRate = 25.0 // Mb/s
 
 func main() {
-	tb := repro.DefaultTestbed(1)
+	tb := repro.NewTestbed(repro.WithSeed(1))
 	start := 11 * time.Hour
+	window := 10 * time.Minute
 
 	// A short link where WiFi beats PLC on average (the interesting
 	// case; the paper's §4.1 "Variability" finding).
 	const a, b = 0, 2
-	pl, err := tb.PLCLink(a, b)
+	pl, err := tb.ALLink(repro.PLC, a, b)
 	if err != nil {
 		panic(err)
 	}
-	wl := tb.WiFiLink(a, b)
-
-	var wifiT, plcT stats.Series
-	wifiStalls, plcStalls := 0, 0
-	n := 0
-	for t := start; t < start+10*time.Minute; t += 100 * time.Millisecond {
-		pl.Saturate(t, t+100*time.Millisecond, 100*time.Millisecond)
-		pv := pl.Throughput(t + 100*time.Millisecond)
-		wv := wl.Throughput(t)
-		plcT.Add(t, pv)
-		wifiT.Add(t, wv)
-		if wv < streamRate {
-			wifiStalls++
-		}
-		if pv < streamRate {
-			plcStalls++
-		}
-		n++
+	wl, err := tb.ALLink(repro.WiFi, a, b)
+	if err != nil {
+		panic(err)
 	}
 
-	fmt.Printf("link %d-%d, %d samples at 100 ms, %v stream at %.0f Mb/s\n\n", a, b, n, 10*time.Minute, streamRate)
+	measure := func(l repro.Link) (ser stats.Series, stalls, n int) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel() // releases the Watch producer
+		for s := range repro.WatchLink(ctx, l, start, 100*time.Millisecond) {
+			v := s.Metrics.CapacityMbps
+			ser.Add(s.At, v)
+			if v < streamRate {
+				stalls++
+			}
+			n++
+			if s.At >= start+window {
+				// Break before the next receive: cancelling and
+				// continuing to drain would race the producer's pending
+				// send and make the sample count nondeterministic.
+				break
+			}
+		}
+		return ser, stalls, n
+	}
+
+	plcT, plcStalls, n := measure(pl)
+	wifiT, wifiStalls, _ := measure(wl)
+
+	fmt.Printf("link %d-%d, %d samples at 100 ms, %v stream at %.0f Mb/s\n\n", a, b, n, window, streamRate)
 	fmt.Printf("        mean (Mb/s)   σ (Mb/s)   samples below stream rate\n")
 	fmt.Printf("WiFi  %12.1f  %9.2f  %6d (%.1f%%)\n", wifiT.Mean(), wifiT.Std(), wifiStalls, 100*float64(wifiStalls)/float64(n))
 	fmt.Printf("PLC   %12.1f  %9.2f  %6d (%.1f%%)\n", plcT.Mean(), plcT.Std(), plcStalls, 100*float64(plcStalls)/float64(n))
 
 	choice := "WiFi"
-	if float64(plcStalls) < float64(wifiStalls) {
+	if plcStalls < wifiStalls {
 		choice = "PLC"
 	}
 	fmt.Printf("\nfor a constant-rate stream, pick: %s\n", choice)

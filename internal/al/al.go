@@ -1,0 +1,111 @@
+// Package al is the IEEE 1905-style abstraction layer: one medium-agnostic
+// link surface over the heterogeneous media this repository models. The
+// paper designs its BLE/PBerr metrics exactly so that PLC can slot into
+// such a layer next to WiFi (§7, §8); related hybrid-diversity work
+// (Gheth et al., Sung et al.) likewise assumes a medium-agnostic link API.
+//
+// Everything above the media drivers — the §7.4 bandwidth-aggregation
+// schedulers, the §4.3 mesh router, the 1905 metric table, services built
+// on the facade — consumes Link and Topology only. A future backend (MoCA,
+// a second WiFi band) joins the hybrid network by implementing Link; no
+// consumer changes.
+package al
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Link is one directed attachment between two stations on one medium.
+//
+// The two rate methods mirror the split the paper's balancer needs (§7.4):
+// Capacity is the goodput the metric plane *estimates* the link sustains
+// (BLE/PBerr-derived for PLC, MCS-derived for WiFi) — what a scheduler
+// believes — while Goodput is what the medium actually delivers at t.
+// With perfect estimation the two coincide; their gap is exactly the
+// estimation error the paper studies.
+//
+// Implementations are driven in virtual time and are not safe for
+// concurrent use; campaigns parallelise across testbeds, not links.
+type Link interface {
+	// Endpoints returns the directed pair of station numbers.
+	Endpoints() (src, dst int)
+	// Medium identifies the technology behind the link.
+	Medium() core.Medium
+	// Capacity returns the estimated deliverable goodput at t in Mb/s.
+	Capacity(t time.Duration) float64
+	// Goodput returns the goodput the medium sustains at t in Mb/s.
+	Goodput(t time.Duration) float64
+	// Metrics returns the link's 1905 metric-table entry at t.
+	Metrics(t time.Duration) core.LinkMetrics
+	// Connected reports whether the link is usable at t at all — false
+	// for a WiFi pair beyond the ~35 m blind spot (§4.1), always true
+	// for an in-network PLC pair (the paper: every WiFi-connected pair
+	// is also PLC-connected).
+	Connected(t time.Duration) bool
+}
+
+// Prober is implemented by links whose estimation machinery is driven by
+// traffic (the §7 rule: tone maps exist only when there is data to send).
+type Prober interface {
+	// Probe drives the link's estimation with probe traffic covering
+	// [t, t+dur) of virtual time, honouring ctx between windows.
+	Probe(ctx context.Context, t, dur time.Duration) error
+}
+
+// Probe drives a link's estimation machinery for dur of virtual time
+// starting at t. Links without probing support (e.g. table-backed links)
+// succeed immediately; cancellation is honoured between traffic windows.
+func Probe(ctx context.Context, l Link, t, dur time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if p, ok := l.(Prober); ok {
+		return p.Probe(ctx, t, dur)
+	}
+	return nil
+}
+
+// Sample is one streamed metric observation of a watched link.
+type Sample struct {
+	// At is the virtual time of the observation.
+	At time.Duration
+	// Metrics is the link's 1905 entry at that instant.
+	Metrics core.LinkMetrics
+}
+
+// Watch streams live link metrics: every step of virtual time the link is
+// probed for one step and its metrics sampled, so a long-running service
+// consumes fresh 1905 entries without owning the probing loop. The channel
+// closes when ctx is cancelled; cancel to release the producer.
+func Watch(ctx context.Context, l Link, start, step time.Duration) <-chan Sample {
+	if step <= 0 {
+		step = 100 * time.Millisecond
+	}
+	ch := make(chan Sample)
+	go func() {
+		defer close(ch)
+		for t := start; ; t += step {
+			if Probe(ctx, l, t, step) != nil {
+				return
+			}
+			select {
+			case ch <- Sample{At: t + step, Metrics: l.Metrics(t + step)}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// Feed writes every link's current metrics into a 1905 metric table — the
+// periodic table refresh of an abstraction-layer daemon.
+func Feed(mt *core.MetricTable, t time.Duration, links ...Link) {
+	for _, l := range links {
+		src, dst := l.Endpoints()
+		mt.Update(src, dst, l.Metrics(t))
+	}
+}

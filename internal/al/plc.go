@@ -1,0 +1,98 @@
+package al
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/plc"
+)
+
+// PLCLink adapts a HomePlug AV link into the abstraction layer. Capacity
+// is the BLE/PBerr-derived UDP goodput estimate (the Fig. 15 relation) —
+// the number the paper proposes as the PLC entry of the 1905 metric table.
+type PLCLink struct {
+	l *plc.Link
+
+	// capProbeSize/capProbeCount, when set, issue a probe train before
+	// every capacity query (the §7.4 estimation setup: probing keeps the
+	// BLE fresh exactly when the balancer reads it).
+	capProbeSize  int
+	capProbeCount int
+}
+
+// PLCOption tunes a PLC adapter.
+type PLCOption func(*PLCLink)
+
+// WithCapacityProbe makes every Capacity query send count probe packets of
+// size bytes first, so scheduler reads drive the estimation they consume.
+func WithCapacityProbe(sizeBytes, count int) PLCOption {
+	return func(p *PLCLink) { p.capProbeSize, p.capProbeCount = sizeBytes, count }
+}
+
+// NewPLC wraps a PLC link; endpoints come from the underlying stations.
+func NewPLC(l *plc.Link, opts ...PLCOption) *PLCLink {
+	p := &PLCLink{l: l}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Endpoints implements Link.
+func (p *PLCLink) Endpoints() (int, int) { return p.l.Src.ID, p.l.Dst.ID }
+
+// Medium implements Link.
+func (p *PLCLink) Medium() core.Medium { return core.PLC }
+
+// Capacity implements Link: the modelled UDP goodput from the current BLE
+// and PBerr — what MM polling (int6krate/ampstat) lets a balancer believe.
+func (p *PLCLink) Capacity(t time.Duration) float64 {
+	if p.capProbeCount > 0 {
+		p.l.Probe(t, p.capProbeSize, p.capProbeCount)
+	}
+	return p.l.Throughput(t)
+}
+
+// Goodput implements Link.
+func (p *PLCLink) Goodput(t time.Duration) float64 { return p.l.Throughput(t) }
+
+// Metrics implements Link: capacity from the BLE-derived goodput estimate,
+// loss from the live PB error rate (§7, §8.1).
+func (p *PLCLink) Metrics(t time.Duration) core.LinkMetrics {
+	return core.LinkMetrics{
+		Medium:       core.PLC,
+		CapacityMbps: p.l.Throughput(t),
+		Loss:         p.l.PBerr(t),
+		UpdatedAt:    t,
+	}
+}
+
+// Connected implements Link. An in-network PLC pair is always electrically
+// reachable — the paper finds every WiFi-connected pair PLC-connected
+// (§4.1); quality lives in the metrics, not in a connectivity bit.
+func (p *PLCLink) Connected(time.Duration) bool { return true }
+
+// Probe implements Prober: saturated estimation traffic over [t, t+dur) in
+// 500 ms windows, checking ctx between windows (the survey warm-up of §7).
+func (p *PLCLink) Probe(ctx context.Context, t, dur time.Duration) error {
+	const window = 500 * time.Millisecond
+	for off := time.Duration(0); off < dur; off += window {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		w := window
+		if rem := dur - off; rem < w {
+			w = rem
+		}
+		p.l.Saturate(t+off, t+off+w, w)
+	}
+	return ctx.Err()
+}
+
+// ProbeTrain sends count back-to-back probe packets of size bytes at
+// virtual time t — the §7.2 probing primitive, exposed for schedules that
+// pace individual probes (e.g. one per second) rather than saturating.
+func (p *PLCLink) ProbeTrain(t time.Duration, sizeBytes, count int) {
+	p.l.Probe(t, sizeBytes, count)
+}

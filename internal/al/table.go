@@ -1,0 +1,50 @@
+package al
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// TableLink is a metric-table-backed Link: a service that only sees the
+// 1905 metric table — no medium driver at all — still feeds schedulers and
+// routers through the same interface. Capacity and Goodput both read the
+// table's estimate (the table is the best belief such a service has);
+// Connected reflects whether an entry with positive capacity exists.
+type TableLink struct {
+	Table    *core.MetricTable
+	Src, Dst int
+}
+
+// Endpoints implements Link.
+func (l TableLink) Endpoints() (int, int) { return l.Src, l.Dst }
+
+// Medium implements Link; the zero Medium is reported when no entry exists.
+func (l TableLink) Medium() core.Medium {
+	m, _ := l.Table.Lookup(l.Src, l.Dst)
+	return m.Medium
+}
+
+// Capacity implements Link.
+func (l TableLink) Capacity(time.Duration) float64 {
+	m, ok := l.Table.Lookup(l.Src, l.Dst)
+	if !ok {
+		return 0
+	}
+	return m.CapacityMbps
+}
+
+// Goodput implements Link.
+func (l TableLink) Goodput(t time.Duration) float64 { return l.Capacity(t) }
+
+// Metrics implements Link.
+func (l TableLink) Metrics(time.Duration) core.LinkMetrics {
+	m, _ := l.Table.Lookup(l.Src, l.Dst)
+	return m
+}
+
+// Connected implements Link.
+func (l TableLink) Connected(time.Duration) bool {
+	m, ok := l.Table.Lookup(l.Src, l.Dst)
+	return ok && m.CapacityMbps > 0
+}

@@ -1,0 +1,101 @@
+package al
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Topology is the abstraction-layer view of a deployment: every directed
+// link of every medium, indexed by station. Link order is insertion order,
+// so a topology built deterministically enumerates deterministically —
+// consumers (the mesh router, metric campaigns) inherit reproducibility.
+type Topology struct {
+	links []Link
+	out   map[int][]Link
+	seen  map[int]bool
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology {
+	return &Topology{out: make(map[int][]Link), seen: make(map[int]bool)}
+}
+
+// Add registers a directed link.
+func (tp *Topology) Add(l Link) {
+	src, dst := l.Endpoints()
+	tp.links = append(tp.links, l)
+	tp.out[src] = append(tp.out[src], l)
+	tp.seen[src] = true
+	tp.seen[dst] = true
+}
+
+// Links enumerates every link in insertion order.
+func (tp *Topology) Links() []Link { return tp.links }
+
+// Stations lists the station numbers known to the topology, ascending.
+func (tp *Topology) Stations() []int {
+	out := make([]int, 0, len(tp.seen))
+	for s := range tp.seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Between returns the links from src to dst across all media, in insertion
+// order (at most one per medium in a well-formed topology).
+func (tp *Topology) Between(src, dst int) []Link {
+	var out []Link
+	for _, l := range tp.out[src] {
+		if _, d := l.Endpoints(); d == dst {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Node returns the station-scoped view.
+func (tp *Topology) Node(station int) Node { return Node{Station: station, tp: tp} }
+
+// Feed writes the current metrics of every link into a 1905 metric table.
+func (tp *Topology) Feed(mt *core.MetricTable, t time.Duration) {
+	Feed(mt, t, tp.links...)
+}
+
+// Node is one station's view of the topology: its attached links across
+// media — what the 1905 abstraction layer presents to the layers above.
+type Node struct {
+	Station int
+	tp      *Topology
+}
+
+// Links enumerates the station's outgoing links across all media.
+func (n Node) Links() []Link { return n.tp.out[n.Station] }
+
+// Link returns the station's outgoing link to dst on the given medium.
+func (n Node) Link(m core.Medium, dst int) (Link, bool) {
+	for _, l := range n.tp.out[n.Station] {
+		if _, d := l.Endpoints(); d == dst && l.Medium() == m {
+			return l, true
+		}
+	}
+	return nil, false
+}
+
+// Neighbors lists the stations reachable over any medium in one hop,
+// ascending and deduplicated.
+func (n Node) Neighbors() []int {
+	seen := map[int]bool{}
+	for _, l := range n.tp.out[n.Station] {
+		_, d := l.Endpoints()
+		seen[d] = true
+	}
+	out := make([]int, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}

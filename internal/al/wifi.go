@@ -1,0 +1,74 @@
+package al
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wifi"
+)
+
+// WiFiLink adapts an 802.11n link into the abstraction layer. Capacity is
+// the MCS rate scaled by the MAC efficiency — the frame-control capacity
+// estimate of Table 2, made goodput-comparable so PLC and WiFi entries of
+// the metric table share one unit.
+type WiFiLink struct {
+	src, dst int
+	l        *wifi.Link
+}
+
+// NewWiFi wraps a WiFi link between two station numbers (the wifi driver
+// speaks grid nodes, not stations, so the mapping is supplied here).
+func NewWiFi(src, dst int, l *wifi.Link) *WiFiLink {
+	return &WiFiLink{src: src, dst: dst, l: l}
+}
+
+// Endpoints implements Link.
+func (w *WiFiLink) Endpoints() (int, int) { return w.src, w.dst }
+
+// Medium implements Link.
+func (w *WiFiLink) Medium() core.Medium { return core.WiFi }
+
+// Capacity implements Link: the rate-adaptation MCS scaled to goodput.
+func (w *WiFiLink) Capacity(t time.Duration) float64 {
+	return w.l.Capacity(t) * wifi.MACEfficiency
+}
+
+// Goodput implements Link.
+func (w *WiFiLink) Goodput(t time.Duration) float64 { return w.l.Throughput(t) }
+
+// Metrics implements Link: capacity from the delivered goodput, loss from
+// the margin between the instantaneous SNR and the selected MCS's
+// requirement (the WiFi loss estimate of the mesh survey).
+func (w *WiFiLink) Metrics(t time.Duration) core.LinkMetrics {
+	capMbps := w.l.Throughput(t)
+	mcs, ok := w.l.MCSAt(t)
+	loss := 0.01
+	if ok && w.l.SNR(t) < mcs.MinSNRdB {
+		loss = 0.2
+	}
+	return core.LinkMetrics{
+		Medium:       core.WiFi,
+		CapacityMbps: capMbps,
+		Loss:         loss,
+		UpdatedAt:    t,
+	}
+}
+
+// Connected implements Link: whether the mean SNR sustains any MCS — false
+// beyond the ~35 m blind spot of §4.1, which is how the mesh excludes
+// phantom WiFi edges.
+func (w *WiFiLink) Connected(time.Duration) bool { return w.l.Connected() }
+
+// Probe implements Prober: steps the rate adaptation every 100 ms over
+// [t, t+dur) so the SNR EWMA converges before metrics are read.
+func (w *WiFiLink) Probe(ctx context.Context, t, dur time.Duration) error {
+	const window = 100 * time.Millisecond
+	for off := time.Duration(0); off < dur; off += window {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		w.l.MCSAt(t + off)
+	}
+	return ctx.Err()
+}

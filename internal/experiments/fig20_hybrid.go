@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/al"
 	"repro/internal/hybrid"
 )
 
@@ -86,32 +87,22 @@ func RunFig20(ctx context.Context, cfg Config) (*Fig20Result, error) {
 	tb := cfg.build(specAV)
 	res := &Fig20Result{}
 
-	// Interface builders: capacity from 1-probe-per-second estimation,
-	// throughput from the media models (§7.4's estimation setup).
-	mkIfaces := func(a, b int) ([]*hybrid.Iface, error) {
+	// Abstraction-layer link builders: PLC capacity from 1-probe-per-
+	// second estimation (WithCapacityProbe makes every scheduler read
+	// refresh the BLE), WiFi capacity from the MCS — §7.4's setup,
+	// expressed as the medium-agnostic surface the schedulers consume.
+	mkLinks := func(a, b int) ([]al.Link, error) {
 		pl, err := tb.PLCLink(a, b)
 		if err != nil {
 			return nil, err
 		}
 		wl := tb.WiFiLink(a, b)
+		plcAL := al.NewPLC(pl, al.WithCapacityProbe(1300, 1))
 		// Warm PLC estimation with probe traffic.
 		for t := workingHoursStart - 30*time.Second; t < workingHoursStart; t += time.Second {
-			pl.Probe(t, 1300, 1)
+			plcAL.ProbeTrain(t, 1300, 1)
 		}
-		plc := &hybrid.Iface{
-			Name: "plc",
-			Capacity: func(t time.Duration) float64 {
-				pl.Probe(t, 1300, 1) // 1 probe/s keeps BLE fresh
-				return pl.Throughput(t)
-			},
-			Throughput: func(t time.Duration) float64 { return pl.Throughput(t) },
-		}
-		wifi := &hybrid.Iface{
-			Name:       "wifi",
-			Capacity:   func(t time.Duration) float64 { return wl.Capacity(t) * 0.66 },
-			Throughput: func(t time.Duration) float64 { return wl.Throughput(t) },
-		}
-		return []*hybrid.Iface{wifi, plc}, nil
+		return []al.Link{al.NewWiFi(a, b, wl), plcAL}, nil
 	}
 
 	// Pick a pair where both media work (the paper's link 0-4 analogue).
@@ -119,7 +110,7 @@ func RunFig20(ctx context.Context, cfg Config) (*Fig20Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ifaces, err := mkIfaces(pair[0], pair[1])
+	links, err := mkLinks(pair[0], pair[1])
 	if err != nil {
 		return nil, err
 	}
@@ -134,13 +125,13 @@ func RunFig20(ctx context.Context, cfg Config) (*Fig20Result, error) {
 	}
 	res.Aggregate = Fig20Aggregate{
 		A: pair[0], B: pair[1],
-		WiFiOnly: avg(ifaces[0].Throughput),
-		PLCOnly:  avg(ifaces[1].Throughput),
+		WiFiOnly: avg(links[0].Goodput),
+		PLCOnly:  avg(links[1].Goodput),
 		Hybrid: avg(func(t time.Duration) float64 {
-			return hybrid.AggregateThroughput(t, hybrid.Proportional{}, ifaces)
+			return hybrid.AggregateThroughput(t, hybrid.Proportional{}, links)
 		}),
 		RoundRobin: avg(func(t time.Duration) float64 {
-			return hybrid.AggregateThroughput(t, hybrid.RoundRobin{}, ifaces)
+			return hybrid.AggregateThroughput(t, hybrid.RoundRobin{}, links)
 		}),
 	}
 	sum := res.Aggregate.WiFiOnly + res.Aggregate.PLCOnly
@@ -165,11 +156,11 @@ func RunFig20(ctx context.Context, cfg Config) (*Fig20Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		ifs, err := mkIfaces(pr[0], pr[1])
+		ifs, err := mkLinks(pr[0], pr[1])
 		if err != nil {
 			return nil, err
 		}
-		wifiT, err := hybrid.Transfer(t0, size, time.Second, hybrid.Proportional{}, hybrid.SingleIface(ifs[0]))
+		wifiT, err := hybrid.Transfer(t0, size, time.Second, hybrid.Proportional{}, ifs[:1])
 		if err != nil {
 			continue // WiFi-only may stall on weak pairs; skip like the paper's omitted links
 		}

@@ -3,33 +3,27 @@
 // splits packets across media proportionally to their estimated
 // capacities, reorders at the receiver using the IP identification
 // sequence, and is compared against a capacity-blind round-robin scheduler.
+//
+// Schedulers consume the IEEE 1905-style abstraction layer (al.Link), so
+// the balancer is medium-blind: any technology that implements al.Link —
+// PLC, WiFi, a future MoCA backend — joins the hybrid node unchanged.
 package hybrid
 
 import (
 	"fmt"
+	"math"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/al"
 )
 
-// Iface is one attachment of the hybrid node: a live capacity estimate
-// (from BLE or MCS probing) plus the goodput the medium actually delivers.
-type Iface struct {
-	Name string
-	// Capacity returns the current capacity estimate in Mb/s — what the
-	// balancer believes.
-	Capacity func(t time.Duration) float64
-	// Throughput returns the goodput the medium sustains at t in Mb/s —
-	// what the medium actually delivers.
-	Throughput func(t time.Duration) float64
-}
-
-// Scheduler picks an interface for each packet.
+// Scheduler picks a traffic split across the node's attached links.
 type Scheduler interface {
 	Name() string
-	// Weights returns the traffic share per interface at time t; the
-	// shares must sum to 1 for any usable interface set.
-	Weights(t time.Duration, ifaces []*Iface) []float64
+	// Weights returns the traffic share per link at time t; the shares
+	// must sum to 1 over the usable (connected) links whenever any link
+	// is usable.
+	Weights(t time.Duration, links []al.Link) []float64
 }
 
 // Proportional is the paper's load balancer: share ∝ estimated capacity.
@@ -39,21 +33,39 @@ type Proportional struct{}
 func (Proportional) Name() string { return "hybrid" }
 
 // Weights implements Scheduler.
-func (Proportional) Weights(t time.Duration, ifaces []*Iface) []float64 {
-	w := make([]float64, len(ifaces))
+func (Proportional) Weights(t time.Duration, links []al.Link) []float64 {
+	w := make([]float64, len(links))
 	var sum float64
-	for i, f := range ifaces {
-		c := f.Capacity(t)
+	for i, l := range links {
+		c := l.Capacity(t)
 		if c < 0 {
+			c = 0
+		}
+		if c > 0 && !l.Connected(t) {
+			// A stale estimate on a dark link (a WiFi EWMA that has not
+			// caught up with a blind spot) must not attract traffic.
 			c = 0
 		}
 		w[i] = c
 		sum += c
 	}
 	if sum == 0 {
-		// No estimates: fall back to equal split.
-		for i := range w {
-			w[i] = 1 / float64(len(w))
+		// No estimates: fall back to an equal split over the usable
+		// (connected) links only — splitting onto a blind-spot link
+		// would sink that share of the traffic.
+		usable := 0
+		for _, l := range links {
+			if l.Connected(t) {
+				usable++
+			}
+		}
+		if usable == 0 {
+			return w // all dark: no split exists, the node is stalled
+		}
+		for i, l := range links {
+			if l.Connected(t) {
+				w[i] = 1 / float64(usable)
+			}
 		}
 		return w
 	}
@@ -71,8 +83,8 @@ type RoundRobin struct{}
 func (RoundRobin) Name() string { return "round-robin" }
 
 // Weights implements Scheduler.
-func (RoundRobin) Weights(t time.Duration, ifaces []*Iface) []float64 {
-	w := make([]float64, len(ifaces))
+func (RoundRobin) Weights(t time.Duration, links []al.Link) []float64 {
+	w := make([]float64, len(links))
 	for i := range w {
 		w[i] = 1 / float64(len(w))
 	}
@@ -80,21 +92,27 @@ func (RoundRobin) Weights(t time.Duration, ifaces []*Iface) []float64 {
 }
 
 // AggregateThroughput returns the saturated goodput of the hybrid node at
-// time t: the largest input rate R such that no interface receives more
-// than it can deliver, i.e. R = min_i throughput_i / weight_i. With
-// accurate capacity estimates the proportional scheduler approaches
-// Σ throughput_i, while round-robin is pinned at n·min_i throughput_i —
-// the Fig. 20 contrast.
-func AggregateThroughput(t time.Duration, s Scheduler, ifaces []*Iface) float64 {
-	if len(ifaces) == 0 {
+// time t: the largest input rate R such that no link receives more than it
+// can deliver, i.e. R = min_i goodput_i / weight_i. With accurate capacity
+// estimates the proportional scheduler approaches Σ goodput_i, while
+// round-robin is pinned at n·min_i goodput_i — the Fig. 20 contrast.
+func AggregateThroughput(t time.Duration, s Scheduler, links []al.Link) float64 {
+	if len(links) == 0 {
 		return 0
 	}
-	w := s.Weights(t, ifaces)
+	return aggregate(t, s.Weights(t, links), links)
+}
+
+// aggregate computes the saturated input rate for a fixed weight vector.
+func aggregate(t time.Duration, w []float64, links []al.Link) float64 {
 	rate := -1.0
-	for i, f := range ifaces {
-		tp := f.Throughput(t)
-		if w[i] <= 0 {
-			continue // interface unused: does not bound the rate
+	for i, l := range links {
+		// Goodput is read for every link, weighted or not: goodput models
+		// are stateful (WiFi rate adaptation tracks an SNR EWMA), and the
+		// medium keeps adapting whether or not this step routes onto it.
+		tp := l.Goodput(t)
+		if i >= len(w) || w[i] <= 0 {
+			continue // link unused: does not bound the rate
 		}
 		r := tp / w[i]
 		if rate < 0 || r < rate {
@@ -107,11 +125,45 @@ func AggregateThroughput(t time.Duration, s Scheduler, ifaces []*Iface) float64 
 	return rate
 }
 
+// weightTolerance bounds how far a scheduler's weights may stray from a
+// probability distribution over the usable links.
+const weightTolerance = 0.01
+
+// validateWeights rejects weight vectors that silently mis-split traffic:
+// whenever any link is usable, the weights over the usable links must sum
+// to ~1 (weight assigned to a dark link sinks that share of the traffic).
+// With every link dark no valid split exists; the stall budget governs.
+func validateWeights(t time.Duration, s Scheduler, w []float64, links []al.Link) error {
+	if len(w) != len(links) {
+		return fmt.Errorf("hybrid: scheduler %s returned %d weights for %d links", s.Name(), len(w), len(links))
+	}
+	anyUsable := false
+	var usableSum float64
+	for i, l := range links {
+		if l.Connected(t) {
+			anyUsable = true
+			usableSum += w[i]
+		}
+	}
+	if !anyUsable {
+		return nil
+	}
+	// Inverted comparison so a NaN sum (a scheduler that divided by a
+	// zero total) is rejected rather than slipping through.
+	if !(math.Abs(usableSum-1) <= weightTolerance) {
+		return fmt.Errorf("hybrid: scheduler %s mis-splits traffic at t=%v: weights sum to %.3f over usable links",
+			s.Name(), t, usableSum)
+	}
+	return nil
+}
+
 // Transfer simulates moving size bytes through the hybrid node starting at
 // start, integrating the aggregate goodput over wall-clock steps, and
 // returns the completion time (§7.4's 600 MB download comparison).
-// A zero aggregate rate longer than stallLimit aborts with an error.
-func Transfer(start time.Duration, sizeBytes int64, step time.Duration, s Scheduler, ifaces []*Iface) (time.Duration, error) {
+// Scheduler weights are validated every step — a split that leaks traffic
+// onto dark links aborts with an error rather than silently slowing the
+// transfer — and a zero aggregate rate longer than stallLimit aborts too.
+func Transfer(start time.Duration, sizeBytes int64, step time.Duration, s Scheduler, links []al.Link) (time.Duration, error) {
 	const stallLimit = 10 * time.Minute
 	if step <= 0 {
 		step = 100 * time.Millisecond
@@ -120,7 +172,11 @@ func Transfer(start time.Duration, sizeBytes int64, step time.Duration, s Schedu
 	t := start
 	stalled := time.Duration(0)
 	for remaining > 0 {
-		r := AggregateThroughput(t, s, ifaces) // Mb/s
+		w := s.Weights(t, links)
+		if err := validateWeights(t, s, w, links); err != nil {
+			return 0, err
+		}
+		r := aggregate(t, w, links) // Mb/s
 		bits := r * 1e6 * step.Seconds()
 		if bits <= 0 {
 			stalled += step
@@ -139,19 +195,4 @@ func Transfer(start time.Duration, sizeBytes int64, step time.Duration, s Schedu
 		t += step
 	}
 	return t - start, nil
-}
-
-// SingleIface adapts one medium into an interface list, for baseline runs.
-func SingleIface(f *Iface) []*Iface { return []*Iface{f} }
-
-// FromMetricTable builds a capacity function reading the 1905 metric table
-// (so balancer behaviour follows probed metrics, not ground truth).
-func FromMetricTable(mt *core.MetricTable, src, dst int) func(time.Duration) float64 {
-	return func(time.Duration) float64 {
-		m, ok := mt.Lookup(src, dst)
-		if !ok {
-			return 0
-		}
-		return m.CapacityMbps
-	}
 }

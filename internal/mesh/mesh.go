@@ -5,11 +5,13 @@
 // accurate per-medium capacity and loss metrics (and that alternating
 // technologies across hops performs well, the paper's reference [17]).
 //
-// Edges carry the two IEEE 1905 metrics this repository estimates
-// (capacity and loss); the route metric is the expected transmission time
-// (ETT) of Draves et al. — the paper's reference [8] — with the
-// retransmission factor computed per medium: the SACK-based selective
-// retransmission model for PLC, classic 1/(1-loss) for WiFi.
+// The graph is built from the IEEE 1905-style abstraction layer
+// (al.Topology): every medium the layer exposes contributes edges carrying
+// its metric-table entry, so the router is medium-blind — a new backend
+// joins the mesh by implementing al.Link. The route metric is the expected
+// transmission time (ETT) of Draves et al. — the paper's reference [8] —
+// with the retransmission factor computed per medium: the SACK-based
+// selective retransmission model for PLC, classic 1/(1-loss) for WiFi.
 package mesh
 
 import (
@@ -17,11 +19,18 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/al"
 	"repro/internal/core"
 )
 
-// Edge is one directed link of the hybrid mesh.
+// Edge is one directed link of the hybrid mesh: an abstraction-layer link
+// plus the 1905 metrics snapshotted at survey time (routing needs one
+// consistent instant across all edges).
 type Edge struct {
+	// Link is the underlying abstraction-layer link; nil for hand-built
+	// graphs (tests, synthetic scenarios).
+	Link al.Link
+
 	From, To     int
 	Medium       core.Medium
 	CapacityMbps float64
@@ -148,11 +157,17 @@ func (g *Graph) BestRoute(src, dst, packetBytes int) (Route, bool) {
 		}
 	}
 
-	// Best terminal state at dst over either arrival medium.
+	// Best terminal state at dst over either arrival medium. Ties break
+	// deterministically on the arrival medium so equal-cost routes do not
+	// depend on map iteration order (two builds from one seed must route
+	// identically).
 	var best routeState
 	bestCost := math.Inf(1)
 	for st, d := range dist {
-		if st.node == dst && d < bestCost {
+		if st.node != dst {
+			continue
+		}
+		if d < bestCost || (d == bestCost && beats(st, best)) {
 			best, bestCost = st, d
 		}
 	}
@@ -175,6 +190,15 @@ func (g *Graph) BestRoute(src, dst, packetBytes int) (Route, bool) {
 		}
 	}
 	return r, true
+}
+
+// beats orders equal-cost terminal states: no-medium first, then by
+// medium value — an arbitrary but stable tie-break.
+func beats(a, b routeState) bool {
+	if a.hasMed != b.hasMed {
+		return !a.hasMed
+	}
+	return a.medium < b.medium
 }
 
 // routeState is a Dijkstra state: the node plus the medium of the edge

@@ -1,15 +1,32 @@
 package mesh
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"repro/internal/al"
 	"repro/internal/core"
 	"repro/internal/plc/phy"
 	"repro/internal/testbed"
 )
+
+// surveyFloor builds the Fig. 2 floor and runs the full two-media survey.
+func surveyFloor(t testing.TB, seed int64, decimate int, probeDur time.Duration) (*Graph, *core.MetricTable, *al.Topology) {
+	t.Helper()
+	tb := testbed.New(testbed.Options{Spec: phy.AV, Decimate: decimate, Seed: seed})
+	topo, err := tb.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, mt, err := Survey(context.Background(), topo, 23*time.Hour, probeDur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, mt, topo
+}
 
 func TestETTBasics(t *testing.T) {
 	e := Edge{Medium: core.WiFi, CapacityMbps: 80, Loss: 0}
@@ -135,11 +152,7 @@ func TestSurveyCrossWingRouting(t *testing.T) {
 	// most of the floor. The mesh must bridge the wings, and PLC must
 	// carry some hop (pure-WiFi multi-hop would halve throughput in one
 	// collision domain).
-	tb := testbed.New(testbed.Options{Spec: phy.AV, Decimate: 16, Seed: 1})
-	g, mt, err := Survey(tb, 23*time.Hour, 2*time.Second)
-	if err != nil {
-		t.Fatal(err)
-	}
+	g, mt, _ := surveyFloor(t, 1, 16, 2*time.Second)
 	if mt.Len() == 0 {
 		t.Fatal("survey produced no metrics")
 	}
@@ -166,11 +179,7 @@ func TestSurveyCrossWingRouting(t *testing.T) {
 }
 
 func TestSurveyInWingPrefersDirectGoodLink(t *testing.T) {
-	tb := testbed.New(testbed.Options{Spec: phy.AV, Decimate: 16, Seed: 1})
-	g, _, err := Survey(tb, 23*time.Hour, 2*time.Second)
-	if err != nil {
-		t.Fatal(err)
-	}
+	g, _, _ := surveyFloor(t, 1, 16, 2*time.Second)
 	// Adjacent stations: the direct link should win (no relay can beat a
 	// one-hop good link on summed ETT).
 	r, ok := g.BestRoute(0, 1, 1500)
@@ -183,11 +192,7 @@ func TestSurveyInWingPrefersDirectGoodLink(t *testing.T) {
 }
 
 func BenchmarkBestRoute(b *testing.B) {
-	tb := testbed.New(testbed.Options{Spec: phy.AV, Decimate: 16, Seed: 1})
-	g, _, err := Survey(tb, 23*time.Hour, time.Second)
-	if err != nil {
-		b.Fatal(err)
-	}
+	g, _, _ := surveyFloor(b, 1, 16, time.Second)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.BestRoute(i%19, (i+7)%19, 1500)

@@ -1,51 +1,66 @@
 package mesh
 
 import (
+	"context"
 	"time"
 
+	"repro/internal/al"
 	"repro/internal/core"
-	"repro/internal/testbed"
 )
 
-// Survey probes every link of the testbed on both media at the given
-// virtual time and builds the hybrid mesh graph from the resulting 1905
-// metrics: PLC capacity from BLE with PBerr as loss, WiFi capacity from
-// the MCS with a loss estimate from the SNR margin. probeDur bounds the
-// per-link PLC warm-up.
-func Survey(tb *testbed.Testbed, at time.Duration, probeDur time.Duration) (*Graph, *core.MetricTable, error) {
+// MinEdgeCapacityMbps is the admission threshold for mesh edges: a link
+// whose capacity estimate cannot carry even half a megabit is routing
+// noise, not a hop.
+const MinEdgeCapacityMbps = 0.5
+
+// FromTopology builds the mesh graph from the abstraction layer at one
+// virtual instant: every link that is connected at t — Connected excludes
+// WiFi pairs past the ~35 m blind spot (§4.1) — and whose metric-table
+// capacity clears MinEdgeCapacityMbps becomes an edge carrying its 1905
+// metrics. No probing is performed; call Survey to warm estimation first.
+func FromTopology(topo *al.Topology, t time.Duration) *Graph {
+	g := NewGraph()
+	for _, l := range topo.Links() {
+		admitEdge(g, l, l.Metrics(t), t)
+	}
+	return g
+}
+
+// Survey drives the full 1905 metric-collection campaign over a topology:
+// every link of every medium is probed for probeDur starting at `at`, its
+// metrics land in a fresh metric table, and the usable links form the mesh
+// graph. Cancelling ctx aborts between per-link probe windows.
+func Survey(ctx context.Context, topo *al.Topology, at, probeDur time.Duration) (*Graph, *core.MetricTable, error) {
 	g := NewGraph()
 	mt := core.NewMetricTable()
-
-	for _, pr := range tb.SameNetworkPairs() {
-		l, err := tb.PLCLink(pr[0], pr[1])
-		if err != nil {
+	read := at + probeDur
+	for _, l := range topo.Links() {
+		if err := al.Probe(ctx, l, at, probeDur); err != nil {
 			return nil, nil, err
 		}
-		l.Saturate(at, at+probeDur, 500*time.Millisecond)
-		capMbps := l.Throughput(at + probeDur)
-		loss := l.PBerr(at + probeDur)
-		m := core.LinkMetrics{Medium: core.PLC, CapacityMbps: capMbps, Loss: loss, UpdatedAt: at}
-		mt.Update(pr[0], pr[1], m)
-		if capMbps > 0.5 {
-			g.AddEdge(Edge{From: pr[0], To: pr[1], Medium: core.PLC, CapacityMbps: capMbps, Loss: loss})
+		m := l.Metrics(read)
+		if l.Connected(read) {
+			// Only reachable neighbours enter the table, so a WiFi
+			// blind-spot entry never shadows a working PLC one.
+			src, dst := l.Endpoints()
+			mt.Update(src, dst, m)
 		}
-	}
-	for _, pr := range tb.AllPairs() {
-		wl := tb.WiFiLink(pr[0], pr[1])
-		capMbps := wl.Throughput(at)
-		if capMbps <= 0.5 {
-			continue
-		}
-		// Frame loss estimate from the margin between the instantaneous
-		// SNR and the selected MCS requirement.
-		mcs, ok := wl.MCSAt(at)
-		loss := 0.01
-		if ok && wl.SNR(at) < mcs.MinSNRdB {
-			loss = 0.2
-		}
-		m := core.LinkMetrics{Medium: core.WiFi, CapacityMbps: capMbps, Loss: loss, UpdatedAt: at}
-		mt.Update(pr[0], pr[1], m)
-		g.AddEdge(Edge{From: pr[0], To: pr[1], Medium: core.WiFi, CapacityMbps: capMbps, Loss: loss})
+		admitEdge(g, l, m, read)
 	}
 	return g, mt, nil
+}
+
+// admitEdge appends the link to the graph if it is usable at t.
+func admitEdge(g *Graph, l al.Link, m core.LinkMetrics, t time.Duration) {
+	if !l.Connected(t) || m.CapacityMbps <= MinEdgeCapacityMbps {
+		return
+	}
+	src, dst := l.Endpoints()
+	g.AddEdge(Edge{
+		Link: l,
+		From: src, To: dst,
+		Medium:       l.Medium(),
+		CapacityMbps: m.CapacityMbps,
+		Loss:         m.Loss,
+	})
 }

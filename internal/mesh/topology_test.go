@@ -1,0 +1,143 @@
+package mesh
+
+// Satellite coverage for routing over the abstraction layer: mixed-medium
+// multi-hop selection, blind-spot exclusion via Connected(t), and
+// determinism across independently built testbeds.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/al"
+	"repro/internal/core"
+	"repro/internal/plc/phy"
+	"repro/internal/testbed"
+)
+
+// floorTopology builds the Fig. 2 floor's abstraction-layer view without
+// driving any traffic.
+func floorTopology(t testing.TB, seed int64, decimate int) *al.Topology {
+	t.Helper()
+	tb := testbed.New(testbed.Options{Spec: phy.AV, Decimate: decimate, Seed: seed})
+	topo, err := tb.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestTopologyMixedMediumMultiHop(t *testing.T) {
+	g, _, _ := surveyFloor(t, 1, 16, 2*time.Second)
+	// Stations 5 and 17 share no PLC network and sit ~60 m apart: only a
+	// multi-hop route that mixes media can connect them (§4.3).
+	r, ok := g.BestRoute(5, 17, 1500)
+	if !ok {
+		t.Fatal("no cross-wing route")
+	}
+	if len(r.Hops) < 2 {
+		t.Fatalf("cross-wing route must be multi-hop: %s", r)
+	}
+	media := map[core.Medium]bool{}
+	for _, h := range r.Hops {
+		media[h.Medium] = true
+		if h.Link == nil {
+			t.Fatalf("surveyed edge %d→%d lost its abstraction-layer link", h.From, h.To)
+		}
+		if h.Link.Medium() != h.Medium {
+			t.Fatalf("edge medium %v disagrees with its link %v", h.Medium, h.Link.Medium())
+		}
+	}
+	if !media[core.WiFi] {
+		t.Fatalf("only WiFi bridges the two PLC networks: %s", r)
+	}
+	t.Logf("cross-wing route: %s (ETT %.0f µs, media %v)", r, r.ETTMicros, media)
+}
+
+func TestTopologyExcludesBlindSpotWiFi(t *testing.T) {
+	// No probing needed: blind-spot exclusion is a Connected(t) property,
+	// and FromTopology admits edges from the unwarmed metric state.
+	topo := floorTopology(t, 1, 16)
+	g := FromTopology(topo, 23*time.Hour)
+
+	// Stations 5 (68,30) and 14 (8,30) are 60 m apart — far past the
+	// ~35 m WiFi blind spot of §4.1.
+	far := topo.Node(5)
+	fl, ok := far.Link(core.WiFi, 14)
+	if !ok {
+		t.Fatal("topology must enumerate the far WiFi link")
+	}
+	if fl.Connected(23 * time.Hour) {
+		t.Fatal("a 60 m WiFi link must be disconnected")
+	}
+	for _, e := range g.EdgesFrom(5) {
+		if e.To == 14 && e.Medium == core.WiFi {
+			t.Fatalf("blind-spot WiFi edge admitted to the mesh: %+v", e)
+		}
+	}
+	// A short pair keeps its WiFi edge (the exclusion is selective).
+	near, ok := topo.Node(0).Link(core.WiFi, 1)
+	if !ok || !near.Connected(23*time.Hour) {
+		t.Fatal("a ~7 m WiFi link must be connected")
+	}
+	found := false
+	for _, e := range g.EdgesFrom(0) {
+		if e.To == 1 && e.Medium == core.WiFi {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("short WiFi edge missing from the mesh")
+	}
+}
+
+func TestTopologyRoutingDeterminism(t *testing.T) {
+	// Two independently constructed testbeds from one seed must survey to
+	// identical metric tables and route identically — the property that
+	// lets campaigns parallelise across fresh builds.
+	type snapshot struct {
+		edges  int
+		routes map[[2]int]string
+		etts   map[[2]int]float64
+		caps   map[[2]int]float64
+	}
+	build := func() snapshot {
+		g, mt, _ := surveyFloor(t, 7, 32, time.Second)
+		s := snapshot{
+			routes: map[[2]int]string{},
+			etts:   map[[2]int]float64{},
+			caps:   map[[2]int]float64{},
+		}
+		for n := 0; n < g.Nodes(); n++ {
+			s.edges += len(g.EdgesFrom(n))
+		}
+		for _, pr := range [][2]int{{5, 17}, {0, 14}, {11, 12}, {3, 9}} {
+			if r, ok := g.BestRoute(pr[0], pr[1], 1500); ok {
+				s.routes[pr] = r.String()
+				s.etts[pr] = r.ETTMicros
+			}
+		}
+		for _, pr := range [][2]int{{0, 1}, {5, 9}, {12, 15}} {
+			if m, ok := mt.Lookup(pr[0], pr[1]); ok {
+				s.caps[pr] = m.CapacityMbps
+			}
+		}
+		return s
+	}
+	a, b := build(), build()
+	if a.edges != b.edges {
+		t.Fatalf("edge counts differ: %d vs %d", a.edges, b.edges)
+	}
+	for pr, ra := range a.routes {
+		if rb := b.routes[pr]; ra != rb {
+			t.Fatalf("route %v differs:\n  %s\n  %s", pr, ra, rb)
+		}
+		if a.etts[pr] != b.etts[pr] {
+			t.Fatalf("ETT %v differs: %v vs %v", pr, a.etts[pr], b.etts[pr])
+		}
+	}
+	for pr, ca := range a.caps {
+		if cb := b.caps[pr]; ca != cb {
+			t.Fatalf("surveyed capacity %v differs: %v vs %v", pr, ca, cb)
+		}
+	}
+}

@@ -9,6 +9,8 @@ package testbed
 import (
 	"fmt"
 
+	"repro/internal/al"
+	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/plc"
 	"repro/internal/plc/phy"
@@ -99,6 +101,13 @@ type Options struct {
 	// Estimator overrides the channel-estimation tuning; zero value
 	// means defaults.
 	Estimator *phy.EstimatorConfig
+}
+
+// DefaultOptions is the recommended laptop-scale configuration (HomePlug
+// AV, decimate 8, seed 1) — the single source the facade and the command
+// flags both start from.
+func DefaultOptions() Options {
+	return Options{Spec: phy.AV, Decimate: 8, Seed: 1}
 }
 
 // New assembles the Fig. 2 floor.
@@ -269,10 +278,60 @@ func wiringLen(x1, y1, x2, y2 float64) float64 {
 
 // PLCLink returns the directed PLC link between two station numbers.
 func (tb *Testbed) PLCLink(src, dst int) (*plc.Link, error) {
-	if src < 0 || src >= NumStations || dst < 0 || dst >= NumStations {
+	if src < 0 || src >= len(tb.Stations) || dst < 0 || dst >= len(tb.Stations) {
 		return nil, fmt.Errorf("testbed: station out of range (%d, %d)", src, dst)
 	}
 	return tb.Dep.Link(tb.Stations[src], tb.Stations[dst])
+}
+
+// ALLink returns the IEEE 1905-style abstraction-layer view of one
+// directed link — the medium-agnostic surface schedulers and routers
+// consume.
+func (tb *Testbed) ALLink(m core.Medium, src, dst int) (al.Link, error) {
+	if src < 0 || src >= len(tb.Stations) || dst < 0 || dst >= len(tb.Stations) || src == dst {
+		return nil, fmt.Errorf("testbed: bad station pair (%d, %d)", src, dst)
+	}
+	switch m {
+	case core.PLC:
+		l, err := tb.PLCLink(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		return al.NewPLC(l), nil
+	case core.WiFi:
+		return al.NewWiFi(src, dst, tb.WiFiLink(src, dst)), nil
+	}
+	return nil, fmt.Errorf("testbed: unknown medium %v", m)
+}
+
+// Topology returns the abstraction-layer view of the whole floor: one PLC
+// link per same-network ordered station pair (Fig. 2's two AVLNs) followed
+// by one WiFi link per ordered pair (WiFi has no network partition), in
+// deterministic order — consumers inherit seed-reproducibility.
+func (tb *Testbed) Topology() (*al.Topology, error) {
+	topo := al.NewTopology()
+	n := len(tb.Stations)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b || tb.stationNets[a] != tb.stationNets[b] {
+				continue
+			}
+			l, err := tb.PLCLink(a, b)
+			if err != nil {
+				return nil, err
+			}
+			topo.Add(al.NewPLC(l))
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			topo.Add(al.NewWiFi(a, b, tb.WiFiLink(a, b)))
+		}
+	}
+	return topo, nil
 }
 
 // WiFiLink returns the directed WiFi link between two station numbers.

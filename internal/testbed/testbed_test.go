@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/plc/phy"
 )
@@ -154,6 +155,66 @@ func TestIsolatedRigApplianceIntroducesAsymmetry(t *testing.T) {
 	tr := rev.Throughput(day + 5*time.Second)
 	if tf >= tr {
 		t.Fatalf("noise near RX of 0→1 should depress it: fwd %.1f rev %.1f", tf, tr)
+	}
+}
+
+func TestTopologyEnumeratesAllMedia(t *testing.T) {
+	tb := buildAV(t)
+	topo, err := tb.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 174 same-network PLC pairs + 19·18 WiFi pairs.
+	wantPLC, wantWiFi := 174, NumStations*(NumStations-1)
+	nPLC, nWiFi := 0, 0
+	for _, l := range topo.Links() {
+		switch l.Medium() {
+		case core.PLC:
+			nPLC++
+		case core.WiFi:
+			nWiFi++
+		}
+	}
+	if nPLC != wantPLC || nWiFi != wantWiFi {
+		t.Fatalf("topology has %d PLC + %d WiFi links, want %d + %d", nPLC, nWiFi, wantPLC, wantWiFi)
+	}
+	if got := len(topo.Stations()); got != NumStations {
+		t.Fatalf("topology stations = %d", got)
+	}
+	// An in-network pair carries both media; a cross-network pair only
+	// WiFi (Fig. 2's partition seen through the abstraction layer).
+	if got := topo.Between(0, 2); len(got) != 2 {
+		t.Fatalf("links 0→2 = %d, want PLC+WiFi", len(got))
+	}
+	if got := topo.Between(0, 15); len(got) != 1 || got[0].Medium() != core.WiFi {
+		t.Fatalf("cross-network pair 0→15 must be WiFi-only: %v", got)
+	}
+}
+
+func TestALLink(t *testing.T) {
+	tb := buildAV(t)
+	pl, err := tb.ALLink(core.PLC, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src, dst := pl.Endpoints(); src != 0 || dst != 2 || pl.Medium() != core.PLC {
+		t.Fatalf("PLC al link = %d→%d %v", src, dst, pl.Medium())
+	}
+	wl, err := tb.ALLink(core.WiFi, 0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Medium() != core.WiFi {
+		t.Fatalf("medium = %v", wl.Medium())
+	}
+	if _, err := tb.ALLink(core.PLC, 0, 15); err == nil {
+		t.Fatal("cross-network PLC link must error")
+	}
+	if _, err := tb.ALLink(core.WiFi, 0, 99); err == nil {
+		t.Fatal("out-of-range station must error")
+	}
+	if _, err := tb.ALLink(core.Medium(99), 0, 1); err == nil {
+		t.Fatal("unknown medium must error")
 	}
 }
 

@@ -41,11 +41,14 @@ var RateTable2SS20MHz = []MCS{
 // the maximum rate below ~10 m, degraded past 20 m, no connectivity beyond
 // ~35 m (§4.1 "Connectivity"), and UDP goodput ≈ 0.65 × PHY rate.
 const (
-	txPowerDBm      = 15.0
-	noiseFloorDBm   = -92.0 // thermal + NF over 20 MHz
-	pathLossAt1m    = 40.0
-	pathLossExp     = 4.0 // indoor, through walls
-	macEfficiency   = 0.66
+	txPowerDBm    = 15.0
+	noiseFloorDBm = -92.0 // thermal + NF over 20 MHz
+	pathLossAt1m  = 40.0
+	pathLossExp   = 4.0 // indoor, through walls
+	// MACEfficiency is the UDP-goodput fraction of the PHY rate; consumers
+	// that turn an MCS capacity into a goodput-comparable estimate (the
+	// abstraction layer, the §7.4 balancer) scale by it.
+	MACEfficiency   = 0.66
 	shadowSigmaDB   = 4.0
 	asymMaxDB       = 1.5
 	fadeSigmaNight  = 2.0
@@ -163,7 +166,7 @@ func (l *Link) Throughput(t time.Duration) float64 {
 	if !ok {
 		return 0
 	}
-	tp := m.Mbps * macEfficiency
+	tp := m.Mbps * MACEfficiency
 	if l.SNR(t) < m.MinSNRdB-1 {
 		tp *= 0.3
 	}

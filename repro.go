@@ -21,6 +21,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/al"
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -34,8 +35,6 @@ import (
 type (
 	// Testbed is the paper's 19-station floor (Fig. 2).
 	Testbed = testbed.Testbed
-	// TestbedOptions tunes the build (spec, seed, carrier decimation).
-	TestbedOptions = testbed.Options
 	// PLCLink is a directed HomePlug AV link with live channel
 	// estimation.
 	PLCLink = plc.Link
@@ -43,6 +42,8 @@ type (
 	WiFiLink = wifi.Link
 	// Spec selects the HomePlug generation (AV or AV500).
 	Spec = phy.Spec
+	// EstimatorConfig tunes the vendor channel-estimation model.
+	EstimatorConfig = phy.EstimatorConfig
 )
 
 // HomePlug generations.
@@ -51,13 +52,81 @@ const (
 	AV500 = phy.AV500
 )
 
-// NewTestbed builds the Fig. 2 floor with the given options.
-func NewTestbed(opts TestbedOptions) *Testbed { return testbed.New(opts) }
+// Re-exported abstraction layer: the IEEE 1905-style medium-agnostic
+// surface. Schedulers, routers and services consume Link/Topology only;
+// a new medium joins the hybrid network by implementing Link.
+type (
+	// Link is one directed medium attachment (PLC, WiFi, ...).
+	Link = al.Link
+	// Topology enumerates every link of every medium, per station.
+	Topology = al.Topology
+	// Node is one station's cross-media view of the topology.
+	Node = al.Node
+	// Sample is one streamed metric observation from Watch.
+	Sample = al.Sample
+	// Medium identifies the technology behind a link.
+	Medium = core.Medium
+)
+
+// Media known to the abstraction layer.
+const (
+	PLC  = core.PLC
+	WiFi = core.WiFi
+)
+
+// ProbeLink drives a link's estimation machinery for dur of virtual time
+// starting at t, honouring ctx between traffic windows.
+func ProbeLink(ctx context.Context, l Link, t, dur time.Duration) error {
+	return al.Probe(ctx, l, t, dur)
+}
+
+// WatchLink streams live 1905 metrics of a link every step of virtual
+// time; the channel closes when ctx is cancelled.
+func WatchLink(ctx context.Context, l Link, start, step time.Duration) <-chan Sample {
+	return al.Watch(ctx, l, start, step)
+}
+
+// TestbedOption configures NewTestbed (functional options).
+type TestbedOption func(*testbed.Options)
+
+// WithSpec selects the HomePlug generation (default AV).
+func WithSpec(s Spec) TestbedOption {
+	return func(o *testbed.Options) { o.Spec = s }
+}
+
+// WithSeed sets the simulation seed; equal seeds rebuild the floor bit
+// for bit (default 1).
+func WithSeed(seed int64) TestbedOption {
+	return func(o *testbed.Options) { o.Seed = seed }
+}
+
+// WithDecimate trades carrier resolution for speed: 1 models all 917 AV
+// carriers, the default 8 keeps every qualitative result at laptop cost.
+func WithDecimate(d int) TestbedOption {
+	return func(o *testbed.Options) { o.Decimate = d }
+}
+
+// WithEstimator overrides the channel-estimation tuning.
+func WithEstimator(cfg EstimatorConfig) TestbedOption {
+	return func(o *testbed.Options) { o.Estimator = &cfg }
+}
+
+// NewTestbed builds the Fig. 2 floor: 19 stations, two distribution
+// boards, two PLC logical networks, shared WiFi geometry.
+//
+//	tb := repro.NewTestbed(repro.WithSpec(repro.AV500), repro.WithSeed(7))
+func NewTestbed(opts ...TestbedOption) *Testbed {
+	o := testbed.DefaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return testbed.New(o)
+}
 
 // DefaultTestbed builds the floor with sensible defaults for the given
 // seed (HomePlug AV, moderate carrier resolution).
 func DefaultTestbed(seed int64) *Testbed {
-	return testbed.New(testbed.Options{Spec: phy.AV, Decimate: 8, Seed: seed})
+	return NewTestbed(WithSeed(seed))
 }
 
 // Re-exported metric machinery: the paper's contribution.

@@ -123,6 +123,77 @@ func TestFacadeContextCancellation(t *testing.T) {
 	}
 }
 
+func TestFacadeOptionsAPI(t *testing.T) {
+	// Functional options: spec, seed and decimation compose; defaults
+	// match DefaultTestbed.
+	av5 := NewTestbed(WithSpec(AV500), WithSeed(7), WithDecimate(16))
+	av := NewTestbed(WithSeed(7), WithDecimate(16))
+	night := 23 * time.Hour
+	l5, err := av5.PLCLink(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := av.PLCLink(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l5.Saturate(night, night+3*time.Second, 500*time.Millisecond)
+	l.Saturate(night, night+3*time.Second, 500*time.Millisecond)
+	if l5.AvgBLE() <= l.AvgBLE() {
+		t.Fatalf("WithSpec(AV500) had no effect: %v vs %v", l5.AvgBLE(), l.AvgBLE())
+	}
+	if opts := DefaultTestbed(3).Opts(); opts.Seed != 3 || opts.Decimate != 8 {
+		t.Fatalf("DefaultTestbed options = %+v", opts)
+	}
+}
+
+func TestFacadeAbstractionLayer(t *testing.T) {
+	tb := NewTestbed(WithSeed(1), WithDecimate(16))
+	topo, err := tb.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Links()) == 0 {
+		t.Fatal("empty topology")
+	}
+	ctx := context.Background()
+	pl, err := tb.ALLink(PLC, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ProbeLink(ctx, pl, 23*time.Hour, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m := pl.Metrics(23*time.Hour + 2*time.Second)
+	if m.Medium != PLC || m.CapacityMbps <= 0 {
+		t.Fatalf("metrics through the facade = %+v", m)
+	}
+	// Feed a metric table straight from the link.
+	mt := NewMetricTable()
+	mt.Update(0, 2, m)
+	if got, ok := mt.Lookup(0, 2); !ok || got.CapacityMbps != m.CapacityMbps {
+		t.Fatal("table feed lost the entry")
+	}
+	// Watch streams samples and honours cancellation.
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	n := 0
+	for s := range WatchLink(wctx, pl, 23*time.Hour, 500*time.Millisecond) {
+		if s.Metrics.CapacityMbps <= 0 {
+			t.Fatalf("watched sample without capacity: %+v", s)
+		}
+		if n++; n == 2 {
+			cancel()
+		}
+		if n > 2 {
+			break
+		}
+	}
+	if n < 2 {
+		t.Fatalf("watch yielded %d samples", n)
+	}
+}
+
 func TestDeterminismAcrossFacade(t *testing.T) {
 	run := func() float64 {
 		tb := DefaultTestbed(99)
