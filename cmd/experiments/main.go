@@ -1,12 +1,17 @@
-// Command experiments regenerates the paper's tables and figures from the
-// simulated testbed.
+// Command experiments regenerates the paper's tables and figures from a
+// simulated deployment — the paper floor by default, any scenario on
+// request, or a whole fleet of scenarios in one sweep.
 //
 // Usage:
 //
 //	experiments -list
+//	experiments -list-scenarios
 //	experiments -run fig15 -scale 0.2 -tables
 //	experiments -run all -parallel 4 -timeout 2m
 //	experiments -run all -json > campaign.json
+//	experiments -run fig20 -scenario flat
+//	experiments -run fig20 -scenarios paper,flat,large-office,apartment
+//	experiments -run fig20 -scenarios all -parallel 0
 //
 // Each experiment prints a one-line summary comparing the measured shape
 // with the paper's claim; -tables additionally dumps the figure's data
@@ -15,6 +20,12 @@
 // concurrently (output order stays deterministic; progress goes to
 // stderr). If any harness fails, the command reports every failing
 // experiment id on stderr and exits non-zero.
+//
+// -scenarios runs the selected experiments across several deployments on
+// one worker pool and reports the qualitative-claim verdict per
+// (scenario, experiment); a violated claim makes the command exit
+// non-zero, because a metric plane that only works on the paper's floor
+// is not deployable.
 package main
 
 import (
@@ -28,23 +39,28 @@ import (
 	"syscall"
 	"time"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list experiments and exit")
-		run      = flag.String("run", "all", "experiment id to run, or 'all'")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		scale    = flag.Float64("scale", 0.2, "duration scale in (0,1]: 1.0 = paper-length campaigns")
-		decim    = flag.Int("decimate", 8, "carrier decimation (1 = full 917-carrier resolution)")
-		tables   = flag.Bool("tables", false, "print full data tables, not just summaries")
-		parallel = flag.Int("parallel", 1, "worker count; 0 = all CPUs, 1 = serial")
-		timeout  = flag.Duration("timeout", 0, "per-experiment timeout (0 = none)")
-		asJSON   = flag.Bool("json", false, "emit results as a JSON array instead of text")
-		quiet    = flag.Bool("quiet", false, "suppress progress lines on stderr")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		listScen  = flag.Bool("list-scenarios", false, "list scenario presets and exit")
+		run       = flag.String("run", "all", "experiment id to run, or 'all'")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		scale     = flag.Float64("scale", 0.2, "duration scale in (0,1]: 1.0 = paper-length campaigns")
+		decim     = flag.Int("decimate", 8, "carrier decimation (1 = full 917-carrier resolution)")
+		tables    = flag.Bool("tables", false, "print full data tables, not just summaries")
+		parallel  = flag.Int("parallel", 1, "worker count; 0 = all CPUs, 1 = serial")
+		timeout   = flag.Duration("timeout", 0, "per-experiment timeout (0 = none)")
+		asJSON    = flag.Bool("json", false, "emit results as a JSON array instead of text")
+		quiet     = flag.Bool("quiet", false, "suppress progress lines on stderr")
+		scenarios = flag.String("scenarios", "", "comma-separated scenario sweep (or 'all'); overrides -scenario")
 	)
+	scen := cli.RegisterScenarioFlag()
 	flag.Parse()
 
 	if *list {
@@ -53,8 +69,20 @@ func main() {
 		}
 		return
 	}
+	if *listScen {
+		for _, n := range scenario.Names() {
+			bp, err := scenario.Parse(n)
+			if err != nil {
+				fmt.Printf("%-14s INVALID: %v\n", n, err)
+				continue
+			}
+			fmt.Printf("%-14s %d stations, %d boards, %d appliances\n",
+				n, len(bp.Stations), len(bp.Boards), bp.NumAppliances())
+		}
+		return
+	}
 
-	cfg := experiments.Config{Seed: *seed, Scale: *scale, Decimate: *decim}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Decimate: *decim, Scenario: *scen}
 	opts := campaign.Options{Workers: *parallel, Timeout: *timeout}
 	if *parallel == 0 {
 		opts.Workers = runtime.NumCPU()
@@ -62,6 +90,16 @@ func main() {
 	if *run != "all" {
 		opts.IDs = []string{*run}
 	}
+
+	// Ctrl-C cancels the campaign; in-flight harnesses stop between
+	// measurement windows.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *scenarios != "" {
+		os.Exit(runSweep(ctx, cfg, opts, cli.SplitScenarios(*scenarios), *asJSON, *tables, *quiet))
+	}
+
 	if !*quiet {
 		opts.Observer = func(ev campaign.Event) {
 			switch ev.Kind {
@@ -72,11 +110,6 @@ func main() {
 			}
 		}
 	}
-
-	// Ctrl-C cancels the campaign; in-flight harnesses stop between
-	// measurement windows.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	outcomes, err := campaign.Run(ctx, cfg, opts)
 	if werr := emit(outcomes, *asJSON, *tables); werr != nil && err == nil {
@@ -98,6 +131,90 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// sweepExport is the machine-readable envelope of one sweep cell.
+type sweepExport struct {
+	Scenario string `json:"scenario"`
+	experiments.Export
+	Claim string `json:"claim,omitempty"` // violated-claim description
+}
+
+// runSweep executes the cross-scenario sweep and reports per-scenario
+// qualitative-claim verdicts; the exit code is non-zero on harness
+// failures or violated claims.
+func runSweep(ctx context.Context, cfg experiments.Config, opts campaign.Options, names []string, asJSON, tables, quiet bool) int {
+	sopts := campaign.SweepOptions{Options: opts}
+	if !quiet {
+		sopts.Observer = func(ev campaign.SweepEvent) {
+			switch ev.Kind {
+			case campaign.EventFinished:
+				fmt.Fprintf(os.Stderr, "[%2d/%d] %-14s %-8s done in %v\n", ev.Done, ev.Total, ev.Scenario, ev.Meta.ID, ev.Elapsed.Round(time.Millisecond))
+			case campaign.EventFailed:
+				fmt.Fprintf(os.Stderr, "[%2d/%d] %-14s %-8s FAILED after %v: %v\n", ev.Done, ev.Total, ev.Scenario, ev.Meta.ID, ev.Elapsed.Round(time.Millisecond), ev.Err)
+			}
+		}
+	}
+	outcomes, err := campaign.Sweep(ctx, cfg, sopts, names)
+	if err != nil && outcomes == nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+
+	if asJSON {
+		exports := make([]sweepExport, 0, len(outcomes))
+		for _, o := range outcomes {
+			if o.Result == nil {
+				continue
+			}
+			se := sweepExport{Scenario: o.Scenario, Export: experiments.NewExport(o.Result)}
+			if o.Claim != nil {
+				se.Claim = o.Claim.Error()
+			}
+			exports = append(exports, se)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if werr := enc.Encode(exports); werr != nil && err == nil {
+			err = werr
+		}
+	} else {
+		current := ""
+		for _, o := range outcomes {
+			if o.Scenario != current {
+				current = o.Scenario
+				fmt.Printf("== scenario %s ==\n", current)
+			}
+			switch {
+			case o.Err != nil:
+				fmt.Printf("%-8s ERROR: %v\n", o.Meta.ID, o.Err)
+			case o.Result == nil:
+				continue
+			default:
+				verdict := "claim PASS"
+				if o.Claim != nil {
+					verdict = "claim FAIL: " + o.Claim.Error()
+				} else if _, ok := o.Result.(experiments.Checker); !ok {
+					verdict = "no self-check"
+				}
+				fmt.Printf("%-8s [%s] %s\n", o.Meta.ID, verdict, o.Result.Summary())
+				if tables {
+					fmt.Println(o.Result.Table())
+				}
+			}
+		}
+	}
+
+	code := 0
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		code = 1
+	}
+	for _, o := range campaign.FailedClaims(outcomes) {
+		fmt.Fprintf(os.Stderr, "experiments: claim failed on %s/%s: %v\n", o.Scenario, o.Meta.ID, o.Claim)
+		code = 1
+	}
+	return code
 }
 
 // emit prints the campaign outcomes in registry order.

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	hybridlb -a 0 -b 4 -for 60s -spec AV500
+//	hybridlb -scenario large-office -a 0 -b 7
 package main
 
 import (
@@ -23,8 +24,8 @@ import (
 
 func main() {
 	var (
-		a     = flag.Int("a", 0, "station A (0-18)")
-		b     = flag.Int("b", 4, "station B (0-18)")
+		a     = flag.Int("a", 0, "station A")
+		b     = flag.Int("b", 4, "station B")
 		total = flag.Duration("for", 60*time.Second, "run duration (virtual)")
 	)
 	tbf := cli.RegisterTestbedFlags()

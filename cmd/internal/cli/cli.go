@@ -1,6 +1,7 @@
 // Package cli holds the flag plumbing shared by the repro commands: every
-// tool that builds the Fig. 2 floor takes the same -seed/-spec/-decimate
-// trio and assembles the testbed the same way.
+// tool that builds a measurement floor takes the same
+// -seed/-spec/-decimate/-scenario quartet and assembles the testbed the
+// same way.
 package cli
 
 import (
@@ -9,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/plc/phy"
+	"repro/internal/scenario"
 	"repro/internal/testbed"
 )
 
@@ -17,17 +19,52 @@ type TestbedFlags struct {
 	Seed     *int64
 	Spec     *string
 	Decimate *int
+	Scenario *string
 }
 
-// RegisterTestbedFlags installs -seed, -spec and -decimate on the default
-// flag set, defaulting to testbed.DefaultOptions. Call before flag.Parse.
+// RegisterTestbedFlags installs -seed, -spec, -decimate and -scenario on
+// the default flag set, defaulting to testbed.DefaultOptions. Call
+// before flag.Parse.
 func RegisterTestbedFlags() *TestbedFlags {
 	def := testbed.DefaultOptions()
 	return &TestbedFlags{
 		Seed:     flag.Int64("seed", def.Seed, "simulation seed"),
 		Spec:     flag.String("spec", specFlagValue(def.Spec), "HomePlug generation: AV or AV500"),
 		Decimate: flag.Int("decimate", def.Decimate, "carrier decimation (1 = full resolution)"),
+		Scenario: RegisterScenarioFlag(),
 	}
+}
+
+// RegisterScenarioFlag installs just the -scenario selector (commands
+// with their own testbed flag set still share the scenario spelling).
+func RegisterScenarioFlag() *string {
+	return flag.String("scenario", scenario.DefaultName,
+		fmt.Sprintf("deployment scenario: %s, or gen:stations=N,boards=M,seed=S", strings.Join(scenario.Names(), ", ")))
+}
+
+// SplitScenarios parses a -scenarios selection ("all" = every preset).
+// Commas separate scenarios, but a gen: spec contains commas of its own
+// — a bare key=value fragment therefore re-attaches to the preceding
+// gen: entry, so "paper,gen:stations=24,boards=2" reads as two
+// scenarios (';' also works inside gen: specs). Preset names never
+// contain '=', so the reattachment cannot swallow one.
+func SplitScenarios(sel string) []string {
+	if strings.TrimSpace(sel) == "all" {
+		return scenario.Names()
+	}
+	var out []string
+	for _, s := range strings.Split(sel, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		if n := len(out); n > 0 && strings.Contains(s, "=") && !strings.Contains(s, ":") &&
+			strings.HasPrefix(out[n-1], "gen:") {
+			out[n-1] += "," + s
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // specFlagValue renders a spec as its flag spelling (ParseSpec's inverse).
@@ -38,13 +75,17 @@ func specFlagValue(s phy.Spec) string {
 	return "AV"
 }
 
-// Build assembles the Fig. 2 floor from the parsed flags.
+// Build assembles the selected scenario from the parsed flags.
 func (f *TestbedFlags) Build() (*testbed.Testbed, error) {
 	spec, err := ParseSpec(*f.Spec)
 	if err != nil {
 		return nil, err
 	}
-	return testbed.New(testbed.Options{Spec: spec, Decimate: *f.Decimate, Seed: *f.Seed}), nil
+	bp, err := scenario.Parse(*f.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	return testbed.Build(bp, testbed.Options{Spec: spec, Decimate: *f.Decimate, Seed: *f.Seed})
 }
 
 // ParseSpec resolves a -spec flag value to a PHY generation; the Stringer

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/plc/phy"
+	"repro/internal/scenario"
 	"repro/internal/testbed"
 )
 
@@ -19,6 +20,44 @@ func TestParseSpec(t *testing.T) {
 	}
 	if _, err := ParseSpec("bogus"); err == nil {
 		t.Fatal("bogus spec must error")
+	}
+}
+
+func TestSplitScenarios(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"paper", []string{"paper"}},
+		{"paper,flat", []string{"paper", "flat"}},
+		{" paper , flat ,", []string{"paper", "flat"}},
+		// gen: specs keep their comma-separated terms.
+		{"paper,gen:stations=24,boards=2,seed=3", []string{"paper", "gen:stations=24,boards=2,seed=3"}},
+		{"gen:stations=6,boards=1,flat", []string{"gen:stations=6,boards=1", "flat"}},
+		{"gen:stations=6;boards=1,flat", []string{"gen:stations=6;boards=1", "flat"}},
+		// A second gen: entry starts its own scenario.
+		{"gen:seed=1,gen:seed=2", []string{"gen:seed=1", "gen:seed=2"}},
+	}
+	for _, c := range cases {
+		got := SplitScenarios(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("SplitScenarios(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("SplitScenarios(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+	all := SplitScenarios("all")
+	if len(all) != len(scenario.Names()) {
+		t.Fatalf("all = %v", all)
+	}
+	// Every fragment 'all' expands to must parse.
+	for _, n := range all {
+		if _, err := scenario.Parse(n); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
 	}
 }
 

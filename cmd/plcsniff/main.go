@@ -6,6 +6,7 @@
 // Usage:
 //
 //	plcsniff -src 0 -dst 2 -for 200ms -spec AV500
+//	plcsniff -scenario flat -src 0 -dst 4
 package main
 
 import (
@@ -20,8 +21,8 @@ import (
 
 func main() {
 	var (
-		src   = flag.Int("src", 0, "source station (0-18)")
-		dst   = flag.Int("dst", 2, "destination station (0-18)")
+		src   = flag.Int("src", 0, "source station number")
+		dst   = flag.Int("dst", 2, "destination station number")
 		total = flag.Duration("for", 200*time.Millisecond, "capture duration (virtual)")
 		at    = flag.Duration("at", 11*time.Hour, "virtual start time")
 	)

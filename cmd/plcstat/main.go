@@ -6,6 +6,7 @@
 // Usage:
 //
 //	plcstat -src 1 -dst 9 -poll 500ms -for 30s -spec AV500 -decimate 4
+//	plcstat -scenario apartment -src 0 -dst 9
 package main
 
 import (
@@ -20,8 +21,8 @@ import (
 
 func main() {
 	var (
-		src   = flag.Int("src", 1, "source station (0-18)")
-		dst   = flag.Int("dst", 9, "destination station (0-18)")
+		src   = flag.Int("src", 1, "source station number")
+		dst   = flag.Int("dst", 9, "destination station number")
 		poll  = flag.Duration("poll", 500*time.Millisecond, "MM polling interval (>= 50ms)")
 		total = flag.Duration("for", 30*time.Second, "measurement duration (virtual)")
 		at    = flag.Duration("at", 11*time.Hour, "virtual start time (0 = Monday 00:00)")

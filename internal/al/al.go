@@ -74,12 +74,19 @@ type Sample struct {
 	At time.Duration
 	// Metrics is the link's 1905 entry at that instant.
 	Metrics core.LinkMetrics
+	// Err, when non-nil, reports a probe failure that ended the watch;
+	// it is only ever set on the final sample before the channel
+	// closes. A watch ended by cancelling ctx closes without an Err
+	// sample — the consumer asked for the shutdown.
+	Err error
 }
 
 // Watch streams live link metrics: every step of virtual time the link is
 // probed for one step and its metrics sampled, so a long-running service
 // consumes fresh 1905 entries without owning the probing loop. The channel
-// closes when ctx is cancelled; cancel to release the producer.
+// closes when ctx is cancelled; cancel to release the producer. A probe
+// failure is surfaced as a final Sample carrying Err before the close,
+// so consumers can tell a dead link from their own cancellation.
 func Watch(ctx context.Context, l Link, start, step time.Duration) <-chan Sample {
 	if step <= 0 {
 		step = 100 * time.Millisecond
@@ -88,7 +95,13 @@ func Watch(ctx context.Context, l Link, start, step time.Duration) <-chan Sample
 	go func() {
 		defer close(ch)
 		for t := start; ; t += step {
-			if Probe(ctx, l, t, step) != nil {
+			if err := Probe(ctx, l, t, step); err != nil {
+				if ctx.Err() == nil {
+					select {
+					case ch <- Sample{At: t + step, Err: err}:
+					case <-ctx.Done():
+					}
+				}
 				return
 			}
 			select {

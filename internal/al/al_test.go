@@ -2,6 +2,7 @@ package al_test
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -136,6 +137,70 @@ func TestWatchStreamsAndCancels(t *testing.T) {
 		if s.Metrics.CapacityMbps <= 0 {
 			t.Fatalf("sample %d has no capacity: %+v", i, s.Metrics)
 		}
+	}
+}
+
+// failingLink probes successfully okProbes times, then fails.
+type failingLink struct {
+	fakeLink
+	okProbes int
+	probeErr error
+}
+
+func (f *failingLink) Probe(ctx context.Context, t, dur time.Duration) error {
+	if f.okProbes > 0 {
+		f.okProbes--
+		return ctx.Err()
+	}
+	return f.probeErr
+}
+
+func TestWatchSurfacesProbeFailure(t *testing.T) {
+	// Regression: Watch used to swallow non-cancellation probe errors —
+	// the channel just closed, indistinguishable from a clean shutdown.
+	probeErr := errors.New("modem gone")
+	fl := &failingLink{fakeLink: fakeLink{0, 1, core.PLC, 50}, okProbes: 2, probeErr: probeErr}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var got []al.Sample
+	for s := range al.Watch(ctx, fl, 0, 100*time.Millisecond) {
+		got = append(got, s)
+	}
+	if len(got) != 3 {
+		t.Fatalf("samples = %d, want 2 good + 1 failure", len(got))
+	}
+	for _, s := range got[:2] {
+		if s.Err != nil {
+			t.Fatalf("healthy sample carries error: %+v", s)
+		}
+	}
+	last := got[2]
+	if !errors.Is(last.Err, probeErr) {
+		t.Fatalf("final sample error = %v, want the probe failure", last.Err)
+	}
+}
+
+func TestWatchCancellationClosesWithoutError(t *testing.T) {
+	tb := rig(t, 20)
+	raw, err := tb.PLCLink(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := al.Watch(ctx, al.NewPLC(raw), time.Hour, 200*time.Millisecond)
+	n := 0
+	for s := range ch {
+		if s.Err != nil {
+			t.Fatalf("cancellation must not surface as a failure sample: %v", s.Err)
+		}
+		n++
+		if n == 2 {
+			cancel()
+		}
+	}
+	if n < 2 {
+		t.Fatalf("watch yielded %d samples before cancel", n)
 	}
 }
 

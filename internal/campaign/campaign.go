@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 	"repro/internal/testbed"
 )
 
@@ -110,14 +111,60 @@ type Outcome struct {
 // windows — and Run returns ctx.Err(); experiments never started carry
 // ctx.Err() in their outcome.
 func Run(ctx context.Context, cfg experiments.Config, opts Options) ([]Outcome, error) {
+	// Reject a bad scenario selection here, where it can be reported,
+	// rather than letting testbed.New panic inside a worker goroutine.
+	if _, err := scenario.Parse(cfg.Scenario); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
 	metas, err := selectExperiments(opts.IDs)
 	if err != nil {
 		return nil, err
 	}
-	total := len(metas)
-	outcomes := make([]Outcome, total)
+	jobs := make([]poolJob, len(metas))
 	for i, m := range metas {
-		outcomes[i] = Outcome{Meta: m, Worker: -1}
+		jobs[i] = poolJob{scenario: cfg.Scenario, meta: m}
+	}
+	outcomes, err := executePool(ctx, cfg, opts, jobs, func(_ string, ev Event) {
+		if opts.Observer != nil {
+			opts.Observer(ev)
+		}
+	})
+	if err != nil {
+		return outcomes, err
+	}
+	return outcomes, promoteFailure(outcomes, func(i int) string { return outcomes[i].Meta.ID })
+}
+
+// promoteFailure returns the first harness failure in outcome order,
+// wrapped with the caller's description of that outcome — the shared
+// error contract of Run and Sweep.
+func promoteFailure(outs []Outcome, describe func(int) string) error {
+	for i, o := range outs {
+		if o.Err != nil {
+			return fmt.Errorf("campaign: %s: %w", describe(i), o.Err)
+		}
+	}
+	return nil
+}
+
+// poolJob is one (scenario, experiment) unit of pool work.
+type poolJob struct {
+	scenario string
+	meta     experiments.Meta
+}
+
+// executePool is the worker-pool core shared by Run and Sweep: it
+// executes the jobs longest-first on opts.Workers workers (one shared
+// memoizing factory unless opts.NoMemoize), emits scenario-tagged
+// progress events, and returns one outcome per job in job order. On
+// cancellation every never-started job carries ctx.Err() and the
+// context error is returned; harness failures stay in the outcomes for
+// the caller's error contract.
+func executePool(ctx context.Context, cfg experiments.Config, opts Options, jobs []poolJob, emit func(string, Event)) ([]Outcome, error) {
+	total := len(jobs)
+	outcomes := make([]Outcome, total)
+	for i, j := range jobs {
+		outcomes[i] = Outcome{Meta: j.meta, Worker: -1}
 	}
 	if total == 0 {
 		return outcomes, ctx.Err()
@@ -137,53 +184,54 @@ func Run(ctx context.Context, cfg experiments.Config, opts Options) ([]Outcome, 
 	}
 
 	// Longest-first schedule: sort indices by estimated cost, stable on
-	// the selection order so equal-cost experiments keep a deterministic
-	// feed order.
+	// the job order so equal-cost experiments keep a deterministic feed
+	// order.
 	order := make([]int, total)
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		return metas[order[a]].Cost > metas[order[b]].Cost
+		return jobs[order[a]].meta.Cost > jobs[order[b]].meta.Cost
 	})
 
 	var (
 		mu   sync.Mutex // guards done counter and observer calls
 		done int
 	)
-	emit := func(ev Event) {
+	count := func(name string, ev Event) {
 		mu.Lock()
 		if ev.Kind != EventStarted {
 			done++
 		}
 		ev.Done, ev.Total = done, total
-		obs := opts.Observer
-		if obs != nil {
-			obs(ev)
-		}
+		emit(name, ev)
 		mu.Unlock()
 	}
 
-	jobs := make(chan int)
+	feedC := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			for idx := range jobs {
-				outcomes[idx] = runOne(ctx, cfg, metas[idx], worker, opts.Timeout, factory, emit)
+			for idx := range feedC {
+				job := jobs[idx]
+				jcfg := cfg
+				jcfg.Scenario = job.scenario
+				outcomes[idx] = runOne(ctx, jcfg, job.meta, worker, opts.Timeout, factory,
+					func(ev Event) { count(job.scenario, ev) })
 			}
 		}(w)
 	}
 feed:
 	for _, idx := range order {
 		select {
-		case jobs <- idx:
+		case feedC <- idx:
 		case <-ctx.Done():
 			break feed
 		}
 	}
-	close(jobs)
+	close(feedC)
 	wg.Wait()
 
 	// Experiments never handed to a worker keep their zero Result; mark
@@ -195,11 +243,6 @@ feed:
 			}
 		}
 		return outcomes, err
-	}
-	for _, o := range outcomes {
-		if o.Err != nil {
-			return outcomes, fmt.Errorf("campaign: %s: %w", o.Meta.ID, o.Err)
-		}
 	}
 	return outcomes, nil
 }

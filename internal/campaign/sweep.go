@@ -1,0 +1,100 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+// SweepOutcome is one experiment's result on one scenario. Claim
+// carries the qualitative-claim verdict (nil = claim holds or the
+// result does not self-assess); Outcome.Err carries harness failures.
+type SweepOutcome struct {
+	Scenario string
+	Outcome
+	// Claim is the result's qualitative-claim verdict (see
+	// experiments.Checker); nil when the claim holds, when the harness
+	// failed (Err governs), or when the result does not self-assess.
+	Claim error
+}
+
+// SweepEvent extends a campaign Event with the scenario the experiment
+// ran on.
+type SweepEvent struct {
+	Event
+	Scenario string
+}
+
+// SweepOptions tunes a cross-scenario sweep. The campaign Options'
+// Observer field is ignored; use SweepOptions.Observer for scenario-
+// tagged progress.
+type SweepOptions struct {
+	Options
+	// Observer receives scenario-tagged progress events.
+	Observer func(SweepEvent)
+}
+
+// Sweep runs the selected experiments over a fleet of deployments: the
+// cross product of scenarios × experiments feeds one worker pool
+// (longest-first, like Run), every scenario's floors coming from one
+// shared memoizing factory so equal configurations are assembled once.
+// Scenario names are validated up front; outcomes group by scenario in
+// the order given, experiments in selection order within each, and each
+// outcome carries its harness error and qualitative-claim verdict.
+//
+// Like Run, every runnable job is attempted even when siblings fail;
+// the returned error is the first harness failure (claim verdicts are
+// reported in the outcomes, not as errors). Cancelling ctx stops the
+// sweep promptly and marks never-started jobs with ctx.Err().
+func Sweep(ctx context.Context, cfg experiments.Config, opts SweepOptions, scenarios []string) ([]SweepOutcome, error) {
+	if len(scenarios) == 0 {
+		scenarios = []string{scenario.DefaultName}
+	}
+	for _, name := range scenarios {
+		if _, err := scenario.Parse(name); err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+	}
+	metas, err := selectExperiments(opts.IDs)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]poolJob, 0, len(scenarios)*len(metas))
+	for _, name := range scenarios {
+		for _, m := range metas {
+			jobs = append(jobs, poolJob{scenario: name, meta: m})
+		}
+	}
+	plain, poolErr := executePool(ctx, cfg, opts.Options, jobs, func(name string, ev Event) {
+		if opts.Observer != nil {
+			opts.Observer(SweepEvent{Event: ev, Scenario: name})
+		}
+	})
+	outcomes := make([]SweepOutcome, len(plain))
+	for i, o := range plain {
+		outcomes[i] = SweepOutcome{Scenario: jobs[i].scenario, Outcome: o}
+		if o.Err == nil && o.Result != nil {
+			outcomes[i].Claim = experiments.CheckResult(o.Result)
+		}
+	}
+	if poolErr != nil {
+		return outcomes, poolErr
+	}
+	return outcomes, promoteFailure(plain, func(i int) string {
+		return fmt.Sprintf("%s on %s", outcomes[i].Meta.ID, outcomes[i].Scenario)
+	})
+}
+
+// FailedClaims filters a sweep's outcomes down to the ones whose
+// qualitative claim did not hold.
+func FailedClaims(outs []SweepOutcome) []SweepOutcome {
+	var bad []SweepOutcome
+	for _, o := range outs {
+		if o.Claim != nil {
+			bad = append(bad, o)
+		}
+	}
+	return bad
+}

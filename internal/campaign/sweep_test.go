@@ -1,0 +1,128 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+// TestSweepRunsEveryScenario checks the cross product executes, groups
+// outcomes by scenario in the order given, and carries claim verdicts.
+func TestSweepRunsEveryScenario(t *testing.T) {
+	scenarios := []string{"flat", "paper"}
+	ids := []string{"fig20", "table3"}
+	var mu sync.Mutex
+	seen := map[string]int{}
+	outs, err := Sweep(context.Background(), testCfg(), SweepOptions{
+		Options: Options{Workers: 4, IDs: ids},
+		Observer: func(ev SweepEvent) {
+			if ev.Kind == EventFinished {
+				mu.Lock()
+				seen[ev.Scenario]++
+				mu.Unlock()
+			}
+		},
+	}, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(scenarios)*len(ids) {
+		t.Fatalf("outcomes = %d, want %d", len(outs), len(scenarios)*len(ids))
+	}
+	for i, o := range outs {
+		wantScen := scenarios[i/len(ids)]
+		wantID := ids[i%len(ids)]
+		if o.Scenario != wantScen || o.Meta.ID != wantID {
+			t.Fatalf("outcome %d = %s/%s, want %s/%s", i, o.Scenario, o.Meta.ID, wantScen, wantID)
+		}
+		if o.Err != nil {
+			t.Fatalf("%s/%s: %v", o.Scenario, o.Meta.ID, o.Err)
+		}
+		if o.Meta.ID == "fig20" && o.Claim != nil {
+			t.Fatalf("fig20 claim failed on %s: %v", o.Scenario, o.Claim)
+		}
+	}
+	for _, s := range scenarios {
+		if seen[s] != len(ids) {
+			t.Fatalf("observer saw %d finishes for %s", seen[s], s)
+		}
+	}
+	if len(FailedClaims(outs)) != 0 {
+		t.Fatal("no claims should fail on the presets")
+	}
+}
+
+// TestRunRejectsUnknownScenario checks the plain campaign path reports
+// a bad Config.Scenario instead of letting testbed.New panic inside a
+// worker goroutine.
+func TestRunRejectsUnknownScenario(t *testing.T) {
+	cfg := testCfg()
+	cfg.Scenario = "atlantis"
+	_, err := Run(context.Background(), cfg, Options{IDs: []string{"table3"}})
+	if err == nil || !strings.Contains(err.Error(), "atlantis") {
+		t.Fatalf("err = %v, want unknown-scenario naming atlantis", err)
+	}
+}
+
+// TestSweepValidatesScenarios checks bad names are rejected up front.
+func TestSweepValidatesScenarios(t *testing.T) {
+	_, err := Sweep(context.Background(), testCfg(), SweepOptions{}, []string{"paper", "atlantis"})
+	if err == nil || !strings.Contains(err.Error(), "atlantis") {
+		t.Fatalf("err = %v, want unknown-scenario naming atlantis", err)
+	}
+}
+
+// TestSweepCampaignJSONDeterministic is the scenario-determinism
+// guarantee: the same (Params, seed) run twice — two independent builds
+// of the generated floor — must export byte-identical campaign JSON.
+func TestSweepCampaignJSONDeterministic(t *testing.T) {
+	spec := scenario.Params{Stations: 14, Boards: 2, Seed: 5}.Spec()
+	render := func() []byte {
+		outs, err := Sweep(context.Background(), testCfg(), SweepOptions{
+			Options: Options{Workers: 2, IDs: []string{"fig20", "fig09"}},
+		}, []string{spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, o := range outs {
+			b, err := experiments.MarshalResult(o.Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Write(b)
+			buf.WriteByte('\n')
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two builds of %s diverged:\n%s\n----\n%s", spec, a, b)
+	}
+}
+
+// TestSweepMatchesSingleScenarioRun pins sweep results to the plain
+// campaign path: running an experiment through Sweep on a named
+// scenario renders the same output as Run with Config.Scenario set.
+func TestSweepMatchesSingleScenarioRun(t *testing.T) {
+	cfg := testCfg()
+	cfg.Scenario = "flat"
+	direct, err := Run(context.Background(), cfg, Options{IDs: []string{"fig20"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swept, err := Sweep(context.Background(), testCfg(), SweepOptions{
+		Options: Options{IDs: []string{"fig20"}},
+	}, []string{"flat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := swept[0].Result.Table(), direct[0].Result.Table(); got != want {
+		t.Fatalf("sweep output diverged from direct run:\n%s\n----\n%s", got, want)
+	}
+}

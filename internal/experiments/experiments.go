@@ -39,6 +39,11 @@ type Config struct {
 	Scale float64
 	// Decimate reduces carrier resolution (default 8 for sweeps).
 	Decimate int
+	// Scenario selects the deployment every harness measures, by
+	// registry name or gen: spec (see internal/scenario); empty means
+	// the paper floor. Harnesses inherit it through build, so one
+	// config re-runs the whole campaign on a different environment.
+	Scenario string
 	// Testbeds, when set, memoizes testbed construction: harnesses that
 	// request an identical (spec, seed, decimate) floor check one out of
 	// the session's pool instead of rebuilding it. Nil always builds
@@ -77,7 +82,7 @@ func (c Config) decimate() int {
 
 // build constructs (or checks out) the standard testbed for a spec.
 func (c Config) build(spec phy.Spec) *testbed.Testbed {
-	opts := testbed.Options{Spec: spec, Decimate: c.decimate(), Seed: c.Seed}
+	opts := testbed.Options{Spec: spec, Decimate: c.decimate(), Seed: c.Seed, Scenario: c.Scenario}
 	if c.Testbeds != nil {
 		return c.Testbeds.Get(opts)
 	}
@@ -100,6 +105,25 @@ type Result interface {
 	// Rows exports the figure/table data as structured records, one per
 	// plotted point or table row, for consumption by services.
 	Rows() []Row
+}
+
+// Checker is implemented by results that can self-assess the paper's
+// qualitative claim on their measured data. Cross-scenario sweeps use it
+// to report per-scenario pass/fail: the claim must survive on floors the
+// paper never measured, not just reproduce one office's numbers.
+type Checker interface {
+	// Check returns nil when the qualitative claim holds, or an error
+	// naming the violated relation.
+	Check() error
+}
+
+// CheckResult applies a result's qualitative-claim check; results that
+// do not self-assess pass vacuously.
+func CheckResult(r Result) error {
+	if c, ok := r.(Checker); ok {
+		return c.Check()
+	}
+	return nil
 }
 
 // Export is the machine-readable envelope of one experiment result.

@@ -61,6 +61,16 @@ func (r *Fig03Result) Rows() []Row {
 	return out
 }
 
+// Check implements Checker: the σ_W ≫ σ_P contrast — WiFi throughput
+// varies far more than PLC's — is the paper's headline spatial claim
+// and should survive on any deployment with working WiFi pairs.
+func (r *Fig03Result) Check() error {
+	if r.MaxSigmaW <= r.MaxSigmaP {
+		return fmt.Errorf("fig03: max σ_W %.1f not above max σ_P %.1f", r.MaxSigmaW, r.MaxSigmaP)
+	}
+	return nil
+}
+
 // Summary implements Result.
 func (r *Fig03Result) Summary() string {
 	return fmt.Sprintf(

@@ -80,6 +80,24 @@ func (r *Fig20Result) Summary() string {
 		a.HybridVsSumRatio, a.RoundRobinVs2MinRate, r.MeanSpeedup, len(r.Completions))
 }
 
+// Check implements Checker: the paper's qualitative Fig. 20 claim —
+// capacity-proportional aggregation beats blind round-robin, and a
+// hybrid transfer is never slower than WiFi alone — must hold on any
+// deployment, not just the paper floor.
+func (r *Fig20Result) Check() error {
+	a := r.Aggregate
+	if a.Hybrid < a.RoundRobin*0.99 {
+		return fmt.Errorf("fig20: hybrid %.1f Mb/s below round-robin %.1f Mb/s", a.Hybrid, a.RoundRobin)
+	}
+	if a.Hybrid <= 0 {
+		return fmt.Errorf("fig20: hybrid aggregate is zero on pair %d-%d", a.A, a.B)
+	}
+	if len(r.Completions) > 0 && r.MeanSpeedup < 0.95 {
+		return fmt.Errorf("fig20: hybrid downloads slower than WiFi-only (speedup %.2fx)", r.MeanSpeedup)
+	}
+	return nil
+}
+
 // RunFig20 builds hybrid interfaces over probed capacities and compares
 // schedulers on one link, then measures 600 MB completion times across
 // several pairs.

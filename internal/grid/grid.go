@@ -121,10 +121,15 @@ func (g *Grid) AddCable(a, b NodeID, length float64) {
 	g.dist = make(map[NodeID][]float64) // invalidate cache
 }
 
+// MaxAppliances bounds the appliance population of one grid: the
+// switching state is a uint64 bitmask (StateMask) and channel gains are
+// cached per mask, so scenario builders must budget within it.
+const MaxAppliances = 64
+
 // Plug attaches an appliance of the given class to a node.
 func (g *Grid) Plug(class *ApplianceClass, node NodeID) *Appliance {
-	if len(g.Appliances) >= 64 {
-		panic("grid: more than 64 appliances (state mask is a uint64)")
+	if len(g.Appliances) >= MaxAppliances {
+		panic(fmt.Sprintf("grid: more than %d appliances (state mask is a uint64)", MaxAppliances))
 	}
 	a := &Appliance{
 		Class: class,

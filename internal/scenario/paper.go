@@ -1,0 +1,98 @@
+package scenario
+
+import "repro/internal/grid"
+
+// paperStationPos approximates the Fig. 2 floor plan (metres; x
+// rightwards 0-70, y upwards 0-40). Stations 0-11 occupy the right wing
+// (board B1), 12-18 the left wing (board B2).
+var paperStationPos = [19][2]float64{
+	{44, 32}, // 0
+	{38, 34}, // 1
+	{50, 34}, // 2
+	{56, 32}, // 3
+	{62, 34}, // 4
+	{68, 30}, // 5
+	{66, 22}, // 6
+	{60, 20}, // 7
+	{54, 18}, // 8
+	{48, 16}, // 9
+	{42, 10}, // 10
+	{36, 6},  // 11
+	{12, 34}, // 12
+	{16, 30}, // 13
+	{8, 30},  // 14
+	{10, 22}, // 15
+	{14, 16}, // 16
+	{10, 10}, // 17
+	{16, 6},  // 18
+}
+
+// PaperFloor is the paper's measurement environment (§3.1, Fig. 2): 19
+// stations on one 70 m × 40 m office floor, fed by two distribution
+// boards joined only in the basement (two logical PLC networks, CCos
+// pinned at stations 11 and 15), with a northern and a southern corridor
+// spine per wing, mid-corridor cross-ties, and the office appliance
+// population whose schedules drive the §6 temporal variation.
+func PaperFloor() *Blueprint {
+	bp := &Blueprint{
+		Name: "paper",
+		// B1 feeds the right wing, B2 the left; the 220 m basement run
+		// separates them electrically (§3.1).
+		Boards:        []Board{{36, 20}, {20, 20}},
+		Interconnects: []Interconnect{{A: 0, B: 1, Length: 220}},
+		// Junction boxes every few metres along each corridor — each is
+		// a structural tap, the multipath that dominates attenuation per
+		// the §5 control experiment.
+		Spines: []Spine{
+			{Board: 0, Y: 30, Xs: []float64{38, 42, 46, 50, 54, 58, 62, 66, 69}}, // right north
+			{Board: 0, Y: 14, Xs: []float64{39, 43, 47, 51, 55, 59, 63, 66}},     // right south
+			{Board: 1, Y: 30, Xs: []float64{17, 14, 11, 8}},                      // left north
+			{Board: 1, Y: 12, Xs: []float64{17, 14, 11, 8, 13}},                  // left south
+		},
+		// Mid-corridor ties joining the two circuits of each wing
+		// (without them cross-corridor routes accumulate twice the tap
+		// losses and die, contradicting the paper's observation that
+		// every WiFi-connected pair is also PLC-connected).
+		CrossTies: []CrossTie{
+			{SpineA: 0, NodeA: 5, SpineB: 1, NodeB: 4, Length: 18},
+			{SpineA: 2, NodeA: 2, SpineB: 3, NodeB: 2, Length: 20},
+		},
+		CCos: []int{11, 15},
+		// Shared equipment on the spines; the always-on noisy gear
+		// (server rack, vending machine) is the reason some links are
+		// bad *and* variable even at night (§6.2).
+		Shared: []SharedAppliance{
+			{grid.ClassDimmer, 0, 3},
+			{grid.ClassDimmer, 3, 1},
+			{grid.ClassFridge, 1, 2},
+			{grid.ClassFridge, 2, 1},
+			{grid.ClassKettle, 1, 4},
+			{grid.ClassKettle, 2, 2},
+			{grid.ClassLabEquipment, 1, 1},
+			{grid.ClassLabEquipment, 0, 5},
+			{grid.ClassPhoneCharger, 0, 1},
+			{grid.ClassPhoneCharger, 3, 2},
+			{grid.ClassPhoneCharger, 2, 2},
+			{grid.ClassRouter, 0, 2},
+			{grid.ClassRouter, 3, 3},
+			{grid.ClassServerRack, 1, 6},
+			{grid.ClassVendingMachine, 2, 3},
+		},
+	}
+	// A PC at every station outlet and lighting at every other one.
+	for s, pos := range paperStationPos {
+		board, network := 0, 0
+		if s >= 12 {
+			board, network = 1, 1
+		}
+		st := Station{
+			X: pos[0], Y: pos[1], Board: board, Network: network,
+			Appliances: []*grid.ApplianceClass{grid.ClassDesktopPC},
+		}
+		if s%2 == 0 {
+			st.Appliances = append(st.Appliances, grid.ClassFluorescent)
+		}
+		bp.Stations = append(bp.Stations, st)
+	}
+	return bp
+}

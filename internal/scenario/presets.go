@@ -1,0 +1,161 @@
+package scenario
+
+import "repro/internal/grid"
+
+// Flat is a small residential deployment (the indoor-residential setting
+// of Gheth et al., arXiv:1806.10013): one distribution board, two short
+// cable runs, six outlets across a 14 m × 9 m flat, and a household
+// appliance population — fridge, kettle, chargers, a router that never
+// sleeps. Every pair is within WiFi range; PLC quality is dominated by
+// the kitchen's switching loads rather than by distance.
+func Flat() *Blueprint {
+	return &Blueprint{
+		Name:          "flat",
+		Boards:        []Board{{7, 4.5}},
+		Interconnects: nil,
+		Spines: []Spine{
+			{Board: 0, Y: 7, Xs: []float64{5, 3, 1.5}}, // bedroom run
+			{Board: 0, Y: 2, Xs: []float64{9, 11, 13}}, // living run
+			{Board: 0, Y: 8.5, Xs: []float64{8.5, 11}}, // office run
+		},
+		CCos: []int{0},
+		Shared: []SharedAppliance{
+			{grid.ClassRouter, 1, 1},
+			{grid.ClassFluorescent, 0, 2},
+			{grid.ClassDimmer, 1, 3},
+		},
+		Stations: []Station{
+			{X: 12.5, Y: 2.5, Board: 0, Network: 0,
+				Appliances: []*grid.ApplianceClass{grid.ClassDesktopPC, grid.ClassDimmer}}, // living room
+			{X: 2, Y: 2.5, Board: 0, Network: 0,
+				Appliances: []*grid.ApplianceClass{grid.ClassFridge, grid.ClassKettle}}, // kitchen
+			{X: 2.5, Y: 8, Board: 0, Network: 0,
+				Appliances: []*grid.ApplianceClass{grid.ClassPhoneCharger}}, // bedroom 1
+			{X: 12.5, Y: 8, Board: 0, Network: 0,
+				Appliances: []*grid.ApplianceClass{grid.ClassPhoneCharger, grid.ClassFluorescent}}, // bedroom 2
+			{X: 7.5, Y: 8.5, Board: 0, Network: 0,
+				Appliances: []*grid.ApplianceClass{grid.ClassDesktopPC, grid.ClassRouter}}, // office
+			{X: 9, Y: 5, Board: 0, Network: 0, Appliances: nil}, // hallway
+		},
+	}
+}
+
+// LargeOffice is a three-wing, three-board office floor (105 m × 40 m,
+// 42 stations) — the multi-segment scale the smart-grid hybrid
+// literature targets (Sayed et al., arXiv:1808.04530). Each wing mirrors
+// the paper floor's corridor structure; the three boards meet only in
+// the basement, so the floor carries three logical PLC networks and
+// WiFi cannot bridge distant wings (blind spots beyond ~35 m).
+func LargeOffice() *Blueprint {
+	bp := &Blueprint{Name: "large-office"}
+	const wings = 3
+	const wingW = 35.0
+	for w := 0; w < wings; w++ {
+		lo := float64(w) * wingW
+		bp.Boards = append(bp.Boards, Board{lo + 17.5, 20})
+	}
+	bp.Interconnects = []Interconnect{
+		{A: 0, B: 1, Length: 220},
+		{A: 1, B: 2, Length: 220},
+	}
+	for w := 0; w < wings; w++ {
+		lo := float64(w) * wingW
+		bp.Spines = append(bp.Spines,
+			Spine{Board: w, Y: 30, Xs: []float64{lo + 13, lo + 9, lo + 5, lo + 2}},    // north-west
+			Spine{Board: w, Y: 30, Xs: []float64{lo + 22, lo + 26, lo + 30, lo + 33}}, // north-east
+			Spine{Board: w, Y: 14, Xs: []float64{lo + 12, lo + 8, lo + 4}},            // south-west
+			Spine{Board: w, Y: 14, Xs: []float64{lo + 23, lo + 27, lo + 31, lo + 34}}, // south-east
+		)
+		base := 4 * w
+		bp.CrossTies = append(bp.CrossTies,
+			CrossTie{SpineA: base, NodeA: 2, SpineB: base + 2, NodeB: 2, Length: 18},
+			CrossTie{SpineA: base + 1, NodeA: 2, SpineB: base + 3, NodeB: 2, Length: 18},
+		)
+		// 14 stations per wing: seven along the north corridor, seven
+		// along the south, PCs on two of every three desks and lighting
+		// circuits every sixth outlet (the 64-appliance state mask
+		// budgets the population).
+		for i := 0; i < 14; i++ {
+			x := lo + 3 + float64(i%7)*4.7
+			y := 34.0
+			if i >= 7 {
+				y = 8 + float64(i%3)*3
+			}
+			st := Station{X: x, Y: y, Board: w, Network: w}
+			if i%3 != 2 {
+				st.Appliances = append(st.Appliances, grid.ClassDesktopPC)
+			}
+			if i%6 == 0 {
+				st.Appliances = append(st.Appliances, grid.ClassFluorescent)
+			}
+			bp.Stations = append(bp.Stations, st)
+		}
+		bp.CCos = append(bp.CCos, 14*w)
+		bp.Shared = append(bp.Shared,
+			SharedAppliance{grid.ClassFridge, 4*w + 2, 1},
+			SharedAppliance{grid.ClassKettle, 4*w + 3, 2},
+			SharedAppliance{grid.ClassRouter, 4 * w, 1},
+			SharedAppliance{grid.ClassLabEquipment, 4*w + 1, 3},
+		)
+	}
+	// One always-on server room in the middle wing — the shared noise
+	// floor that keeps some links bad even at night (§6.2).
+	bp.Shared = append(bp.Shared, SharedAppliance{grid.ClassServerRack, 5, 1})
+	return bp
+}
+
+// ApartmentBlock is a dense residential block: two riser boards feeding
+// sixteen flats across 30 m × 25 m, with a heavy always-on interferer
+// population (server racks standing in for standby electronics, vending
+// machines and fridges cycling around the clock, dimmers on every other
+// line). Links are short but noisy — quality comes from the appliance
+// population, not geometry, and night brings far less relief than on
+// the office floors.
+func ApartmentBlock() *Blueprint {
+	bp := &Blueprint{
+		Name:          "apartment",
+		Boards:        []Board{{10, 12}, {20, 12}},
+		Interconnects: []Interconnect{{A: 0, B: 1, Length: 180}},
+		Spines: []Spine{
+			{Board: 0, Y: 20, Xs: []float64{8, 5, 2}},
+			{Board: 0, Y: 5, Xs: []float64{8, 5, 2, 12}},
+			{Board: 1, Y: 20, Xs: []float64{22, 25, 28}},
+			{Board: 1, Y: 5, Xs: []float64{22, 25, 28, 18}},
+		},
+		CrossTies: []CrossTie{
+			{SpineA: 0, NodeA: 2, SpineB: 1, NodeB: 2, Length: 16},
+			{SpineA: 2, NodeA: 2, SpineB: 3, NodeB: 2, Length: 16},
+		},
+		CCos: []int{0, 8},
+		Shared: []SharedAppliance{
+			{grid.ClassServerRack, 0, 1},
+			{grid.ClassServerRack, 2, 1},
+			{grid.ClassVendingMachine, 1, 3},
+			{grid.ClassVendingMachine, 3, 3},
+			{grid.ClassRouter, 0, 2},
+			{grid.ClassRouter, 2, 2},
+			{grid.ClassDimmer, 1, 1},
+			{grid.ClassDimmer, 3, 1},
+		},
+	}
+	// Eight flats per riser, stacked on a 4 × 2 grid per half; every
+	// flat runs a fridge and a charger, every other one a dimmer, and
+	// every fourth a PC — always-on or around-the-clock schedules
+	// dominate, so night-time channels stay as busy as daytime ones.
+	for half := 0; half < 2; half++ {
+		for i := 0; i < 8; i++ {
+			x := 2 + float64(half)*16 + float64(i%4)*3.5
+			y := 3 + float64(i/4)*17.5
+			st := Station{X: x, Y: y, Board: half, Network: half}
+			st.Appliances = append(st.Appliances, grid.ClassFridge, grid.ClassPhoneCharger)
+			if i%2 == 0 {
+				st.Appliances = append(st.Appliances, grid.ClassDimmer)
+			}
+			if i%4 == 1 {
+				st.Appliances = append(st.Appliances, grid.ClassDesktopPC)
+			}
+			bp.Stations = append(bp.Stations, st)
+		}
+	}
+	return bp
+}

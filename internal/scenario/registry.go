@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultName is the scenario an empty selection resolves to.
+const DefaultName = "paper"
+
+// presets maps registry names to blueprint constructors. Constructors
+// return a fresh value each call so callers can mutate their copy.
+var presets = map[string]func() *Blueprint{
+	"paper":        PaperFloor,
+	"flat":         Flat,
+	"large-office": LargeOffice,
+	"apartment":    ApartmentBlock,
+}
+
+// Names lists the preset scenario names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(presets))
+	for n := range presets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CanonicalName resolves a scenario selection to the registry name a
+// built testbed records ("" → the default, gen: shorthands → the full
+// canonical spec) without materializing a blueprint — cheap enough for
+// per-lease pool-key lookups.
+func CanonicalName(sel string) (string, error) {
+	sel = strings.TrimSpace(sel)
+	if sel == "" {
+		return DefaultName, nil
+	}
+	if strings.HasPrefix(sel, "gen:") {
+		p, err := parseGen(sel)
+		if err != nil {
+			return "", err
+		}
+		return p.Spec(), nil
+	}
+	if _, ok := presets[sel]; !ok {
+		return "", fmt.Errorf("scenario: unknown scenario %q (have %s, or gen:stations=N,boards=M,seed=S)",
+			sel, strings.Join(Names(), ", "))
+	}
+	return sel, nil
+}
+
+// Parse resolves a scenario selection: a preset name, a procedural
+// "gen:stations=N,boards=M,..." spec, or the empty string (the paper
+// floor). The returned blueprint is validated.
+func Parse(sel string) (*Blueprint, error) {
+	name, err := CanonicalName(sel)
+	if err != nil {
+		return nil, err
+	}
+	var bp *Blueprint
+	if strings.HasPrefix(name, "gen:") {
+		p, err := parseGen(name)
+		if err != nil {
+			return nil, err
+		}
+		bp = Generate(p)
+	} else {
+		bp = presets[name]()
+	}
+	if err := bp.Validate(); err != nil {
+		return nil, err
+	}
+	return bp, nil
+}

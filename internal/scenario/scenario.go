@@ -1,0 +1,192 @@
+// Package scenario turns deployments into data. A Blueprint is the full
+// parameterization of a measurement environment — distribution boards,
+// corridor cable spines, station outlets, the appliance population and
+// the CCo placement — which internal/testbed assembles into a live floor.
+//
+// The paper measures a single 19-station office floor (Fig. 2); related
+// hybrid work targets very different deployments — indoor residential
+// (Gheth et al., arXiv:1806.10013) and large smart-grid topologies
+// (Sayed et al., arXiv:1808.04530). Making the deployment a value closes
+// that gap: presets span the paper floor, a one-board residential flat, a
+// three-board 42-station office and a dense apartment block, and
+// Generate emits procedural N-station/M-board floors from a seed, so
+// campaigns can sweep the metric plane across fleets of environments.
+//
+// Blueprints are pure data: building the same blueprint with the same
+// testbed options reproduces the environment bit for bit.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Board is one distribution board (breaker panel) at a floor-plan
+// position in metres. Each board defines an electrical segment: links
+// crossing boards pay the grid's board-crossing penalty.
+type Board struct {
+	X, Y float64
+}
+
+// Interconnect is a cable run joining two boards (the basement
+// interconnection of §3.1 — long enough to isolate them electrically).
+type Interconnect struct {
+	A, B   int     // board indices
+	Length float64 // metres
+}
+
+// Spine is one corridor cable run: a chain of junction boxes at the
+// given X positions and common height Y, fed from its board. Junctions
+// are structural taps — the multipath that dominates PLC attenuation
+// (§5) — and the anchors station drops and shared appliances hang off.
+type Spine struct {
+	Board int
+	Y     float64
+	Xs    []float64
+}
+
+// CrossTie joins two spine junctions (the mid-corridor ties that keep
+// cross-corridor routes from accumulating double tap losses). Node
+// indices address the spine chain; index 0 is the board root itself.
+type CrossTie struct {
+	SpineA, NodeA int
+	SpineB, NodeB int
+	Length        float64
+}
+
+// Station is one measurement outlet: a floor position, the board that
+// feeds it, the logical PLC network (AVLN) it joins, and the appliances
+// plugged beside it. The outlet drops from the nearest spine junction of
+// its board.
+type Station struct {
+	X, Y       float64
+	Board      int
+	Network    int
+	Appliances []*grid.ApplianceClass
+}
+
+// SharedAppliance is a device plugged at a spine junction rather than a
+// station outlet — the printers, fridges and server racks whose noise
+// every nearby link shares.
+type SharedAppliance struct {
+	Class       *grid.ApplianceClass
+	Spine, Node int
+}
+
+// Blueprint is a complete deployment description. testbed.Build
+// assembles it; the zero value is invalid (no boards).
+type Blueprint struct {
+	// Name identifies the scenario (registry name, or the canonical
+	// gen: spec for procedural blueprints).
+	Name string
+
+	Boards        []Board
+	Interconnects []Interconnect
+	Spines        []Spine
+	CrossTies     []CrossTie
+	Stations      []Station
+	// CCos lists the station index pinned as coordinator of each
+	// network, one entry per network that has stations (§3.1 pins CCos
+	// statically).
+	CCos   []int
+	Shared []SharedAppliance
+}
+
+// NumAppliances counts the appliance population (station-attached plus
+// shared).
+func (bp *Blueprint) NumAppliances() int {
+	n := len(bp.Shared)
+	for _, st := range bp.Stations {
+		n += len(st.Appliances)
+	}
+	return n
+}
+
+// Validate checks the blueprint's internal references and the grid's
+// structural limits, returning the first violation found.
+func (bp *Blueprint) Validate() error {
+	if len(bp.Boards) == 0 {
+		return fmt.Errorf("scenario %q: no boards", bp.Name)
+	}
+	if len(bp.Stations) < 2 {
+		return fmt.Errorf("scenario %q: fewer than two stations", bp.Name)
+	}
+	boardOK := func(b int) bool { return b >= 0 && b < len(bp.Boards) }
+	for i, ic := range bp.Interconnects {
+		if !boardOK(ic.A) || !boardOK(ic.B) || ic.A == ic.B {
+			return fmt.Errorf("scenario %q: interconnect %d joins bad boards (%d, %d)", bp.Name, i, ic.A, ic.B)
+		}
+		if ic.Length <= 0 {
+			return fmt.Errorf("scenario %q: interconnect %d has non-positive length", bp.Name, i)
+		}
+	}
+	for i, sp := range bp.Spines {
+		if !boardOK(sp.Board) {
+			return fmt.Errorf("scenario %q: spine %d on unknown board %d", bp.Name, i, sp.Board)
+		}
+		if len(sp.Xs) == 0 {
+			return fmt.Errorf("scenario %q: spine %d has no junctions", bp.Name, i)
+		}
+	}
+	spineNodeOK := func(s, n int) bool {
+		return s >= 0 && s < len(bp.Spines) && n >= 0 && n <= len(bp.Spines[s].Xs)
+	}
+	for i, ct := range bp.CrossTies {
+		if !spineNodeOK(ct.SpineA, ct.NodeA) || !spineNodeOK(ct.SpineB, ct.NodeB) {
+			return fmt.Errorf("scenario %q: cross-tie %d references a missing junction", bp.Name, i)
+		}
+		if ct.Length <= 0 {
+			return fmt.Errorf("scenario %q: cross-tie %d has non-positive length", bp.Name, i)
+		}
+	}
+	spinesOnBoard := make([]int, len(bp.Boards))
+	for _, sp := range bp.Spines {
+		spinesOnBoard[sp.Board]++
+	}
+	networks := make(map[int]bool)
+	for i, st := range bp.Stations {
+		if !boardOK(st.Board) {
+			return fmt.Errorf("scenario %q: station %d on unknown board %d", bp.Name, i, st.Board)
+		}
+		if spinesOnBoard[st.Board] == 0 {
+			return fmt.Errorf("scenario %q: station %d's board %d has no spine to attach to", bp.Name, i, st.Board)
+		}
+		networks[st.Network] = true
+	}
+	ccoNet := make(map[int]bool)
+	for _, s := range bp.CCos {
+		if s < 0 || s >= len(bp.Stations) {
+			return fmt.Errorf("scenario %q: CCo station %d out of range", bp.Name, s)
+		}
+		net := bp.Stations[s].Network
+		if ccoNet[net] {
+			return fmt.Errorf("scenario %q: network %d has two CCos", bp.Name, net)
+		}
+		ccoNet[net] = true
+	}
+	for net := range networks {
+		if !ccoNet[net] {
+			return fmt.Errorf("scenario %q: network %d has no CCo", bp.Name, net)
+		}
+	}
+	for i, sh := range bp.Shared {
+		if !spineNodeOK(sh.Spine, sh.Node) {
+			return fmt.Errorf("scenario %q: shared appliance %d references a missing junction", bp.Name, i)
+		}
+		if sh.Class == nil {
+			return fmt.Errorf("scenario %q: shared appliance %d has no class", bp.Name, i)
+		}
+	}
+	if n := bp.NumAppliances(); n > grid.MaxAppliances {
+		return fmt.Errorf("scenario %q: %d appliances exceed the grid's %d-appliance state mask", bp.Name, n, grid.MaxAppliances)
+	}
+	return nil
+}
+
+// JSON renders the blueprint as indented, deterministic JSON — the
+// serialized form campaign tooling and determinism tests compare.
+func (bp *Blueprint) JSON() ([]byte, error) {
+	return json.MarshalIndent(bp, "", "  ")
+}

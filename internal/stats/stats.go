@@ -67,14 +67,30 @@ func Max(xs []float64) float64 {
 	return m
 }
 
+// sortedWithoutNaNs copies xs, drops NaNs and sorts. sort.Float64s
+// leaves NaNs in unspecified positions (every comparison is false), so
+// order statistics over a NaN-bearing slice would be garbage; dropping
+// them keeps the statistics of the observed values. ±Inf order fine and
+// are kept.
+func sortedWithoutNaNs(xs []float64) []float64 {
+	s := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			s = append(s, x)
+		}
+	}
+	sort.Float64s(s)
+	return s
+}
+
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
-// interpolation between order statistics. xs need not be sorted.
+// interpolation between order statistics. xs need not be sorted. NaN
+// samples are ignored; the percentile of no (non-NaN) samples is NaN.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	s := sortedWithoutNaNs(xs)
+	if len(s) == 0 {
 		return math.NaN()
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
 	if p <= 0 {
 		return s[0]
 	}
@@ -97,10 +113,10 @@ type CDF struct {
 }
 
 // NewCDF builds an empirical CDF from samples (copied, then sorted).
+// NaN samples are ignored — a NaN has no place on the real line, and
+// sorting one into the order statistics would corrupt every quantile.
 func NewCDF(samples []float64) CDF {
-	s := append([]float64(nil), samples...)
-	sort.Float64s(s)
-	return CDF{sorted: s}
+	return CDF{sorted: sortedWithoutNaNs(samples)}
 }
 
 // Len reports the number of samples backing the CDF.

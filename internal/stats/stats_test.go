@@ -46,6 +46,36 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileIgnoresNaNs(t *testing.T) {
+	// Regression: sort.Float64s leaves NaNs in unspecified positions,
+	// so a NaN sample used to poison arbitrary order statistics.
+	nan := math.NaN()
+	xs := []float64{nan, 15, 20, nan, 35, 40, 50, nan}
+	clean := []float64{15, 20, 35, 40, 50}
+	for _, p := range []float64{0, 25, 50, 100} {
+		if got, want := Percentile(xs, p), Percentile(clean, p); got != want {
+			t.Fatalf("p%v with NaNs = %v, want %v", p, got, want)
+		}
+	}
+	if got := Percentile([]float64{nan, nan}, 50); !math.IsNaN(got) {
+		t.Fatalf("all-NaN percentile = %v, want NaN", got)
+	}
+}
+
+func TestCDFIgnoresNaNs(t *testing.T) {
+	nan := math.NaN()
+	c := NewCDF([]float64{nan, 1, 2, nan, 2, 3})
+	if c.Len() != 4 {
+		t.Fatalf("CDF kept %d samples, want 4 (NaNs dropped)", c.Len())
+	}
+	if f := c.F(2); f != 0.75 {
+		t.Fatalf("F(2) = %v", f)
+	}
+	if q := c.Quantile(1); q != 3 {
+		t.Fatalf("q1 = %v", q)
+	}
+}
+
 func TestCDF(t *testing.T) {
 	c := NewCDF([]float64{1, 2, 2, 3})
 	if f := c.F(0); f != 0 {

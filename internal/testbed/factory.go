@@ -1,6 +1,10 @@
 package testbed
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/scenario"
+)
 
 // Factory memoizes testbed construction. Testbeds are stateful (links
 // carry channel and estimation state), so instances are never shared:
@@ -36,6 +40,13 @@ func (f *Factory) Stats() (built, reused int) {
 func (f *Factory) get(opts Options) *Testbed {
 	if opts.Decimate < 1 {
 		opts.Decimate = 4 // normalise to New's default so keys collide
+	}
+	// Key by the canonical scenario name — Build records it on the
+	// testbeds put returns, so shorthand gen: spellings (or "") must
+	// resolve before lookup or every Get would miss the pool. An
+	// unknown name is left as-is for New to report.
+	if name, err := scenario.CanonicalName(opts.Scenario); err == nil {
+		opts.Scenario = name
 	}
 	if opts.Estimator == nil { // pointer keys would never collide
 		f.mu.Lock()

@@ -74,6 +74,35 @@ func TestFactoryKeysByConfig(t *testing.T) {
 	s2.Close()
 }
 
+// TestFactoryCanonicalisesScenarioKeys checks shorthand scenario
+// spellings ("" and abbreviated gen: specs) hit the same pool slot as
+// the canonical name Build records, so scenario sweeps actually reuse
+// floors.
+func TestFactoryCanonicalisesScenarioKeys(t *testing.T) {
+	f := NewFactory()
+	s := f.Session()
+	a := s.Get(Options{Spec: phy.AV, Decimate: 8, Seed: 1}) // Scenario ""
+	s.Close()
+	s2 := f.Session()
+	b := s2.Get(Options{Spec: phy.AV, Decimate: 8, Seed: 1, Scenario: "paper"})
+	s2.Close()
+	if a != b {
+		t.Fatal(`"" and "paper" must share a pool slot`)
+	}
+	s3 := f.Session()
+	g := s3.Get(Options{Spec: phy.AV, Decimate: 8, Seed: 1, Scenario: "gen:stations=6,boards=1,seed=2"})
+	s3.Close()
+	s4 := f.Session()
+	g2 := s4.Get(Options{Spec: phy.AV, Decimate: 8, Seed: 1, Scenario: "gen:stations=6;boards=1;seed=2"})
+	s4.Close()
+	if g != g2 {
+		t.Fatal("equivalent gen: spellings must share a pool slot")
+	}
+	if built, reused := f.Stats(); built != 2 || reused != 2 {
+		t.Fatalf("built %d reused %d, want 2 and 2", built, reused)
+	}
+}
+
 // TestNilSessionBuildsFresh checks the nil session is a working
 // pass-through.
 func TestNilSessionBuildsFresh(t *testing.T) {

@@ -1,0 +1,180 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/plc/phy"
+	"repro/internal/scenario"
+)
+
+// legacyPaperGrid transcribes the hard-wired Fig. 2 construction exactly
+// as testbed.New built it before deployments became scenario data. It is
+// the regression anchor for the refactor: Build(scenario.PaperFloor())
+// must reproduce this grid node for node, cable for cable, appliance for
+// appliance — node identities feed the deterministic randomness, so any
+// ordering drift would silently change every measured number.
+func legacyPaperGrid(seed int64) (*grid.Grid, []grid.NodeID) {
+	gcfg := grid.DefaultConfig()
+	gcfg.Seed = seed
+	g := grid.New(gcfg)
+
+	b1 := g.AddNode(36, 20, 0)
+	b2 := g.AddNode(20, 20, 1)
+	g.AddCable(b1, b2, 220)
+
+	spine := func(board int, root grid.NodeID, xs []float64, y float64) []grid.NodeID {
+		nodes := []grid.NodeID{root}
+		prev := root
+		px, py := g.Nodes[root].X, g.Nodes[root].Y
+		for _, x := range xs {
+			n := g.AddNode(x, y, board)
+			dist := wiringLen(px, py, x, y)
+			g.AddCable(prev, n, dist)
+			nodes = append(nodes, n)
+			prev, px, py = n, x, y
+		}
+		return nodes
+	}
+	northR := spine(0, b1, []float64{38, 42, 46, 50, 54, 58, 62, 66, 69}, 30)
+	southR := spine(0, b1, []float64{39, 43, 47, 51, 55, 59, 63, 66}, 14)
+	northL := spine(1, b2, []float64{17, 14, 11, 8}, 30)
+	southL := spine(1, b2, []float64{17, 14, 11, 8, 13}, 12)
+	g.AddCable(northR[5], southR[4], 18)
+	g.AddCable(northL[2], southL[2], 20)
+
+	legacyPos := [19][2]float64{
+		{44, 32}, {38, 34}, {50, 34}, {56, 32}, {62, 34}, {68, 30}, {66, 22},
+		{60, 20}, {54, 18}, {48, 16}, {42, 10}, {36, 6}, {12, 34}, {16, 30},
+		{8, 30}, {10, 22}, {14, 16}, {10, 10}, {16, 6},
+	}
+	spines := map[int][][]grid.NodeID{
+		0: {northR, southR},
+		1: {northL, southL},
+	}
+	var stationNodes [19]grid.NodeID
+	for s := 0; s < 19; s++ {
+		x, y := legacyPos[s][0], legacyPos[s][1]
+		board := 0
+		if s >= 12 {
+			board = 1
+		}
+		var best grid.NodeID
+		bestD := 1e18
+		for _, sp := range spines[board] {
+			for _, n := range sp[1:] {
+				d := wiringLen(g.Nodes[n].X, g.Nodes[n].Y, x, y)
+				if d < bestD {
+					best, bestD = n, d
+				}
+			}
+		}
+		outlet := g.AddNode(x, y, board)
+		g.AddCable(best, outlet, bestD+2)
+		stationNodes[s] = outlet
+	}
+
+	for s := 0; s < 19; s++ {
+		g.Plug(grid.ClassDesktopPC, stationNodes[s])
+		if s%2 == 0 {
+			g.Plug(grid.ClassFluorescent, stationNodes[s])
+		}
+	}
+	shared := []struct {
+		class *grid.ApplianceClass
+		node  grid.NodeID
+	}{
+		{grid.ClassDimmer, northR[3]},
+		{grid.ClassDimmer, southL[1]},
+		{grid.ClassFridge, southR[2]},
+		{grid.ClassFridge, northL[1]},
+		{grid.ClassKettle, southR[4]},
+		{grid.ClassKettle, northL[2]},
+		{grid.ClassLabEquipment, southR[1]},
+		{grid.ClassLabEquipment, northR[5]},
+		{grid.ClassPhoneCharger, northR[1]},
+		{grid.ClassPhoneCharger, southL[2]},
+		{grid.ClassPhoneCharger, northL[2]},
+		{grid.ClassRouter, northR[2]},
+		{grid.ClassRouter, southL[3]},
+		{grid.ClassServerRack, southR[6]},
+		{grid.ClassVendingMachine, northL[3]},
+	}
+	for _, sh := range shared {
+		g.Plug(sh.class, sh.node)
+	}
+	return g, stationNodes[:]
+}
+
+func TestPaperFloorMatchesLegacyConstruction(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		want, wantStations := legacyPaperGrid(seed)
+		tb := New(Options{Spec: phy.AV, Decimate: 8, Seed: seed})
+		got := tb.Grid
+
+		if len(got.Nodes) != len(want.Nodes) {
+			t.Fatalf("seed %d: %d nodes, legacy has %d", seed, len(got.Nodes), len(want.Nodes))
+		}
+		for i := range want.Nodes {
+			if got.Nodes[i] != want.Nodes[i] {
+				t.Fatalf("seed %d: node %d = %+v, legacy %+v", seed, i, got.Nodes[i], want.Nodes[i])
+			}
+		}
+		if len(got.Cables) != len(want.Cables) {
+			t.Fatalf("seed %d: %d cables, legacy has %d", seed, len(got.Cables), len(want.Cables))
+		}
+		for i := range want.Cables {
+			if got.Cables[i] != want.Cables[i] {
+				t.Fatalf("seed %d: cable %d = %+v, legacy %+v", seed, i, got.Cables[i], want.Cables[i])
+			}
+		}
+		if len(got.Appliances) != len(want.Appliances) {
+			t.Fatalf("seed %d: %d appliances, legacy has %d", seed, len(got.Appliances), len(want.Appliances))
+		}
+		for i := range want.Appliances {
+			ga, wa := got.Appliances[i], want.Appliances[i]
+			if ga.Class != wa.Class || ga.Node != wa.Node {
+				t.Fatalf("seed %d: appliance %d = %s@%d, legacy %s@%d",
+					seed, i, ga.Class.Name, ga.Node, wa.Class.Name, wa.Node)
+			}
+		}
+		for s, n := range wantStations {
+			if tb.Stations[s].Node != n {
+				t.Fatalf("seed %d: station %d at node %d, legacy %d", seed, s, tb.Stations[s].Node, n)
+			}
+		}
+	}
+}
+
+// TestPaperFloorMeasurementParity drives one PLC and one WiFi link of
+// the rebuilt floor and pins a few measured values — the end-to-end
+// stand-in for "today's campaign JSON is byte-identical".
+func TestPaperFloorMeasurementParity(t *testing.T) {
+	night := 23 * time.Hour
+	bp, err := scenario.Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Name != scenario.DefaultName {
+		t.Fatalf("empty selection resolved to %q", bp.Name)
+	}
+	built, err := Build(bp, Options{Spec: phy.AV, Decimate: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := New(Options{Spec: phy.AV, Decimate: 8, Seed: 1})
+	for _, pair := range [][2]int{{0, 2}, {3, 8}, {12, 17}} {
+		la, _ := built.PLCLink(pair[0], pair[1])
+		lb, _ := legacy.PLCLink(pair[0], pair[1])
+		la.Saturate(night, night+2*time.Second, 500*time.Millisecond)
+		lb.Saturate(night, night+2*time.Second, 500*time.Millisecond)
+		if la.AvgBLE() != lb.AvgBLE() {
+			t.Fatalf("pair %v: BLE %v vs %v", pair, la.AvgBLE(), lb.AvgBLE())
+		}
+		wa, wb := built.WiFiLink(pair[0], pair[1]), legacy.WiFiLink(pair[0], pair[1])
+		if wa.Throughput(night) != wb.Throughput(night) {
+			t.Fatalf("pair %v: WiFi throughput differs", pair)
+		}
+	}
+}

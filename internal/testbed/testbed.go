@@ -1,85 +1,53 @@
-// Package testbed builds the paper's measurement environment (§3.1,
-// Fig. 2): 19 stations on one office floor of 70 m × 40 m, fed by two
-// distribution boards joined only in the basement, forming two logical PLC
-// networks (CCo at stations 11 and 15), with WiFi sharing the same
-// geometry. It also provides the isolated-cable rig used for the
-// controlled attenuation experiments of §5.
+// Package testbed assembles measurement environments. Historically it
+// built exactly the paper's floor (§3.1, Fig. 2): 19 stations on one
+// office floor of 70 m × 40 m, fed by two distribution boards joined only
+// in the basement, forming two logical PLC networks (CCo at stations 11
+// and 15), with WiFi sharing the same geometry. That floor is now just
+// the "paper" preset of internal/scenario: Build turns any
+// scenario.Blueprint — presets or procedurally generated — into a live
+// deployment, and New resolves Options.Scenario through the scenario
+// registry. The package also provides the isolated-cable rig used for
+// the controlled attenuation experiments of §5.
 package testbed
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/al"
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/plc"
 	"repro/internal/plc/phy"
+	"repro/internal/scenario"
 	"repro/internal/wifi"
 )
 
-// NetworkA and NetworkB are the two AVLN identifiers of the floor.
+// NetworkA and NetworkB are the two AVLN identifiers of the paper floor.
 const (
 	NetworkA = 0 // stations 0-11, board B1, CCo 11
 	NetworkB = 1 // stations 12-18, board B2, CCo 15
 )
 
-// CCoA and CCoB are the statically pinned coordinators (§3.1).
+// CCoA and CCoB are the paper floor's statically pinned coordinators
+// (§3.1).
 const (
 	CCoA = 11
 	CCoB = 15
 )
 
-// NumStations is the testbed's station count.
+// NumStations is the paper floor's station count. Other scenarios have
+// their own; use Testbed.StationCount for the assembled value.
 const NumStations = 19
 
-// stationPos approximates the Fig. 2 floor plan (metres; x rightwards
-// 0-70, y upwards 0-40). Stations 0-11 occupy the right wing (board B1),
-// 12-18 the left wing (board B2).
-var stationPos = [NumStations][2]float64{
-	{44, 32}, // 0
-	{38, 34}, // 1
-	{50, 34}, // 2
-	{56, 32}, // 3
-	{62, 34}, // 4
-	{68, 30}, // 5
-	{66, 22}, // 6
-	{60, 20}, // 7
-	{54, 18}, // 8
-	{48, 16}, // 9
-	{42, 10}, // 10
-	{36, 6},  // 11
-	{12, 34}, // 12
-	{16, 30}, // 13
-	{8, 30},  // 14
-	{10, 22}, // 15
-	{14, 16}, // 16
-	{10, 10}, // 17
-	{16, 6},  // 18
-}
-
-// boardOf maps stations to distribution boards.
-func boardOf(station int) int {
-	if station <= 11 {
-		return 0 // B1
-	}
-	return 1 // B2
-}
-
-// networkOf maps stations to logical networks.
-func networkOf(station int) int {
-	if station <= 11 {
-		return NetworkA
-	}
-	return NetworkB
-}
-
-// Testbed is the assembled measurement floor.
+// Testbed is an assembled measurement floor.
 type Testbed struct {
 	Grid     *grid.Grid
 	Dep      *plc.Deployment
-	Stations []*plc.Station // indexed by paper station number
+	Stations []*plc.Station // indexed by station number
 
 	seed      int64
+	bp        *scenario.Blueprint
 	wifiLinks map[[2]int]*wifi.Link
 
 	// Assembly inputs, retained so Reset can rebuild the mutable PLC
@@ -98,124 +66,118 @@ type Options struct {
 	// ~230 modelled carriers for AV).
 	Decimate int
 	Seed     int64
+	// Scenario selects the deployment by registry name or gen: spec
+	// (see internal/scenario); empty means the paper floor.
+	Scenario string
 	// Estimator overrides the channel-estimation tuning; zero value
 	// means defaults.
 	Estimator *phy.EstimatorConfig
 }
 
 // DefaultOptions is the recommended laptop-scale configuration (HomePlug
-// AV, decimate 8, seed 1) — the single source the facade and the command
-// flags both start from.
+// AV, decimate 8, seed 1, the paper floor) — the single source the
+// facade and the command flags both start from.
 func DefaultOptions() Options {
-	return Options{Spec: phy.AV, Decimate: 8, Seed: 1}
+	return Options{Spec: phy.AV, Decimate: 8, Seed: 1, Scenario: scenario.DefaultName}
 }
 
-// New assembles the Fig. 2 floor.
+// New assembles the scenario selected by opts.Scenario (the Fig. 2
+// paper floor when empty). Unknown scenario names panic — validate user
+// input with scenario.Parse first; Build reports blueprint errors for
+// programmatic construction.
 func New(opts Options) *Testbed {
+	bp, err := scenario.Parse(opts.Scenario)
+	if err != nil {
+		panic(fmt.Sprintf("testbed: %v", err))
+	}
+	tb, err := Build(bp, opts)
+	if err != nil {
+		panic(fmt.Sprintf("testbed: %v", err))
+	}
+	return tb
+}
+
+// Build assembles a blueprint into a live deployment: the cable graph
+// with its boards, spines, drops and appliance population; one PLC
+// station per blueprint station with the CCos pinned; and the WiFi link
+// cache over the same geometry. Construction order is deterministic, so
+// equal (blueprint, options) pairs reproduce the floor bit for bit.
+func Build(bp *scenario.Blueprint, opts Options) (*Testbed, error) {
+	if err := bp.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.Decimate < 1 {
 		opts.Decimate = 4
 	}
+	opts.Scenario = bp.Name
 	gcfg := grid.DefaultConfig()
 	gcfg.Seed = opts.Seed
 	g := grid.New(gcfg)
 
-	// Distribution boards, one riser each, and a corridor spine per wing.
-	// Cable runs are longer than straight-line distance (wiring factor),
-	// giving the 20-100+ m cable-distance spread of Fig. 7.
-	b1 := g.AddNode(36, 20, 0)
-	b2 := g.AddNode(20, 20, 1)
-	// Basement interconnection: the >200 m run that separates the boards
-	// electrically (§3.1).
-	g.AddCable(b1, b2, 220)
+	// Distribution boards, then their basement interconnections.
+	boards := make([]grid.NodeID, len(bp.Boards))
+	for i, b := range bp.Boards {
+		boards[i] = g.AddNode(b.X, b.Y, i)
+	}
+	for _, ic := range bp.Interconnects {
+		g.AddCable(boards[ic.A], boards[ic.B], ic.Length)
+	}
 
-	spine := func(board int, root grid.NodeID, xs []float64, y float64) []grid.NodeID {
+	// Corridor spines: junction-box chains fed from their board. Cable
+	// runs are longer than straight-line distance (wiring factor),
+	// giving the 20-100+ m cable-distance spread of Fig. 7.
+	spines := make([][]grid.NodeID, len(bp.Spines))
+	for i, sp := range bp.Spines {
+		root := boards[sp.Board]
 		nodes := []grid.NodeID{root}
 		prev := root
 		px, py := g.Nodes[root].X, g.Nodes[root].Y
-		for _, x := range xs {
-			n := g.AddNode(x, y, board)
-			dist := wiringLen(px, py, x, y)
-			g.AddCable(prev, n, dist)
+		for _, x := range sp.Xs {
+			n := g.AddNode(x, sp.Y, sp.Board)
+			g.AddCable(prev, n, wiringLen(px, py, x, sp.Y))
 			nodes = append(nodes, n)
-			prev, px, py = n, x, y
+			prev, px, py = n, x, sp.Y
 		}
-		return nodes
+		spines[i] = nodes
 	}
-	// Right wing: a northern and a southern corridor, junction boxes
-	// every few metres (each is a structural tap — the multipath that
-	// dominates attenuation per the §5 control experiment).
-	northR := spine(0, b1, []float64{38, 42, 46, 50, 54, 58, 62, 66, 69}, 30)
-	southR := spine(0, b1, []float64{39, 43, 47, 51, 55, 59, 63, 66}, 14)
-	// Left wing likewise.
-	northL := spine(1, b2, []float64{17, 14, 11, 8}, 30)
-	southL := spine(1, b2, []float64{17, 14, 11, 8, 13}, 12)
-
-	// Mid-corridor cross-ties: junction boxes joining the two circuits of
-	// each wing (without them, cross-corridor routes accumulate twice the
-	// tap losses and die — contradicting the paper's observation that
-	// every WiFi-connected pair is also PLC-connected).
-	g.AddCable(northR[5], southR[4], 18)
-	g.AddCable(northL[2], southL[2], 20)
-
-	tb := &Testbed{Grid: g, seed: opts.Seed}
-
-	// Station outlets drop from the nearest spine junction of their wing.
-	spines := map[int][][]grid.NodeID{
-		0: {northR, southR},
-		1: {northL, southL},
+	for _, ct := range bp.CrossTies {
+		g.AddCable(spines[ct.SpineA][ct.NodeA], spines[ct.SpineB][ct.NodeB], ct.Length)
 	}
-	var stationNodes [NumStations]grid.NodeID
-	for s := 0; s < NumStations; s++ {
-		x, y := stationPos[s][0], stationPos[s][1]
-		board := boardOf(s)
+
+	tb := &Testbed{Grid: g, seed: opts.Seed, bp: bp}
+
+	// Station outlets drop from the nearest spine junction of their
+	// board's wing.
+	stationNodes := make([]grid.NodeID, len(bp.Stations))
+	for s, st := range bp.Stations {
 		var best grid.NodeID
 		bestD := 1e18
-		for _, sp := range spines[board] {
-			for _, n := range sp[1:] { // skip the board itself
-				d := wiringLen(g.Nodes[n].X, g.Nodes[n].Y, x, y)
+		for si, sp := range bp.Spines {
+			if sp.Board != st.Board {
+				continue
+			}
+			for _, n := range spines[si][1:] { // skip the board itself
+				d := wiringLen(g.Nodes[n].X, g.Nodes[n].Y, st.X, st.Y)
 				if d < bestD {
 					best, bestD = n, d
 				}
 			}
 		}
-		outlet := g.AddNode(x, y, board)
+		outlet := g.AddNode(st.X, st.Y, st.Board)
 		g.AddCable(best, outlet, bestD+2) // drop plus in-wall slack
 		stationNodes[s] = outlet
 	}
 
-	// Office appliances: a PC and lighting at every station outlet, plus
-	// shared equipment on the spines. This is the population whose
-	// schedules drive the §6 temporal variation.
-	for s := 0; s < NumStations; s++ {
-		g.Plug(grid.ClassDesktopPC, stationNodes[s])
-		if s%2 == 0 {
-			g.Plug(grid.ClassFluorescent, stationNodes[s])
+	// The appliance population whose schedules drive the §6 temporal
+	// variation: station-attached devices first, then the shared
+	// equipment on the spines.
+	for s, st := range bp.Stations {
+		for _, cls := range st.Appliances {
+			g.Plug(cls, stationNodes[s])
 		}
 	}
-	shared := []struct {
-		class *grid.ApplianceClass
-		node  grid.NodeID
-	}{
-		{grid.ClassDimmer, northR[3]},
-		{grid.ClassDimmer, southL[1]},
-		{grid.ClassFridge, southR[2]},
-		{grid.ClassFridge, northL[1]},
-		{grid.ClassKettle, southR[4]},
-		{grid.ClassKettle, northL[2]},
-		{grid.ClassLabEquipment, southR[1]},
-		{grid.ClassLabEquipment, northR[5]},
-		{grid.ClassPhoneCharger, northR[1]},
-		{grid.ClassPhoneCharger, southL[2]},
-		{grid.ClassPhoneCharger, northL[2]},
-		{grid.ClassRouter, northR[2]},
-		{grid.ClassRouter, southL[3]},
-		// Always-on noisy gear: the reason some links are bad *and*
-		// variable even at night (the §6.2 quality/variability coupling).
-		{grid.ClassServerRack, southR[6]},
-		{grid.ClassVendingMachine, northL[3]},
-	}
-	for _, sh := range shared {
-		g.Plug(sh.class, sh.node)
+	for _, sh := range bp.Shared {
+		g.Plug(sh.Class, spines[sh.Spine][sh.Node])
 	}
 
 	pcfg := plc.DefaultConfig()
@@ -227,13 +189,13 @@ func New(opts Options) *Testbed {
 	}
 	tb.opts = opts
 	tb.pcfg = pcfg
-	tb.stationNodes = stationNodes[:]
-	for s := 0; s < NumStations; s++ {
-		tb.stationNets = append(tb.stationNets, networkOf(s))
+	tb.stationNodes = stationNodes
+	for _, st := range bp.Stations {
+		tb.stationNets = append(tb.stationNets, st.Network)
 	}
-	tb.ccoStations = []int{CCoA, CCoB}
+	tb.ccoStations = append(tb.ccoStations, bp.CCos...)
 	tb.assemble()
-	return tb
+	return tb, nil
 }
 
 // assemble (re)builds the PLC deployment and WiFi link cache from the
@@ -262,6 +224,13 @@ func (tb *Testbed) Reset() { tb.assemble() }
 
 // Opts reports the options the testbed was built with.
 func (tb *Testbed) Opts() Options { return tb.opts }
+
+// Blueprint reports the scenario the testbed was assembled from (nil
+// for the isolated rig).
+func (tb *Testbed) Blueprint() *scenario.Blueprint { return tb.bp }
+
+// StationCount reports the assembled station count.
+func (tb *Testbed) StationCount() int { return len(tb.Stations) }
 
 // wiringLen converts a straight run into an in-wall cable length
 // (manhattan routing with slack).
@@ -305,9 +274,9 @@ func (tb *Testbed) ALLink(m core.Medium, src, dst int) (al.Link, error) {
 }
 
 // Topology returns the abstraction-layer view of the whole floor: one PLC
-// link per same-network ordered station pair (Fig. 2's two AVLNs) followed
-// by one WiFi link per ordered pair (WiFi has no network partition), in
-// deterministic order — consumers inherit seed-reproducibility.
+// link per same-network ordered station pair followed by one WiFi link
+// per ordered pair (WiFi has no network partition), in deterministic
+// order — consumers inherit seed-reproducibility.
 func (tb *Testbed) Topology() (*al.Topology, error) {
 	topo := al.NewTopology()
 	n := len(tb.Stations)
@@ -345,13 +314,14 @@ func (tb *Testbed) WiFiLink(src, dst int) *wifi.Link {
 	return l
 }
 
-// SameNetworkPairs enumerates the ordered station pairs that can form PLC
-// links (both directions; Fig. 2's two networks).
+// SameNetworkPairs enumerates the ordered station pairs that can form
+// PLC links (both directions; the scenario's network partition).
 func (tb *Testbed) SameNetworkPairs() [][2]int {
+	n := len(tb.Stations)
 	var out [][2]int
-	for a := 0; a < NumStations; a++ {
-		for b := 0; b < NumStations; b++ {
-			if a != b && networkOf(a) == networkOf(b) {
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b && tb.stationNets[a] == tb.stationNets[b] {
 				out = append(out, [2]int{a, b})
 			}
 		}
@@ -362,9 +332,10 @@ func (tb *Testbed) SameNetworkPairs() [][2]int {
 // AllPairs enumerates every ordered station pair (WiFi has no network
 // partition).
 func (tb *Testbed) AllPairs() [][2]int {
+	n := len(tb.Stations)
 	var out [][2]int
-	for a := 0; a < NumStations; a++ {
-		for b := 0; b < NumStations; b++ {
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
 			if a != b {
 				out = append(out, [2]int{a, b})
 			}
@@ -373,12 +344,24 @@ func (tb *Testbed) AllPairs() [][2]int {
 	return out
 }
 
-// NewIsolatedRig builds the §5 control experiment: two stations joined by
-// a bare cable of the given length, optionally with appliances plugged at
-// given fractions along it.
+// NewIsolatedRig builds the §5 control experiment with default carrier
+// resolution: two stations joined by a bare cable of the given length,
+// optionally with appliances plugged at given fractions along it.
 func NewIsolatedRig(lengthM float64, seed int64, spec phy.Spec, appliances map[float64]*grid.ApplianceClass) *Testbed {
+	return NewIsolatedRigOpts(lengthM, Options{Spec: spec, Seed: seed}, appliances)
+}
+
+// NewIsolatedRigOpts builds the isolated rig honouring the full option
+// set (notably Decimate; Scenario is ignored — the rig is its own
+// geometry). Appliance taps at fraction <= 0 or >= 1 merge onto the end
+// stations' outlets rather than creating degenerate zero-length cable
+// segments, and taps sharing a fraction share one junction.
+func NewIsolatedRigOpts(lengthM float64, opts Options, appliances map[float64]*grid.ApplianceClass) *Testbed {
+	if opts.Decimate < 1 {
+		opts.Decimate = plc.DefaultConfig().Decimate
+	}
 	gcfg := grid.DefaultConfig()
-	gcfg.Seed = seed
+	gcfg.Seed = opts.Seed
 	g := grid.New(gcfg)
 	a := g.AddNode(0, 0, 0)
 	b := g.AddNode(lengthM, 0, 0)
@@ -390,33 +373,54 @@ func NewIsolatedRig(lengthM float64, seed int64, spec phy.Spec, appliances map[f
 	}
 	var taps []tap
 	for f, c := range appliances {
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
 		taps = append(taps, tap{f, c})
 	}
-	// Insertion order must be deterministic.
-	for i := 0; i < len(taps); i++ {
-		for j := i + 1; j < len(taps); j++ {
-			if taps[j].frac < taps[i].frac {
-				taps[i], taps[j] = taps[j], taps[i]
-			}
+	// Insertion order must be deterministic: order by position, then by
+	// class name for taps sharing a fraction (map iteration order must
+	// not leak into node identities).
+	sort.Slice(taps, func(i, j int) bool {
+		if taps[i].frac != taps[j].frac {
+			return taps[i].frac < taps[j].frac
 		}
-	}
+		return taps[i].class.Name < taps[j].class.Name
+	})
 	prev := a
 	prevPos := 0.0
 	for _, tp := range taps {
 		pos := tp.frac * lengthM
-		n := g.AddNode(pos, 0, 0)
-		g.AddCable(prev, n, pos-prevPos)
+		var n grid.NodeID
+		switch {
+		case pos <= prevPos:
+			n = prev // merge onto the previous junction (or station a)
+		case pos >= lengthM:
+			n = b // tap at the far end: plug at station b's outlet
+		default:
+			n = g.AddNode(pos, 0, 0)
+			g.AddCable(prev, n, pos-prevPos)
+			prev, prevPos = n, pos
+		}
 		g.Plug(tp.class, n)
-		prev, prevPos = n, pos
 	}
-	g.AddCable(prev, b, lengthM-prevPos)
+	if lengthM > prevPos {
+		g.AddCable(prev, b, lengthM-prevPos)
+	}
 
 	pcfg := plc.DefaultConfig()
-	pcfg.Spec = spec
-	pcfg.Seed = seed
+	pcfg.Spec = opts.Spec
+	pcfg.Decimate = opts.Decimate
+	pcfg.Seed = opts.Seed
+	if opts.Estimator != nil {
+		pcfg.Estimator = *opts.Estimator
+	}
 	tb := &Testbed{
-		Grid: g, seed: seed,
-		opts:         Options{Spec: spec, Decimate: pcfg.Decimate, Seed: seed},
+		Grid: g, seed: opts.Seed,
+		opts:         Options{Spec: opts.Spec, Decimate: pcfg.Decimate, Seed: opts.Seed, Estimator: opts.Estimator},
 		pcfg:         pcfg,
 		stationNodes: []grid.NodeID{a, b},
 		stationNets:  []int{0, 0},

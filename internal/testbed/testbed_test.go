@@ -158,6 +158,82 @@ func TestIsolatedRigApplianceIntroducesAsymmetry(t *testing.T) {
 	}
 }
 
+func TestIsolatedRigDegenerateTaps(t *testing.T) {
+	// Regression: taps at fraction 0.0 or 1.0 used to create zero-length
+	// cable segments (grid.AddCable panics on those); they now merge
+	// onto the end stations' outlets, and taps sharing a fraction share
+	// one junction.
+	rig := NewIsolatedRig(50, 1, phy.AV, map[float64]*grid.ApplianceClass{
+		0.0: grid.ClassKettle,
+		0.5: grid.ClassFridge,
+		1.0: grid.ClassDimmer,
+	})
+	if got := len(rig.Grid.Appliances); got != 3 {
+		t.Fatalf("appliances = %d", got)
+	}
+	// Station outlets are nodes 0 and 1; the clamped taps sit on them.
+	if rig.Grid.Appliances[0].Node != 0 {
+		t.Fatalf("frac-0 tap at node %d, want station a", rig.Grid.Appliances[0].Node)
+	}
+	if rig.Grid.Appliances[2].Node != 1 {
+		t.Fatalf("frac-1 tap at node %d, want station b", rig.Grid.Appliances[2].Node)
+	}
+	l, err := rig.PLCLink(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := l.CableDistance(); d != 50 {
+		t.Fatalf("cable distance = %v, want 50", d)
+	}
+}
+
+func TestIsolatedRigSharedFractionDeterministic(t *testing.T) {
+	// Two classes at the same fraction must land in a deterministic
+	// order (by class name) regardless of map iteration order.
+	build := func() []string {
+		rig := NewIsolatedRig(40, 1, phy.AV, map[float64]*grid.ApplianceClass{
+			0.5000001: grid.ClassKettle,
+			0.5:       grid.ClassFridge,
+			0.2:       grid.ClassDimmer,
+		})
+		var names []string
+		for _, a := range rig.Grid.Appliances {
+			names = append(names, a.Class.Name)
+		}
+		return names
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("appliance order differs across builds: %v vs %v", a, b)
+		}
+	}
+	if a[0] != "dimmer" || a[1] != "fridge" || a[2] != "kettle" {
+		t.Fatalf("appliance order = %v, want position-then-name", a)
+	}
+}
+
+func TestIsolatedRigHonoursDecimation(t *testing.T) {
+	// Regression: the rig used to ignore any requested decimation and
+	// always build at plc.DefaultConfig's resolution.
+	coarse := NewIsolatedRigOpts(30, Options{Spec: phy.AV, Seed: 1, Decimate: 16}, nil)
+	fine := NewIsolatedRigOpts(30, Options{Spec: phy.AV, Seed: 1, Decimate: 2}, nil)
+	lc, err := coarse.PLCLink(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := fine.PLCLink(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc, nf := len(lc.Ch.Carriers()), len(lf.Ch.Carriers()); nc*4 > nf {
+		t.Fatalf("decimation ignored: %d carriers at 16 vs %d at 2", nc, nf)
+	}
+	if coarse.Opts().Decimate != 16 {
+		t.Fatalf("opts decimate = %d", coarse.Opts().Decimate)
+	}
+}
+
 func TestTopologyEnumeratesAllMedia(t *testing.T) {
 	tb := buildAV(t)
 	topo, err := tb.Topology()

@@ -71,6 +71,15 @@ type Link struct {
 	asymDB  float64 // per-direction offset
 	snrEWMA float64 // rate-adaptation state
 	ewmaSet bool
+
+	// Memoized rate-adaptation decision: the EWMA advances once per
+	// distinct timestep, so Capacity(t) and Throughput(t) at the same
+	// instant read one selection instead of double-stepping the state
+	// (measured numbers must not depend on how often a scheduler asks).
+	mcsAt  time.Duration
+	mcsSel MCS
+	mcsOK  bool
+	mcsSet bool
 }
 
 // NewLink creates the directed WiFi link src→dst using the floor-plan
@@ -128,8 +137,12 @@ func (l *Link) SNR(t time.Duration) float64 {
 
 // MCSAt performs rate adaptation at time t: the sender tracks an EWMA of
 // the SNR and picks the densest MCS it sustains. ok is false when even
-// MCS 8 is unusable (a blind spot).
+// MCS 8 is unusable (a blind spot). Repeated reads at the same t are
+// idempotent — the EWMA advances once per distinct timestep.
 func (l *Link) MCSAt(t time.Duration) (MCS, bool) {
+	if l.mcsSet && t == l.mcsAt {
+		return l.mcsSel, l.mcsOK
+	}
 	snr := l.SNR(t)
 	if !l.ewmaSet {
 		l.snrEWMA, l.ewmaSet = snr, true
@@ -144,6 +157,7 @@ func (l *Link) MCSAt(t time.Duration) (MCS, bool) {
 			ok = true
 		}
 	}
+	l.mcsAt, l.mcsSel, l.mcsOK, l.mcsSet = t, best, ok, true
 	return best, ok
 }
 

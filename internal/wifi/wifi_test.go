@@ -127,6 +127,40 @@ func TestDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+func TestSameInstantReadsAreIdempotent(t *testing.T) {
+	// Regression: MCSAt used to advance the rate-adaptation EWMA on
+	// every call, so Capacity(t) followed by Throughput(t) at the same
+	// instant (what the hybrid schedulers do each step) double-stepped
+	// the state and made measured numbers depend on query count/order.
+	g := flatFloor()
+	double := NewLink(g, 0, 3, 9)
+	single := NewLink(g, 0, 3, 9)
+	for i := 0; i < 200; i++ {
+		tm := 11*time.Hour + time.Duration(i)*100*time.Millisecond
+		double.Capacity(tm) // the extra read that used to perturb state
+		got := double.Throughput(tm)
+		want := single.Throughput(tm)
+		if got != want {
+			t.Fatalf("at %v: throughput after extra Capacity read = %v, alone = %v", tm, got, want)
+		}
+	}
+}
+
+func TestMCSAtRepeatedReadStable(t *testing.T) {
+	g := flatFloor()
+	l := NewLink(g, 0, 2, 4)
+	tm := 11 * time.Hour
+	m1, ok1 := l.MCSAt(tm)
+	m2, ok2 := l.MCSAt(tm)
+	if m1 != m2 || ok1 != ok2 {
+		t.Fatalf("repeated MCSAt(%v) changed: %v/%v then %v/%v", tm, m1, ok1, m2, ok2)
+	}
+	// A new timestep still advances the adaptation.
+	if _, _ = l.MCSAt(tm + 100*time.Millisecond); l.mcsAt != tm+100*time.Millisecond {
+		t.Fatal("memo did not move to the new timestep")
+	}
+}
+
 func BenchmarkThroughputSample(b *testing.B) {
 	g := flatFloor()
 	l := NewLink(g, 0, 3, 1)

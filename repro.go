@@ -27,6 +27,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/plc"
 	"repro/internal/plc/phy"
+	"repro/internal/scenario"
 	"repro/internal/testbed"
 	"repro/internal/wifi"
 )
@@ -111,6 +112,14 @@ func WithEstimator(cfg EstimatorConfig) TestbedOption {
 	return func(o *testbed.Options) { o.Estimator = &cfg }
 }
 
+// WithScenario selects the deployment by registry name ("paper",
+// "flat", "large-office", "apartment") or procedural spec
+// ("gen:stations=24,boards=2,seed=3"). Validate free-form input with
+// ParseScenario first; NewTestbed panics on an unknown name.
+func WithScenario(name string) TestbedOption {
+	return func(o *testbed.Options) { o.Scenario = name }
+}
+
 // NewTestbed builds the Fig. 2 floor: 19 stations, two distribution
 // boards, two PLC logical networks, shared WiFi geometry.
 //
@@ -127,6 +136,41 @@ func NewTestbed(opts ...TestbedOption) *Testbed {
 // seed (HomePlug AV, moderate carrier resolution).
 func DefaultTestbed(seed int64) *Testbed {
 	return NewTestbed(WithSeed(seed))
+}
+
+// Scenario machinery: deployments as data. A Blueprint describes a
+// whole measurement environment (boards, cable spines, stations,
+// appliance population, CCo placement); the testbed assembles it.
+type (
+	// ScenarioBlueprint is a complete deployment description.
+	ScenarioBlueprint = scenario.Blueprint
+	// ScenarioParams parameterizes a procedural deployment.
+	ScenarioParams = scenario.Params
+)
+
+// Scenarios lists the preset scenario names.
+func Scenarios() []string { return scenario.Names() }
+
+// ParseScenario resolves a scenario selection — a preset name, a
+// "gen:stations=N,boards=M,seed=S" spec, or "" for the paper floor —
+// into a validated blueprint.
+func ParseScenario(sel string) (*ScenarioBlueprint, error) { return scenario.Parse(sel) }
+
+// GenerateScenario emits a procedural N-station/M-board deployment;
+// equal params produce identical blueprints.
+func GenerateScenario(p ScenarioParams) *ScenarioBlueprint { return scenario.Generate(p) }
+
+// BuildScenario assembles a blueprint into a live testbed — the escape
+// hatch for deployments no preset covers.
+//
+//	bp := repro.GenerateScenario(repro.ScenarioParams{Stations: 24, Boards: 2})
+//	tb, err := repro.BuildScenario(bp, repro.WithSeed(7))
+func BuildScenario(bp *ScenarioBlueprint, opts ...TestbedOption) (*Testbed, error) {
+	o := testbed.DefaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return testbed.Build(bp, o)
 }
 
 // Re-exported metric machinery: the paper's contribution.
@@ -177,6 +221,13 @@ type CampaignEvent = campaign.Event
 
 // CampaignOutcome is one experiment's result within a campaign.
 type CampaignOutcome = campaign.Outcome
+
+// SweepOptions tunes a cross-scenario campaign sweep.
+type SweepOptions = campaign.SweepOptions
+
+// SweepOutcome is one experiment's result on one scenario, with its
+// qualitative-claim verdict.
+type SweepOutcome = campaign.SweepOutcome
 
 // Experiments lists the identifiers of every table/figure harness.
 func Experiments() []string { return experiments.IDs() }
@@ -234,6 +285,16 @@ func RunAll(w io.Writer, cfg ExperimentConfig) ([]ExperimentResult, error) {
 // wall-clock time.
 func RunAllParallel(ctx context.Context, cfg ExperimentConfig, opts CampaignOptions) ([]CampaignOutcome, error) {
 	return campaign.Run(ctx, cfg, opts)
+}
+
+// RunSweep executes the configured experiments across a fleet of
+// scenarios on one worker pool — the cross product feeds the same
+// longest-first scheduler as RunAllParallel — and reports one outcome
+// per (scenario, experiment) with its qualitative-claim verdict. The
+// paper's metrics are only deployable if their claims survive floors
+// the paper never measured; this is the harness that asks.
+func RunSweep(ctx context.Context, cfg ExperimentConfig, opts SweepOptions, scenarios []string) ([]SweepOutcome, error) {
+	return campaign.Sweep(ctx, cfg, opts, scenarios)
 }
 
 // MeasureLink is a convenience helper: it saturates the directed PLC link
