@@ -297,7 +297,7 @@ func maxNonZero(x float64) float64 {
 // experiment at a time — the baseline for the parallel engine.
 func BenchmarkCampaignSerial(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		outs, err := campaign.Run(context.Background(), benchCfg(), campaign.Options{Workers: 1})
+		outs, err := campaign.Collect(context.Background(), campaign.NewPlan(campaign.PlanConfig(benchCfg())), campaign.Options{Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -310,7 +310,7 @@ func BenchmarkCampaignSerial(b *testing.B) {
 // cores (the serial tail is table1 + fig14, ≈40% of total work).
 func BenchmarkCampaignParallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		outs, err := campaign.Run(context.Background(), benchCfg(), campaign.Options{Workers: runtime.GOMAXPROCS(0)})
+		outs, err := campaign.Collect(context.Background(), campaign.NewPlan(campaign.PlanConfig(benchCfg())), campaign.Options{Workers: runtime.GOMAXPROCS(0)})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,31 +1,39 @@
-// Command experiments regenerates the paper's tables and figures from a
-// simulated deployment — the paper floor by default, any scenario on
-// request, or a whole fleet of scenarios in one sweep.
+// Command experiments regenerates the paper's tables and figures from
+// simulated deployments. One declarative plan — the cross product of
+// experiments × scenarios × seeds — feeds one concurrent engine,
+// whether you run a single figure on the paper floor or the whole
+// campaign across a fleet of floors with replicated seeds.
 //
 // Usage:
 //
 //	experiments -list
 //	experiments -list-scenarios
 //	experiments -run fig15 -scale 0.2 -tables
-//	experiments -run all -parallel 4 -timeout 2m
+//	experiments -run all -timeout 2m
 //	experiments -run all -json > campaign.json
 //	experiments -run fig20 -scenario flat
-//	experiments -run fig20 -scenarios paper,flat,large-office,apartment
-//	experiments -run fig20 -scenarios all -parallel 0
+//	experiments -run fig20,fig03 -scenarios paper,flat,large-office
+//	experiments -run fig20 -scenarios all -seeds 1,2,3
+//	experiments -run all -seeds 1,2,3,4,5 -jsonl campaign.jsonl
 //
-// Each experiment prints a one-line summary comparing the measured shape
-// with the paper's claim; -tables additionally dumps the figure's data
-// rows (suitable for plotting) and -json emits the whole campaign as a
-// machine-readable array. With -parallel > 1 experiments execute
-// concurrently (output order stays deterministic; progress goes to
-// stderr). If any harness fails, the command reports every failing
-// experiment id on stderr and exits non-zero.
+// Each experiment prints a one-line summary comparing the measured
+// shape with the paper's claim, plus the qualitative-claim verdict
+// (PASS/FAIL) where the result self-assesses; -tables additionally
+// dumps the figure's data rows and -json emits the collected campaign
+// as a machine-readable array. -jsonl streams one JSON object per job
+// to a file as workers finish ("-" for stdout), so a long campaign
+// persists its finished jobs incrementally.
 //
-// -scenarios runs the selected experiments across several deployments on
-// one worker pool and reports the qualitative-claim verdict per
-// (scenario, experiment); a violated claim makes the command exit
-// non-zero, because a metric plane that only works on the paper's floor
-// is not deployable.
+// Jobs execute concurrently (-parallel caps the workers, default one
+// per CPU; output order stays deterministic; progress goes to stderr).
+// With several -seeds the command also reports the cross-seed
+// mean/stddev/95% CI per (experiment, scenario) metric — the variance a
+// reproduction should report — as a text table, or under the
+// "aggregate" key of the {"jobs", "aggregate"} envelope -json switches
+// to for multi-seed plans. If any harness fails or any claim is
+// violated, the command reports the failing jobs on stderr and exits
+// non-zero: a metric plane that only works on the paper's floor is not
+// deployable.
 package main
 
 import (
@@ -33,9 +41,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
-	"runtime"
 	"syscall"
 	"time"
 
@@ -46,28 +54,34 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain runs the command and returns its exit code, so deferred
+// cleanup (the -jsonl file close) happens before the process exits.
+func realMain() int {
 	var (
 		list      = flag.Bool("list", false, "list experiments and exit")
 		listScen  = flag.Bool("list-scenarios", false, "list scenario presets and exit")
-		run       = flag.String("run", "all", "experiment id to run, or 'all'")
-		seed      = flag.Int64("seed", 1, "simulation seed")
+		run       = flag.String("run", "all", "experiment id (or comma-separated ids) to run, or 'all'")
 		scale     = flag.Float64("scale", 0.2, "duration scale in (0,1]: 1.0 = paper-length campaigns")
-		decim     = flag.Int("decimate", 8, "carrier decimation (1 = full 917-carrier resolution)")
 		tables    = flag.Bool("tables", false, "print full data tables, not just summaries")
-		parallel  = flag.Int("parallel", 1, "worker count; 0 = all CPUs, 1 = serial")
-		timeout   = flag.Duration("timeout", 0, "per-experiment timeout (0 = none)")
-		asJSON    = flag.Bool("json", false, "emit results as a JSON array instead of text")
+		parallel  = flag.Int("parallel", 0, "worker count; <= 0 = one per CPU (GOMAXPROCS), 1 = serial")
+		timeout   = flag.Duration("timeout", 0, "per-job timeout (0 = none)")
+		asJSON    = flag.Bool("json", false, "emit collected results as a JSON array instead of text")
+		jsonl     = flag.String("jsonl", "", "stream one JSON object per job to this file as workers finish ('-' = stdout)")
 		quiet     = flag.Bool("quiet", false, "suppress progress lines on stderr")
 		scenarios = flag.String("scenarios", "", "comma-separated scenario sweep (or 'all'); overrides -scenario")
+		seeds     = flag.String("seeds", "", "comma-separated replicate seeds (e.g. 1,2,3); overrides -seed")
 	)
-	scen := cli.RegisterScenarioFlag()
+	shared := cli.RegisterExperimentFlags()
 	flag.Parse()
 
 	if *list {
 		for _, m := range experiments.List() {
 			fmt.Printf("%-8s %s\n", m.ID, m.Ref)
 		}
-		return
+		return 0
 	}
 	if *listScen {
 		for _, n := range scenario.Names() {
@@ -79,16 +93,46 @@ func main() {
 			fmt.Printf("%-14s %d stations, %d boards, %d appliances\n",
 				n, len(bp.Stations), len(bp.Boards), bp.NumAppliances())
 		}
-		return
+		return 0
 	}
 
-	cfg := experiments.Config{Seed: *seed, Scale: *scale, Decimate: *decim, Scenario: *scen}
-	opts := campaign.Options{Workers: *parallel, Timeout: *timeout}
-	if *parallel == 0 {
-		opts.Workers = runtime.NumCPU()
-	}
+	cfg := experiments.Config{Seed: *shared.Seed, Scale: *scale, Decimate: *shared.Decimate, Scenario: *shared.Scenario}
+	planOpts := []campaign.PlanOption{campaign.PlanConfig(cfg)}
 	if *run != "all" {
-		opts.IDs = []string{*run}
+		ids := cli.SplitIDs(*run)
+		if len(ids) == 0 {
+			fmt.Fprintf(os.Stderr, "experiments: -run %q selects no experiment\n", *run)
+			return 2
+		}
+		planOpts = append(planOpts, campaign.PlanExperiments(ids...))
+	}
+	if *scenarios != "" {
+		names := cli.SplitScenarios(*scenarios)
+		if len(names) == 0 {
+			fmt.Fprintf(os.Stderr, "experiments: -scenarios %q selects no scenario\n", *scenarios)
+			return 2
+		}
+		planOpts = append(planOpts, campaign.PlanScenarios(names...))
+	}
+	multiSeed := false
+	if *seeds != "" {
+		list, err := cli.SplitSeeds(*seeds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 2
+		}
+		if len(list) == 0 {
+			fmt.Fprintf(os.Stderr, "experiments: -seeds %q selects no seed\n", *seeds)
+			return 2
+		}
+		multiSeed = len(list) > 1
+		planOpts = append(planOpts, campaign.PlanSeeds(list...))
+	}
+	plan := campaign.NewPlan(planOpts...)
+
+	opts := campaign.Options{Workers: *parallel, Timeout: *timeout}
+	if !*quiet {
+		opts.Observer = progress
 	}
 
 	// Ctrl-C cancels the campaign; in-flight harnesses stop between
@@ -96,148 +140,156 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *scenarios != "" {
-		os.Exit(runSweep(ctx, cfg, opts, cli.SplitScenarios(*scenarios), *asJSON, *tables, *quiet))
-	}
-
-	if !*quiet {
-		opts.Observer = func(ev campaign.Event) {
-			switch ev.Kind {
-			case campaign.EventFinished:
-				fmt.Fprintf(os.Stderr, "[%2d/%d] %-8s done in %v\n", ev.Done, ev.Total, ev.Meta.ID, ev.Elapsed.Round(time.Millisecond))
-			case campaign.EventFailed:
-				fmt.Fprintf(os.Stderr, "[%2d/%d] %-8s FAILED after %v: %v\n", ev.Done, ev.Total, ev.Meta.ID, ev.Elapsed.Round(time.Millisecond), ev.Err)
-			}
+	// Open the sink before launching workers: a bad -jsonl path must
+	// fail fast, not after harnesses have started burning CPU.
+	var sinks []campaign.Sink
+	if *jsonl != "" {
+		w, closeFn, err := openSink(*jsonl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 2
 		}
+		defer closeFn()
+		sinks = append(sinks, campaign.NewJSONLSink(w))
 	}
 
-	outcomes, err := campaign.Run(ctx, cfg, opts)
-	if werr := emit(outcomes, *asJSON, *tables); werr != nil && err == nil {
+	runHandle, err := campaign.Start(ctx, plan, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 2
+	}
+
+	outcomes, err := runHandle.Stream(sinks...)
+	if werr := emit(outcomes, *asJSON, *tables, multiSeed); werr != nil && err == nil {
 		err = werr
 	}
+
+	code := 0
 	if err != nil {
 		// Report harnesses that actually ran and failed; never-started
-		// experiments (Worker -1, cancelled in the queue) would only
-		// repeat the campaign-level cause.
+		// jobs (Worker -1, cancelled in the queue) would only repeat the
+		// campaign-level cause.
 		printed := false
 		for _, o := range outcomes {
 			if o.Err != nil && o.Worker >= 0 {
-				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", o.Meta.ID, o.Err)
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", o.Job, o.Err)
 				printed = true
 			}
 		}
 		if !printed {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		}
-		os.Exit(1)
-	}
-}
-
-// sweepExport is the machine-readable envelope of one sweep cell.
-type sweepExport struct {
-	Scenario string `json:"scenario"`
-	experiments.Export
-	Claim string `json:"claim,omitempty"` // violated-claim description
-}
-
-// runSweep executes the cross-scenario sweep and reports per-scenario
-// qualitative-claim verdicts; the exit code is non-zero on harness
-// failures or violated claims.
-func runSweep(ctx context.Context, cfg experiments.Config, opts campaign.Options, names []string, asJSON, tables, quiet bool) int {
-	sopts := campaign.SweepOptions{Options: opts}
-	if !quiet {
-		sopts.Observer = func(ev campaign.SweepEvent) {
-			switch ev.Kind {
-			case campaign.EventFinished:
-				fmt.Fprintf(os.Stderr, "[%2d/%d] %-14s %-8s done in %v\n", ev.Done, ev.Total, ev.Scenario, ev.Meta.ID, ev.Elapsed.Round(time.Millisecond))
-			case campaign.EventFailed:
-				fmt.Fprintf(os.Stderr, "[%2d/%d] %-14s %-8s FAILED after %v: %v\n", ev.Done, ev.Total, ev.Scenario, ev.Meta.ID, ev.Elapsed.Round(time.Millisecond), ev.Err)
-			}
-		}
-	}
-	outcomes, err := campaign.Sweep(ctx, cfg, sopts, names)
-	if err != nil && outcomes == nil {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-		return 1
-	}
-
-	if asJSON {
-		exports := make([]sweepExport, 0, len(outcomes))
-		for _, o := range outcomes {
-			if o.Result == nil {
-				continue
-			}
-			se := sweepExport{Scenario: o.Scenario, Export: experiments.NewExport(o.Result)}
-			if o.Claim != nil {
-				se.Claim = o.Claim.Error()
-			}
-			exports = append(exports, se)
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if werr := enc.Encode(exports); werr != nil && err == nil {
-			err = werr
-		}
-	} else {
-		current := ""
-		for _, o := range outcomes {
-			if o.Scenario != current {
-				current = o.Scenario
-				fmt.Printf("== scenario %s ==\n", current)
-			}
-			switch {
-			case o.Err != nil:
-				fmt.Printf("%-8s ERROR: %v\n", o.Meta.ID, o.Err)
-			case o.Result == nil:
-				continue
-			default:
-				verdict := "claim PASS"
-				if o.Claim != nil {
-					verdict = "claim FAIL: " + o.Claim.Error()
-				} else if _, ok := o.Result.(experiments.Checker); !ok {
-					verdict = "no self-check"
-				}
-				fmt.Printf("%-8s [%s] %s\n", o.Meta.ID, verdict, o.Result.Summary())
-				if tables {
-					fmt.Println(o.Result.Table())
-				}
-			}
-		}
-	}
-
-	code := 0
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		code = 1
 	}
 	for _, o := range campaign.FailedClaims(outcomes) {
-		fmt.Fprintf(os.Stderr, "experiments: claim failed on %s/%s: %v\n", o.Scenario, o.Meta.ID, o.Claim)
+		fmt.Fprintf(os.Stderr, "experiments: claim failed on %s: %v\n", o.Job, o.Claim)
 		code = 1
 	}
 	return code
 }
 
-// emit prints the campaign outcomes in registry order.
-func emit(outcomes []campaign.Outcome, asJSON, tables bool) error {
+// progress renders scenario/seed-tagged progress events on stderr.
+func progress(ev campaign.Event) {
+	where := fmt.Sprintf("%s seed %d", ev.Job.Scenario, ev.Job.Seed)
+	switch ev.Kind {
+	case campaign.EventFinished:
+		fmt.Fprintf(os.Stderr, "[%2d/%d] %-24s %-8s done in %v\n",
+			ev.Done, ev.Total, where, ev.Job.Experiment.ID, ev.Elapsed.Round(time.Millisecond))
+	case campaign.EventFailed:
+		fmt.Fprintf(os.Stderr, "[%2d/%d] %-24s %-8s FAILED after %v: %v\n",
+			ev.Done, ev.Total, where, ev.Job.Experiment.ID, ev.Elapsed.Round(time.Millisecond), ev.Err)
+	}
+}
+
+// openSink resolves a stream destination ('-' = stdout).
+func openSink(path string) (io.Writer, func(), error) {
+	if path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+// export is the machine-readable envelope of one collected job.
+type export struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	experiments.Export
+	Claim string `json:"claim,omitempty"` // violated-claim description
+}
+
+// emit prints the collected outcomes in job order. With -json a
+// single-seed plan emits the classic array of per-job exports; a
+// multi-seed plan wraps it as {"jobs": [...], "aggregate": [...]} so
+// machine consumers get the cross-seed statistics too. Text mode prints
+// grouped summaries with claim verdicts, plus the aggregate table when
+// the plan replicated seeds.
+func emit(outcomes []campaign.JobOutcome, asJSON, tables, multiSeed bool) error {
 	if asJSON {
-		exports := make([]experiments.Export, 0, len(outcomes))
+		exports := make([]export, 0, len(outcomes))
 		for _, o := range outcomes {
-			if o.Result != nil {
-				exports = append(exports, experiments.NewExport(o.Result))
+			if o.Result == nil {
+				continue
 			}
+			e := export{Scenario: o.Scenario, Seed: o.Seed, Export: experiments.NewExport(o.Result)}
+			if o.Claim != nil {
+				e.Claim = o.Claim.Error()
+			}
+			exports = append(exports, e)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
+		if multiSeed {
+			return enc.Encode(struct {
+				Jobs      []export                `json:"jobs"`
+				Aggregate []campaign.AggregateRow `json:"aggregate"`
+			}{exports, campaign.Aggregate(outcomes)})
+		}
 		return enc.Encode(exports)
 	}
+
+	if len(outcomes) == 0 {
+		return nil
+	}
+	// Sections follow the job order: scenario-major, then seed. Headers
+	// appear once the plan spans more than one cell.
+	multi := false
 	for _, o := range outcomes {
-		if o.Result == nil || o.Err != nil {
+		if o.Scenario != outcomes[0].Scenario || o.Seed != outcomes[0].Seed {
+			multi = true
+			break
+		}
+	}
+	current := ""
+	for _, o := range outcomes {
+		if sec := fmt.Sprintf("%s · seed %d", o.Scenario, o.Seed); multi && sec != current {
+			current = sec
+			fmt.Printf("== %s ==\n", sec)
+		}
+		switch {
+		case o.Err != nil:
+			fmt.Printf("%-8s ERROR: %v\n", o.Experiment.ID, o.Err)
+		case o.Result == nil:
 			continue
+		default:
+			verdict := ""
+			if o.Claim != nil {
+				verdict = " [claim FAIL: " + o.Claim.Error() + "]"
+			} else if _, ok := o.Result.(experiments.Checker); ok {
+				verdict = " [claim PASS]"
+			}
+			fmt.Printf("%s%s\n", o.Result.Summary(), verdict)
+			if tables {
+				fmt.Println(o.Result.Table())
+			}
 		}
-		fmt.Println(o.Result.Summary())
-		if tables {
-			fmt.Println(o.Result.Table())
-		}
+	}
+	if multiSeed {
+		fmt.Println("\ncross-seed aggregate (per-seed means; ±95% Student-t CI):")
+		fmt.Print(campaign.FormatAggregate(campaign.Aggregate(outcomes)))
 	}
 	return nil
 }

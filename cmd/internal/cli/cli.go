@@ -1,12 +1,15 @@
-// Package cli holds the flag plumbing shared by the repro commands: every
-// tool that builds a measurement floor takes the same
+// Package cli holds the flag plumbing shared by the repro commands:
+// every tool that builds a measurement floor takes the same
 // -seed/-spec/-decimate/-scenario quartet and assembles the testbed the
-// same way.
+// same way, and the campaign tools share the -seed/-decimate/-scenario
+// trio plus the -scenarios/-seeds list parsers, so defaults and help
+// text cannot drift between commands.
 package cli
 
 import (
 	"flag"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/plc/phy"
@@ -22,24 +25,97 @@ type TestbedFlags struct {
 	Scenario *string
 }
 
+// ExperimentFlags are the campaign-configuration flags shared by the
+// experiment tools: the same -seed/-decimate/-scenario trio as the
+// testbed tools, without the per-harness -spec (each harness picks its
+// own HomePlug generation).
+type ExperimentFlags struct {
+	Seed     *int64
+	Decimate *int
+	Scenario *string
+}
+
+// Shared flag registrations: every tool spells -seed, -decimate and
+// -scenario through these helpers, so defaults and help text cannot
+// drift between commands.
+func seedFlag(fs *flag.FlagSet, def int64) *int64 {
+	return fs.Int64("seed", def, "simulation seed")
+}
+
+func decimateFlag(fs *flag.FlagSet, def int) *int {
+	return fs.Int("decimate", def, "carrier decimation (1 = full 917-carrier resolution)")
+}
+
+func scenarioFlag(fs *flag.FlagSet) *string {
+	return fs.String("scenario", scenario.DefaultName,
+		fmt.Sprintf("deployment scenario: %s, or gen:stations=N,boards=M,seed=S", strings.Join(scenario.Names(), ", ")))
+}
+
 // RegisterTestbedFlags installs -seed, -spec, -decimate and -scenario on
 // the default flag set, defaulting to testbed.DefaultOptions. Call
 // before flag.Parse.
 func RegisterTestbedFlags() *TestbedFlags {
+	return RegisterTestbedFlagsOn(flag.CommandLine)
+}
+
+// RegisterTestbedFlagsOn is RegisterTestbedFlags on an explicit flag set.
+func RegisterTestbedFlagsOn(fs *flag.FlagSet) *TestbedFlags {
 	def := testbed.DefaultOptions()
 	return &TestbedFlags{
-		Seed:     flag.Int64("seed", def.Seed, "simulation seed"),
-		Spec:     flag.String("spec", specFlagValue(def.Spec), "HomePlug generation: AV or AV500"),
-		Decimate: flag.Int("decimate", def.Decimate, "carrier decimation (1 = full resolution)"),
-		Scenario: RegisterScenarioFlag(),
+		Seed:     seedFlag(fs, def.Seed),
+		Spec:     fs.String("spec", specFlagValue(def.Spec), "HomePlug generation: AV or AV500"),
+		Decimate: decimateFlag(fs, def.Decimate),
+		Scenario: scenarioFlag(fs),
+	}
+}
+
+// RegisterExperimentFlags installs -seed, -decimate and -scenario on the
+// default flag set for the campaign tools. Call before flag.Parse.
+func RegisterExperimentFlags() *ExperimentFlags {
+	return RegisterExperimentFlagsOn(flag.CommandLine)
+}
+
+// RegisterExperimentFlagsOn is RegisterExperimentFlags on an explicit
+// flag set.
+func RegisterExperimentFlagsOn(fs *flag.FlagSet) *ExperimentFlags {
+	def := testbed.DefaultOptions()
+	return &ExperimentFlags{
+		Seed:     seedFlag(fs, def.Seed),
+		Decimate: decimateFlag(fs, def.Decimate),
+		Scenario: scenarioFlag(fs),
 	}
 }
 
 // RegisterScenarioFlag installs just the -scenario selector (commands
 // with their own testbed flag set still share the scenario spelling).
 func RegisterScenarioFlag() *string {
-	return flag.String("scenario", scenario.DefaultName,
-		fmt.Sprintf("deployment scenario: %s, or gen:stations=N,boards=M,seed=S", strings.Join(scenario.Names(), ", ")))
+	return scenarioFlag(flag.CommandLine)
+}
+
+// SplitIDs parses a comma-separated id selection (-run fig20,fig03),
+// trimming whitespace and skipping empty entries.
+func SplitIDs(sel string) []string {
+	var out []string
+	for _, s := range strings.Split(sel, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SplitSeeds parses a -seeds selection: a comma-separated list of
+// integer seeds ("1,2,3"), empty entries skipped.
+func SplitSeeds(sel string) ([]int64, error) {
+	var out []int64
+	for _, s := range SplitIDs(sel) {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q (want an integer list like 1,2,3)", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // SplitScenarios parses a -scenarios selection ("all" = every preset).

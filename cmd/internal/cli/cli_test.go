@@ -1,8 +1,10 @@
 package cli
 
 import (
+	"flag"
 	"testing"
 
+	"repro/internal/experiments"
 	"repro/internal/plc/phy"
 	"repro/internal/scenario"
 	"repro/internal/testbed"
@@ -37,6 +39,22 @@ func TestSplitScenarios(t *testing.T) {
 		{"gen:stations=6;boards=1,flat", []string{"gen:stations=6;boards=1", "flat"}},
 		// A second gen: entry starts its own scenario.
 		{"gen:seed=1,gen:seed=2", []string{"gen:seed=1", "gen:seed=2"}},
+		// A ';'-joined gen: spec is one fragment: no reattachment needed,
+		// and a preset may follow directly.
+		{"gen:stations=24;boards=2;seed=3,paper", []string{"gen:stations=24;boards=2;seed=3", "paper"}},
+		// Mixed separators inside one spec.
+		{"gen:stations=24;boards=2,seed=3,flat", []string{"gen:stations=24;boards=2,seed=3", "flat"}},
+		// The reattachment rule only fires after a gen: entry: a leading
+		// or preset-following key=value fragment stands alone (and will
+		// be rejected by scenario.Parse, not silently swallowed).
+		{"stations=24,flat", []string{"stations=24", "flat"}},
+		{"paper,boards=2", []string{"paper", "boards=2"}},
+		// A fragment containing ':' is a fresh entry, never reattached.
+		{"gen:stations=6,gen:boards=2", []string{"gen:stations=6", "gen:boards=2"}},
+		// Empty entries and pure whitespace are skipped.
+		{"", nil},
+		{" , ,", nil},
+		{",,flat,,", []string{"flat"}},
 	}
 	for _, c := range cases {
 		got := SplitScenarios(c.in)
@@ -53,11 +71,75 @@ func TestSplitScenarios(t *testing.T) {
 	if len(all) != len(scenario.Names()) {
 		t.Fatalf("all = %v", all)
 	}
+	// 'all' is recognised with surrounding whitespace too.
+	if got := SplitScenarios("  all  "); len(got) != len(all) {
+		t.Fatalf("padded all = %v", got)
+	}
 	// Every fragment 'all' expands to must parse.
 	for _, n := range all {
 		if _, err := scenario.Parse(n); err != nil {
 			t.Fatalf("%s: %v", n, err)
 		}
+	}
+}
+
+func TestSplitIDs(t *testing.T) {
+	got := SplitIDs(" fig20 , fig03 ,,")
+	if len(got) != 2 || got[0] != "fig20" || got[1] != "fig03" {
+		t.Fatalf("SplitIDs = %v", got)
+	}
+	if got := SplitIDs(" , "); got != nil {
+		t.Fatalf("whitespace-only = %v, want nil", got)
+	}
+}
+
+func TestSplitSeeds(t *testing.T) {
+	got, err := SplitSeeds(" 1, 2 ,3,,")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("SplitSeeds = %v, %v", got, err)
+	}
+	if got, err := SplitSeeds(""); err != nil || got != nil {
+		t.Fatalf("empty = %v, %v", got, err)
+	}
+	if _, err := SplitSeeds("1,two"); err == nil {
+		t.Fatal("non-integer seed must error")
+	}
+}
+
+// TestSharedFlagRegistrations checks the testbed and experiment flag
+// sets register the same -seed/-decimate/-scenario trio — same
+// defaults, same help text — so the tools cannot drift, and that the
+// experiment defaults agree with experiments.DefaultConfig.
+func TestSharedFlagRegistrations(t *testing.T) {
+	tfs := flag.NewFlagSet("testbed", flag.ContinueOnError)
+	efs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	RegisterTestbedFlagsOn(tfs)
+	ef := RegisterExperimentFlagsOn(efs)
+
+	for _, name := range []string{"seed", "decimate", "scenario"} {
+		tf, ef := tfs.Lookup(name), efs.Lookup(name)
+		if tf == nil || ef == nil {
+			t.Fatalf("-%s missing from a shared flag set", name)
+		}
+		if tf.DefValue != ef.DefValue || tf.Usage != ef.Usage {
+			t.Fatalf("-%s drifted: testbed (%q, %q) vs experiments (%q, %q)",
+				name, tf.DefValue, tf.Usage, ef.DefValue, ef.Usage)
+		}
+	}
+	if tfs.Lookup("spec") == nil {
+		t.Fatal("testbed set must carry -spec")
+	}
+	if efs.Lookup("spec") != nil {
+		t.Fatal("experiment set must not carry -spec (harnesses pick their own)")
+	}
+
+	def := experiments.DefaultConfig()
+	if *ef.Seed != def.Seed || *ef.Decimate != def.Decimate {
+		t.Fatalf("experiment flag defaults (seed %d, decimate %d) drifted from experiments.DefaultConfig (%d, %d)",
+			*ef.Seed, *ef.Decimate, def.Seed, def.Decimate)
+	}
+	if _, err := scenario.Parse(*ef.Scenario); err != nil {
+		t.Fatalf("default -scenario does not parse: %v", err)
 	}
 }
 

@@ -1,0 +1,134 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// AggregateRow is one cross-seed statistic: for one metric of one
+// experiment on one scenario, the mean, sample standard deviation and
+// 95% confidence half-width of the per-seed means across the plan's
+// replicates. This is the statistically honest way to report a
+// reproduction — a figure's number is only as credible as its variance
+// across repeated, independently seeded runs.
+type AggregateRow struct {
+	// Experiment and Scenario are the group coordinates.
+	Experiment string `json:"experiment"`
+	Scenario   string `json:"scenario"`
+	// Metric is the numeric column of the result rows being folded.
+	Metric string `json:"metric"`
+	// Seeds counts the successful replicates contributing values.
+	Seeds int `json:"seeds"`
+	// Mean, Std and CI95 summarise the per-seed means: arithmetic mean,
+	// sample standard deviation, and the half-width of the two-sided
+	// 95% Student-t confidence interval for the mean.
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	CI95 float64 `json:"ci95"`
+}
+
+// Aggregate folds a campaign's outcomes across the seed axis: for every
+// (experiment, scenario) group it computes, per numeric metric of the
+// result rows, each replicate's mean and then the cross-seed
+// mean/stddev/CI of those per-seed means. Failed jobs contribute
+// nothing; non-numeric and non-finite values are skipped. Groups appear
+// in job order, metrics alphabetically within a group, so the output is
+// deterministic whatever worker count produced the outcomes.
+func Aggregate(outs []JobOutcome) []AggregateRow {
+	type group struct {
+		experiment, scenario string
+		// values maps metric name to one per-seed mean per replicate.
+		values map[string][]float64
+	}
+	var order []string
+	groups := map[string]*group{}
+	for _, o := range outs {
+		if o.Result == nil {
+			continue
+		}
+		key := o.Experiment.ID + "\x00" + o.Scenario
+		g := groups[key]
+		if g == nil {
+			g = &group{experiment: o.Experiment.ID, scenario: o.Scenario, values: map[string][]float64{}}
+			groups[key] = g
+			order = append(order, key)
+		}
+		// One replicate's per-metric mean over its result rows.
+		sums := map[string]float64{}
+		counts := map[string]int{}
+		for _, row := range o.Result.Rows() {
+			for k, v := range row {
+				f, ok := numeric(v)
+				if !ok || math.IsNaN(f) || math.IsInf(f, 0) {
+					continue
+				}
+				sums[k] += f
+				counts[k]++
+			}
+		}
+		for k, n := range counts {
+			g.values[k] = append(g.values[k], sums[k]/float64(n))
+		}
+	}
+
+	var rows []AggregateRow
+	for _, key := range order {
+		g := groups[key]
+		metrics := make([]string, 0, len(g.values))
+		for m := range g.values {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			vals := g.values[m]
+			mean, std := stats.MeanStd(vals)
+			rows = append(rows, AggregateRow{
+				Experiment: g.experiment,
+				Scenario:   g.scenario,
+				Metric:     m,
+				Seeds:      len(vals),
+				Mean:       mean,
+				Std:        std,
+				CI95:       stats.CI95(vals),
+			})
+		}
+	}
+	return rows
+}
+
+// numeric coerces the JSON-marshallable scalars a Row may hold.
+func numeric(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case int32:
+		return float64(x), true
+	case uint:
+		return float64(x), true
+	case uint64:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// FormatAggregate renders aggregate rows as an aligned text table.
+func FormatAggregate(rows []AggregateRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-16s %-14s %5s %12s %12s %12s\n",
+		"experiment", "scenario", "metric", "seeds", "mean", "std", "±95%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-16s %-14s %5d %12.4g %12.4g %12.4g\n",
+			r.Experiment, r.Scenario, r.Metric, r.Seeds, r.Mean, r.Std, r.CI95)
+	}
+	return b.String()
+}

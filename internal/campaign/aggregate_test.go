@@ -1,0 +1,104 @@
+package campaign
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// aggPlan is the 3-seed replication plan the aggregate tests share.
+// Both harnesses export numeric row columns (table3's rows are prose,
+// so it would contribute no metrics).
+func aggPlan() Plan {
+	return NewPlan(
+		PlanConfig(testCfg()),
+		PlanExperiments("fig18", "fig09"),
+		PlanSeeds(1, 2, 3),
+	)
+}
+
+// TestAggregateDeterministicAcrossWorkers is the acceptance guarantee:
+// a 3-seed plan yields Aggregate rows identical across two runs and any
+// worker count.
+func TestAggregateDeterministicAcrossWorkers(t *testing.T) {
+	var got [][]AggregateRow
+	for _, workers := range []int{1, 4, 1} {
+		outs, err := Collect(context.Background(), aggPlan(), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, Aggregate(outs))
+	}
+	for i := 1; i < len(got); i++ {
+		if !reflect.DeepEqual(got[0], got[i]) {
+			t.Fatalf("aggregate diverged between runs:\n%s\n----\n%s",
+				FormatAggregate(got[0]), FormatAggregate(got[i]))
+		}
+	}
+}
+
+// TestAggregateShape checks grouping, replicate counts and the
+// mean/stddev/CI relations on the 3-seed plan.
+func TestAggregateShape(t *testing.T) {
+	outs, err := Collect(context.Background(), aggPlan(), Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Aggregate(outs)
+	if len(rows) == 0 {
+		t.Fatal("no aggregate rows")
+	}
+	groups := map[string]bool{}
+	var sawVariance bool
+	for i, r := range rows {
+		groups[r.Experiment+"/"+r.Scenario] = true
+		if r.Seeds != 3 {
+			t.Fatalf("%s/%s/%s: seeds = %d, want 3", r.Experiment, r.Scenario, r.Metric, r.Seeds)
+		}
+		if r.Std < 0 || r.CI95 < 0 {
+			t.Fatalf("negative spread: %+v", r)
+		}
+		if r.Std > 0 && r.CI95 == 0 {
+			t.Fatalf("CI zero with nonzero std: %+v", r)
+		}
+		if r.Std > 0 {
+			sawVariance = true
+		}
+		// Metrics sorted within a group.
+		if i > 0 && rows[i-1].Experiment == r.Experiment && rows[i-1].Scenario == r.Scenario &&
+			rows[i-1].Metric >= r.Metric {
+			t.Fatalf("metrics out of order: %q then %q", rows[i-1].Metric, r.Metric)
+		}
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want fig18 and fig09", groups)
+	}
+	if !sawVariance {
+		t.Fatal("three different seeds produced zero variance on every metric — aggregation is not seeing replicates")
+	}
+	// Groups must appear in job order: fig18 (first selected) before
+	// table3.
+	if rows[0].Experiment != "fig18" {
+		t.Fatalf("first group = %s, want fig18", rows[0].Experiment)
+	}
+}
+
+// TestAggregateSkipsFailures checks failed jobs contribute no replicate.
+func TestAggregateSkipsFailures(t *testing.T) {
+	outs := []JobOutcome{{Job: Job{Scenario: "paper", Seed: 1}, Err: context.Canceled}}
+	if rows := Aggregate(outs); len(rows) != 0 {
+		t.Fatalf("aggregate of failures = %v, want none", rows)
+	}
+}
+
+// TestFormatAggregate smoke-checks the text rendering.
+func TestFormatAggregate(t *testing.T) {
+	s := FormatAggregate([]AggregateRow{{
+		Experiment: "fig18", Scenario: "paper", Metric: "tput",
+		Seeds: 3, Mean: 50.1234, Std: 1.5, CI95: 3.7,
+	}})
+	if !strings.Contains(s, "fig18") || !strings.Contains(s, "tput") || !strings.Contains(s, "50.12") {
+		t.Fatalf("rendering: %q", s)
+	}
+}

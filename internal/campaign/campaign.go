@@ -1,26 +1,27 @@
-// Package campaign executes the paper's measurement campaign — the
-// registered experiment harnesses — concurrently. Each harness builds its
-// own seeded testbed, so runs are independent and the campaign's results
-// are bit-identical however many workers execute them.
+// Package campaign is the run plane of the reproduction: it executes
+// measurement campaigns — the cross product of {experiments × scenarios
+// × seeds} declared by a Plan — on one concurrent engine.
+//
+// Start(ctx, plan, opts) returns a *Run handle whose Outcomes() iterator
+// streams one unified JobOutcome per job as workers finish and whose
+// Wait() returns the collected, job-ordered slice. Each harness builds
+// its own seeded testbed, so runs are independent and a plan's results
+// are bit-identical however many workers execute them; outcomes stream
+// to disk through JSONLSink/CSVSink, and Aggregate folds multi-seed
+// replicates into per-(experiment, scenario) mean/stddev/CI rows.
 //
 // The engine is a worker pool fed longest-first (by the registry's
 // estimated cost) to minimise makespan, with context cancellation and
-// per-experiment timeouts threaded down into the harness loops, progress
-// events for observers, and outcomes reported in stable registry order.
+// per-job timeouts threaded down into the harness loops, progress
+// events for observers, and one shared memoizing testbed factory so
+// equal floors are assembled once.
 package campaign
 
 import (
-	"context"
 	"fmt"
-	"runtime"
-	"sort"
-	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/scenario"
-	"repro/internal/testbed"
 )
 
 // EventKind tags a progress event.
@@ -28,12 +29,12 @@ type EventKind int
 
 // Event kinds, in lifecycle order.
 const (
-	// EventStarted fires when a worker picks an experiment up.
+	// EventStarted fires when a worker picks a job up.
 	EventStarted EventKind = iota
-	// EventFinished fires when an experiment completes successfully.
+	// EventFinished fires when a job completes successfully.
 	EventFinished
-	// EventFailed fires when an experiment returns an error (including
-	// cancellation and per-experiment timeout).
+	// EventFailed fires when a job returns an error (including
+	// cancellation and per-job timeout).
 	EventFailed
 )
 
@@ -53,14 +54,15 @@ func (k EventKind) String() string {
 // Event is one progress notification of a running campaign.
 type Event struct {
 	Kind EventKind
-	// Meta identifies the experiment.
-	Meta experiments.Meta
-	// Worker is the index of the pool worker handling the experiment.
+	// Job identifies the cross-product cell (experiment, scenario,
+	// seed).
+	Job Job
+	// Worker is the index of the pool worker handling the job.
 	Worker int
-	// Done and Total report campaign progress: Done counts experiments
+	// Done and Total report campaign progress: Done counts jobs
 	// finished or failed at the time of the event.
 	Done, Total int
-	// Elapsed is the experiment's runtime (finished/failed events).
+	// Elapsed is the job's runtime (finished/failed events).
 	Elapsed time.Duration
 	// Err is the failure cause (failed events).
 	Err error
@@ -68,14 +70,11 @@ type Event struct {
 
 // Options tunes a campaign run.
 type Options struct {
-	// Workers caps the number of experiments in flight; <= 0 means
-	// GOMAXPROCS.
+	// Workers caps the number of jobs in flight; <= 0 means
+	// runtime.GOMAXPROCS(0), i.e. one worker per available CPU.
 	Workers int
-	// Timeout bounds each experiment's runtime; 0 means no bound.
+	// Timeout bounds each job's runtime; 0 means no bound.
 	Timeout time.Duration
-	// IDs selects a subset of experiments (in the order given); nil
-	// runs the whole registry in presentation order.
-	IDs []string
 	// Observer, when set, receives progress events. Calls are
 	// serialised; the callback must not block for long.
 	Observer func(Event)
@@ -84,227 +83,9 @@ type Options struct {
 	NoMemoize bool
 }
 
-// Outcome is one experiment's result within a campaign.
-type Outcome struct {
-	Meta experiments.Meta
-	// Result is nil when the experiment failed or was never started
-	// before cancellation.
-	Result experiments.Result
-	// Err is the harness error, ctx.Err() for experiments cancelled or
-	// never started, or nil.
-	Err error
-	// Elapsed is the wall-clock runtime (zero if never started).
-	Elapsed time.Duration
-	// Worker is the pool worker that ran the experiment (-1 if never
-	// started).
-	Worker int
-}
-
-// Run executes the selected experiments on a worker pool and returns one
-// outcome per experiment in the order selected (registry order for a nil
-// subset), regardless of completion order.
-//
-// Error contract: every runnable experiment is attempted even when a
-// sibling fails; the returned error is the first failure in outcome
-// order, wrapped with its experiment id. Cancelling ctx stops the
-// campaign promptly — in-flight harnesses observe ctx between measurement
-// windows — and Run returns ctx.Err(); experiments never started carry
-// ctx.Err() in their outcome.
-func Run(ctx context.Context, cfg experiments.Config, opts Options) ([]Outcome, error) {
-	// Reject a bad scenario selection here, where it can be reported,
-	// rather than letting testbed.New panic inside a worker goroutine.
-	if _, err := scenario.Parse(cfg.Scenario); err != nil {
-		return nil, fmt.Errorf("campaign: %w", err)
-	}
-	metas, err := selectExperiments(opts.IDs)
-	if err != nil {
-		return nil, err
-	}
-	jobs := make([]poolJob, len(metas))
-	for i, m := range metas {
-		jobs[i] = poolJob{scenario: cfg.Scenario, meta: m}
-	}
-	outcomes, err := executePool(ctx, cfg, opts, jobs, func(_ string, ev Event) {
-		if opts.Observer != nil {
-			opts.Observer(ev)
-		}
-	})
-	if err != nil {
-		return outcomes, err
-	}
-	return outcomes, promoteFailure(outcomes, func(i int) string { return outcomes[i].Meta.ID })
-}
-
-// promoteFailure returns the first harness failure in outcome order,
-// wrapped with the caller's description of that outcome — the shared
-// error contract of Run and Sweep.
-func promoteFailure(outs []Outcome, describe func(int) string) error {
-	for i, o := range outs {
-		if o.Err != nil {
-			return fmt.Errorf("campaign: %s: %w", describe(i), o.Err)
-		}
-	}
-	return nil
-}
-
-// poolJob is one (scenario, experiment) unit of pool work.
-type poolJob struct {
-	scenario string
-	meta     experiments.Meta
-}
-
-// executePool is the worker-pool core shared by Run and Sweep: it
-// executes the jobs longest-first on opts.Workers workers (one shared
-// memoizing factory unless opts.NoMemoize), emits scenario-tagged
-// progress events, and returns one outcome per job in job order. On
-// cancellation every never-started job carries ctx.Err() and the
-// context error is returned; harness failures stay in the outcomes for
-// the caller's error contract.
-func executePool(ctx context.Context, cfg experiments.Config, opts Options, jobs []poolJob, emit func(string, Event)) ([]Outcome, error) {
-	total := len(jobs)
-	outcomes := make([]Outcome, total)
-	for i, j := range jobs {
-		outcomes[i] = Outcome{Meta: j.meta, Worker: -1}
-	}
-	if total == 0 {
-		return outcomes, ctx.Err()
-	}
-
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > total {
-		workers = total
-	}
-
-	var factory *testbed.Factory
-	if !opts.NoMemoize {
-		factory = testbed.NewFactory()
-	}
-
-	// Longest-first schedule: sort indices by estimated cost, stable on
-	// the job order so equal-cost experiments keep a deterministic feed
-	// order.
-	order := make([]int, total)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return jobs[order[a]].meta.Cost > jobs[order[b]].meta.Cost
-	})
-
-	var (
-		mu   sync.Mutex // guards done counter and observer calls
-		done int
-	)
-	count := func(name string, ev Event) {
-		mu.Lock()
-		if ev.Kind != EventStarted {
-			done++
-		}
-		ev.Done, ev.Total = done, total
-		emit(name, ev)
-		mu.Unlock()
-	}
-
-	feedC := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for idx := range feedC {
-				job := jobs[idx]
-				jcfg := cfg
-				jcfg.Scenario = job.scenario
-				outcomes[idx] = runOne(ctx, jcfg, job.meta, worker, opts.Timeout, factory,
-					func(ev Event) { count(job.scenario, ev) })
-			}
-		}(w)
-	}
-feed:
-	for _, idx := range order {
-		select {
-		case feedC <- idx:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(feedC)
-	wg.Wait()
-
-	// Experiments never handed to a worker keep their zero Result; mark
-	// them with the cancellation cause.
-	if err := ctx.Err(); err != nil {
-		for i := range outcomes {
-			if outcomes[i].Result == nil && outcomes[i].Err == nil {
-				outcomes[i].Err = err
-			}
-		}
-		return outcomes, err
-	}
-	return outcomes, nil
-}
-
-// runOne executes a single experiment with its own testbed session and
-// optional timeout.
-func runOne(ctx context.Context, cfg experiments.Config, m experiments.Meta, worker int, timeout time.Duration, factory *testbed.Factory, emit func(Event)) Outcome {
-	runCtx := ctx
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		runCtx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
-	}
-	if factory != nil {
-		sess := factory.Session()
-		cfg.Testbeds = sess
-		// Results hold plain data, never testbed references, so the
-		// leases can be recycled as soon as the harness returns.
-		defer sess.Close()
-	}
-	emit(Event{Kind: EventStarted, Meta: m, Worker: worker})
-	begin := time.Now()
-	res, err := experiments.Run(runCtx, m.ID, cfg)
-	elapsed := time.Since(begin)
-	if err != nil {
-		// Failed harnesses return typed-nil results through the Result
-		// interface; normalise so Outcome.Result == nil holds.
-		res = nil
-	}
-	o := Outcome{Meta: m, Result: res, Err: err, Elapsed: elapsed, Worker: worker}
-	if err != nil {
-		emit(Event{Kind: EventFailed, Meta: m, Worker: worker, Elapsed: elapsed, Err: err})
-	} else {
-		emit(Event{Kind: EventFinished, Meta: m, Worker: worker, Elapsed: elapsed})
-	}
-	return o
-}
-
-// selectExperiments resolves an id subset against the registry.
-func selectExperiments(ids []string) ([]experiments.Meta, error) {
-	all := experiments.List()
-	if ids == nil {
-		return all, nil
-	}
-	byID := make(map[string]experiments.Meta, len(all))
-	for _, m := range all {
-		byID[m.ID] = m
-	}
-	out := make([]experiments.Meta, 0, len(ids))
-	for _, id := range ids {
-		m, ok := byID[id]
-		if !ok {
-			return nil, fmt.Errorf("campaign: unknown experiment %q (have %s)", id, strings.Join(experiments.IDs(), ", "))
-		}
-		out = append(out, m)
-	}
-	return out, nil
-}
-
-// Results extracts the successful results of a campaign in outcome order,
-// mirroring what the serial facade returns.
-func Results(outs []Outcome) []experiments.Result {
+// Results extracts the successful results of a campaign in outcome
+// order, mirroring what a serial loop over experiments.Run returns.
+func Results(outs []JobOutcome) []experiments.Result {
 	var rs []experiments.Result
 	for _, o := range outs {
 		if o.Result != nil {
@@ -312,4 +93,16 @@ func Results(outs []Outcome) []experiments.Result {
 		}
 	}
 	return rs
+}
+
+// FailedClaims filters a campaign's outcomes down to the ones whose
+// qualitative claim did not hold.
+func FailedClaims(outs []JobOutcome) []JobOutcome {
+	var bad []JobOutcome
+	for _, o := range outs {
+		if o.Claim != nil {
+			bad = append(bad, o)
+		}
+	}
+	return bad
 }

@@ -16,12 +16,21 @@ func testCfg() experiments.Config {
 	return experiments.Config{Seed: 1, Scale: 0.05, Decimate: 16}
 }
 
+// testPlan is a single-cell plan over the test config.
+func testPlan(ids ...string) Plan {
+	opts := []PlanOption{PlanConfig(testCfg())}
+	if ids != nil {
+		opts = append(opts, PlanExperiments(ids...))
+	}
+	return NewPlan(opts...)
+}
+
 // subset is a spread of cheap harnesses covering both testbed specs, the
 // isolated rigs, the CSMA DES and the tables.
 var subset = []string{"fig04", "fig06", "fig09", "fig17", "fig18", "fig21", "table2", "table3"}
 
-// TestParallelMatchesSerial is the engine's core guarantee: a campaign
-// run on N workers (with the memoizing testbed pool active) renders
+// TestParallelMatchesSerial is the engine's core guarantee: a plan run
+// on N workers (with the memoizing testbed pool active) renders
 // byte-identical tables and summaries to the serial, fresh-testbed path.
 func TestParallelMatchesSerial(t *testing.T) {
 	type render struct{ name, table, summary string }
@@ -34,7 +43,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		serial = append(serial, render{r.Name(), r.Table(), r.Summary()})
 	}
 
-	outs, err := Run(context.Background(), testCfg(), Options{Workers: 4, IDs: subset})
+	outs, err := Collect(context.Background(), testPlan(subset...), Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,28 +52,29 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 	for i, o := range outs {
 		if o.Err != nil {
-			t.Fatalf("%s failed: %v", o.Meta.ID, o.Err)
+			t.Fatalf("%s failed: %v", o.Job, o.Err)
 		}
-		if o.Meta.ID != subset[i] {
-			t.Fatalf("outcome %d is %s, want %s (selection order must be preserved)", i, o.Meta.ID, subset[i])
+		if o.Experiment.ID != subset[i] {
+			t.Fatalf("outcome %d is %s, want %s (job order must be preserved)", i, o.Experiment.ID, subset[i])
 		}
 		got := render{o.Result.Name(), o.Result.Table(), o.Result.Summary()}
 		if got != serial[i] {
-			t.Fatalf("%s diverged from serial run:\nparallel table:\n%s\nserial table:\n%s", o.Meta.ID, got.table, serial[i].table)
+			t.Fatalf("%s diverged from serial run:\nparallel table:\n%s\nserial table:\n%s", o.Experiment.ID, got.table, serial[i].table)
 		}
 		if o.Worker < 0 || o.Elapsed <= 0 {
-			t.Fatalf("%s missing execution metadata: worker %d elapsed %v", o.Meta.ID, o.Worker, o.Elapsed)
+			t.Fatalf("%s missing execution metadata: worker %d elapsed %v", o.Experiment.ID, o.Worker, o.Elapsed)
 		}
 	}
 }
 
-// TestRunAllRegistryOrder checks a full-registry run reports outcomes in
-// presentation order whatever the (longest-first) execution order was.
+// TestRunAllRegistryOrder checks a full-registry plan reports outcomes
+// in presentation order whatever the (longest-first) execution order
+// was.
 func TestRunAllRegistryOrder(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full campaign is slow")
 	}
-	outs, err := Run(context.Background(), testCfg(), Options{Workers: 4})
+	outs, err := Collect(context.Background(), testPlan(), Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,17 +83,17 @@ func TestRunAllRegistryOrder(t *testing.T) {
 		t.Fatalf("outcomes = %d, want %d", len(outs), len(ids))
 	}
 	for i, o := range outs {
-		if o.Meta.ID != ids[i] {
-			t.Fatalf("outcome %d is %s, want %s", i, o.Meta.ID, ids[i])
+		if o.Experiment.ID != ids[i] {
+			t.Fatalf("outcome %d is %s, want %s", i, o.Experiment.ID, ids[i])
 		}
 		if o.Err != nil {
-			t.Fatalf("%s: %v", o.Meta.ID, o.Err)
+			t.Fatalf("%s: %v", o.Job, o.Err)
 		}
 	}
 }
 
 // TestCancellationStopsPromptly cancels a campaign mid-flight and checks
-// Run returns ctx.Err() quickly, with unfinished experiments marked.
+// Wait returns ctx.Err() quickly, with unfinished jobs marked.
 func TestCancellationStopsPromptly(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var once sync.Once
@@ -105,7 +115,7 @@ func TestCancellationStopsPromptly(t *testing.T) {
 	}
 	cfg := experiments.Config{Seed: 1, Scale: 0.5, Decimate: 8}
 	begin := time.Now()
-	outs, err := Run(ctx, cfg, opts)
+	outs, err := Collect(ctx, NewPlan(PlanConfig(cfg)), opts)
 	elapsed := time.Since(begin)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
@@ -127,17 +137,17 @@ func TestCancellationStopsPromptly(t *testing.T) {
 }
 
 // TestErrorOrdering drives every selected harness into failure (via an
-// unmeetable per-experiment timeout) and checks the campaign still runs
-// the rest, reports all outcomes, and propagates the first failure in
-// selection order.
+// unmeetable per-job timeout) and checks the campaign still runs the
+// rest, reports all outcomes, and propagates the first failure in job
+// order.
 func TestErrorOrdering(t *testing.T) {
 	ids := []string{"fig06", "fig04", "table3"}
-	outs, err := Run(context.Background(), testCfg(), Options{Workers: 2, IDs: ids, Timeout: time.Nanosecond})
+	outs, err := Collect(context.Background(), testPlan(ids...), Options{Workers: 2, Timeout: time.Nanosecond})
 	if err == nil {
 		t.Fatal("want an error from failing harnesses")
 	}
 	if !strings.Contains(err.Error(), "fig06") {
-		t.Fatalf("error %q must name the first failing experiment in selection order (fig06)", err)
+		t.Fatalf("error %q must name the first failing experiment in job order (fig06)", err)
 	}
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want wrapped DeadlineExceeded", err)
@@ -147,20 +157,20 @@ func TestErrorOrdering(t *testing.T) {
 	}
 	for _, o := range outs {
 		if !errors.Is(o.Err, context.DeadlineExceeded) {
-			t.Fatalf("%s: err = %v, want DeadlineExceeded", o.Meta.ID, o.Err)
+			t.Fatalf("%s: err = %v, want DeadlineExceeded", o.Job, o.Err)
 		}
 		// Harnesses return typed-nil pointers through the Result
 		// interface on failure; the engine must normalise them so
 		// callers can rely on a plain nil check before rendering.
 		if o.Result != nil {
-			t.Fatalf("%s: failed outcome carries non-nil Result %#v", o.Meta.ID, o.Result)
+			t.Fatalf("%s: failed outcome carries non-nil Result %#v", o.Job, o.Result)
 		}
 	}
 }
 
-// TestUnknownExperiment checks subset validation.
+// TestUnknownExperiment checks plan validation.
 func TestUnknownExperiment(t *testing.T) {
-	_, err := Run(context.Background(), testCfg(), Options{IDs: []string{"fig99"}})
+	_, err := Collect(context.Background(), testPlan("fig99"), Options{})
 	if err == nil || !strings.Contains(err.Error(), "fig99") {
 		t.Fatalf("err = %v, want unknown-experiment naming fig99", err)
 	}
@@ -185,15 +195,14 @@ func TestSchedulingAndEvents(t *testing.T) {
 	var started []string
 	var finishes int
 	lastDone := 0
-	outs, err := Run(context.Background(), testCfg(), Options{
+	outs, err := Collect(context.Background(), testPlan(ids...), Options{
 		Workers: 1,
-		IDs:     ids,
 		Observer: func(ev Event) {
 			mu.Lock()
 			defer mu.Unlock()
 			switch ev.Kind {
 			case EventStarted:
-				started = append(started, ev.Meta.ID)
+				started = append(started, ev.Job.Experiment.ID)
 			case EventFinished:
 				finishes++
 				if ev.Done != lastDone+1 || ev.Total != len(ids) {
@@ -201,7 +210,7 @@ func TestSchedulingAndEvents(t *testing.T) {
 				}
 				lastDone = ev.Done
 			case EventFailed:
-				t.Errorf("%s failed: %v", ev.Meta.ID, ev.Err)
+				t.Errorf("%s failed: %v", ev.Job, ev.Err)
 			}
 		},
 	})
@@ -219,7 +228,7 @@ func TestSchedulingAndEvents(t *testing.T) {
 // TestResultsHelper checks the success extractor keeps order and drops
 // missing results.
 func TestResultsHelper(t *testing.T) {
-	outs, err := Run(context.Background(), testCfg(), Options{Workers: 2, IDs: []string{"table3", "table2"}})
+	outs, err := Collect(context.Background(), testPlan("table3", "table2"), Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,89 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestPlanMatchesPreRedesignSweep is the redesign's parity proof: a
+// Plan with one seed and one scenario must produce campaign JSON byte
+// for byte identical to the pre-redesign campaign.Sweep output.
+//
+// testdata/presweep_golden.json was captured from the old API
+// immediately before its removal, by running
+//
+//	campaign.Sweep(ctx, Config{Seed: 1, Scale: 0.05, Decimate: 16},
+//	    SweepOptions{Options: Options{Workers: 4}}, []string{"paper"})
+//
+// over the full registry and rendering each outcome exactly the way
+// cmd/experiments -json -scenarios did (scenario + experiments.Export +
+// claim, one indented JSON array). The renderer below reproduces that
+// envelope from the new JobOutcome stream.
+func TestPlanMatchesPreRedesignSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry parity campaign is slow")
+	}
+	golden, err := os.ReadFile("testdata/presweep_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	outs, err := Collect(context.Background(), NewPlan(
+		PlanConfig(testCfg()),
+		PlanScenarios("paper"),
+		PlanSeeds(1),
+	), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The old cmd/experiments sweep envelope, field for field.
+	type sweepExport struct {
+		Scenario string `json:"scenario"`
+		experiments.Export
+		Claim string `json:"claim,omitempty"`
+	}
+	exports := make([]sweepExport, 0, len(outs))
+	for _, o := range outs {
+		if o.Result == nil {
+			continue
+		}
+		se := sweepExport{Scenario: o.Scenario, Export: experiments.NewExport(o.Result)}
+		if o.Claim != nil {
+			se.Claim = o.Claim.Error()
+		}
+		exports = append(exports, se)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(exports); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(buf.Bytes(), golden) {
+		a, b := buf.Bytes(), golden
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo, hi := max(0, i-200), i+200
+		t.Fatalf("plan campaign JSON diverged from the pre-redesign sweep at byte %d:\nnew: ...%s...\ngolden: ...%s...",
+			i, clip(a, lo, hi), clip(b, lo, hi))
+	}
+}
+
+func clip(b []byte, lo, hi int) []byte {
+	if lo > len(b) {
+		lo = len(b)
+	}
+	if hi > len(b) {
+		hi = len(b)
+	}
+	return b[lo:hi]
+}

@@ -1,0 +1,182 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+// Plan declares a measurement campaign as data: the cross product of the
+// axes {experiments × scenarios × seeds} over one base configuration.
+// Every figure of the paper is many links × many hours × repeated runs;
+// a Plan is how the repo spells "repeat that, everywhere, N times" in
+// one value. Jobs enumerate scenario-major, then seed, then experiment
+// in selection order, so a single-seed, single-scenario plan reproduces
+// the classic campaign order exactly.
+//
+// The zero Plan is not useful; build one with NewPlan:
+//
+//	plan := campaign.NewPlan(
+//	    campaign.PlanExperiments("fig20", "fig03"),
+//	    campaign.PlanScenarios("paper", "flat"),
+//	    campaign.PlanSeeds(1, 2, 3),
+//	)
+type Plan struct {
+	// Config is the base experiment configuration. Its Seed and
+	// Scenario fields act as the default axis values when Seeds or
+	// Scenarios is empty; each job overrides them with its own
+	// coordinates.
+	Config experiments.Config
+	// Experiments selects harnesses by id, in order; empty runs the
+	// whole registry in presentation order.
+	Experiments []string
+	// Scenarios lists the deployments to measure (preset names or gen:
+	// specs); nil means the base config's scenario only.
+	Scenarios []string
+	// Seeds lists the replicate seeds; nil means the base config's seed
+	// only. Multiple seeds are what make Aggregate's cross-seed
+	// mean/stddev/CI statistically honest.
+	Seeds []int64
+}
+
+// PlanOption configures NewPlan.
+type PlanOption func(*Plan)
+
+// PlanConfig sets the base experiment configuration (default
+// experiments.DefaultConfig()).
+func PlanConfig(cfg experiments.Config) PlanOption {
+	return func(p *Plan) { p.Config = cfg }
+}
+
+// PlanExperiments selects harnesses by id, in order.
+func PlanExperiments(ids ...string) PlanOption {
+	return func(p *Plan) { p.Experiments = ids }
+}
+
+// PlanScenarios lists the deployments the plan measures.
+func PlanScenarios(names ...string) PlanOption {
+	return func(p *Plan) { p.Scenarios = names }
+}
+
+// PlanSeeds lists the replicate seeds.
+func PlanSeeds(seeds ...int64) PlanOption {
+	return func(p *Plan) { p.Seeds = seeds }
+}
+
+// NewPlan builds a Plan over experiments.DefaultConfig(); options select
+// the axes. With no options the plan is the classic default campaign:
+// every experiment, the paper floor, one seed.
+func NewPlan(opts ...PlanOption) Plan {
+	p := Plan{Config: experiments.DefaultConfig()}
+	for _, opt := range opts {
+		opt(&p)
+	}
+	return p
+}
+
+// Job is one cell of the campaign cross product: one experiment on one
+// scenario with one seed. Jobs are comparable and unique within a plan.
+type Job struct {
+	// Experiment identifies the harness (registry metadata).
+	Experiment experiments.Meta
+	// Scenario is the canonical deployment selector the job measures.
+	Scenario string
+	// Seed drives every random element of the job's testbed.
+	Seed int64
+}
+
+// String renders the job's coordinates for logs and errors.
+func (j Job) String() string {
+	return fmt.Sprintf("%s on %s (seed %d)", j.Experiment.ID, j.Scenario, j.Seed)
+}
+
+// Jobs validates the plan and enumerates its cross product in
+// deterministic order: scenarios in the order given, seeds within each
+// scenario, experiments (selection order) within each seed. Unknown
+// experiment ids, unparsable scenarios, and duplicate axis values are
+// errors — a duplicate coordinate would make two jobs
+// indistinguishable.
+func (p Plan) Jobs() ([]Job, error) {
+	metas, err := selectExperiments(p.Experiments)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, m := range metas {
+		if seen[m.ID] {
+			return nil, fmt.Errorf("campaign: duplicate experiment %q in plan", m.ID)
+		}
+		seen[m.ID] = true
+	}
+
+	names := p.Scenarios
+	if len(names) == 0 {
+		names = []string{p.Config.Scenario}
+	}
+	scenarios := make([]string, len(names))
+	dup := map[string]bool{}
+	for i, n := range names {
+		canon, err := scenario.CanonicalName(n)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		// Build the blueprint once here, where the error can be
+		// reported, rather than letting testbed construction panic
+		// inside a worker goroutine on a parsable-but-invalid spec.
+		if _, err := scenario.Parse(canon); err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		if dup[canon] {
+			return nil, fmt.Errorf("campaign: duplicate scenario %q in plan", canon)
+		}
+		dup[canon] = true
+		scenarios[i] = canon
+	}
+
+	seeds := p.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{p.Config.Seed}
+	}
+	dupSeed := map[int64]bool{}
+	for _, s := range seeds {
+		if dupSeed[s] {
+			return nil, fmt.Errorf("campaign: duplicate seed %d in plan", s)
+		}
+		dupSeed[s] = true
+	}
+
+	jobs := make([]Job, 0, len(scenarios)*len(seeds)*len(metas))
+	for _, sc := range scenarios {
+		for _, seed := range seeds {
+			for _, m := range metas {
+				jobs = append(jobs, Job{Experiment: m, Scenario: sc, Seed: seed})
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// selectExperiments resolves an id subset against the registry. An
+// empty selection means the whole registry, like the plan's other axes
+// (an empty scenario or seed list falls back to the base config).
+func selectExperiments(ids []string) ([]experiments.Meta, error) {
+	all := experiments.List()
+	if len(ids) == 0 {
+		return all, nil
+	}
+	byID := make(map[string]experiments.Meta, len(all))
+	for _, m := range all {
+		byID[m.ID] = m
+	}
+	out := make([]experiments.Meta, 0, len(ids))
+	for _, id := range ids {
+		m, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("campaign: unknown experiment %q (have %s)", id, strings.Join(experiments.IDs(), ", "))
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,256 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+// TestPlanJobsCrossProduct checks the enumeration order — scenarios in
+// the order given, seeds within each scenario, experiments within each
+// seed — and the axis defaults.
+func TestPlanJobsCrossProduct(t *testing.T) {
+	plan := NewPlan(
+		PlanConfig(testCfg()),
+		PlanExperiments("fig20", "table3"),
+		PlanScenarios("flat", "paper"),
+		PlanSeeds(1, 2),
+	)
+	jobs, err := plan.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		id, scen string
+		seed     int64
+	}{
+		{"fig20", "flat", 1}, {"table3", "flat", 1},
+		{"fig20", "flat", 2}, {"table3", "flat", 2},
+		{"fig20", "paper", 1}, {"table3", "paper", 1},
+		{"fig20", "paper", 2}, {"table3", "paper", 2},
+	}
+	if len(jobs) != len(want) {
+		t.Fatalf("jobs = %d, want %d", len(jobs), len(want))
+	}
+	for i, w := range want {
+		j := jobs[i]
+		if j.Experiment.ID != w.id || j.Scenario != w.scen || j.Seed != w.seed {
+			t.Fatalf("job %d = %s, want %s on %s (seed %d)", i, j, w.id, w.scen, w.seed)
+		}
+	}
+
+	// Defaults: nil axes collapse to the base config's coordinates, and
+	// an empty scenario canonicalises to the registry default.
+	defJobs, err := NewPlan(PlanConfig(testCfg()), PlanExperiments("table3")).Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defJobs) != 1 || defJobs[0].Seed != 1 || defJobs[0].Scenario != scenario.DefaultName {
+		t.Fatalf("default axes: %+v", defJobs)
+	}
+
+	// An explicitly empty experiment slice means "whole registry", same
+	// as the other axes — never a silent zero-job plan.
+	emptyJobs, err := NewPlan(PlanConfig(testCfg()), PlanExperiments()).Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emptyJobs) != len(experiments.IDs()) {
+		t.Fatalf("empty experiment selection → %d jobs, want the whole registry (%d)",
+			len(emptyJobs), len(experiments.IDs()))
+	}
+}
+
+// TestPlanValidation checks unknown ids, bad scenarios and duplicate
+// axis values are rejected up front, before any worker starts.
+func TestPlanValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string
+	}{
+		{"unknown experiment", NewPlan(PlanExperiments("fig99")), "fig99"},
+		{"bad scenario", NewPlan(PlanScenarios("paper", "atlantis")), "atlantis"},
+		// Parsable spelling, invalid blueprint: must be rejected here,
+		// not panic inside a worker goroutine.
+		{"invalid gen spec", NewPlan(PlanScenarios("gen:width=nan")), "width"},
+		{"duplicate seed", NewPlan(PlanSeeds(3, 3)), "duplicate seed"},
+		{"duplicate scenario", NewPlan(PlanScenarios("paper", "paper")), "duplicate scenario"},
+		{"duplicate experiment", NewPlan(PlanExperiments("fig20", "fig20")), "duplicate experiment"},
+	}
+	for _, c := range cases {
+		if _, err := c.plan.Jobs(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+		if _, err := Start(context.Background(), c.plan, Options{}); err == nil {
+			t.Fatalf("%s: Start must reject the plan", c.name)
+		}
+	}
+}
+
+// TestOutcomesStreamYieldsEveryJob checks the streaming iterator
+// delivers exactly one outcome per job and agrees with Wait's collected
+// slice.
+func TestOutcomesStreamYieldsEveryJob(t *testing.T) {
+	plan := NewPlan(
+		PlanConfig(testCfg()),
+		PlanExperiments("fig18", "table3"),
+		PlanSeeds(1, 2),
+	)
+	run, err := Start(context.Background(), plan, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := map[Job]bool{}
+	for o := range run.Outcomes() {
+		if streamed[o.Job] {
+			t.Fatalf("job %s streamed twice", o.Job)
+		}
+		streamed[o.Job] = true
+		if o.Err != nil {
+			t.Fatalf("%s: %v", o.Job, o.Err)
+		}
+	}
+	outs, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(outs) || len(outs) != 4 {
+		t.Fatalf("streamed %d, collected %d, want 4", len(streamed), len(outs))
+	}
+	for _, o := range outs {
+		if !streamed[o.Job] {
+			t.Fatalf("job %s collected but never streamed", o.Job)
+		}
+	}
+}
+
+// TestMultiScenarioPlan is the old sweep contract on the new engine:
+// the cross product executes, outcomes group by scenario in the order
+// given, and claim verdicts ride along.
+func TestMultiScenarioPlan(t *testing.T) {
+	scenarios := []string{"flat", "paper"}
+	ids := []string{"fig20", "table3"}
+	var mu sync.Mutex
+	seen := map[string]int{}
+	outs, err := Collect(context.Background(), NewPlan(
+		PlanConfig(testCfg()),
+		PlanExperiments(ids...),
+		PlanScenarios(scenarios...),
+	), Options{
+		Workers: 4,
+		Observer: func(ev Event) {
+			if ev.Kind == EventFinished {
+				mu.Lock()
+				seen[ev.Job.Scenario]++
+				mu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(scenarios)*len(ids) {
+		t.Fatalf("outcomes = %d, want %d", len(outs), len(scenarios)*len(ids))
+	}
+	for i, o := range outs {
+		wantScen := scenarios[i/len(ids)]
+		wantID := ids[i%len(ids)]
+		if o.Scenario != wantScen || o.Experiment.ID != wantID {
+			t.Fatalf("outcome %d = %s/%s, want %s/%s", i, o.Scenario, o.Experiment.ID, wantScen, wantID)
+		}
+		if o.Err != nil {
+			t.Fatalf("%s: %v", o.Job, o.Err)
+		}
+		if o.Experiment.ID == "fig20" && o.Claim != nil {
+			t.Fatalf("fig20 claim failed on %s: %v", o.Scenario, o.Claim)
+		}
+	}
+	for _, s := range scenarios {
+		if seen[s] != len(ids) {
+			t.Fatalf("observer saw %d finishes for %s", seen[s], s)
+		}
+	}
+	if len(FailedClaims(outs)) != 0 {
+		t.Fatal("no claims should fail on the presets")
+	}
+}
+
+// TestPlanCampaignJSONDeterministic is the scenario-determinism
+// guarantee: the same (Params, seed) run twice — two independent builds
+// of the generated floor — must export byte-identical campaign JSON.
+func TestPlanCampaignJSONDeterministic(t *testing.T) {
+	spec := scenario.Params{Stations: 14, Boards: 2, Seed: 5}.Spec()
+	render := func() []byte {
+		outs, err := Collect(context.Background(), NewPlan(
+			PlanConfig(testCfg()),
+			PlanExperiments("fig20", "fig09"),
+			PlanScenarios(spec),
+		), Options{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, o := range outs {
+			b, err := experiments.MarshalResult(o.Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Write(b)
+			buf.WriteByte('\n')
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two builds of %s diverged:\n%s\n----\n%s", spec, a, b)
+	}
+}
+
+// TestPlanMatchesSingleRun pins plan results to the direct path:
+// running an experiment through a scenario-axis plan renders the same
+// output as experiments.Run with Config.Scenario set.
+func TestPlanMatchesSingleRun(t *testing.T) {
+	cfg := testCfg()
+	cfg.Scenario = "flat"
+	direct, err := experiments.Run(context.Background(), "fig20", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, err := Collect(context.Background(), NewPlan(
+		PlanConfig(testCfg()),
+		PlanExperiments("fig20"),
+		PlanScenarios("flat"),
+	), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := planned[0].Result.Table(), direct.Table(); got != want {
+		t.Fatalf("plan output diverged from direct run:\n%s\n----\n%s", got, want)
+	}
+}
+
+// TestSeedAxisChangesResults checks the seed axis actually reseeds the
+// testbed: two replicates of the same experiment must differ somewhere
+// in their rendered tables (else "multi-seed" variance is fiction).
+func TestSeedAxisChangesResults(t *testing.T) {
+	outs, err := Collect(context.Background(), NewPlan(
+		PlanConfig(testCfg()),
+		PlanExperiments("fig18"),
+		PlanSeeds(1, 2),
+	), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("outcomes = %d, want 2", len(outs))
+	}
+	if outs[0].Result.Table() == outs[1].Result.Table() {
+		t.Fatal("seeds 1 and 2 rendered identical tables; seed axis is not reaching the testbed")
+	}
+}

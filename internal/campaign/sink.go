@@ -1,0 +1,123 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"repro/internal/experiments"
+)
+
+// Sink consumes a stream of job outcomes, typically persisting them as
+// they complete so a long campaign survives interruption with its
+// finished jobs on disk. Run.Stream drives sinks from a single
+// goroutine; implementations need no locking of their own.
+type Sink interface {
+	// Write records one outcome. Returning an error detaches the sink
+	// from the stream (the campaign itself keeps running).
+	Write(JobOutcome) error
+}
+
+// Record is the flat, machine-readable form of one JobOutcome — the
+// schema of the JSONL stream and (minus rows) the CSV stream.
+type Record struct {
+	Experiment string            `json:"experiment"`
+	Ref        string            `json:"ref,omitempty"`
+	Scenario   string            `json:"scenario"`
+	Seed       int64             `json:"seed"`
+	Worker     int               `json:"worker"`
+	ElapsedMS  float64           `json:"elapsed_ms"`
+	Summary    string            `json:"summary,omitempty"`
+	Rows       []experiments.Row `json:"rows,omitempty"`
+	Err        string            `json:"error,omitempty"`
+	Claim      string            `json:"claim,omitempty"`
+}
+
+// NewRecord flattens an outcome.
+func NewRecord(o JobOutcome) Record {
+	rec := Record{
+		Experiment: o.Experiment.ID,
+		Ref:        o.Experiment.Ref,
+		Scenario:   o.Scenario,
+		Seed:       o.Seed,
+		Worker:     o.Worker,
+		ElapsedMS:  float64(o.Elapsed.Microseconds()) / 1e3,
+	}
+	if o.Result != nil {
+		rec.Summary = o.Result.Summary()
+		rec.Rows = o.Result.Rows()
+	}
+	if o.Err != nil {
+		rec.Err = o.Err.Error()
+	}
+	if o.Claim != nil {
+		rec.Claim = o.Claim.Error()
+	}
+	return rec
+}
+
+// JSONLSink streams outcomes as JSON Lines: one self-contained JSON
+// object (a Record, rows included) per outcome per line, written as
+// workers finish. Lines arrive in completion order; replaying a file
+// through the Job coordinates recovers any order a consumer needs.
+type JSONLSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONLSink wraps w in a JSON Lines outcome sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Write appends one outcome as one JSON line.
+func (s *JSONLSink) Write(o JobOutcome) error {
+	return s.enc.Encode(NewRecord(o))
+}
+
+// CSVSink streams outcome-level rows (no per-figure data rows — use
+// JSONLSink for those) as comma-separated values with a header line,
+// one row per outcome in completion order. Every row is flushed as it
+// is written, so a crashed campaign leaves finished jobs readable.
+type CSVSink struct {
+	w      *csv.Writer
+	header bool
+}
+
+// NewCSVSink wraps w in a CSV outcome sink.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{w: csv.NewWriter(w)}
+}
+
+// csvHeader is the fixed CSVSink column set.
+var csvHeader = []string{"experiment", "scenario", "seed", "status", "claim", "elapsed_ms", "worker", "summary"}
+
+// Write appends one outcome row (plus the header before the first).
+func (s *CSVSink) Write(o JobOutcome) error {
+	if !s.header {
+		if err := s.w.Write(csvHeader); err != nil {
+			return err
+		}
+		s.header = true
+	}
+	status := "ok"
+	if o.Err != nil {
+		status = "error"
+	}
+	rec := NewRecord(o)
+	err := s.w.Write([]string{
+		rec.Experiment,
+		rec.Scenario,
+		strconv.FormatInt(rec.Seed, 10),
+		status,
+		rec.Claim,
+		strconv.FormatFloat(rec.ElapsedMS, 'f', 3, 64),
+		strconv.Itoa(rec.Worker),
+		rec.Summary,
+	})
+	if err != nil {
+		return err
+	}
+	s.w.Flush()
+	return s.w.Error()
+}

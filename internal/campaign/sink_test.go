@@ -1,0 +1,148 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJSONLSinkStreamsEveryJob runs a 2-seed × 2-experiment plan
+// through a JSONL sink and checks the stream holds one valid,
+// self-contained JSON object per job — including failed jobs.
+func TestJSONLSinkStreamsEveryJob(t *testing.T) {
+	plan := NewPlan(
+		PlanConfig(testCfg()),
+		PlanExperiments("fig18", "table3"),
+		PlanSeeds(1, 2),
+	)
+	run, err := Start(context.Background(), plan, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	outs, err := run.Stream(NewJSONLSink(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(outs) || len(lines) != 4 {
+		t.Fatalf("JSONL lines = %d, want %d", len(lines), len(outs))
+	}
+	seen := map[string]bool{}
+	for _, line := range lines {
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		if rec.Experiment == "" || rec.Scenario == "" || rec.Seed == 0 {
+			t.Fatalf("record missing job coordinates: %+v", rec)
+		}
+		if rec.Summary == "" || len(rec.Rows) == 0 {
+			t.Fatalf("successful record missing payload: %+v", rec)
+		}
+		seen[rec.Experiment+"/"+rec.Scenario+"/"+strconv.FormatInt(rec.Seed, 10)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("distinct records = %d, want 4", len(seen))
+	}
+}
+
+// TestJSONLSinkRecordsFailures forces every job to fail and checks the
+// stream still carries one record per job with the error inline.
+func TestJSONLSinkRecordsFailures(t *testing.T) {
+	run, err := Start(context.Background(), testPlan("fig18", "table3"), Options{Workers: 2, Timeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, serr := run.Stream(NewJSONLSink(&buf))
+	if serr == nil {
+		t.Fatal("want the campaign error back from Stream")
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("JSONL lines = %d, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Err == "" || rec.Summary != "" {
+			t.Fatalf("failed record should carry error, no summary: %+v", rec)
+		}
+	}
+}
+
+// TestCSVSink checks header + one row per outcome, parseable by
+// encoding/csv.
+func TestCSVSink(t *testing.T) {
+	run, err := Start(context.Background(), testPlan("table3"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := run.Stream(NewCSVSink(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 { // header + one outcome
+		t.Fatalf("CSV records = %d, want 2", len(recs))
+	}
+	if recs[0][0] != "experiment" || len(recs[1]) != len(csvHeader) {
+		t.Fatalf("CSV shape: header %v, row %v", recs[0], recs[1])
+	}
+	if recs[1][0] != "table3" || recs[1][3] != "ok" {
+		t.Fatalf("CSV row: %v", recs[1])
+	}
+}
+
+// failingSink errors on the Nth write.
+type failingSink struct{ n, writes int }
+
+func (s *failingSink) Write(JobOutcome) error {
+	s.writes++
+	if s.writes >= s.n {
+		return errors.New("disk full")
+	}
+	return nil
+}
+
+// TestStreamDetachesFailingSink checks a broken sink neither aborts the
+// campaign nor starves sibling sinks, and its error surfaces once the
+// run itself succeeded.
+func TestStreamDetachesFailingSink(t *testing.T) {
+	run, err := Start(context.Background(), testPlan("fig18", "table3"), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &failingSink{n: 1}
+	var buf bytes.Buffer
+	outs, serr := run.Stream(bad, NewJSONLSink(&buf))
+	if serr == nil || !strings.Contains(serr.Error(), "disk full") {
+		t.Fatalf("err = %v, want the sink failure", serr)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("outcomes = %d, want 2 (campaign must finish)", len(outs))
+	}
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("%s: %v", o.Job, o.Err)
+		}
+	}
+	if bad.writes != 1 {
+		t.Fatalf("failing sink saw %d writes, want 1 (detached after the error)", bad.writes)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 2 {
+		t.Fatalf("healthy sibling sink got %d lines, want 2", n)
+	}
+}

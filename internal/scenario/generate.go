@@ -211,13 +211,16 @@ func parseGen(spec string) (Params, error) {
 			p.Seed = n
 		case "width":
 			f, err := strconv.ParseFloat(v, 64)
-			if err != nil {
+			if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+				// NaN sails through withDefaults' <= 0 check and
+				// poisons the generated geometry; reject non-finite
+				// extents here.
 				return p, fmt.Errorf("scenario: bad width %q", v)
 			}
 			p.Width = f
 		case "height":
 			f, err := strconv.ParseFloat(v, 64)
-			if err != nil {
+			if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
 				return p, fmt.Errorf("scenario: bad height %q", v)
 			}
 			p.Height = f

@@ -140,7 +140,12 @@ func TestParseGenRoundTrip(t *testing.T) {
 }
 
 func TestParseRejects(t *testing.T) {
-	for _, sel := range []string{"atlantis", "gen:stations=", "gen:bogus=3", "gen:stations=two"} {
+	for _, sel := range []string{
+		"atlantis", "gen:stations=", "gen:bogus=3", "gen:stations=two",
+		// Non-finite extents parse as floats but would slip past
+		// withDefaults' <= 0 checks and corrupt the geometry.
+		"gen:width=nan", "gen:height=nan", "gen:width=+inf", "gen:height=-inf",
+	} {
 		if _, err := Parse(sel); err == nil {
 			t.Fatalf("Parse(%q) succeeded", sel)
 		}

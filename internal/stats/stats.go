@@ -45,6 +45,31 @@ func MeanStd(xs []float64) (mean, std float64) {
 	return mean, math.Sqrt(ss / float64(len(xs)-1))
 }
 
+// tCrit95 holds the two-sided 95% critical values of Student's t
+// distribution for 1..30 degrees of freedom; larger samples use the
+// normal approximation 1.960.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95 returns the half-width of the two-sided 95% confidence interval
+// for the mean of xs — t·s/√n with Student's t critical values — or 0
+// for fewer than two samples, where no variance is identifiable.
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	_, std := MeanStd(xs)
+	t := 1.960
+	if df := n - 1; df <= len(tCrit95) {
+		t = tCrit95[df-1]
+	}
+	return t * std / math.Sqrt(float64(n))
+}
+
 // Min returns the minimum of xs, or +Inf for an empty slice.
 func Min(xs []float64) float64 {
 	m := math.Inf(1)

@@ -9,6 +9,35 @@ import (
 
 func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
 
+func TestCI95(t *testing.T) {
+	// {0, 2}: n=2, df=1, s=√2, so the half-width is t·s/√n =
+	// 12.706·√2/√2 = 12.706.
+	if got := CI95([]float64{0, 2}); math.Abs(got-12.706) > 1e-9 {
+		t.Fatalf("CI95({0,2}) = %v, want 12.706", got)
+	}
+	// Fewer than two samples identify no variance.
+	if CI95(nil) != 0 || CI95([]float64{5}) != 0 {
+		t.Fatal("CI95 of <2 samples must be 0")
+	}
+	// Zero variance ⇒ zero interval.
+	if CI95([]float64{3, 3, 3}) != 0 {
+		t.Fatal("CI95 of constant samples must be 0")
+	}
+	// Large n falls back to the normal approximation: 1.96·s/√n.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 2) // s ≈ 0.502519...
+	}
+	_, s := MeanStd(xs)
+	if got, want := CI95(xs), 1.96*s/10; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CI95 large-n = %v, want %v", got, want)
+	}
+	// The interval shrinks as replicates accumulate.
+	if CI95([]float64{0, 2}) <= CI95([]float64{0, 2, 0, 2, 0, 2}) {
+		t.Fatal("more replicates must tighten the interval")
+	}
+}
+
 func TestMeanStd(t *testing.T) {
 	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
 	m, s := MeanStd(xs)

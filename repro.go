@@ -18,6 +18,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"time"
 
@@ -212,22 +213,81 @@ type ExperimentRow = experiments.Row
 // ExperimentExport is the machine-readable envelope of one result.
 type ExperimentExport = experiments.Export
 
-// CampaignOptions tunes a parallel campaign run (workers, per-experiment
-// timeout, id subset, progress observer).
-type CampaignOptions = campaign.Options
+// The run plane: campaigns are declared as a CampaignPlan — the cross
+// product of {experiments × scenarios × seeds} over a base config — and
+// executed by one engine. Start streams outcomes as workers finish;
+// Collect blocks for the job-ordered slice; Aggregate folds multi-seed
+// replicates into per-(experiment, scenario) mean/stddev/CI rows.
+type (
+	// CampaignPlan declares a campaign: experiments × scenarios × seeds.
+	CampaignPlan = campaign.Plan
+	// PlanOption configures NewPlan.
+	PlanOption = campaign.PlanOption
+	// CampaignJob is one cross-product cell (experiment, scenario, seed).
+	CampaignJob = campaign.Job
+	// JobOutcome is one job's result, claim verdict and timing.
+	JobOutcome = campaign.JobOutcome
+	// CampaignRun is a handle on an executing campaign.
+	CampaignRun = campaign.Run
+	// CampaignOptions tunes execution (workers, per-job timeout,
+	// progress observer, testbed memoization).
+	CampaignOptions = campaign.Options
+	// CampaignEvent is one progress notification of a running campaign.
+	CampaignEvent = campaign.Event
+	// CampaignSink consumes streamed outcomes (JSONL, CSV, ...).
+	CampaignSink = campaign.Sink
+	// AggregateRow is one cross-seed mean/stddev/CI statistic.
+	AggregateRow = campaign.AggregateRow
+)
 
-// CampaignEvent is one progress notification of a running campaign.
-type CampaignEvent = campaign.Event
+// NewPlan declares a campaign over the default config; options select
+// the axes:
+//
+//	plan := repro.NewPlan(
+//	    repro.PlanExperiments("fig20"),
+//	    repro.PlanScenarios("paper", "flat"),
+//	    repro.PlanSeeds(1, 2, 3),
+//	)
+func NewPlan(opts ...PlanOption) CampaignPlan { return campaign.NewPlan(opts...) }
 
-// CampaignOutcome is one experiment's result within a campaign.
-type CampaignOutcome = campaign.Outcome
+// PlanConfig sets the plan's base experiment configuration.
+func PlanConfig(cfg ExperimentConfig) PlanOption { return campaign.PlanConfig(cfg) }
 
-// SweepOptions tunes a cross-scenario campaign sweep.
-type SweepOptions = campaign.SweepOptions
+// PlanExperiments selects harnesses by id, in order (default: all).
+func PlanExperiments(ids ...string) PlanOption { return campaign.PlanExperiments(ids...) }
 
-// SweepOutcome is one experiment's result on one scenario, with its
-// qualitative-claim verdict.
-type SweepOutcome = campaign.SweepOutcome
+// PlanScenarios lists the deployments the plan measures.
+func PlanScenarios(names ...string) PlanOption { return campaign.PlanScenarios(names...) }
+
+// PlanSeeds lists the replicate seeds of the plan.
+func PlanSeeds(seeds ...int64) PlanOption { return campaign.PlanSeeds(seeds...) }
+
+// Start validates the plan and launches it on a worker pool, returning
+// a handle immediately: Outcomes() streams results as workers finish
+// (a range-over-func iterator), Wait() returns the collected outcomes
+// in deterministic job order, Stream(sinks...) persists outcomes as
+// they complete. Cancelling ctx aborts the run between measurement
+// windows.
+func Start(ctx context.Context, plan CampaignPlan, opts CampaignOptions) (*CampaignRun, error) {
+	return campaign.Start(ctx, plan, opts)
+}
+
+// Collect runs the whole plan and returns the job-ordered outcomes —
+// Start followed by Wait.
+func Collect(ctx context.Context, plan CampaignPlan, opts CampaignOptions) ([]JobOutcome, error) {
+	return campaign.Collect(ctx, plan, opts)
+}
+
+// Aggregate folds multi-seed outcomes into per-(experiment, scenario)
+// cross-seed statistics; see campaign.Aggregate.
+func Aggregate(outs []JobOutcome) []AggregateRow { return campaign.Aggregate(outs) }
+
+// NewJSONLSink streams outcomes to w as JSON Lines (one object per
+// outcome, figure rows included).
+func NewJSONLSink(w io.Writer) CampaignSink { return campaign.NewJSONLSink(w) }
+
+// NewCSVSink streams outcome-level CSV rows to w.
+func NewCSVSink(w io.Writer) CampaignSink { return campaign.NewCSVSink(w) }
 
 // Experiments lists the identifiers of every table/figure harness.
 func Experiments() []string { return experiments.IDs() }
@@ -259,42 +319,58 @@ func ExportExperiment(r ExperimentResult) ([]byte, error) {
 // reproduces every qualitative result of the paper.
 func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
 
-// RunAll executes every registered experiment serially in presentation
-// order, writing each summary line to w as it completes, and returns the
-// results.
-func RunAll(w io.Writer, cfg ExperimentConfig) ([]ExperimentResult, error) {
-	var out []ExperimentResult
-	for _, id := range experiments.IDs() {
-		r, err := experiments.Run(context.Background(), id, cfg)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, r)
-		if w != nil {
-			io.WriteString(w, r.Summary()+"\n")
+// RunAll executes every registered experiment — concurrently, one
+// worker per CPU; results are bit-identical to a serial run because
+// every harness builds its own seeded testbed — and writes each summary
+// line to w in presentation order as soon as it and its predecessors
+// complete. Cancelling ctx aborts the campaign between measurement
+// windows; a failed write stops the campaign and returns the writer's
+// error. The successful results are returned in presentation order.
+func RunAll(ctx context.Context, w io.Writer, cfg ExperimentConfig) ([]ExperimentResult, error) {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	run, err := Start(runCtx, NewPlan(PlanConfig(cfg)), CampaignOptions{})
+	if err != nil {
+		return nil, err
+	}
+	// Outcomes stream in completion order; a small reorder buffer emits
+	// each summary as soon as every earlier job has finished, so output
+	// is progressive yet deterministic.
+	index := make(map[CampaignJob]int)
+	for i, j := range run.Jobs() {
+		index[j] = i
+	}
+	pending := make(map[int]JobOutcome)
+	var results []ExperimentResult
+	var werr error
+	next := 0
+stream:
+	for o := range run.Outcomes() {
+		pending[index[o.Job]] = o
+		for {
+			head, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if head.Err != nil || head.Result == nil {
+				continue // Wait reports the first failure in job order
+			}
+			results = append(results, head.Result)
+			if w != nil {
+				if _, werr = io.WriteString(w, head.Result.Summary()+"\n"); werr != nil {
+					cancel() // stop the campaign; the writer is gone
+					break stream
+				}
+			}
 		}
 	}
-	return out, nil
-}
-
-// RunAllParallel executes the campaign on a worker pool: experiments run
-// concurrently (longest-first to minimise makespan), honour ctx
-// cancellation and opts.Timeout, and report outcomes in registry order.
-// Results are bit-identical to RunAll's for the same config — every
-// harness builds its own seeded testbed — so parallelism only changes
-// wall-clock time.
-func RunAllParallel(ctx context.Context, cfg ExperimentConfig, opts CampaignOptions) ([]CampaignOutcome, error) {
-	return campaign.Run(ctx, cfg, opts)
-}
-
-// RunSweep executes the configured experiments across a fleet of
-// scenarios on one worker pool — the cross product feeds the same
-// longest-first scheduler as RunAllParallel — and reports one outcome
-// per (scenario, experiment) with its qualitative-claim verdict. The
-// paper's metrics are only deployable if their claims survive floors
-// the paper never measured; this is the harness that asks.
-func RunSweep(ctx context.Context, cfg ExperimentConfig, opts SweepOptions, scenarios []string) ([]SweepOutcome, error) {
-	return campaign.Sweep(ctx, cfg, opts, scenarios)
+	_, err = run.Wait()
+	if werr != nil {
+		return results, fmt.Errorf("repro: writing summary: %w", werr)
+	}
+	return results, err
 }
 
 // MeasureLink is a convenience helper: it saturates the directed PLC link

@@ -69,28 +69,91 @@ func TestFacadeMetricTable(t *testing.T) {
 	}
 }
 
-func TestFacadeParallelCampaign(t *testing.T) {
+func TestFacadeCampaignPlan(t *testing.T) {
 	cfg := ExperimentConfig{Seed: 1, Scale: 0.05, Decimate: 16}
 	ids := []string{"fig18", "table2", "table3"}
-	outs, err := RunAllParallel(context.Background(), cfg, CampaignOptions{Workers: 2, IDs: ids})
+	outs, err := Collect(context.Background(),
+		NewPlan(PlanConfig(cfg), PlanExperiments(ids...)),
+		CampaignOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, o := range outs {
 		if o.Err != nil || o.Result == nil {
-			t.Fatalf("%s: %v", o.Meta.ID, o.Err)
+			t.Fatalf("%s: %v", o.Job, o.Err)
 		}
-		if o.Meta.ID != ids[i] {
-			t.Fatalf("outcome %d = %s, want %s", i, o.Meta.ID, ids[i])
+		if o.Experiment.ID != ids[i] {
+			t.Fatalf("outcome %d = %s, want %s", i, o.Experiment.ID, ids[i])
 		}
 		// Parallel results must match a direct serial run bit for bit.
-		serial, err := RunExperiment(o.Meta.ID, cfg)
+		serial, err := RunExperiment(o.Experiment.ID, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if serial.Table() != o.Result.Table() || serial.Summary() != o.Result.Summary() {
-			t.Fatalf("%s: parallel output differs from serial", o.Meta.ID)
+			t.Fatalf("%s: parallel output differs from serial", o.Experiment.ID)
 		}
+	}
+}
+
+func TestFacadeStreamingRun(t *testing.T) {
+	cfg := ExperimentConfig{Seed: 1, Scale: 0.05, Decimate: 16}
+	run, err := Start(context.Background(),
+		NewPlan(PlanConfig(cfg), PlanExperiments("fig18", "table3"), PlanSeeds(1, 2)),
+		CampaignOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := 0
+	for o := range run.Outcomes() {
+		if o.Err != nil {
+			t.Fatalf("%s: %v", o.Job, o.Err)
+		}
+		streamed++
+	}
+	outs, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != 4 || len(outs) != 4 {
+		t.Fatalf("streamed %d, collected %d, want 4", streamed, len(outs))
+	}
+	rows := Aggregate(outs)
+	if len(rows) == 0 {
+		t.Fatal("no aggregate rows from a 2-seed plan")
+	}
+	for _, r := range rows {
+		if r.Seeds != 2 {
+			t.Fatalf("aggregate row %+v: want 2 replicates", r)
+		}
+	}
+}
+
+// errWriter fails after n successful writes.
+type errWriter struct{ n, writes int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.n {
+		return 0, errors.New("pipe closed")
+	}
+	return len(p), nil
+}
+
+func TestFacadeRunAll(t *testing.T) {
+	cfg := ExperimentConfig{Seed: 1, Scale: 0.05, Decimate: 16}
+
+	// A cancelled context aborts instead of running the campaign.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunAll(ctx, nil, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// Writer errors propagate (the old facade silently dropped them).
+	if _, err := RunAll(context.Background(), &errWriter{n: 0}, cfg); err == nil ||
+		!strings.Contains(err.Error(), "pipe closed") {
+		t.Fatalf("err = %v, want the writer failure", err)
 	}
 }
 
