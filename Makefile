@@ -1,0 +1,19 @@
+# Convenience targets; everything is plain `go` underneath.
+
+SHELL := /bin/bash -o pipefail
+
+.PHONY: test bench bench-pr5
+
+test:
+	go build ./... && go test ./...
+
+# bench runs the campaign + channel-plane benchmarks once, emitting
+# benchstat-comparable output (the same artifact CI uploads).
+bench:
+	go test -run NONE -bench 'Campaign|ChannelPlane' -benchtime 1x -count 1 . | tee bench.txt
+
+# bench-pr5 regenerates BENCH_PR5.json's "current" measurements on this
+# machine (the pinned pre-refactor baseline block is preserved) and the
+# raw benchstat-comparable log next to it.
+bench-pr5:
+	go run ./cmd/benchplane -raw bench_pr5.txt

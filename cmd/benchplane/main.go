@@ -1,0 +1,209 @@
+// Command benchplane (re)generates BENCH_PR5.json, the perf-trajectory
+// artifact of the shared-channel-plane refactor: it runs the channel-plane
+// benchmarks via `go test -bench`, takes the median over -count runs, and
+// rewrites the JSON's "current" measurements while preserving the pinned
+// pre-refactor "baseline" block (those numbers come from the commit before
+// the refactor and cannot be regenerated from this tree). The raw
+// benchstat-comparable output is written alongside for tooling.
+//
+// Usage:
+//
+//	go run ./cmd/benchplane                      # refresh current numbers
+//	go run ./cmd/benchplane -count 5 -benchtime 3x
+//	make bench-pr5                               # the same, via make
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"flag"
+)
+
+// Measurement is one benchmark's median cost.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Entry pairs the pinned pre-refactor baseline with the current tree.
+type Entry struct {
+	Baseline *Measurement `json:"baseline,omitempty"`
+	Current  *Measurement `json:"current,omitempty"`
+	// Speedup is baseline/current wall time; MemoryRatio the same for
+	// allocated bytes. Derived, but stored so the artifact reads alone.
+	Speedup     float64 `json:"speedup,omitempty"`
+	MemoryRatio float64 `json:"memory_ratio,omitempty"`
+}
+
+// File is the BENCH_PR5.json schema.
+type File struct {
+	PR             int               `json:"pr"`
+	Description    string            `json:"description"`
+	BaselineCommit string            `json:"baseline_commit"`
+	Methodology    string            `json:"methodology"`
+	Host           map[string]string `json:"host,omitempty"`
+	Benchmarks     map[string]*Entry `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^Benchmark([\w/]+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	var (
+		out       = flag.String("o", "BENCH_PR5.json", "output JSON path")
+		raw       = flag.String("raw", "", "also write the raw benchstat-comparable output here ('' = skip)")
+		pattern   = flag.String("bench", "ChannelPlane", "benchmark name pattern")
+		count     = flag.Int("count", 3, "runs per benchmark (median is recorded)")
+		benchtime = flag.String("benchtime", "2x", "go test -benchtime value")
+		baseline  = flag.Bool("set-baseline", false, "record measurements as the baseline instead of current (run on a pre-refactor tree)")
+	)
+	flag.Parse()
+
+	// Load (and validate) the existing artifact before spending minutes
+	// benchmarking — a corrupt file refuses fast.
+	f := load(*out)
+
+	cmd := exec.Command("go", "test", "-run", "NONE",
+		"-bench", *pattern, "-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count), ".")
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchplane: go test: %v\n", err)
+		os.Exit(1)
+	}
+	if *raw != "" {
+		if err := os.WriteFile(*raw, outBytes, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchplane: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	samples := map[string][]Measurement{}
+	host := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(string(outBytes)))
+	for sc.Scan() {
+		line := sc.Text()
+		for _, k := range []string{"goos", "goarch", "cpu"} {
+			if v, ok := strings.CutPrefix(line, k+": "); ok {
+				host[k] = v
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ms := Measurement{NsPerOp: atof(m[2]), BytesPerOp: atof(m[3]), AllocsPerOp: atof(m[4])}
+		samples[m[1]] = append(samples[m[1]], ms)
+	}
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "benchplane: no benchmark results parsed")
+		os.Exit(1)
+	}
+
+	f.Host = host
+	if *baseline {
+		// A regenerated baseline belongs to the tree it was measured on.
+		if rev, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+			f.BaselineCommit = strings.TrimSpace(string(rev))
+		}
+	}
+	f.Methodology = fmt.Sprintf(
+		"go test -run NONE -bench %q -benchtime %s -count %d .; median per benchmark; see EXPERIMENTS.md",
+		*pattern, *benchtime, *count)
+	for name, runs := range samples {
+		e := f.Benchmarks[name]
+		if e == nil {
+			e = &Entry{}
+			f.Benchmarks[name] = e
+		}
+		med := median(runs)
+		if *baseline {
+			e.Baseline = &med
+		} else {
+			e.Current = &med
+		}
+		if e.Baseline != nil && e.Current != nil && e.Current.NsPerOp > 0 {
+			e.Speedup = round2(e.Baseline.NsPerOp / e.Current.NsPerOp)
+			if e.Current.BytesPerOp > 0 {
+				e.MemoryRatio = round2(e.Baseline.BytesPerOp / e.Current.BytesPerOp)
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchplane: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchplane: %v\n", err)
+		os.Exit(1)
+	}
+	for name, e := range f.Benchmarks {
+		if e.Speedup > 0 {
+			fmt.Printf("%-32s %5.2fx faster, %5.2fx less memory\n", name, e.Speedup, e.MemoryRatio)
+		}
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// load reads an existing artifact so the pinned baseline survives
+// regeneration, or starts a fresh one if none exists. An existing file
+// that fails to parse is fatal: overwriting it would silently destroy
+// the pinned baseline, which cannot be regenerated from this tree.
+func load(path string) *File {
+	f := &File{
+		PR:          5,
+		Description: "shared channel plane: hoisted appliance-epoch state and batched topology evaluation",
+		Benchmarks:  map[string]*Entry{},
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return f
+	}
+	if err := json.Unmarshal(b, f); err != nil {
+		fmt.Fprintf(os.Stderr, "benchplane: %s exists but does not parse (%v); refusing to overwrite it — fix or remove the file first\n", path, err)
+		os.Exit(1)
+	}
+	if f.Benchmarks == nil {
+		f.Benchmarks = map[string]*Entry{}
+	}
+	return f
+}
+
+func atof(s string) float64 {
+	if s == "" {
+		return 0
+	}
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func median(runs []Measurement) Measurement {
+	pick := func(get func(Measurement) float64) float64 {
+		vals := make([]float64, len(runs))
+		for i, r := range runs {
+			vals[i] = get(r)
+		}
+		sort.Float64s(vals)
+		return vals[len(vals)/2]
+	}
+	return Measurement{
+		NsPerOp:     pick(func(m Measurement) float64 { return m.NsPerOp }),
+		BytesPerOp:  pick(func(m Measurement) float64 { return m.BytesPerOp }),
+		AllocsPerOp: pick(func(m Measurement) float64 { return m.AllocsPerOp }),
+	}
+}
+
+func round2(v float64) float64 {
+	return float64(int(v*100+0.5)) / 100
+}

@@ -48,19 +48,24 @@ func main() {
 	}
 
 	start := 11 * time.Hour
-	plcAL := al.NewPLC(pl, al.WithCapacityProbe(1300, 1))
+	plcAL := al.NewPLC(pl)
 	for t := start - 30*time.Second; t < start; t += time.Second {
 		plcAL.ProbeTrain(t, 1300, 1) // warm the PLC capacity estimate
 	}
 	links := []al.Link{wifiAL, plcAL}
 
+	// Per-second loop on the batched read path: one probe keeps the PLC
+	// estimation fresh (the §7 rule — tone maps exist only under
+	// traffic), then a single snapshot evaluates both links once and
+	// prices every scheduler against it.
 	fmt.Printf("# link %d-%d: per-second goodput (Mb/s)\n", *a, *b)
 	fmt.Println("#    t   wifi    plc  hybrid  round-robin")
 	for t := start; t < start+*total; t += time.Second {
-		w := links[0].Goodput(t)
-		p := links[1].Goodput(t)
-		h := hybrid.AggregateThroughput(t, hybrid.Proportional{}, links)
-		rr := hybrid.AggregateThroughput(t, hybrid.RoundRobin{}, links)
-		fmt.Printf("%5.0fs  %5.1f  %5.1f  %6.1f  %11.1f\n", (t - start).Seconds(), w, p, h, rr)
+		plcAL.ProbeTrain(t, 1300, 1)
+		states := al.NewSnapshot(t, links...).States()
+		h := hybrid.AggregateFromStates(hybrid.Proportional{}, states)
+		rr := hybrid.AggregateFromStates(hybrid.RoundRobin{}, states)
+		fmt.Printf("%5.0fs  %5.1f  %5.1f  %6.1f  %11.1f\n",
+			(t - start).Seconds(), states[0].Goodput, states[1].Goodput, h, rr)
 	}
 }

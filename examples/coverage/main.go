@@ -19,12 +19,11 @@ func main() {
 	start := 11 * time.Hour // working hours
 
 	// Survey every same-network pair from station 5 (far corner of the
-	// right wing): which destinations are WiFi blind spots, and what
-	// does PLC offer there?
+	// right wing): probe the PLC links to warm estimation, then evaluate
+	// all links in one snapshot and ask which destinations are WiFi
+	// blind spots, and what PLC offers there.
 	const src = 5
-	fmt.Println("from station 5 (far corner):")
-	fmt.Println(" dst  WiFi-connected  WiFi(Mb/s)  PLC(Mb/s)  verdict")
-	blind, covered := 0, 0
+	var links []repro.Link
 	for dst := 0; dst <= 11; dst++ {
 		if dst == src {
 			continue
@@ -40,18 +39,29 @@ func main() {
 		if err := repro.ProbeLink(ctx, pl, start, 10*time.Second); err != nil {
 			panic(err)
 		}
-		at := start + 10*time.Second
-		wifiT, plcT := wl.Goodput(at), pl.Goodput(at)
+		links = append(links, wl, pl)
+	}
+	snap := repro.SnapshotLinks(start+10*time.Second, links...)
+
+	fmt.Println("from station 5 (far corner):")
+	fmt.Println(" dst  WiFi-connected  WiFi(Mb/s)  PLC(Mb/s)  verdict")
+	blind, covered := 0, 0
+	for dst := 0; dst <= 11; dst++ {
+		if dst == src {
+			continue
+		}
+		wifi, _ := snap.State(src, dst, repro.WiFi)
+		plc, _ := snap.State(src, dst, repro.PLC)
 		verdict := "both media fine"
-		if !wl.Connected(at) && plcT >= 1 {
+		if !wifi.Connected && plc.Goodput >= 1 {
 			verdict = "WiFi BLIND SPOT — PLC covers it"
 			blind++
 			covered++
-		} else if wifiT < 1 && plcT < 1 {
+		} else if wifi.Goodput < 1 && plc.Goodput < 1 {
 			verdict = "dead pair"
 			blind++
 		}
-		fmt.Printf("  %2d  %14v  %10.1f  %9.1f  %s\n", dst, wl.Connected(at), wifiT, plcT, verdict)
+		fmt.Printf("  %2d  %14v  %10.1f  %9.1f  %s\n", dst, wifi.Connected, wifi.Goodput, plc.Goodput, verdict)
 	}
 	fmt.Printf("\nWiFi blind spots: %d, of which PLC covers %d\n", blind, covered)
 	fmt.Println("(the paper: 100% of WiFi-connected pairs are PLC-connected; the reverse fails on 19%)")

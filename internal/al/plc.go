@@ -26,6 +26,8 @@ type PLCOption func(*PLCLink)
 
 // WithCapacityProbe makes every Capacity query send count probe packets of
 // size bytes first, so scheduler reads drive the estimation they consume.
+// The probe fires only on direct Capacity calls — the passive State read
+// used by snapshots never injects traffic.
 func WithCapacityProbe(sizeBytes, count int) PLCOption {
 	return func(p *PLCLink) { p.capProbeSize, p.capProbeCount = sizeBytes, count }
 }
@@ -72,6 +74,27 @@ func (p *PLCLink) Metrics(t time.Duration) core.LinkMetrics {
 // reachable — the paper finds every WiFi-connected pair PLC-connected
 // (§4.1); quality lives in the metrics, not in a connectivity bit.
 func (p *PLCLink) Connected(time.Duration) bool { return true }
+
+// State implements StateEvaluator: the passive one-pass evaluation used
+// by snapshots. Unlike Capacity it never injects probe traffic — for PLC
+// the passive capacity estimate and the goodput coincide (both are the
+// BLE/PBerr-derived UDP goodput of Fig. 15), so the link is advanced once
+// and read once.
+func (p *PLCLink) State(t time.Duration) LinkState {
+	tp := p.l.Throughput(t)
+	return LinkState{
+		Link: p, Src: p.l.Src.ID, Dst: p.l.Dst.ID, Medium: core.PLC,
+		Capacity: tp,
+		Goodput:  tp,
+		Metrics: core.LinkMetrics{
+			Medium:       core.PLC,
+			CapacityMbps: tp,
+			Loss:         p.l.PBerr(t),
+			UpdatedAt:    t,
+		},
+		Connected: true,
+	}
+}
 
 // Probe implements Prober: saturated estimation traffic over [t, t+dur) in
 // 500 ms windows, checking ctx between windows (the survey warm-up of §7).

@@ -1,0 +1,128 @@
+package al
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// LinkState is one link's fully evaluated view at one instant: everything
+// the Link interface exposes, read once. Consumers that previously looped
+// per link per quantity (the metric-table feed, the mesh survey, the
+// hybrid schedulers' table-driven read path) consume a slice of these
+// instead, so each link is advanced and read exactly once per instant.
+type LinkState struct {
+	// Link is the evaluated link, for consumers that carry it forward
+	// (mesh edges keep their link for later re-probing).
+	Link     Link
+	Src, Dst int
+	Medium   core.Medium
+
+	Capacity  float64
+	Goodput   float64
+	Metrics   core.LinkMetrics
+	Connected bool
+}
+
+// StateEvaluator is implemented by links that can evaluate their full
+// state in one pass. Links without it are evaluated by calling Capacity,
+// Goodput, Metrics and Connected in that order.
+//
+// State is a *passive* read: implementations must not inject traffic.
+// In particular a PLC adapter configured with WithCapacityProbe probes on
+// direct Capacity calls (the traffic-driven scheduler path) but not in
+// State — a snapshot reflects the table as it is, it does not drive
+// estimation.
+type StateEvaluator interface {
+	State(t time.Duration) LinkState
+}
+
+// EvalLink evaluates one link at one instant. The fallback path calls
+// the link's own accessors, including Capacity — so an adapter whose
+// Capacity injects probe traffic MUST implement StateEvaluator to keep
+// snapshots passive (PLCLink does; see WithCapacityProbe).
+func EvalLink(l Link, t time.Duration) LinkState {
+	if se, ok := l.(StateEvaluator); ok {
+		return se.State(t)
+	}
+	src, dst := l.Endpoints()
+	return LinkState{
+		Link: l, Src: src, Dst: dst, Medium: l.Medium(),
+		Capacity:  l.Capacity(t),
+		Goodput:   l.Goodput(t),
+		Metrics:   l.Metrics(t),
+		Connected: l.Connected(t),
+	}
+}
+
+// Snapshot is the batched evaluation of a set of links at one instant,
+// indexed by (src, dst, medium).
+type Snapshot struct {
+	// At is the virtual instant the snapshot was taken.
+	At time.Duration
+
+	states []LinkState
+	byKey  map[linkKey]int
+	byPair map[[2]int][]int
+}
+
+// NewSnapshot evaluates the given links at t, in order. Links sharing a
+// grid advance its channel plane once: the first evaluation pays the
+// schedule walk, the rest are reads.
+func NewSnapshot(t time.Duration, links ...Link) *Snapshot {
+	s := &Snapshot{
+		At:     t,
+		states: make([]LinkState, 0, len(links)),
+		byKey:  make(map[linkKey]int, len(links)),
+		byPair: make(map[[2]int][]int),
+	}
+	for _, l := range links {
+		st := EvalLink(l, t)
+		idx := len(s.states)
+		s.states = append(s.states, st)
+		s.byKey[linkKey{st.Src, st.Dst, st.Medium}] = idx
+		pair := [2]int{st.Src, st.Dst}
+		s.byPair[pair] = append(s.byPair[pair], idx)
+	}
+	return s
+}
+
+// States returns every evaluated link in evaluation order. The slice is
+// owned by the snapshot — callers must not mutate it.
+func (s *Snapshot) States() []LinkState { return s.states }
+
+// Len reports the number of evaluated links.
+func (s *Snapshot) Len() int { return len(s.states) }
+
+// State returns the evaluated view of one directed link on one medium.
+func (s *Snapshot) State(src, dst int, m core.Medium) (LinkState, bool) {
+	idx, ok := s.byKey[linkKey{src, dst, m}]
+	if !ok {
+		return LinkState{}, false
+	}
+	return s.states[idx], true
+}
+
+// Between returns the evaluated links from src to dst across all media,
+// in evaluation order.
+func (s *Snapshot) Between(src, dst int) []LinkState {
+	idxs := s.byPair[[2]int{src, dst}]
+	if len(idxs) == 0 {
+		return nil
+	}
+	out := make([]LinkState, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.states[idx]
+	}
+	return out
+}
+
+// Feed writes every evaluated link's metrics into a 1905 metric table —
+// the periodic table refresh of an abstraction-layer daemon, from one
+// batched pass.
+func (s *Snapshot) Feed(mt *core.MetricTable) {
+	for i := range s.states {
+		st := &s.states[i]
+		mt.Update(st.Src, st.Dst, st.Metrics)
+	}
+}

@@ -1,0 +1,180 @@
+package al
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// scripted is a minimal Link whose reads are counted, for snapshot tests.
+type scripted struct {
+	src, dst int
+	med      core.Medium
+	cap      float64
+	good     float64
+	conn     bool
+	calls    []string
+}
+
+func (s *scripted) Endpoints() (int, int) { return s.src, s.dst }
+func (s *scripted) Medium() core.Medium   { return s.med }
+func (s *scripted) Capacity(time.Duration) float64 {
+	s.calls = append(s.calls, "capacity")
+	return s.cap
+}
+func (s *scripted) Goodput(time.Duration) float64 {
+	s.calls = append(s.calls, "goodput")
+	return s.good
+}
+func (s *scripted) Metrics(t time.Duration) core.LinkMetrics {
+	s.calls = append(s.calls, "metrics")
+	return core.LinkMetrics{Medium: s.med, CapacityMbps: s.cap, UpdatedAt: t}
+}
+func (s *scripted) Connected(time.Duration) bool {
+	s.calls = append(s.calls, "connected")
+	return s.conn
+}
+
+// evaluated wraps scripted with a StateEvaluator fast path.
+type evaluated struct {
+	scripted
+	stateCalls int
+}
+
+func (e *evaluated) State(t time.Duration) LinkState {
+	e.stateCalls++
+	return LinkState{
+		Link: e, Src: e.src, Dst: e.dst, Medium: e.med,
+		Capacity: e.cap, Goodput: e.good,
+		Metrics:   core.LinkMetrics{Medium: e.med, CapacityMbps: e.cap, UpdatedAt: t},
+		Connected: e.conn,
+	}
+}
+
+func TestEvalLinkFallbackOrder(t *testing.T) {
+	l := &scripted{src: 1, dst: 2, med: core.WiFi, cap: 30, good: 20, conn: true}
+	st := EvalLink(l, time.Second)
+	if st.Src != 1 || st.Dst != 2 || st.Medium != core.WiFi {
+		t.Fatalf("endpoints/medium wrong: %+v", st)
+	}
+	if st.Capacity != 30 || st.Goodput != 20 || !st.Connected {
+		t.Fatalf("values wrong: %+v", st)
+	}
+	want := []string{"capacity", "goodput", "metrics", "connected"}
+	if len(l.calls) != len(want) {
+		t.Fatalf("calls = %v, want %v", l.calls, want)
+	}
+	for i := range want {
+		if l.calls[i] != want[i] {
+			t.Fatalf("canonical evaluation order violated: %v", l.calls)
+		}
+	}
+}
+
+func TestEvalLinkUsesStateEvaluator(t *testing.T) {
+	l := &evaluated{scripted: scripted{src: 0, dst: 1, med: core.PLC, cap: 50, good: 50, conn: true}}
+	st := EvalLink(l, 0)
+	if l.stateCalls != 1 || len(l.calls) != 0 {
+		t.Fatalf("StateEvaluator not used: stateCalls=%d calls=%v", l.stateCalls, l.calls)
+	}
+	if st.Capacity != 50 {
+		t.Fatalf("state values wrong: %+v", st)
+	}
+}
+
+func TestSnapshotIndexing(t *testing.T) {
+	plc := &scripted{src: 0, dst: 1, med: core.PLC, cap: 45, good: 40, conn: true}
+	wifi := &scripted{src: 0, dst: 1, med: core.WiFi, cap: 30, good: 25, conn: true}
+	far := &scripted{src: 0, dst: 2, med: core.WiFi, conn: false}
+	snap := NewSnapshot(3*time.Second, plc, wifi, far)
+
+	if snap.At != 3*time.Second || snap.Len() != 3 {
+		t.Fatalf("snapshot header wrong: at=%v len=%d", snap.At, snap.Len())
+	}
+	if st, ok := snap.State(0, 1, core.WiFi); !ok || st.Capacity != 30 {
+		t.Fatalf("State lookup wrong: %+v ok=%v", st, ok)
+	}
+	if _, ok := snap.State(2, 0, core.WiFi); ok {
+		t.Fatal("reverse direction must not resolve")
+	}
+	between := snap.Between(0, 1)
+	if len(between) != 2 || between[0].Medium != core.PLC || between[1].Medium != core.WiFi {
+		t.Fatalf("Between wrong: %+v", between)
+	}
+	if states := snap.States(); len(states) != 3 || states[2].Connected {
+		t.Fatalf("States wrong: %+v", states)
+	}
+}
+
+func TestSnapshotFeedWritesAllLinks(t *testing.T) {
+	plc := &scripted{src: 0, dst: 1, med: core.PLC, cap: 45, good: 40, conn: true}
+	dark := &scripted{src: 0, dst: 2, med: core.WiFi, cap: 0, conn: false}
+	mt := core.NewMetricTable()
+	NewSnapshot(time.Second, plc, dark).Feed(mt)
+	if mt.Len() != 2 {
+		t.Fatalf("Feed must write every link like the per-link path did: %d entries", mt.Len())
+	}
+	m, ok := mt.Lookup(0, 1)
+	if !ok || m.CapacityMbps != 45 || m.UpdatedAt != time.Second {
+		t.Fatalf("metrics entry wrong: %+v", m)
+	}
+}
+
+func TestTopologyFeedMatchesSnapshotFeed(t *testing.T) {
+	tp := NewTopology()
+	tp.Add(&scripted{src: 0, dst: 1, med: core.PLC, cap: 45, good: 40, conn: true})
+	tp.Add(&scripted{src: 1, dst: 0, med: core.WiFi, cap: 20, good: 15, conn: true})
+	mtA, mtB := core.NewMetricTable(), core.NewMetricTable()
+	tp.Feed(mtA, 2*time.Second)
+	tp.Snapshot(2 * time.Second).Feed(mtB)
+	for _, pair := range [][2]int{{0, 1}, {1, 0}} {
+		a, okA := mtA.Lookup(pair[0], pair[1])
+		b, okB := mtB.Lookup(pair[0], pair[1])
+		if !okA || !okB || a != b {
+			t.Fatalf("Feed paths diverge on %v: %+v vs %+v", pair, a, b)
+		}
+	}
+}
+
+func TestTopologyStationsCachedAndInvalidated(t *testing.T) {
+	tp := NewTopology()
+	tp.Add(&scripted{src: 2, dst: 0, med: core.PLC})
+	first := tp.Stations()
+	if len(first) != 2 || first[0] != 0 || first[1] != 2 {
+		t.Fatalf("stations wrong: %v", first)
+	}
+	// Cached: same backing array on a second call.
+	second := tp.Stations()
+	if &first[0] != &second[0] {
+		t.Fatal("Stations must be cached between Adds")
+	}
+	tp.Add(&scripted{src: 1, dst: 2, med: core.WiFi})
+	third := tp.Stations()
+	if len(third) != 3 || third[0] != 0 || third[1] != 1 || third[2] != 2 {
+		t.Fatalf("stations not refreshed after Add: %v", third)
+	}
+}
+
+func TestTopologyBetweenIndexed(t *testing.T) {
+	tp := NewTopology()
+	plc := &scripted{src: 0, dst: 1, med: core.PLC}
+	wifi := &scripted{src: 0, dst: 1, med: core.WiFi}
+	other := &scripted{src: 1, dst: 0, med: core.WiFi}
+	tp.Add(plc)
+	tp.Add(wifi)
+	tp.Add(other)
+	got := tp.Between(0, 1)
+	if len(got) != 2 || got[0] != Link(plc) || got[1] != Link(wifi) {
+		t.Fatalf("Between(0,1) = %v", got)
+	}
+	if rev := tp.Between(1, 0); len(rev) != 1 || rev[0] != Link(other) {
+		t.Fatalf("Between(1,0) = %v", rev)
+	}
+	if none := tp.Between(1, 2); none != nil {
+		t.Fatalf("Between(1,2) = %v, want nil", none)
+	}
+	if l, ok := tp.Node(0).Link(core.WiFi, 1); !ok || l != Link(wifi) {
+		t.Fatalf("Node.Link indexed lookup wrong: %v ok=%v", l, ok)
+	}
+}

@@ -7,61 +7,101 @@ import (
 	"repro/internal/core"
 )
 
+// linkKey indexes one directed link on one medium.
+type linkKey struct {
+	src, dst int
+	medium   core.Medium
+}
+
 // Topology is the abstraction-layer view of a deployment: every directed
 // link of every medium, indexed by station. Link order is insertion order,
 // so a topology built deterministically enumerates deterministically —
 // consumers (the mesh router, metric campaigns) inherit reproducibility.
+//
+// Lookups are indexed: the station list and the per-pair/per-medium link
+// indices are maintained on Add, so Stations, Between and Node.Link cost
+// a map hit instead of a scan (metric campaigns call them per tick).
 type Topology struct {
 	links []Link
 	out   map[int][]Link
 	seen  map[int]bool
+
+	stations   []int // sorted station list, rebuilt lazily after Add
+	stationsOK bool
+	byPair     map[[2]int][]Link
+	byKey      map[linkKey]Link
 }
 
 // NewTopology returns an empty topology.
 func NewTopology() *Topology {
-	return &Topology{out: make(map[int][]Link), seen: make(map[int]bool)}
+	return &Topology{
+		out:    make(map[int][]Link),
+		seen:   make(map[int]bool),
+		byPair: make(map[[2]int][]Link),
+		byKey:  make(map[linkKey]Link),
+	}
 }
 
-// Add registers a directed link.
+// Add registers a directed link. Re-adding a (src, dst, medium) triple
+// appends to the enumeration order but replaces the indexed entry.
 func (tp *Topology) Add(l Link) {
 	src, dst := l.Endpoints()
 	tp.links = append(tp.links, l)
 	tp.out[src] = append(tp.out[src], l)
 	tp.seen[src] = true
 	tp.seen[dst] = true
+	tp.stationsOK = false
+	pair := [2]int{src, dst}
+	tp.byPair[pair] = append(tp.byPair[pair], l)
+	tp.byKey[linkKey{src, dst, l.Medium()}] = l
 }
 
 // Links enumerates every link in insertion order.
 func (tp *Topology) Links() []Link { return tp.links }
 
 // Stations lists the station numbers known to the topology, ascending.
+// The returned slice is cached and shared — callers must not mutate it.
 func (tp *Topology) Stations() []int {
-	out := make([]int, 0, len(tp.seen))
-	for s := range tp.seen {
-		out = append(out, s)
+	if !tp.stationsOK {
+		// A fresh slice every rebuild: slices handed out before an Add
+		// must keep their contents.
+		stations := make([]int, 0, len(tp.seen))
+		for s := range tp.seen {
+			stations = append(stations, s)
+		}
+		sort.Ints(stations)
+		tp.stations = stations
+		tp.stationsOK = true
 	}
-	sort.Ints(out)
-	return out
+	return tp.stations
 }
 
 // Between returns the links from src to dst across all media, in insertion
-// order (at most one per medium in a well-formed topology).
+// order (at most one per medium in a well-formed topology). The returned
+// slice is the topology's index — callers must not mutate it.
 func (tp *Topology) Between(src, dst int) []Link {
-	var out []Link
-	for _, l := range tp.out[src] {
-		if _, d := l.Endpoints(); d == dst {
-			out = append(out, l)
-		}
-	}
-	return out
+	return tp.byPair[[2]int{src, dst}]
 }
 
 // Node returns the station-scoped view.
 func (tp *Topology) Node(station int) Node { return Node{Station: station, tp: tp} }
 
 // Feed writes the current metrics of every link into a 1905 metric table.
+// It reads Metrics only — the per-tick hot path needs neither the full
+// LinkState nor the snapshot's lookup indices; the batching lives in the
+// shared channel plane, which advances once per instant for all links.
 func (tp *Topology) Feed(mt *core.MetricTable, t time.Duration) {
 	Feed(mt, t, tp.links...)
+}
+
+// Snapshot evaluates every link of the topology at one instant in a
+// single pass and returns the indexed result. The underlying channel
+// plane advances once per instant, so a whole-floor snapshot costs one
+// schedule evaluation plus a cheap per-link read — the batched read path
+// behind the mesh survey and the campaign harnesses (Feed shares the
+// plane batching but stays a metrics-only loop).
+func (tp *Topology) Snapshot(t time.Duration) *Snapshot {
+	return NewSnapshot(t, tp.links...)
 }
 
 // Node is one station's view of the topology: its attached links across
@@ -76,12 +116,8 @@ func (n Node) Links() []Link { return n.tp.out[n.Station] }
 
 // Link returns the station's outgoing link to dst on the given medium.
 func (n Node) Link(m core.Medium, dst int) (Link, bool) {
-	for _, l := range n.tp.out[n.Station] {
-		if _, d := l.Endpoints(); d == dst && l.Medium() == m {
-			return l, true
-		}
-	}
-	return nil, false
+	l, ok := n.tp.byKey[linkKey{n.Station, dst, m}]
+	return l, ok
 }
 
 // Neighbors lists the stations reachable over any medium in one hop,

@@ -66,12 +66,27 @@ func attDB(f, d float64) float64 {
 // Link is the PLC channel between two outlets, maintained incrementally as
 // appliances switch. It is the grid-side state behind one directed
 // (transmitter, receiver) pair; the OFDM PHY reads per-carrier SNR from it.
+//
+// A Link owns only the state that is genuinely directional: the direct
+// and structural-reflection phasors (whose distance inputs differ per
+// direction at the bit level), the coupler losses, and the mutable
+// mask-dependent channel (reflection sum, tap product, noise floor,
+// gain). Everything pair- or receiver-shaped — appliance reflection
+// geometry, attenuated noise vectors, per-appliance constants, the
+// epoch/mask timeline, the flicker/impulse factors — lives in the grid's
+// shared Plane. The mutable arrays are flat [slot × carrier] slabs.
 type Link struct {
 	g      *Grid
+	p      *Plane
 	tx, rx NodeID
 	freqs  []float64
 
-	// Channel state at the current epoch (appliance mask).
+	pg   *pairCore // shared appliance reflection geometry
+	site *rxSite   // shared receiver-side noise geometry
+
+	// Channel state at the current epoch (appliance mask). The mask
+	// comes from the plane's shared timeline; the epoch counter is
+	// per-link monotonic (see Advance).
 	mask    uint64
 	epoch   uint64
 	started bool
@@ -83,46 +98,34 @@ type Link struct {
 	hRefl   []complex128 // appliance reflection sum (state-dependent)
 	fixedDB float64      // cross-board penalty + coupler losses
 
-	onPath []bool // per appliance: does it sit on the direct path?
+	// togglesSinceRebuild drives the optional drift resync (see
+	// Config.ResyncEpochs): incremental toggles accumulate float error
+	// relative to a from-scratch rebuild, bounded but nonzero.
+	togglesSinceRebuild int
 
-	// Per-appliance reusable data.
-	pathVec  [][]complex128 // reflection phasor per appliance (incl. echo)
-	noiseVec [][]float64    // attenuated noise PSD at rx per appliance (linear mW/Hz)
-	noiseW   []float64      // band-average of noiseVec (scalar weights)
-
-	bgLin   []float64   // background noise, linear
-	bgW     float64     // band-average background, linear
-	slotMul [][]float64 // [appliance][slot] linear multiplier from SlotProfileDB
-
-	noiseLin [mains.Slots][]float64 // current-mask per-slot noise (linear)
-	gainDB   []float64              // 20·log10|H| + fixedDB at current mask
-	snrBase  [mains.Slots][]float64 // SNR per carrier per slot at current mask
+	noiseLin []float64 // flat [slot × carrier] current-mask noise (linear)
+	gainDB   []float64 // 20·log10|H| + fixedDB at current mask
+	snrBase  []float64 // flat [slot × carrier] SNR at current mask
 	snrValid [mains.Slots]bool
 }
 
 // NewLink prepares the channel state for a directed tx→rx pair over the
-// given carrier frequencies (Hz).
+// given carrier frequencies (Hz). Pair-shaped geometry is fetched from
+// (or lazily added to) the grid's shared channel plane.
 func (g *Grid) NewLink(tx, rx NodeID, freqs []float64) *Link {
-	l := &Link{g: g, tx: tx, rx: rx, freqs: freqs}
+	p := g.planeFor(freqs)
+	l := &Link{g: g, p: p, tx: tx, rx: rx, freqs: freqs}
 	n := len(freqs)
-	na := len(g.Appliances)
 
 	l.d0 = g.Dist(tx, rx)
 	l.direct = make([]complex128, n)
 	l.refl = make([]complex128, n)
 	l.hRefl = make([]complex128, n)
 	l.gainDB = make([]float64, n)
-	l.bgLin = make([]float64, n)
-	l.onPath = make([]bool, na)
-	l.pathVec = make([][]complex128, na)
-	l.noiseVec = make([][]float64, na)
-	l.noiseW = make([]float64, na)
-	l.slotMul = make([][]float64, na)
-
-	for s := range l.noiseLin {
-		l.noiseLin[s] = make([]float64, n)
-		l.snrBase[s] = make([]float64, n)
-	}
+	l.noiseLin = make([]float64, mains.Slots*n)
+	l.snrBase = make([]float64, mains.Slots*n)
+	l.pg = p.pairCoreFor(tx, rx)
+	l.site = p.siteFor(rx)
 
 	// Fixed attenuation: cross-board penalty plus the directional
 	// coupler losses of the two outlets.
@@ -168,55 +171,9 @@ func (g *Grid) NewLink(tx, rx NodeID, freqs []float64) *Link {
 		}
 	}
 
-	// Per-appliance geometry: reflection phasors, on-path flags, and
-	// attenuated noise vectors.
-	for i, a := range g.Appliances {
-		dTx := g.rawDist(tx, a.Node)
-		dRx := g.rawDist(rx, a.Node)
-		l.onPath[i] = !math.IsInf(dTx, 1) && !math.IsInf(dRx, 1) &&
-			dTx+dRx <= g.rawDist(tx, rx)+1.0
-
-		l.pathVec[i] = make([]complex128, n)
-		l.noiseVec[i] = make([]float64, n)
-		if math.IsInf(dTx, 1) || math.IsInf(dRx, 1) {
-			continue // appliance electrically unreachable
-		}
-		dRefl := dTx + dRx + stubExtraM
-		lossDB := g.tapSumDB(tx, a.Node) + g.tapSumDB(a.Node, rx)
-		sign := a.ReflectionSign()
-		for c, f := range freqs {
-			base := math.Pow(10, -(attDB(f, dRefl)+lossDB)/20)
-			p1 := -2 * math.Pi * f * dRefl / propVelocity
-			a2 := math.Pow(10, -(attDB(f, dRefl+echoExtraM)+lossDB)/20)
-			p2 := -2 * math.Pi * f * (dRefl + echoExtraM) / propVelocity
-			l.pathVec[i][c] = complex(sign, 0) *
-				(cmplx.Rect(base, p1) + complex(echoGain, 0)*cmplx.Rect(a2, p2))
-		}
-
-		noiseLossDB := g.tapSumDB(a.Node, rx)
-		var wsum float64
-		for c, f := range freqs {
-			lin := math.Pow(10, (a.Class.NoiseDBmHz-attDB(f, dRx)-noiseLossDB)/10)
-			l.noiseVec[i][c] = lin
-			wsum += lin
-		}
-		l.noiseW[i] = wsum / float64(n)
-
-		l.slotMul[i] = make([]float64, mains.Slots)
-		for s := 0; s < mains.Slots; s++ {
-			l.slotMul[i][s] = math.Pow(10, a.Class.SlotProfileDB[s]/10)
-		}
-	}
-
-	// Background noise.
-	var bg float64
-	for c, f := range freqs {
-		l.bgLin[c] = math.Pow(10, backgroundNoiseDBmHz(f)/10)
-		bg += l.bgLin[c]
-	}
-	l.bgW = bg / float64(n)
+	// Noise floors start at the shared background.
 	for s := 0; s < mains.Slots; s++ {
-		copy(l.noiseLin[s], l.bgLin)
+		copy(l.noiseLin[s*n:(s+1)*n], p.bgLin)
 	}
 	return l
 }
@@ -240,11 +197,14 @@ func (l *Link) RxNode() NodeID { return l.rx }
 func (l *Link) CableDistance() float64 { return l.d0 }
 
 // Advance brings the channel state up to time t, applying any appliance
-// switches since the last call, and returns the current epoch. The epoch
-// increments exactly when the appliance state mask changes, so callers can
-// cache derived state per epoch.
+// switches since the last call, and returns the current epoch. The mask
+// itself comes from the plane's shared timeline (one schedule evaluation
+// per instant serves every link), but the epoch counter is per-link and
+// strictly monotonic: it increments on every transition *this link*
+// applied, so per-epoch caches (the PHY estimator's load curves) can
+// never alias a revisited mask against incrementally-drifted state.
 func (l *Link) Advance(t time.Duration) uint64 {
-	m := l.g.StateMask(t)
+	m := l.p.maskAt(t)
 	if l.started && m == l.mask {
 		return l.epoch
 	}
@@ -254,53 +214,69 @@ func (l *Link) Advance(t time.Duration) uint64 {
 		l.mask = m
 		return l.epoch
 	}
-	diff := m ^ l.mask
-	for i := 0; diff != 0; i++ {
-		if diff&1 != 0 {
-			l.toggle(i, m&(1<<uint(i)) != 0)
+	if re := l.g.resyncEpochs; re > 0 && l.togglesSinceRebuild >= re {
+		// Drift resync: replace the accumulated incremental state with
+		// an exact from-scratch rebuild (see TestToggleDriftVsRebuild).
+		l.rebuild(m)
+	} else {
+		diff := m ^ l.mask
+		for i := 0; diff != 0; i++ {
+			if diff&1 != 0 {
+				l.toggle(i, m&(1<<uint(i)) != 0)
+			}
+			diff >>= 1
 		}
-		diff >>= 1
+		l.togglesSinceRebuild++
+		l.finishUpdate()
 	}
 	l.mask = m
 	l.epoch++
-	l.finishUpdate()
 	return l.epoch
 }
 
 // coeff returns the reflection coefficient multiplier of appliance i in the
 // given state.
 func (l *Link) coeff(i int, on bool) float64 {
-	return bounceGain * l.g.Appliances[i].ReflectionCoeff(l.g.Z0, on)
+	if on {
+		return l.p.app[i].coeffOn
+	}
+	return l.p.app[i].coeffOff
 }
 
 // tapFactor returns the direct-path transmission factor of an on-path
 // appliance tap.
 func (l *Link) tapFactor(i int, on bool) float64 {
-	return 1 - applianceTapLossFactor*l.g.Appliances[i].ReflectionCoeff(l.g.Z0, on)
+	if on {
+		return l.p.app[i].tapOn
+	}
+	return l.p.app[i].tapOff
 }
 
 // rebuild computes the full channel state for a mask from scratch.
 func (l *Link) rebuild(mask uint64) {
+	n := len(l.freqs)
 	for c := range l.hRefl {
 		l.hRefl[c] = 0
 	}
 	l.tapProd = 1
 	for s := 0; s < mains.Slots; s++ {
-		copy(l.noiseLin[s], l.bgLin)
+		copy(l.noiseLin[s*n:(s+1)*n], l.p.bgLin)
 	}
 	for i := range l.g.Appliances {
 		on := mask&(1<<uint(i)) != 0
 		co := l.coeff(i, on)
+		pv := l.pg.row(i)
 		for c := range l.hRefl {
-			l.hRefl[c] += complex(co, 0) * l.pathVec[i][c]
+			l.hRefl[c] += complex(co, 0) * pv[c]
 		}
-		if l.onPath[i] {
+		if l.pg.onPath[i] {
 			l.tapProd *= l.tapFactor(i, on)
 		}
 		if on {
 			l.addNoise(i, +1)
 		}
 	}
+	l.togglesSinceRebuild = 0
 	l.finishUpdate()
 }
 
@@ -310,10 +286,11 @@ func (l *Link) toggle(i int, on bool) {
 	oldCo := l.coeff(i, !on)
 	newCo := l.coeff(i, on)
 	d := complex(newCo-oldCo, 0)
+	pv := l.pg.row(i)
 	for c := range l.hRefl {
-		l.hRefl[c] += d * l.pathVec[i][c]
+		l.hRefl[c] += d * pv[c]
 	}
-	if l.onPath[i] {
+	if l.pg.onPath[i] {
 		l.tapProd *= l.tapFactor(i, on) / l.tapFactor(i, !on)
 	}
 	if on {
@@ -324,13 +301,14 @@ func (l *Link) toggle(i int, on bool) {
 }
 
 func (l *Link) addNoise(i int, sign float64) {
-	if l.slotMul[i] == nil {
+	if !l.pg.reach[i] {
 		return // unreachable appliance
 	}
+	n := len(l.freqs)
+	nv := l.site.row(i)
 	for s := 0; s < mains.Slots; s++ {
-		mul := sign * l.slotMul[i][s]
-		nv := l.noiseVec[i]
-		dst := l.noiseLin[s]
+		mul := sign * l.p.app[i].slotMul[s]
+		dst := l.noiseLin[s*n : (s+1)*n]
 		for c := range dst {
 			dst[c] += mul * nv[c]
 		}
@@ -358,11 +336,12 @@ func (l *Link) finishUpdate() {
 // reported separately by ShiftDB). The returned slice is owned by the Link
 // and valid until the next Advance call.
 func (l *Link) SNRBase(slot int) []float64 {
+	n := len(l.freqs)
+	out := l.snrBase[slot*n : (slot+1)*n]
 	if l.snrValid[slot] {
-		return l.snrBase[slot]
+		return out
 	}
-	out := l.snrBase[slot]
-	nl := l.noiseLin[slot]
+	nl := l.noiseLin[slot*n : (slot+1)*n]
 	for c := range out {
 		nDB := 10 * math.Log10(nl[c])
 		out[c] = TxPSDdBmHz + l.gainDB[c] - nDB
@@ -375,26 +354,34 @@ func (l *Link) SNRBase(slot int) []float64 {
 // by appliance flicker and switching impulses, relative to the flicker-free
 // baseline that SNRBase reports. Positive values mean more noise (SNR
 // drops by the same amount, uniformly across carriers — an approximation
-// documented in DESIGN.md).
+// documented in DESIGN.md). The per-appliance factors come from the shared
+// plane, evaluated once per instant for the whole grid.
 func (l *Link) ShiftDB(t time.Duration) float64 {
-	base := l.bgW
-	moved := l.bgW
+	base := l.p.bgW
+	moved := l.p.bgW
 	mask := l.mask
 	if !l.started {
-		mask = l.g.StateMask(t)
+		mask = l.p.maskAt(t)
 	}
-	for i, a := range l.g.Appliances {
+	// One plane lock spans the whole factor pass (links of one grid may
+	// be driven from different goroutines; see Plane.mu).
+	l.p.mu.Lock()
+	l.p.syncShift(t)
+	for i := range l.g.Appliances {
 		if mask&(1<<uint(i)) == 0 {
 			continue
 		}
-		w := l.noiseW[i]
+		if !l.pg.reach[i] {
+			continue
+		}
+		w := l.site.noiseW[i]
 		if w == 0 {
 			continue
 		}
 		base += w
-		db := a.FlickerDB(t) + a.ImpulseBoostDB(t)
-		moved += w * math.Pow(10, db/10)
+		moved += w * l.p.shiftFactor(t, i)
 	}
+	l.p.mu.Unlock()
 	return 10 * math.Log10(moved/base)
 }
 

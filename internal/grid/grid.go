@@ -64,7 +64,13 @@ type Grid struct {
 	adj  map[NodeID][]edge
 	dist map[NodeID][]float64 // per-source Dijkstra cache
 
-	seed int64
+	// planes are the shared channel engines, one per carrier plan in
+	// use (see Plane). Links created over the same plan share all
+	// pair- and receiver-shaped channel state through them.
+	planes []*Plane
+
+	seed         int64
+	resyncEpochs int
 }
 
 type edge struct {
@@ -79,6 +85,16 @@ type Config struct {
 	Z0                     float64
 	BoardCrossingPenaltyDB float64
 	Seed                   int64
+
+	// ResyncEpochs, when positive, makes every link replace its
+	// incrementally maintained channel state with an exact from-scratch
+	// rebuild after that many incremental epoch updates. Incremental
+	// toggles accumulate float error relative to a rebuild; the drift is
+	// bounded (TestToggleDriftVsRebuild pins it below 1e-9 dB over
+	// thousands of epochs), so the calibrated default leaves resync off
+	// to keep results bit-stable against historical runs. Simulations
+	// pushing far beyond that epoch budget can opt in.
+	ResyncEpochs int
 }
 
 // DefaultConfig returns the calibrated defaults.
@@ -98,6 +114,7 @@ func New(cfg Config) *Grid {
 		adj:                    make(map[NodeID][]edge),
 		dist:                   make(map[NodeID][]float64),
 		seed:                   cfg.Seed,
+		resyncEpochs:           cfg.ResyncEpochs,
 	}
 }
 
@@ -107,6 +124,9 @@ func (g *Grid) AddNode(x, y float64, board int) NodeID {
 	gamma := 0.15 + 0.55*detrand.Uniform(uint64(g.seed), uint64(id), 0x6a)
 	g.Nodes = append(g.Nodes, Node{ID: id, X: x, Y: y, Board: board, Gamma: gamma})
 	g.dist = make(map[NodeID][]float64) // cached rows have the old node count
+	for _, p := range g.planes {
+		p.invalidateGeometry()
+	}
 	return id
 }
 
@@ -119,6 +139,9 @@ func (g *Grid) AddCable(a, b NodeID, length float64) {
 	g.adj[a] = append(g.adj[a], edge{to: b, w: length})
 	g.adj[b] = append(g.adj[b], edge{to: a, w: length})
 	g.dist = make(map[NodeID][]float64) // invalidate cache
+	for _, p := range g.planes {
+		p.invalidateGeometry()
+	}
 }
 
 // MaxAppliances bounds the appliance population of one grid: the
@@ -138,6 +161,9 @@ func (g *Grid) Plug(class *ApplianceClass, node NodeID) *Appliance {
 		seed:  g.seed,
 	}
 	g.Appliances = append(g.Appliances, a)
+	for _, p := range g.planes {
+		p.invalidateSchedule()
+	}
 	return a
 }
 

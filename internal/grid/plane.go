@@ -1,0 +1,403 @@
+package grid
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+	"time"
+
+	"repro/internal/mains"
+)
+
+// Plane is the grid-level shared channel engine: every piece of channel
+// state that does not depend on a directed (transmitter, receiver) pair,
+// hoisted out of the per-link arrays that used to replicate it. One grid
+// owns one Plane per carrier plan; every Link built over that plan shares
+//
+//   - the appliance mask timeline (one StateMask evaluation per distinct
+//     instant — previously every link re-evaluated all appliance
+//     schedules on every Advance);
+//   - the per-appliance electrical constants (reflection coefficients,
+//     direct-path tap factors, per-slot noise multipliers);
+//   - the fast noise modulation (flicker + switching impulses) evaluated
+//     once per instant instead of once per link per instant;
+//   - the appliance reflection geometry, computed once per *undirected*
+//     station pair and shared by both directions (guarded by a bitwise
+//     symmetry check, see pairSymmetric);
+//   - the attenuated appliance noise vectors, which depend only on the
+//     receiving outlet and are shared by every link towards it;
+//   - the background noise floor.
+//
+// Pair geometry and receiver sites materialise lazily, so a topology only
+// pays for the pairs actually queried. What remains in Link is the small
+// mutable per-direction state (current reflection sum, noise floor, gain)
+// plus the direct-path and structural-reflection phasors, whose inputs are
+// genuinely direction-dependent at the floating-point level (shortest-path
+// distances accumulate cable segments in source order, so Dist(a,b) and
+// Dist(b,a) can differ in the last bit — see pairSymmetric).
+type Plane struct {
+	g     *Grid
+	freqs []float64
+
+	// mu guards the mutable caches below (mask memo, shift factors,
+	// pair/site maps). Individual links stay single-goroutine like
+	// before, but *different* links of one grid may be driven
+	// concurrently (al.Watch spawns one goroutine per watched link),
+	// and they now share this plane.
+	mu sync.Mutex
+
+	// Background noise floor over the carrier plan.
+	bgLin []float64 // linear mW/Hz per carrier
+	bgW   float64   // band average
+
+	// Per-appliance shared electrical constants, grown on demand.
+	app []applianceShared
+
+	pairs map[pairKey]*pairEntry
+	sites map[NodeID]*rxSite
+
+	// Shared mask timeline: StateMask is a pure function of t, so
+	// evaluating all appliance schedules once per distinct instant
+	// serves every link — previously each of a floor's links replayed
+	// the whole schedule walk on every Advance. (Epoch *numbering*
+	// stays per-link and monotonic: a shared per-mask id would alias a
+	// revisited mask against incrementally-drifted link state.)
+	maskMemo map[time.Duration]uint64
+
+	// Flicker/impulse factors at one instant, shared by every link's
+	// ShiftDB (the per-appliance factor is mask- and pair-independent).
+	shiftT    time.Duration
+	shiftInit bool
+	shiftOK   []bool
+	shiftVal  []float64
+}
+
+// maskMemoCap bounds the mask memo; a long campaign visits millions of
+// distinct instants, so the memo is cleared wholesale when full (the next
+// queries repopulate the working set).
+const maskMemoCap = 1 << 16
+
+// applianceShared bundles the per-appliance constants every link used to
+// recompute privately.
+type applianceShared struct {
+	slotMul  [mains.Slots]float64 // linear per-slot noise multiplier
+	coeffOn  float64              // bounceGain·Γ, appliance on
+	coeffOff float64              // bounceGain·Γ, appliance off
+	tapOn    float64              // direct-path transmission factor, on
+	tapOff   float64              // direct-path transmission factor, off
+}
+
+// pairKey identifies an undirected station pair.
+type pairKey struct{ lo, hi NodeID }
+
+// pairEntry caches the appliance reflection geometry of one pair. When
+// the pair is bitwise symmetric both orientations share one core;
+// otherwise each direction materialises its own on first use.
+type pairEntry struct {
+	symmetric bool
+	symNA     int       // appliance count the symmetry check covered
+	fwd       *pairCore // lo→hi (and hi→lo when symmetric)
+	rev       *pairCore // hi→lo when not symmetric
+}
+
+// pairCore is the immutable appliance-reflection geometry of one station
+// pair: the per-appliance multipath phasors (with their second-order
+// echoes), the on-path flags feeding the direct-path tap product, and the
+// electrical reachability gate. pathVec is a flat [appliance × carrier]
+// array for cache locality in the toggle/rebuild hot loops.
+type pairCore struct {
+	pathVec []complex128 // flat, row i at [i*n : (i+1)*n]
+	onPath  []bool
+	reach   []bool // appliance electrically reachable from both ends
+	na, n   int
+}
+
+func (pc *pairCore) row(i int) []complex128 { return pc.pathVec[i*pc.n : (i+1)*pc.n] }
+
+// rxSite is the attenuated appliance noise geometry at one receiving
+// outlet — a function of the receiver alone, shared by every link
+// towards it. noiseVec is flat [appliance × carrier].
+type rxSite struct {
+	noiseVec []float64 // linear mW/Hz, row i at [i*n : (i+1)*n]
+	noiseW   []float64 // band-average weights
+	na, n    int
+}
+
+func (s *rxSite) row(i int) []float64 { return s.noiseVec[i*s.n : (i+1)*s.n] }
+
+// newPlane builds the shared engine for one carrier plan.
+func newPlane(g *Grid, freqs []float64) *Plane {
+	p := &Plane{
+		g:        g,
+		freqs:    freqs,
+		bgLin:    make([]float64, len(freqs)),
+		pairs:    make(map[pairKey]*pairEntry),
+		sites:    make(map[NodeID]*rxSite),
+		maskMemo: make(map[time.Duration]uint64),
+	}
+	var bg float64
+	for c, f := range freqs {
+		p.bgLin[c] = math.Pow(10, backgroundNoiseDBmHz(f)/10)
+		bg += p.bgLin[c]
+	}
+	p.bgW = bg / float64(len(freqs))
+	return p
+}
+
+// planeFor returns the grid's shared plane for a carrier plan, creating it
+// on first use. Plans are matched by content, with a fast identity check
+// for the common case of one shared frequency slice per deployment.
+func (g *Grid) planeFor(freqs []float64) *Plane {
+	for _, p := range g.planes {
+		if sameFreqs(p.freqs, freqs) {
+			return p
+		}
+	}
+	p := newPlane(g, freqs)
+	g.planes = append(g.planes, p)
+	return p
+}
+
+func sameFreqs(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return true
+	}
+	if &a[0] == &b[0] {
+		return true
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureAppliances grows the per-appliance shared state to cover every
+// appliance currently plugged into the grid. Caller holds p.mu.
+func (p *Plane) ensureAppliances() {
+	for i := len(p.app); i < len(p.g.Appliances); i++ {
+		a := p.g.Appliances[i]
+		s := applianceShared{
+			coeffOn:  bounceGain * a.ReflectionCoeff(p.g.Z0, true),
+			coeffOff: bounceGain * a.ReflectionCoeff(p.g.Z0, false),
+			tapOn:    1 - applianceTapLossFactor*a.ReflectionCoeff(p.g.Z0, true),
+			tapOff:   1 - applianceTapLossFactor*a.ReflectionCoeff(p.g.Z0, false),
+		}
+		for sl := 0; sl < mains.Slots; sl++ {
+			s.slotMul[sl] = math.Pow(10, a.Class.SlotProfileDB[sl]/10)
+		}
+		p.app = append(p.app, s)
+		p.shiftOK = append(p.shiftOK, false)
+		p.shiftVal = append(p.shiftVal, 0)
+	}
+}
+
+// maskAt returns the appliance state mask at t, memoised per instant —
+// the single evaluation of the grid's appliance schedules that every
+// link's Advance shares.
+func (p *Plane) maskAt(t time.Duration) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m, ok := p.maskMemo[t]; ok {
+		return m
+	}
+	m := p.g.StateMask(t)
+	if len(p.maskMemo) >= maskMemoCap {
+		clear(p.maskMemo)
+	}
+	p.maskMemo[t] = m
+	return m
+}
+
+// syncShift readies the shift-factor cache for instant t. Caller holds
+// p.mu (one lock spans a whole ShiftDB pass, not one per appliance).
+func (p *Plane) syncShift(t time.Duration) {
+	if !p.shiftInit || t != p.shiftT {
+		p.shiftT = t
+		p.shiftInit = true
+		for j := range p.shiftOK {
+			p.shiftOK[j] = false
+		}
+	}
+}
+
+// shiftFactor returns 10^((flicker+impulse)/10) of appliance i at t —
+// the per-appliance fast-noise factor of ShiftDB, evaluated once per
+// instant for the whole grid (the impulse term scans the appliance's
+// recent switching history, previously re-scanned by every link).
+// Caller holds p.mu and has called syncShift(t).
+func (p *Plane) shiftFactor(t time.Duration, i int) float64 {
+	if !p.shiftOK[i] {
+		a := p.g.Appliances[i]
+		db := a.FlickerDB(t) + a.ImpulseBoostDB(t)
+		p.shiftVal[i] = math.Pow(10, db/10)
+		p.shiftOK[i] = true
+	}
+	return p.shiftVal[i]
+}
+
+// invalidateGeometry drops cached pair/site geometry after the cable
+// graph changes (mirrors the grid's shortest-path cache invalidation).
+func (p *Plane) invalidateGeometry() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pairs = make(map[pairKey]*pairEntry)
+	p.sites = make(map[NodeID]*rxSite)
+}
+
+// invalidateSchedule drops the mask memo after the appliance population
+// changes (the mask is a function of the appliance set).
+func (p *Plane) invalidateSchedule() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.maskMemo = make(map[time.Duration]uint64)
+}
+
+// pairSymmetric reports whether the appliance reflection geometry of a
+// pair is bitwise identical in both orientations, so one pairCore can
+// serve both directions.
+//
+// Mathematically it always is; at the floating-point level it usually is
+// but not provably: shortest-path distances accumulate cable segments
+// outward from the source, so Dist(a,b) and Dist(b,a) sum the same
+// segments in opposite order and can disagree in the last bit. The
+// per-appliance sums dTx+dRx are safe by commutativity (the same two row
+// values, swapped); what must be checked is the direct distance (the
+// on-path threshold) and the tap-loss sums. When the check fails the
+// plane builds one core per direction — bit-exactness is never traded
+// for sharing.
+func (p *Plane) pairSymmetric(lo, hi NodeID) bool {
+	g := p.g
+	if g.rawDist(lo, hi) != g.rawDist(hi, lo) {
+		return false
+	}
+	for _, a := range g.Appliances {
+		dLo, dHi := g.rawDist(lo, a.Node), g.rawDist(hi, a.Node)
+		if math.IsInf(dLo, 1) || math.IsInf(dHi, 1) {
+			continue
+		}
+		fwd := g.tapSumDB(lo, a.Node) + g.tapSumDB(a.Node, hi)
+		rev := g.tapSumDB(hi, a.Node) + g.tapSumDB(a.Node, lo)
+		if fwd != rev {
+			return false
+		}
+	}
+	return true
+}
+
+// pairCoreFor returns the appliance reflection geometry for the directed
+// tx→rx link, sharing one core per undirected pair whenever the pair is
+// bitwise symmetric. Cores are rebuilt if the appliance population grew
+// since they were cached.
+func (p *Plane) pairCoreFor(tx, rx NodeID) *pairCore {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureAppliances()
+	lo, hi := tx, rx
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	key := pairKey{lo, hi}
+	na := len(p.g.Appliances)
+	e, ok := p.pairs[key]
+	if !ok {
+		e = &pairEntry{}
+		p.pairs[key] = e
+	}
+	if !ok || e.symNA != na {
+		// (Re)check symmetry whenever the appliance population changed:
+		// a later Plug can make a previously symmetric pair asymmetric.
+		e.symmetric = p.pairSymmetric(lo, hi)
+		e.symNA = na
+	}
+	if e.symmetric || tx == lo {
+		if e.fwd == nil || e.fwd.na != na {
+			e.fwd = p.buildPairCore(tx, rx)
+		}
+		return e.fwd
+	}
+	if e.rev == nil || e.rev.na != na {
+		e.rev = p.buildPairCore(tx, rx)
+	}
+	return e.rev
+}
+
+// buildPairCore computes the appliance reflection geometry of a directed
+// pair: per-appliance multipath phasors (first bounce plus second-order
+// echo), on-path flags and reachability.
+func (p *Plane) buildPairCore(tx, rx NodeID) *pairCore {
+	g := p.g
+	n := len(p.freqs)
+	na := len(g.Appliances)
+	pc := &pairCore{
+		pathVec: make([]complex128, na*n),
+		onPath:  make([]bool, na),
+		reach:   make([]bool, na),
+		na:      na,
+		n:       n,
+	}
+	for i, a := range g.Appliances {
+		dTx := g.rawDist(tx, a.Node)
+		dRx := g.rawDist(rx, a.Node)
+		pc.onPath[i] = !math.IsInf(dTx, 1) && !math.IsInf(dRx, 1) &&
+			dTx+dRx <= g.rawDist(tx, rx)+1.0
+		if math.IsInf(dTx, 1) || math.IsInf(dRx, 1) {
+			continue // appliance electrically unreachable
+		}
+		pc.reach[i] = true
+		dRefl := dTx + dRx + stubExtraM
+		lossDB := g.tapSumDB(tx, a.Node) + g.tapSumDB(a.Node, rx)
+		sign := a.ReflectionSign()
+		row := pc.row(i)
+		for c, f := range p.freqs {
+			base := math.Pow(10, -(attDB(f, dRefl)+lossDB)/20)
+			p1 := -2 * math.Pi * f * dRefl / propVelocity
+			a2 := math.Pow(10, -(attDB(f, dRefl+echoExtraM)+lossDB)/20)
+			p2 := -2 * math.Pi * f * (dRefl + echoExtraM) / propVelocity
+			row[c] = complex(sign, 0) *
+				(cmplx.Rect(base, p1) + complex(echoGain, 0)*cmplx.Rect(a2, p2))
+		}
+	}
+	return pc
+}
+
+// siteFor returns the receiver-side noise geometry at an outlet, shared
+// by every link towards it.
+func (p *Plane) siteFor(rx NodeID) *rxSite {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureAppliances()
+	na := len(p.g.Appliances)
+	if s, ok := p.sites[rx]; ok && s.na == na {
+		return s
+	}
+	g := p.g
+	n := len(p.freqs)
+	s := &rxSite{
+		noiseVec: make([]float64, na*n),
+		noiseW:   make([]float64, na),
+		na:       na,
+		n:        n,
+	}
+	for i, a := range g.Appliances {
+		dRx := g.rawDist(rx, a.Node)
+		if math.IsInf(dRx, 1) {
+			continue // noise source electrically unreachable
+		}
+		noiseLossDB := g.tapSumDB(a.Node, rx)
+		row := s.row(i)
+		var wsum float64
+		for c, f := range p.freqs {
+			lin := math.Pow(10, (a.Class.NoiseDBmHz-attDB(f, dRx)-noiseLossDB)/10)
+			row[c] = lin
+			wsum += lin
+		}
+		s.noiseW[i] = wsum / float64(n)
+	}
+	p.sites[rx] = s
+	return s
+}

@@ -22,8 +22,20 @@ type Scheduler interface {
 	Name() string
 	// Weights returns the traffic share per link at time t; the shares
 	// must sum to 1 over the usable (connected) links whenever any link
-	// is usable.
+	// is usable. This is the traffic-driven path: implementations may
+	// query links directly (and a probing PLC adapter will inject probe
+	// traffic on Capacity reads).
 	Weights(t time.Duration, links []al.Link) []float64
+}
+
+// StateScheduler is the batched read path: schedulers that can split from
+// a pre-evaluated snapshot implement it, so a consumer holding an
+// al.Snapshot (a 1905 metric refresh of the whole floor) prices a split
+// without re-querying any link. Both built-in schedulers implement it.
+type StateScheduler interface {
+	Scheduler
+	// WeightsFromStates mirrors Weights over evaluated link states.
+	WeightsFromStates(states []al.LinkState) []float64
 }
 
 // Proportional is the paper's load balancer: share ∝ estimated capacity.
@@ -32,38 +44,50 @@ type Proportional struct{}
 // Name implements Scheduler.
 func (Proportional) Name() string { return "hybrid" }
 
-// Weights implements Scheduler.
-func (Proportional) Weights(t time.Duration, links []al.Link) []float64 {
-	w := make([]float64, len(links))
-	var sum float64
+// Weights implements Scheduler: it performs the live reads — Capacity
+// first, so a probing PLC adapter refreshes its estimate exactly once
+// per link per step — and delegates the split to WeightsFromStates, the
+// single copy of the guard logic.
+func (p Proportional) Weights(t time.Duration, links []al.Link) []float64 {
+	states := make([]al.LinkState, len(links))
 	for i, l := range links {
-		c := l.Capacity(t)
+		states[i] = al.LinkState{Capacity: l.Capacity(t), Connected: l.Connected(t)}
+	}
+	return p.WeightsFromStates(states)
+}
+
+// WeightsFromStates implements StateScheduler: share ∝ the capacity
+// estimate, with two guards — a stale estimate on a dark link (a WiFi
+// EWMA that has not caught up with a blind spot) must not attract
+// traffic, and with no estimates at all the split falls back to equal
+// shares over the usable (connected) links only, since weight on a
+// blind-spot link would sink that share of the traffic.
+func (Proportional) WeightsFromStates(states []al.LinkState) []float64 {
+	w := make([]float64, len(states))
+	var sum float64
+	for i, st := range states {
+		c := st.Capacity
 		if c < 0 {
 			c = 0
 		}
-		if c > 0 && !l.Connected(t) {
-			// A stale estimate on a dark link (a WiFi EWMA that has not
-			// caught up with a blind spot) must not attract traffic.
+		if c > 0 && !st.Connected {
 			c = 0
 		}
 		w[i] = c
 		sum += c
 	}
 	if sum == 0 {
-		// No estimates: fall back to an equal split over the usable
-		// (connected) links only — splitting onto a blind-spot link
-		// would sink that share of the traffic.
 		usable := 0
-		for _, l := range links {
-			if l.Connected(t) {
+		for _, st := range states {
+			if st.Connected {
 				usable++
 			}
 		}
 		if usable == 0 {
 			return w // all dark: no split exists, the node is stalled
 		}
-		for i, l := range links {
-			if l.Connected(t) {
+		for i, st := range states {
+			if st.Connected {
 				w[i] = 1 / float64(usable)
 			}
 		}
@@ -91,6 +115,15 @@ func (RoundRobin) Weights(t time.Duration, links []al.Link) []float64 {
 	return w
 }
 
+// WeightsFromStates implements StateScheduler.
+func (RoundRobin) WeightsFromStates(states []al.LinkState) []float64 {
+	w := make([]float64, len(states))
+	for i := range w {
+		w[i] = 1 / float64(len(w))
+	}
+	return w
+}
+
 // AggregateThroughput returns the saturated goodput of the hybrid node at
 // time t: the largest input rate R such that no link receives more than it
 // can deliver, i.e. R = min_i goodput_i / weight_i. With accurate capacity
@@ -101,6 +134,31 @@ func AggregateThroughput(t time.Duration, s Scheduler, links []al.Link) float64 
 		return 0
 	}
 	return aggregate(t, s.Weights(t, links), links)
+}
+
+// AggregateFromStates computes the saturated goodput of the hybrid node
+// from one snapshot's evaluated states — the batched read path: no link
+// is re-queried, the split is priced against the goodputs the snapshot
+// already holds. Weight semantics match AggregateThroughput.
+func AggregateFromStates(s StateScheduler, states []al.LinkState) float64 {
+	if len(states) == 0 {
+		return 0
+	}
+	w := s.WeightsFromStates(states)
+	rate := -1.0
+	for i, st := range states {
+		if i >= len(w) || w[i] <= 0 {
+			continue
+		}
+		r := st.Goodput / w[i]
+		if rate < 0 || r < rate {
+			rate = r
+		}
+	}
+	if rate < 0 {
+		return 0
+	}
+	return rate
 }
 
 // aggregate computes the saturated input rate for a fixed weight vector.

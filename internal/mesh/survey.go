@@ -17,50 +17,51 @@ const MinEdgeCapacityMbps = 0.5
 // virtual instant: every link that is connected at t — Connected excludes
 // WiFi pairs past the ~35 m blind spot (§4.1) — and whose metric-table
 // capacity clears MinEdgeCapacityMbps becomes an edge carrying its 1905
-// metrics. No probing is performed; call Survey to warm estimation first.
+// metrics. The whole topology is evaluated in one snapshot pass. No
+// probing is performed; call Survey to warm estimation first.
 func FromTopology(topo *al.Topology, t time.Duration) *Graph {
 	g := NewGraph()
-	for _, l := range topo.Links() {
-		admitEdge(g, l, l.Metrics(t), t)
+	for _, st := range topo.Snapshot(t).States() {
+		admitEdge(g, st)
 	}
 	return g
 }
 
 // Survey drives the full 1905 metric-collection campaign over a topology:
-// every link of every medium is probed for probeDur starting at `at`, its
-// metrics land in a fresh metric table, and the usable links form the mesh
-// graph. Cancelling ctx aborts between per-link probe windows.
+// every link of every medium is probed for probeDur starting at `at`, then
+// the whole topology is evaluated in one snapshot at the end of the probe
+// window — metrics land in a fresh metric table and the usable links form
+// the mesh graph. Cancelling ctx aborts between per-link probe windows.
 func Survey(ctx context.Context, topo *al.Topology, at, probeDur time.Duration) (*Graph, *core.MetricTable, error) {
-	g := NewGraph()
-	mt := core.NewMetricTable()
-	read := at + probeDur
 	for _, l := range topo.Links() {
 		if err := al.Probe(ctx, l, at, probeDur); err != nil {
 			return nil, nil, err
 		}
-		m := l.Metrics(read)
-		if l.Connected(read) {
+	}
+	g := NewGraph()
+	mt := core.NewMetricTable()
+	snap := topo.Snapshot(at + probeDur)
+	for _, st := range snap.States() {
+		if st.Connected {
 			// Only reachable neighbours enter the table, so a WiFi
 			// blind-spot entry never shadows a working PLC one.
-			src, dst := l.Endpoints()
-			mt.Update(src, dst, m)
+			mt.Update(st.Src, st.Dst, st.Metrics)
 		}
-		admitEdge(g, l, m, read)
+		admitEdge(g, st)
 	}
 	return g, mt, nil
 }
 
-// admitEdge appends the link to the graph if it is usable at t.
-func admitEdge(g *Graph, l al.Link, m core.LinkMetrics, t time.Duration) {
-	if !l.Connected(t) || m.CapacityMbps <= MinEdgeCapacityMbps {
+// admitEdge appends the evaluated link to the graph if it is usable.
+func admitEdge(g *Graph, st al.LinkState) {
+	if !st.Connected || st.Metrics.CapacityMbps <= MinEdgeCapacityMbps {
 		return
 	}
-	src, dst := l.Endpoints()
 	g.AddEdge(Edge{
-		Link: l,
-		From: src, To: dst,
-		Medium:       l.Medium(),
-		CapacityMbps: m.CapacityMbps,
-		Loss:         m.Loss,
+		Link: st.Link,
+		From: st.Src, To: st.Dst,
+		Medium:       st.Medium,
+		CapacityMbps: st.Metrics.CapacityMbps,
+		Loss:         st.Metrics.Loss,
 	})
 }

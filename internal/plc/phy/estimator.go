@@ -90,6 +90,10 @@ type Estimator struct {
 	// observes ("a few time-steps to converge back", §6.2).
 	errPenalty float64
 
+	// curves cache per-slot load curves keyed on the channel's epoch
+	// counter, which advances on every mask transition the link applied
+	// (the mask itself comes from the grid's shared timeline), so
+	// invalidation follows channel-state changes exactly.
 	curves     [mains.Slots]*LoadCurve
 	curveEpoch uint64
 	curveOK    [mains.Slots]bool

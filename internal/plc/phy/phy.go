@@ -123,7 +123,10 @@ type Channel interface {
 	Carriers() []float64
 	// Advance updates the channel to time t and returns an epoch counter
 	// that increments whenever the appliance state (and hence the
-	// per-carrier SNR) changes.
+	// per-carrier SNR) changes. The appliance mask itself is evaluated
+	// once per instant on the grid's shared timeline; the counter is
+	// per-link and strictly monotonic, so per-epoch caches can never
+	// alias a revisited mask against incrementally-updated state.
 	Advance(t time.Duration) uint64
 	// SNRBase returns per-carrier SNR (dB) in a tone-map slot at the
 	// current epoch, excluding fast noise flicker.

@@ -92,7 +92,10 @@ func (d *Deployment) SetCCo(s *Station) {
 }
 
 // Link returns the directed link from s to dst, creating it on first use.
-// Stations on different logical networks cannot form links.
+// Stations on different logical networks cannot form links. All links of
+// one deployment share the grid's channel plane (epoch stream, pair
+// geometry, receiver noise sites), so later links are much cheaper to
+// materialise than the first over a given pair.
 func (d *Deployment) Link(s, dst *Station) (*Link, error) {
 	if s.NetworkID != dst.NetworkID {
 		return nil, fmt.Errorf("plc: stations %d and %d are on different networks", s.ID, dst.ID)

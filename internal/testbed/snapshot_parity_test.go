@@ -1,0 +1,122 @@
+package testbed
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/al"
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// warmEstimation probes the first few links so the parity check covers
+// estimated tone maps, not just the ROBO defaults.
+func warmEstimation(t *testing.T, links []al.Link, at, dur time.Duration) {
+	t.Helper()
+	for i, l := range links {
+		if i >= 4 {
+			return
+		}
+		if err := al.Probe(context.Background(), l, at, dur); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSnapshotMatchesPerLinkQueries: for every preset scenario, a whole-
+// topology Snapshot(t) must equal the individual Capacity/Goodput/Metrics/
+// Connected queries at the same t, across media. Two identically built
+// testbeds are used so each path starts from identical estimation state.
+func TestSnapshotMatchesPerLinkQueries(t *testing.T) {
+	for _, name := range scenario.Names() {
+		t.Run(name, func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.Scenario = name
+			opts.Decimate = 32
+			tb1, tb2 := New(opts), New(opts)
+			topo1, err := tb1.Topology()
+			if err != nil {
+				t.Fatal(err)
+			}
+			topo2, err := tb2.Topology()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			at := 11 * time.Hour
+			const probe = 500 * time.Millisecond
+			warmEstimation(t, topo1.Links(), at, probe)
+			warmEstimation(t, topo2.Links(), at, probe)
+			read := at + probe
+
+			states := topo1.Snapshot(read).States()
+			links := topo2.Links()
+			if len(states) != len(links) {
+				t.Fatalf("snapshot covers %d links, topology has %d", len(states), len(links))
+			}
+			for i, l := range links {
+				st := states[i]
+				src, dst := l.Endpoints()
+				if st.Src != src || st.Dst != dst || st.Medium != l.Medium() {
+					t.Fatalf("link %d identity mismatch: %+v vs (%d,%d,%v)", i, st, src, dst, l.Medium())
+				}
+				if got, want := st.Capacity, l.Capacity(read); got != want {
+					t.Fatalf("%v %d→%d capacity: snapshot %v, per-link %v", st.Medium, src, dst, got, want)
+				}
+				if got, want := st.Goodput, l.Goodput(read); got != want {
+					t.Fatalf("%v %d→%d goodput: snapshot %v, per-link %v", st.Medium, src, dst, got, want)
+				}
+				if got, want := st.Metrics, l.Metrics(read); got != want {
+					t.Fatalf("%v %d→%d metrics: snapshot %+v, per-link %+v", st.Medium, src, dst, got, want)
+				}
+				if got, want := st.Connected, l.Connected(read); got != want {
+					t.Fatalf("%v %d→%d connected: snapshot %v, per-link %v", st.Medium, src, dst, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotDisconnectedWiFiPair: the paper floor spans 70 m, so some
+// WiFi pairs sit past the ~35 m blind spot. The snapshot must report them
+// disconnected with zero rates, in agreement with the per-link queries.
+func TestSnapshotDisconnectedWiFiPair(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Decimate = 32
+	tb := New(opts)
+	topo, err := tb.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := 11 * time.Hour
+	snap := topo.Snapshot(at)
+
+	found := false
+	for _, st := range snap.States() {
+		if st.Medium != core.WiFi || st.Connected {
+			continue
+		}
+		// Shadowing can darken nearer pairs too; the §4.1 claim is about
+		// the guaranteed blind spot past ~35 m, so pick a far pair.
+		d := tb.Grid.EuclidDist(tb.Stations[st.Src].Node, tb.Stations[st.Dst].Node)
+		if d <= 35 {
+			continue
+		}
+		if st.Capacity != 0 || st.Goodput != 0 {
+			t.Fatalf("blind-spot pair %d→%d reports nonzero rates: %+v", st.Src, st.Dst, st)
+		}
+		l, err := tb.ALLink(core.WiFi, st.Src, st.Dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Connected(at) {
+			t.Fatalf("per-link query disagrees on blind spot %d→%d", st.Src, st.Dst)
+		}
+		found = true
+		break
+	}
+	if !found {
+		t.Fatal("paper floor should contain at least one >35 m WiFi blind-spot pair")
+	}
+}

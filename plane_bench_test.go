@@ -1,0 +1,87 @@
+package repro
+
+// Channel-plane benchmarks: the cost of keeping a whole floor's 1905
+// metric table fresh (the §7-§8 hybrid vision) on deployments well past
+// the paper's 19 stations. Each iteration assembles the floor, builds the
+// full cross-media topology, and then refreshes every link's metric-table
+// entry for a stretch of virtual time — the steady-state work of an
+// abstraction-layer daemon. BENCH_PR5.json records the pre/post numbers
+// of the shared-channel-plane refactor; `make bench-pr5` regenerates it
+// (see EXPERIMENTS.md for the methodology).
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/testbed"
+)
+
+// feedTicks and feedStep define the refresh loop: 120 table refreshes at
+// 100 ms — 12 s of virtual time, enough to cross appliance switching
+// epochs without the benchmark being dominated by any single one.
+const (
+	feedTicks = 120
+	feedStep  = 100 * time.Millisecond
+)
+
+// benchTopologyFeed assembles the scenario, builds the topology and runs
+// the metric-refresh loop — one "campaign job" of the metric plane.
+func benchTopologyFeed(b *testing.B, scenarioName string) {
+	b.ReportAllocs()
+	start := 11 * time.Hour // working hours: appliances active
+	for i := 0; i < b.N; i++ {
+		opts := testbed.DefaultOptions()
+		opts.Scenario = scenarioName
+		tb := testbed.New(opts)
+		topo, err := tb.Topology()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mt := core.NewMetricTable()
+		for tick := 0; tick < feedTicks; tick++ {
+			topo.Feed(mt, start+time.Duration(tick)*feedStep)
+		}
+		if mt.Len() == 0 {
+			b.Fatal("empty metric table")
+		}
+	}
+}
+
+// BenchmarkChannelPlaneLargeOffice is the headline large-scenario job:
+// the 42-station, 3-board large-office preset (546 directed PLC links +
+// 1722 WiFi links).
+func BenchmarkChannelPlaneLargeOffice(b *testing.B) {
+	benchTopologyFeed(b, "large-office")
+}
+
+// BenchmarkChannelPlaneGenFloor40 runs the same job on a procedurally
+// generated 40-station two-board floor, so the result does not depend on
+// one hand-tuned preset.
+func BenchmarkChannelPlaneGenFloor40(b *testing.B) {
+	benchTopologyFeed(b, "gen:stations=40;boards=2;seed=7")
+}
+
+// BenchmarkChannelPlanePaperFloor is the paper-scale reference point
+// (19 stations, 2 networks).
+func BenchmarkChannelPlanePaperFloor(b *testing.B) {
+	benchTopologyFeed(b, "paper")
+}
+
+// BenchmarkChannelPlaneBuildLargeOffice isolates floor assembly + topology
+// construction — the memory-per-testbed number of BENCH_PR5.json.
+func BenchmarkChannelPlaneBuildLargeOffice(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opts := testbed.DefaultOptions()
+		opts.Scenario = "large-office"
+		tb := testbed.New(opts)
+		topo, err := tb.Topology()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(topo.Links()) == 0 {
+			b.Fatal("empty topology")
+		}
+	}
+}

@@ -68,7 +68,19 @@ type (
 	Sample = al.Sample
 	// Medium identifies the technology behind a link.
 	Medium = core.Medium
+	// LinkState is one link's fully evaluated view at one instant.
+	LinkState = al.LinkState
+	// Snapshot is a batched one-pass evaluation of many links, indexed
+	// by (src, dst, medium) — Topology.Snapshot(t) evaluates a whole
+	// floor against one advance of the shared channel plane.
+	Snapshot = al.Snapshot
 )
+
+// SnapshotLinks evaluates the given links at one instant in a single
+// pass (see Topology.Snapshot for whole-floor snapshots).
+func SnapshotLinks(t time.Duration, links ...Link) *Snapshot {
+	return al.NewSnapshot(t, links...)
+}
 
 // Media known to the abstraction layer.
 const (
