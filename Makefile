@@ -2,7 +2,7 @@
 
 SHELL := /bin/bash -o pipefail
 
-.PHONY: test bench bench-pr5
+.PHONY: test bench bench-pr5 bench-pr6 bench-gate
 
 test:
 	go build ./... && go test ./...
@@ -17,3 +17,18 @@ bench:
 # raw benchstat-comparable log next to it.
 bench-pr5:
 	go run ./cmd/benchplane -raw bench_pr5.txt
+
+# bench-pr6 regenerates BENCH_PR6.json's "current" measurements (the
+# pinned pre-refactor baseline block is preserved) and the raw log. The
+# event-driven-plane artifact covers the feed benchmarks plus the
+# sparse-activity read-path benchmark.
+bench-pr6:
+	go run ./cmd/benchplane -o BENCH_PR6.json -pr 6 \
+		-desc "event-driven channel plane: epoch-indexed mask transitions, dirty-tracked pair cores, reusable snapshots" \
+		-raw bench_pr6.txt
+
+# bench-gate compares a fresh bench log against BENCH_PR6.json's current
+# block and fails on a >10% geomean ns/op regression — the same check the
+# CI bench job runs.
+bench-gate: bench
+	go run ./cmd/benchplane -o BENCH_PR6.json -gate bench.txt

@@ -1,30 +1,50 @@
-// Command benchplane (re)generates BENCH_PR5.json, the perf-trajectory
-// artifact of the shared-channel-plane refactor: it runs the channel-plane
+// Command benchplane (re)generates the channel-plane perf-trajectory
+// artifacts (BENCH_PR5.json, BENCH_PR6.json): it runs the channel-plane
 // benchmarks via `go test -bench`, takes the median over -count runs, and
 // rewrites the JSON's "current" measurements while preserving the pinned
 // pre-refactor "baseline" block (those numbers come from the commit before
 // the refactor and cannot be regenerated from this tree). The raw
 // benchstat-comparable output is written alongside for tooling.
 //
+// Two inspection modes ride along:
+//
+//	-events <scenario> walks the grid's mask-transition timeline over a
+//	virtual window and reports, per transition, how many undirected
+//	station pairs are dirty (their reachable appliance set intersects the
+//	toggled bits) — the sparse-activity claim of the event-driven plane,
+//	observable outside `go test -bench`.
+//
+//	-gate <bench.txt> compares a bench log against the checked-in
+//	artifact's "current" block and fails on a >tolerance geomean ns/op
+//	regression across the ChannelPlane benchmarks — the CI guard.
+//
 // Usage:
 //
 //	go run ./cmd/benchplane                      # refresh current numbers
 //	go run ./cmd/benchplane -count 5 -benchtime 3x
-//	make bench-pr5                               # the same, via make
+//	go run ./cmd/benchplane -o BENCH_PR6.json -pr 6 -desc "..." -raw bench_pr6.txt
+//	go run ./cmd/benchplane -events large-office -from 8h -window 12h
+//	go run ./cmd/benchplane -o BENCH_PR6.json -gate bench.txt
+//	make bench-pr5 / make bench-pr6              # the same, via make
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"math"
+	"math/bits"
 	"os"
 	"os/exec"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"flag"
+
+	"repro/internal/testbed"
 )
 
 // Measurement is one benchmark's median cost.
@@ -59,17 +79,35 @@ var benchLine = regexp.MustCompile(`^Benchmark([\w/]+?)(?:-\d+)?\s+\d+\s+([\d.]+
 func main() {
 	var (
 		out       = flag.String("o", "BENCH_PR5.json", "output JSON path")
+		pr        = flag.Int("pr", 5, "PR number recorded in a freshly created artifact")
+		desc      = flag.String("desc", "", "description recorded in a freshly created artifact")
 		raw       = flag.String("raw", "", "also write the raw benchstat-comparable output here ('' = skip)")
 		pattern   = flag.String("bench", "ChannelPlane", "benchmark name pattern")
 		count     = flag.Int("count", 3, "runs per benchmark (median is recorded)")
 		benchtime = flag.String("benchtime", "2x", "go test -benchtime value")
 		baseline  = flag.Bool("set-baseline", false, "record measurements as the baseline instead of current (run on a pre-refactor tree)")
+
+		events = flag.String("events", "", "inspect the mask-transition timeline of a scenario instead of benchmarking")
+		from   = flag.Duration("from", 8*time.Hour, "-events: virtual start instant")
+		window = flag.Duration("window", 24*time.Hour, "-events: virtual window length")
+
+		gate      = flag.String("gate", "", "bench log to gate against the artifact's current block instead of benchmarking")
+		tolerance = flag.Float64("tolerance", 0.10, "-gate: maximum allowed geomean ns/op regression (0.10 = 10%)")
 	)
 	flag.Parse()
 
+	if *events != "" {
+		runEvents(*events, *from, *window)
+		return
+	}
+	if *gate != "" {
+		runGate(*out, *gate, *tolerance)
+		return
+	}
+
 	// Load (and validate) the existing artifact before spending minutes
 	// benchmarking — a corrupt file refuses fast.
-	f := load(*out)
+	f := load(*out, *pr, *desc)
 
 	cmd := exec.Command("go", "test", "-run", "NONE",
 		"-bench", *pattern, "-benchtime", *benchtime,
@@ -160,10 +198,13 @@ func main() {
 // regeneration, or starts a fresh one if none exists. An existing file
 // that fails to parse is fatal: overwriting it would silently destroy
 // the pinned baseline, which cannot be regenerated from this tree.
-func load(path string) *File {
+func load(path string, pr int, desc string) *File {
+	if desc == "" && pr == 5 {
+		desc = "shared channel plane: hoisted appliance-epoch state and batched topology evaluation"
+	}
 	f := &File{
-		PR:          5,
-		Description: "shared channel plane: hoisted appliance-epoch state and batched topology evaluation",
+		PR:          pr,
+		Description: desc,
 		Benchmarks:  map[string]*Entry{},
 	}
 	b, err := os.ReadFile(path)
@@ -206,4 +247,133 @@ func median(runs []Measurement) Measurement {
 
 func round2(v float64) float64 {
 	return float64(int(v*100+0.5)) / 100
+}
+
+// runEvents walks the scenario's mask-transition timeline over
+// [from, from+window) and reports, per transition, the number of toggled
+// appliance bits and the number of undirected station pairs whose
+// reachable appliance set the transition touches — the pairs the
+// event-driven plane actually re-evaluates. Everything else is served
+// from unchanged state.
+func runEvents(scenarioName string, from, window time.Duration) {
+	opts := testbed.DefaultOptions()
+	opts.Scenario = scenarioName
+	tb := testbed.New(opts)
+	g := tb.Grid
+
+	// Reachability mask of every undirected station pair: appliance i is
+	// in the pair's set when both endpoints reach it over the cable graph
+	// (the same gate grid.Link uses for dirty tracking).
+	ns := len(tb.Stations)
+	type pairMask struct {
+		a, b  int
+		reach uint64
+	}
+	pairs := make([]pairMask, 0, ns*(ns-1)/2)
+	for i := 0; i < ns; i++ {
+		for j := i + 1; j < ns; j++ {
+			var m uint64
+			for k, a := range g.Appliances {
+				di := g.Dist(tb.Stations[i].Node, a.Node)
+				dj := g.Dist(tb.Stations[j].Node, a.Node)
+				if !math.IsInf(di, 1) && !math.IsInf(dj, 1) {
+					m |= 1 << uint(k)
+				}
+			}
+			pairs = append(pairs, pairMask{a: i, b: j, reach: m})
+		}
+	}
+
+	begin := time.Now()
+	trs := g.MaskTransitions(from, from+window)
+	wall := time.Since(begin)
+
+	fmt.Printf("# scenario %s: %d stations, %d undirected pairs, %d appliances\n",
+		scenarioName, ns, len(pairs), len(g.Appliances))
+	fmt.Printf("# timeline [%s, %s): %d transitions enumerated in %s",
+		from, from+window, len(trs)-1, wall.Round(time.Microsecond))
+	if s := wall.Seconds(); s > 0 {
+		fmt.Printf(" (%.0f transitions/sec)", float64(len(trs)-1)/s)
+	}
+	fmt.Println()
+	fmt.Println("#          t        mask  toggled  dirty-pairs")
+
+	var totDirty, totToggled int
+	prev := trs[0].Mask
+	for _, tr := range trs[1:] {
+		diff := tr.Mask ^ prev
+		prev = tr.Mask
+		dirty := 0
+		for _, p := range pairs {
+			if diff&p.reach != 0 {
+				dirty++
+			}
+		}
+		totDirty += dirty
+		totToggled += bits.OnesCount64(diff)
+		fmt.Printf("%12s  %010x  %7d  %11d\n", tr.At, tr.Mask, bits.OnesCount64(diff), dirty)
+	}
+	if n := len(trs) - 1; n > 0 {
+		fmt.Printf("# mean per transition: %.1f toggled bits, %.1f dirty pairs (of %d)\n",
+			float64(totToggled)/float64(n), float64(totDirty)/float64(n), len(pairs))
+		fmt.Printf("# transition rate: %.1f/virtual-hour\n", float64(n)/window.Hours())
+	}
+}
+
+// runGate compares a bench log against the artifact's "current" block:
+// the geomean ns/op ratio over the ChannelPlane benchmarks present in
+// both must not regress by more than the tolerance. Exit status 1 marks
+// a regression (the CI bench job's guard).
+func runGate(artifactPath, logPath string, tolerance float64) {
+	f := load(artifactPath, 0, "")
+	b, err := os.ReadFile(logPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchplane: %v\n", err)
+		os.Exit(1)
+	}
+	samples := map[string][]Measurement{}
+	sc := bufio.NewScanner(strings.NewReader(string(b)))
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		samples[m[1]] = append(samples[m[1]],
+			Measurement{NsPerOp: atof(m[2]), BytesPerOp: atof(m[3]), AllocsPerOp: atof(m[4])})
+	}
+
+	var logRatios float64
+	var n int
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := f.Benchmarks[name]
+		if e == nil || e.Current == nil || e.Current.NsPerOp <= 0 {
+			continue
+		}
+		med := median(samples[name])
+		if med.NsPerOp <= 0 {
+			continue
+		}
+		ratio := med.NsPerOp / e.Current.NsPerOp
+		logRatios += math.Log(ratio)
+		n++
+		fmt.Printf("%-36s %12.0f ns/op vs %12.0f checked in  (%.2fx)\n",
+			name, med.NsPerOp, e.Current.NsPerOp, ratio)
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "benchplane: gate found no benchmarks common to the log and the artifact")
+		os.Exit(1)
+	}
+	geomean := math.Exp(logRatios / float64(n))
+	fmt.Printf("geomean ratio over %d benchmarks: %.3f (tolerance %.2f)\n", n, geomean, 1+tolerance)
+	if geomean > 1+tolerance {
+		fmt.Fprintf(os.Stderr, "benchplane: gate FAILED: geomean regression %.1f%% exceeds %.0f%%\n",
+			(geomean-1)*100, tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Println("gate OK")
 }

@@ -52,17 +52,20 @@ func main() {
 	for t := start - 30*time.Second; t < start; t += time.Second {
 		plcAL.ProbeTrain(t, 1300, 1) // warm the PLC capacity estimate
 	}
-	links := []al.Link{wifiAL, plcAL}
+	topo := al.NewTopology()
+	topo.Add(wifiAL)
+	topo.Add(plcAL)
 
 	// Per-second loop on the batched read path: one probe keeps the PLC
 	// estimation fresh (the §7 rule — tone maps exist only under
-	// traffic), then a single snapshot evaluates both links once and
-	// prices every scheduler against it.
+	// traffic), then a single topology snapshot evaluates both links once
+	// and prices every scheduler against it (repeated reads at one tick
+	// would hit the topology's version-checked snapshot cache).
 	fmt.Printf("# link %d-%d: per-second goodput (Mb/s)\n", *a, *b)
 	fmt.Println("#    t   wifi    plc  hybrid  round-robin")
 	for t := start; t < start+*total; t += time.Second {
 		plcAL.ProbeTrain(t, 1300, 1)
-		states := al.NewSnapshot(t, links...).States()
+		states := topo.Snapshot(t).States()
 		h := hybrid.AggregateFromStates(hybrid.Proportional{}, states)
 		rr := hybrid.AggregateFromStates(hybrid.RoundRobin{}, states)
 		fmt.Printf("%5.0fs  %5.1f  %5.1f  %6.1f  %11.1f\n",

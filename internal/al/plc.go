@@ -75,6 +75,12 @@ func (p *PLCLink) Metrics(t time.Duration) core.LinkMetrics {
 // (§4.1); quality lives in the metrics, not in a connectivity bit.
 func (p *PLCLink) Connected(time.Duration) bool { return true }
 
+// StateVersion implements Versioned: the passive State read depends on
+// the estimator state and on the channel epoch (which moves exactly when
+// a mask transition touched this link's reachable appliances), so the
+// sum of the two monotonic counters covers the adapter.
+func (p *PLCLink) StateVersion() uint64 { return p.l.Est.StateVersion() + p.l.Ch.Epoch() }
+
 // State implements StateEvaluator: the passive one-pass evaluation used
 // by snapshots. Unlike Capacity it never injects probe traffic — for PLC
 // the passive capacity estimate and the goodput coincide (both are the

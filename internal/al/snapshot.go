@@ -24,6 +24,16 @@ type LinkState struct {
 	Connected bool
 }
 
+// Versioned is implemented by links that can report a monotonic counter
+// covering every piece of mutable state their evaluation depends on: the
+// counter changes whenever a re-evaluation could produce a different
+// LinkState. With the event-driven channel plane most instants change
+// nothing — an unchanged version sum lets Topology.Snapshot serve the
+// previous snapshot instead of re-evaluating every link.
+type Versioned interface {
+	StateVersion() uint64
+}
+
 // StateEvaluator is implemented by links that can evaluate their full
 // state in one pass. Links without it are evaluated by calling Capacity,
 // Goodput, Metrics and Connected in that order.

@@ -178,3 +178,66 @@ func TestTopologyBetweenIndexed(t *testing.T) {
 		t.Fatalf("Node.Link indexed lookup wrong: %v ok=%v", l, ok)
 	}
 }
+
+// versioned wraps evaluated with a settable state version, to exercise
+// the snapshot cache without a real channel plane behind it.
+type versioned struct {
+	evaluated
+	ver uint64
+}
+
+func (v *versioned) StateVersion() uint64 { return v.ver }
+
+func TestSnapshotCachedWhileVersionsHold(t *testing.T) {
+	a := &versioned{evaluated: evaluated{scripted: scripted{src: 0, dst: 1, med: core.PLC, cap: 50, conn: true}}}
+	b := &versioned{evaluated: evaluated{scripted: scripted{src: 1, dst: 0, med: core.WiFi, cap: 80, conn: true}}}
+	tp := NewTopology()
+	tp.Add(a)
+	tp.Add(b)
+
+	s1 := tp.Snapshot(time.Second)
+	if a.stateCalls != 1 || b.stateCalls != 1 {
+		t.Fatalf("first snapshot must evaluate every link: %d/%d", a.stateCalls, b.stateCalls)
+	}
+	if s2 := tp.Snapshot(time.Second); s2 != s1 {
+		t.Fatal("unchanged versions at the same instant must return the cached snapshot")
+	}
+	if a.stateCalls != 1 || b.stateCalls != 1 {
+		t.Fatalf("cache hit must not re-evaluate: %d/%d", a.stateCalls, b.stateCalls)
+	}
+
+	// A different instant misses even with unchanged versions.
+	if s3 := tp.Snapshot(2 * time.Second); s3 == s1 {
+		t.Fatal("a new instant must produce a fresh snapshot")
+	}
+
+	// Bumping one link's version invalidates the cache at the same instant.
+	sBefore := tp.Snapshot(3 * time.Second)
+	b.ver++
+	if sAfter := tp.Snapshot(3 * time.Second); sAfter == sBefore {
+		t.Fatal("a version bump must invalidate the cached snapshot")
+	}
+
+	// Membership changes invalidate too, even if the version sum happens
+	// to be restored (addGen is part of the key).
+	sBefore = tp.Snapshot(4 * time.Second)
+	tp.Add(&versioned{evaluated: evaluated{scripted: scripted{src: 0, dst: 2, med: core.WiFi, cap: 20, conn: true}}})
+	if sAfter := tp.Snapshot(4 * time.Second); sAfter == sBefore {
+		t.Fatal("Add must invalidate the cached snapshot")
+	}
+}
+
+func TestSnapshotNeverCachedWithoutVersions(t *testing.T) {
+	v := &versioned{evaluated: evaluated{scripted: scripted{src: 0, dst: 1, med: core.PLC, cap: 50, conn: true}}}
+	plain := &evaluated{scripted: scripted{src: 1, dst: 0, med: core.WiFi, cap: 80, conn: true}}
+	tp := NewTopology()
+	tp.Add(v)
+	tp.Add(plain) // no StateVersion: staleness is undetectable
+	s1 := tp.Snapshot(time.Second)
+	if s2 := tp.Snapshot(time.Second); s2 == s1 {
+		t.Fatal("a topology with an unversioned link must never serve a cached snapshot")
+	}
+	if plain.stateCalls != 2 {
+		t.Fatalf("every call must re-evaluate, got %d evaluations", plain.stateCalls)
+	}
+}

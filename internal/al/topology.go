@@ -30,6 +30,17 @@ type Topology struct {
 	stationsOK bool
 	byPair     map[[2]int][]Link
 	byKey      map[linkKey]Link
+
+	// Snapshot cache: valid while the topology membership (addGen) and
+	// the per-link state-version sum are unchanged at the same instant.
+	// Only populated when every link implements Versioned — otherwise
+	// staleness cannot be detected and every call re-evaluates.
+	addGen     uint64
+	snap       *Snapshot
+	snapAt     time.Duration
+	snapAddGen uint64
+	snapVerSum uint64
+	snapOK     bool
 }
 
 // NewTopology returns an empty topology.
@@ -51,6 +62,7 @@ func (tp *Topology) Add(l Link) {
 	tp.seen[src] = true
 	tp.seen[dst] = true
 	tp.stationsOK = false
+	tp.addGen++
 	pair := [2]int{src, dst}
 	tp.byPair[pair] = append(tp.byPair[pair], l)
 	tp.byKey[linkKey{src, dst, l.Medium()}] = l
@@ -100,8 +112,41 @@ func (tp *Topology) Feed(mt *core.MetricTable, t time.Duration) {
 // schedule evaluation plus a cheap per-link read — the batched read path
 // behind the mesh survey and the campaign harnesses (Feed shares the
 // plane batching but stays a metrics-only loop).
+//
+// When every link reports a state version (Versioned), repeated calls at
+// one instant with no intervening state change return the cached
+// snapshot: the version sum is recorded after evaluation (evaluating a
+// link may advance its own adaptation state, e.g. the WiFi SNR EWMA), so
+// a hit proves nothing has moved since the cached evaluation finished.
+// The returned snapshot is shared — callers must treat it as read-only.
 func (tp *Topology) Snapshot(t time.Duration) *Snapshot {
-	return NewSnapshot(t, tp.links...)
+	sum, versioned := tp.versionSum()
+	if versioned && tp.snapOK && tp.snapAt == t &&
+		tp.snapAddGen == tp.addGen && tp.snapVerSum == sum {
+		return tp.snap
+	}
+	s := NewSnapshot(t, tp.links...)
+	if versioned {
+		post, _ := tp.versionSum()
+		tp.snap, tp.snapAt, tp.snapAddGen, tp.snapVerSum = s, t, tp.addGen, post
+		tp.snapOK = true
+	}
+	return s
+}
+
+// versionSum folds the state versions of every link; ok is false when
+// some link does not implement Versioned (the sum is then meaningless
+// and snapshots are never cached). Versions are monotonic counters, so
+// an unchanged sum implies every summand is unchanged.
+func (tp *Topology) versionSum() (sum uint64, ok bool) {
+	for _, l := range tp.links {
+		v, isV := l.(Versioned)
+		if !isV {
+			return 0, false
+		}
+		sum += v.StateVersion()
+	}
+	return sum, true
 }
 
 // Node is one station's view of the topology: its attached links across

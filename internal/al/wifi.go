@@ -60,6 +60,11 @@ func (w *WiFiLink) Metrics(t time.Duration) core.LinkMetrics {
 // phantom WiFi edges.
 func (w *WiFiLink) Connected(time.Duration) bool { return w.l.Connected() }
 
+// StateVersion implements Versioned: the evaluation depends on the rate
+// adaptation EWMA (counted by the driver) plus the pure fade function of
+// t, so the driver's version covers the adapter at a fixed instant.
+func (w *WiFiLink) StateVersion() uint64 { return w.l.StateVersion() }
+
 // Probe implements Prober: steps the rate adaptation every 100 ms over
 // [t, t+dur) so the SNR EWMA converges before metrics are read.
 func (w *WiFiLink) Probe(ctx context.Context, t, dur time.Duration) error {

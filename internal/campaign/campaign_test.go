@@ -136,6 +136,62 @@ func TestCancellationStopsPromptly(t *testing.T) {
 	}
 }
 
+// TestNilNilOutcomeNotRepublishedOnCancel pins the cancellation sweep's
+// never-started guard. A harness may legally return (nil, nil); its
+// outcome is published by the worker, and when the campaign is then
+// cancelled the sweep must not mistake the nil Result/Err pair for a
+// never-started job — republishing it overflows the exactly-sized
+// outcome stream and hangs Wait forever.
+func TestNilNilOutcomeNotRepublishedOnCancel(t *testing.T) {
+	orig := runExperiment
+	runExperiment = func(context.Context, string, experiments.Config) (experiments.Result, error) {
+		return nil, nil
+	}
+	defer func() { runExperiment = orig }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r, err := Start(ctx, testPlan("table3"), Options{
+		Workers: 1,
+		// Cancel after the stub job has finished: the sweep then runs
+		// with a completed (nil, nil) outcome already on the stream.
+		Observer: func(ev Event) {
+			if ev.Kind == EventFinished {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type waitResult struct {
+		outs []JobOutcome
+		err  error
+	}
+	done := make(chan waitResult, 1)
+	go func() {
+		outs, werr := r.Wait()
+		done <- waitResult{outs, werr}
+	}()
+	var res waitResult
+	select {
+	case res = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Wait hung: (nil, nil) outcome republished by the cancellation sweep")
+	}
+	if len(res.outs) != 1 {
+		t.Fatalf("streamed %d outcomes, want exactly 1", len(res.outs))
+	}
+	o := res.outs[0]
+	if o.Worker != 0 {
+		t.Fatalf("outcome Worker = %d, want 0 (ran on the pool)", o.Worker)
+	}
+	if o.Result != nil || o.Err != nil {
+		t.Fatalf("outcome = (%v, %v), want the harness's (nil, nil)", o.Result, o.Err)
+	}
+}
+
 // TestErrorOrdering drives every selected harness into failure (via an
 // unmeetable per-job timeout) and checks the campaign still runs the
 // rest, reports all outcomes, and propagates the first failure in job

@@ -221,12 +221,15 @@ feed:
 	close(feedC)
 	wg.Wait()
 
-	// Jobs never handed to a worker keep their zero Result; mark them
-	// with the cancellation cause and publish them so Outcomes always
-	// yields one record per job.
+	// Jobs never handed to a worker keep Worker == -1; mark them with
+	// the cancellation cause and publish them so Outcomes always yields
+	// one record per job. The guard must be the worker sentinel, not a
+	// nil Result/Err pair: a harness may legally return (nil, nil), and
+	// its already-published outcome must not be published twice (the
+	// stream is sized exactly one slot per job).
 	if err := ctx.Err(); err != nil {
 		for i := range r.outcomes {
-			if r.outcomes[i].Result == nil && r.outcomes[i].Err == nil {
+			if r.outcomes[i].Worker == -1 {
 				r.outcomes[i].Err = err
 				r.stream <- r.outcomes[i]
 			}
@@ -241,6 +244,11 @@ feed:
 		}
 	}
 }
+
+// runExperiment is the harness entry point, indirected so tests can stub
+// degenerate harness behaviours (e.g. a legal (nil, nil) return) without
+// registering throwaway experiments in the global registry.
+var runExperiment = experiments.Run
 
 // runOne executes a single job with its own testbed session and optional
 // timeout, and self-assesses the result's qualitative claim.
@@ -260,7 +268,7 @@ func runOne(ctx context.Context, cfg experiments.Config, job Job, worker int, ti
 	}
 	emit(Event{Kind: EventStarted, Job: job, Worker: worker})
 	begin := time.Now()
-	res, err := experiments.Run(runCtx, job.Experiment.ID, cfg)
+	res, err := runExperiment(runCtx, job.Experiment.ID, cfg)
 	elapsed := time.Since(begin)
 	if err != nil {
 		// Failed harnesses return typed-nil results through the Result

@@ -2,6 +2,7 @@ package grid
 
 import (
 	"math"
+	"math/bits"
 	"math/cmplx"
 	"time"
 
@@ -85,11 +86,31 @@ type Link struct {
 	site *rxSite   // shared receiver-side noise geometry
 
 	// Channel state at the current epoch (appliance mask). The mask
-	// comes from the plane's shared timeline; the epoch counter is
-	// per-link monotonic (see Advance).
+	// comes from the grid's mask-transition timeline; the epoch counter
+	// is per-link monotonic and advances only on transitions that touch
+	// this link's electrically reachable appliance set (see Advance).
 	mask    uint64
 	epoch   uint64
 	started bool
+
+	// Interval fast path: [ivStart, ivEnd) is the transition interval
+	// the last Advance landed in, ivGen the timeline generation it came
+	// from. While t stays inside a valid interval, Advance is a pair of
+	// comparisons — no lock, no schedule walk, no map.
+	ivStart time.Duration
+	ivEnd   time.Duration
+	ivGen   uint64
+
+	// Lazy channel materialisation: the per-carrier arrays below are
+	// built on the first SNR read, not at construction or first
+	// Advance. Until then, Advance records the masks it applied
+	// (pending) so materialisation can replay the exact toggle sequence
+	// the eager path would have executed — the values are bit-identical
+	// because intermediate gains are never observed (see ensureChannel).
+	matzd     bool
+	geomBuilt bool
+	firstMask uint64
+	pending   []uint64
 
 	d0      float64      // direct path cable distance
 	direct  []complex128 // direct path phasor incl. structural tap losses
@@ -109,21 +130,20 @@ type Link struct {
 	snrValid [mains.Slots]bool
 }
 
+// maxPendingMasks bounds the recorded mask history of an unmaterialised
+// link; past it the link materialises eagerly and continues with the
+// ordinary incremental updates (still exact — the replay applies the
+// same toggles either way).
+const maxPendingMasks = 1024
+
 // NewLink prepares the channel state for a directed tx→rx pair over the
 // given carrier frequencies (Hz). Pair-shaped geometry is fetched from
 // (or lazily added to) the grid's shared channel plane.
 func (g *Grid) NewLink(tx, rx NodeID, freqs []float64) *Link {
 	p := g.planeFor(freqs)
 	l := &Link{g: g, p: p, tx: tx, rx: rx, freqs: freqs}
-	n := len(freqs)
 
 	l.d0 = g.Dist(tx, rx)
-	l.direct = make([]complex128, n)
-	l.refl = make([]complex128, n)
-	l.hRefl = make([]complex128, n)
-	l.gainDB = make([]float64, n)
-	l.noiseLin = make([]float64, mains.Slots*n)
-	l.snrBase = make([]float64, mains.Slots*n)
 	l.pg = p.pairCoreFor(tx, rx)
 	l.site = p.siteFor(rx)
 
@@ -135,10 +155,35 @@ func (g *Grid) NewLink(tx, rx NodeID, freqs []float64) *Link {
 	l.fixedDB -= detrand.Uniform(uint64(g.seed), uint64(tx), 0x7c0) * couplerLossMaxDB
 	l.fixedDB -= detrand.Uniform(uint64(g.seed), uint64(rx), 0x7c1) * couplerLossMaxDB
 
+	// The per-carrier channel arrays (direct/structural phasors, noise,
+	// gain) are built lazily on first SNR read — see buildGeometry and
+	// ensureChannel. Links that only serve mask/epoch queries and ShiftDB
+	// (a feed that never estimates) never pay the carrier loops.
+	return l
+}
+
+// buildGeometry allocates the per-carrier slabs and computes the
+// mask-independent channel components: the direct-path phasor and the
+// static structural-tap reflections. Noise floors start at the shared
+// background. Idempotent.
+func (l *Link) buildGeometry() {
+	if l.geomBuilt {
+		return
+	}
+	l.geomBuilt = true
+	g, freqs := l.g, l.freqs
+	n := len(freqs)
+	l.direct = make([]complex128, n)
+	l.refl = make([]complex128, n)
+	l.hRefl = make([]complex128, n)
+	l.gainDB = make([]float64, n)
+	l.noiseLin = make([]float64, mains.Slots*n)
+	l.snrBase = make([]float64, mains.Slots*n)
+
 	// Direct-path phasor, carrying the structural tap losses of every
 	// junction it crosses (the dominant attenuation).
 	if !math.IsInf(l.d0, 1) {
-		structDB := g.tapSumDB(tx, rx)
+		structDB := g.tapSumDB(l.tx, l.rx)
 		for c, f := range freqs {
 			db := attDB(f, l.d0) + structDB
 			amp := directGain * math.Pow(10, -db/20)
@@ -150,15 +195,15 @@ func (g *Grid) NewLink(tx, rx NodeID, freqs []float64) *Link {
 		// multipath): one bounce per reachable node.
 		for i := range g.Nodes {
 			nd := NodeID(i)
-			if nd == tx || nd == rx {
+			if nd == l.tx || nd == l.rx {
 				continue
 			}
-			dTx, dRx := g.rawDist(tx, nd), g.rawDist(nd, rx)
+			dTx, dRx := g.rawDist(l.tx, nd), g.rawDist(nd, l.rx)
 			if math.IsInf(dTx, 1) || math.IsInf(dRx, 1) {
 				continue
 			}
 			dRefl := dTx + dRx + stubExtraM
-			lossDB := g.tapSumDB(tx, nd) + g.tapSumDB(nd, rx)
+			lossDB := g.tapSumDB(l.tx, nd) + g.tapSumDB(nd, l.rx)
 			gamma := g.Nodes[nd].Gamma
 			sign := detrand.Sign(uint64(g.seed), uint64(nd), 0x516)
 			co := sign * bounceGain * gamma
@@ -173,9 +218,42 @@ func (g *Grid) NewLink(tx, rx NodeID, freqs []float64) *Link {
 
 	// Noise floors start at the shared background.
 	for s := 0; s < mains.Slots; s++ {
-		copy(l.noiseLin[s*n:(s+1)*n], p.bgLin)
+		copy(l.noiseLin[s*n:(s+1)*n], l.p.bgLin)
 	}
-	return l
+}
+
+// ensureChannel materialises the mask-dependent channel state. The values
+// are bit-identical to what the historical eager path would hold: the
+// pending list is the exact sequence of masks Advance applied, each replay
+// step executes the same toggles in the same (ascending-bit) order on the
+// same starting state, and the intermediate gains that the eager path
+// computed but nobody read are the only thing skipped (one finishUpdate at
+// the end replaces per-step ones; finishUpdate is a pure function of the
+// phasor state).
+func (l *Link) ensureChannel() {
+	if l.matzd {
+		return
+	}
+	l.matzd = true
+	l.buildGeometry()
+	l.p.ensureVec(l.pg)
+	l.rebuild(l.firstMask)
+	if len(l.pending) > 0 {
+		cur := l.firstMask
+		for _, m := range l.pending {
+			diff := m ^ cur
+			for i := 0; diff != 0; i++ {
+				if diff&1 != 0 {
+					l.toggle(i, m&(1<<uint(i)) != 0)
+				}
+				diff >>= 1
+			}
+			l.togglesSinceRebuild++
+			cur = m
+		}
+		l.pending = nil
+		l.finishUpdate()
+	}
 }
 
 // backgroundNoiseDBmHz is the coloured background noise floor of the mains
@@ -196,6 +274,11 @@ func (l *Link) RxNode() NodeID { return l.rx }
 // CableDistance returns the direct cable run in metres.
 func (l *Link) CableDistance() float64 { return l.d0 }
 
+// Epoch returns the current epoch counter without advancing the link —
+// the generation that snapshot caches key on (it moves exactly when a
+// mask transition touched this link's reachable appliance set).
+func (l *Link) Epoch() uint64 { return l.epoch }
+
 // Advance brings the channel state up to time t, applying any appliance
 // switches since the last call, and returns the current epoch. The mask
 // itself comes from the plane's shared timeline (one schedule evaluation
@@ -204,14 +287,46 @@ func (l *Link) CableDistance() float64 { return l.d0 }
 // applied, so per-epoch caches (the PHY estimator's load curves) can
 // never alias a revisited mask against incrementally-drifted state.
 func (l *Link) Advance(t time.Duration) uint64 {
-	m := l.p.maskAt(t)
-	if l.started && m == l.mask {
+	// Interval fast path: the previous Advance cached the transition
+	// interval it landed in; while t stays inside it (and the timeline
+	// generation is unchanged), the mask cannot have moved.
+	if l.started && l.ivGen == l.g.tlGen.Load() && t >= l.ivStart && t < l.ivEnd {
 		return l.epoch
 	}
+	m, lo, hi, gen := l.g.maskIntervalAt(t)
+	l.ivStart, l.ivEnd, l.ivGen = lo, hi, gen
 	if !l.started {
-		l.rebuild(m)
 		l.started = true
+		l.firstMask = m
 		l.mask = m
+		if l.g.resyncEpochs > 0 {
+			// Resync mode counts incremental batches against a rebuild
+			// budget, so it keeps the historical eager semantics.
+			l.ensureChannel()
+		}
+		return l.epoch
+	}
+	if m == l.mask {
+		return l.epoch
+	}
+	diff := m ^ l.mask
+	if diff&l.pg.reachBits == 0 {
+		// Dirty skip: none of the toggled appliances is electrically
+		// reachable from this pair, so the channel state is untouched —
+		// toggling an unreachable appliance adds a zero reflection row,
+		// touches no on-path tap and injects no noise. The epoch does
+		// not move, so per-epoch caches downstream stay warm.
+		l.mask = m
+		return l.epoch
+	}
+	if !l.matzd {
+		// Record the mask for exact replay at materialisation time.
+		l.pending = append(l.pending, m)
+		l.mask = m
+		l.epoch++
+		if len(l.pending) >= maxPendingMasks {
+			l.ensureChannel()
+		}
 		return l.epoch
 	}
 	if re := l.g.resyncEpochs; re > 0 && l.togglesSinceRebuild >= re {
@@ -219,7 +334,6 @@ func (l *Link) Advance(t time.Duration) uint64 {
 		// an exact from-scratch rebuild (see TestToggleDriftVsRebuild).
 		l.rebuild(m)
 	} else {
-		diff := m ^ l.mask
 		for i := 0; diff != 0; i++ {
 			if diff&1 != 0 {
 				l.toggle(i, m&(1<<uint(i)) != 0)
@@ -336,6 +450,16 @@ func (l *Link) finishUpdate() {
 // reported separately by ShiftDB). The returned slice is owned by the Link
 // and valid until the next Advance call.
 func (l *Link) SNRBase(slot int) []float64 {
+	if !l.matzd {
+		if l.started {
+			l.ensureChannel()
+		} else {
+			// Pre-Advance read: historical links held geometry with no
+			// mask applied; reproduce that view without committing to a
+			// first mask.
+			l.buildGeometry()
+		}
+	}
 	n := len(l.freqs)
 	out := l.snrBase[slot*n : (slot+1)*n]
 	if l.snrValid[slot] {
@@ -363,21 +487,17 @@ func (l *Link) ShiftDB(t time.Duration) float64 {
 	if !l.started {
 		mask = l.p.maskAt(t)
 	}
+	// Only appliances that are on, reachable and audible (nonzero
+	// attenuated noise weight) contribute — iterate the set bits of the
+	// intersection instead of scanning the appliance roster.
+	on := mask & l.pg.reachBits & l.site.wBits
 	// One plane lock spans the whole factor pass (links of one grid may
 	// be driven from different goroutines; see Plane.mu).
 	l.p.mu.Lock()
 	l.p.syncShift(t)
-	for i := range l.g.Appliances {
-		if mask&(1<<uint(i)) == 0 {
-			continue
-		}
-		if !l.pg.reach[i] {
-			continue
-		}
+	for rest := on; rest != 0; rest &= rest - 1 {
+		i := bits.TrailingZeros64(rest)
 		w := l.site.noiseW[i]
-		if w == 0 {
-			continue
-		}
 		base += w
 		moved += w * l.p.shiftFactor(t, i)
 	}

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/detrand"
@@ -61,13 +63,35 @@ type Grid struct {
 	// testbed builder.
 	BoardCrossingPenaltyDB float64
 
-	adj  map[NodeID][]edge
-	dist map[NodeID][]float64 // per-source Dijkstra cache
+	adj map[NodeID][]edge
+
+	// routeMu guards the routing caches below. They were historically
+	// filled during single-threaded construction (NewLink), but channel
+	// geometry now materialises lazily on first SNR read, which may
+	// happen from concurrently driven links.
+	routeMu  sync.Mutex
+	distRows [][]float64 // per-source Dijkstra rows, indexed by NodeID
+	tapLoss  []float64   // per-node structural tap loss (dB)
+	tapRows  [][]float64 // per-source tap-loss sums, indexed by NodeID
 
 	// planes are the shared channel engines, one per carrier plan in
 	// use (see Plane). Links created over the same plan share all
 	// pair- and receiver-shaped channel state through them.
 	planes []*Plane
+
+	// Mask-transition timeline (see events.go): the appliance mask is a
+	// pure function of t, so its transitions are enumerated once per
+	// horizon chunk and every mask query between two transitions is a
+	// binary search instead of a schedule walk. tlGen ties per-link
+	// interval caches to the current appliance population.
+	tlMu    sync.Mutex
+	tlGen   atomic.Uint64
+	tlValid bool
+	tlFrom  time.Duration
+	tlTo    time.Duration
+	tlMask0 uint64
+	tlTimes []time.Duration
+	tlMasks []uint64
 
 	seed         int64
 	resyncEpochs int
@@ -112,7 +136,6 @@ func New(cfg Config) *Grid {
 		Z0:                     cfg.Z0,
 		BoardCrossingPenaltyDB: cfg.BoardCrossingPenaltyDB,
 		adj:                    make(map[NodeID][]edge),
-		dist:                   make(map[NodeID][]float64),
 		seed:                   cfg.Seed,
 		resyncEpochs:           cfg.ResyncEpochs,
 	}
@@ -123,7 +146,7 @@ func (g *Grid) AddNode(x, y float64, board int) NodeID {
 	id := NodeID(len(g.Nodes))
 	gamma := 0.15 + 0.55*detrand.Uniform(uint64(g.seed), uint64(id), 0x6a)
 	g.Nodes = append(g.Nodes, Node{ID: id, X: x, Y: y, Board: board, Gamma: gamma})
-	g.dist = make(map[NodeID][]float64) // cached rows have the old node count
+	g.invalidateRouting() // cached rows have the old node count
 	for _, p := range g.planes {
 		p.invalidateGeometry()
 	}
@@ -138,10 +161,20 @@ func (g *Grid) AddCable(a, b NodeID, length float64) {
 	g.Cables = append(g.Cables, Cable{A: a, B: b, Length: length})
 	g.adj[a] = append(g.adj[a], edge{to: b, w: length})
 	g.adj[b] = append(g.adj[b], edge{to: a, w: length})
-	g.dist = make(map[NodeID][]float64) // invalidate cache
+	g.invalidateRouting()
 	for _, p := range g.planes {
 		p.invalidateGeometry()
 	}
+}
+
+// invalidateRouting drops the shortest-path and tap-loss caches after the
+// cable graph changes.
+func (g *Grid) invalidateRouting() {
+	g.routeMu.Lock()
+	g.distRows = nil
+	g.tapLoss = nil
+	g.tapRows = nil
+	g.routeMu.Unlock()
 }
 
 // MaxAppliances bounds the appliance population of one grid: the
@@ -161,6 +194,7 @@ func (g *Grid) Plug(class *ApplianceClass, node NodeID) *Appliance {
 		seed:  g.seed,
 	}
 	g.Appliances = append(g.Appliances, a)
+	g.invalidateTimeline() // the mask is a function of the appliance set
 	for _, p := range g.planes {
 		p.invalidateSchedule()
 	}
@@ -175,12 +209,24 @@ func (g *Grid) Dist(a, b NodeID) float64 {
 
 // rawDist is the pure graph shortest path.
 func (g *Grid) rawDist(a, b NodeID) float64 {
-	da, ok := g.dist[a]
-	if !ok {
-		da = g.dijkstra(a)
-		g.dist[a] = da
+	g.routeMu.Lock()
+	d := g.distRowLocked(a)[b]
+	g.routeMu.Unlock()
+	return d
+}
+
+// distRowLocked returns the cached Dijkstra row of one source node,
+// computing it on first use. Caller holds routeMu.
+func (g *Grid) distRowLocked(a NodeID) []float64 {
+	if len(g.distRows) < len(g.Nodes) {
+		rows := make([][]float64, len(g.Nodes))
+		copy(rows, g.distRows)
+		g.distRows = rows
 	}
-	return da[b]
+	if g.distRows[a] == nil {
+		g.distRows[a] = g.dijkstra(a)
+	}
+	return g.distRows[a]
 }
 
 func (g *Grid) dijkstra(src NodeID) []float64 {
@@ -288,11 +334,60 @@ func (g *Grid) onPathNodes(a, b NodeID) []NodeID {
 }
 
 // tapSumDB returns the total structural tap loss (dB) along the route
-// a → b, excluding both endpoints.
+// a → b, excluding both endpoints. Rows are cached per source: the
+// channel geometry queries this for every (endpoint, appliance) and
+// (endpoint, junction) combination, so the uncached version dominated
+// link materialisation.
 func (g *Grid) tapSumDB(a, b NodeID) float64 {
-	var sum float64
-	for _, n := range g.onPathNodes(a, b) {
-		sum += nodeTapLossDB(&g.Nodes[n])
+	g.routeMu.Lock()
+	s := g.tapRowLocked(a)[b]
+	g.routeMu.Unlock()
+	return s
+}
+
+// tapRowLocked returns the cached tap-loss sums from one source node to
+// every destination. The per-destination accumulation visits nodes in
+// index order, exactly like the historical onPathNodes walk, so the sums
+// are bit-identical to the uncached computation. Caller holds routeMu.
+func (g *Grid) tapRowLocked(a NodeID) []float64 {
+	n := len(g.Nodes)
+	if len(g.tapRows) < n {
+		rows := make([][]float64, n)
+		copy(rows, g.tapRows)
+		g.tapRows = rows
 	}
-	return sum
+	if g.tapRows[a] != nil {
+		return g.tapRows[a]
+	}
+	if g.tapLoss == nil {
+		g.tapLoss = make([]float64, n)
+		for i := range g.Nodes {
+			g.tapLoss[i] = nodeTapLossDB(&g.Nodes[i])
+		}
+	}
+	da := g.distRowLocked(a)
+	row := make([]float64, n)
+	for b := 0; b < n; b++ {
+		d0 := da[b]
+		if math.IsInf(d0, 1) {
+			continue
+		}
+		var sum float64
+		for i := 0; i < n; i++ {
+			if NodeID(i) == a || i == b {
+				continue
+			}
+			dai := da[i]
+			dib := g.distRowLocked(NodeID(i))[b]
+			if math.IsInf(dai, 1) || math.IsInf(dib, 1) {
+				continue
+			}
+			if dai+dib <= d0+0.5 {
+				sum += g.tapLoss[i]
+			}
+		}
+		row[b] = sum
+	}
+	g.tapRows[a] = row
+	return row
 }

@@ -56,14 +56,6 @@ type Plane struct {
 	pairs map[pairKey]*pairEntry
 	sites map[NodeID]*rxSite
 
-	// Shared mask timeline: StateMask is a pure function of t, so
-	// evaluating all appliance schedules once per distinct instant
-	// serves every link — previously each of a floor's links replayed
-	// the whole schedule walk on every Advance. (Epoch *numbering*
-	// stays per-link and monotonic: a shared per-mask id would alias a
-	// revisited mask against incrementally-drifted link state.)
-	maskMemo map[time.Duration]uint64
-
 	// Flicker/impulse factors at one instant, shared by every link's
 	// ShiftDB (the per-appliance factor is mask- and pair-independent).
 	shiftT    time.Duration
@@ -71,11 +63,6 @@ type Plane struct {
 	shiftOK   []bool
 	shiftVal  []float64
 }
-
-// maskMemoCap bounds the mask memo; a long campaign visits millions of
-// distinct instants, so the memo is cleared wholesale when full (the next
-// queries repopulate the working set).
-const maskMemoCap = 1 << 16
 
 // applianceShared bundles the per-appliance constants every link used to
 // recompute privately.
@@ -104,22 +91,37 @@ type pairEntry struct {
 // pair: the per-appliance multipath phasors (with their second-order
 // echoes), the on-path flags feeding the direct-path tap product, and the
 // electrical reachability gate. pathVec is a flat [appliance × carrier]
-// array for cache locality in the toggle/rebuild hot loops.
+// array for cache locality in the toggle/rebuild hot loops; it is built
+// lazily on first SNR materialisation (the reach/onPath geometry, which
+// gates dirty tracking and the noise shift, is cheap and always present).
+//
+// reachBits/onPathBits mirror the bool slices as masks over appliance
+// bits: a mask transition whose diff misses reachBits cannot move any
+// value this pair's links expose (zero reflection rows, no on-path tap,
+// no reachable noise), so such transitions are skipped entirely —
+// the dirty-tracking gate of the event-driven plane.
 type pairCore struct {
-	pathVec []complex128 // flat, row i at [i*n : (i+1)*n]
+	tx, rx  NodeID       // orientation the core was built for
+	pathVec []complex128 // flat, row i at [i*n : (i+1)*n]; nil until needed
 	onPath  []bool
 	reach   []bool // appliance electrically reachable from both ends
 	na, n   int
+
+	reachBits  uint64
+	onPathBits uint64
 }
 
 func (pc *pairCore) row(i int) []complex128 { return pc.pathVec[i*pc.n : (i+1)*pc.n] }
 
 // rxSite is the attenuated appliance noise geometry at one receiving
 // outlet — a function of the receiver alone, shared by every link
-// towards it. noiseVec is flat [appliance × carrier].
+// towards it. noiseVec is flat [appliance × carrier]. wBits masks the
+// appliances with a nonzero band-average weight, so ShiftDB iterates set
+// bits instead of scanning the appliance population.
 type rxSite struct {
 	noiseVec []float64 // linear mW/Hz, row i at [i*n : (i+1)*n]
 	noiseW   []float64 // band-average weights
+	wBits    uint64
 	na, n    int
 }
 
@@ -128,12 +130,11 @@ func (s *rxSite) row(i int) []float64 { return s.noiseVec[i*s.n : (i+1)*s.n] }
 // newPlane builds the shared engine for one carrier plan.
 func newPlane(g *Grid, freqs []float64) *Plane {
 	p := &Plane{
-		g:        g,
-		freqs:    freqs,
-		bgLin:    make([]float64, len(freqs)),
-		pairs:    make(map[pairKey]*pairEntry),
-		sites:    make(map[NodeID]*rxSite),
-		maskMemo: make(map[time.Duration]uint64),
+		g:     g,
+		freqs: freqs,
+		bgLin: make([]float64, len(freqs)),
+		pairs: make(map[pairKey]*pairEntry),
+		sites: make(map[NodeID]*rxSite),
 	}
 	var bg float64
 	for c, f := range freqs {
@@ -196,20 +197,12 @@ func (p *Plane) ensureAppliances() {
 	}
 }
 
-// maskAt returns the appliance state mask at t, memoised per instant —
-// the single evaluation of the grid's appliance schedules that every
-// link's Advance shares.
+// maskAt returns the appliance state mask at t via the grid's
+// mask-transition timeline — an interval lookup, never a schedule walk
+// (the former per-instant memo is subsumed by the timeline: any two
+// instants in one transition interval share the mask by construction).
 func (p *Plane) maskAt(t time.Duration) uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if m, ok := p.maskMemo[t]; ok {
-		return m
-	}
-	m := p.g.StateMask(t)
-	if len(p.maskMemo) >= maskMemoCap {
-		clear(p.maskMemo)
-	}
-	p.maskMemo[t] = m
+	m, _, _, _ := p.g.maskIntervalAt(t)
 	return m
 }
 
@@ -249,12 +242,14 @@ func (p *Plane) invalidateGeometry() {
 	p.sites = make(map[NodeID]*rxSite)
 }
 
-// invalidateSchedule drops the mask memo after the appliance population
-// changes (the mask is a function of the appliance set).
+// invalidateSchedule resets per-instant schedule-derived caches after the
+// appliance population changes. The mask timeline itself lives on the
+// Grid (invalidateTimeline); what remains plane-side is the flicker/
+// impulse factor cache, which is sized per appliance.
 func (p *Plane) invalidateSchedule() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.maskMemo = make(map[time.Duration]uint64)
+	p.shiftInit = false
 }
 
 // pairSymmetric reports whether the appliance reflection geometry of a
@@ -292,7 +287,9 @@ func (p *Plane) pairSymmetric(lo, hi NodeID) bool {
 // pairCoreFor returns the appliance reflection geometry for the directed
 // tx→rx link, sharing one core per undirected pair whenever the pair is
 // bitwise symmetric. Cores are rebuilt if the appliance population grew
-// since they were cached.
+// since they were cached. Only the cheap reach/onPath geometry (distance
+// lookups and bitmasks) is built here; the per-carrier phasors
+// materialise on first SNR read (ensureVec).
 func (p *Plane) pairCoreFor(tx, rx NodeID) *pairCore {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -316,43 +313,70 @@ func (p *Plane) pairCoreFor(tx, rx NodeID) *pairCore {
 	}
 	if e.symmetric || tx == lo {
 		if e.fwd == nil || e.fwd.na != na {
-			e.fwd = p.buildPairCore(tx, rx)
+			e.fwd = p.buildPairGeom(tx, rx)
 		}
 		return e.fwd
 	}
 	if e.rev == nil || e.rev.na != na {
-		e.rev = p.buildPairCore(tx, rx)
+		e.rev = p.buildPairGeom(tx, rx)
 	}
 	return e.rev
 }
 
-// buildPairCore computes the appliance reflection geometry of a directed
-// pair: per-appliance multipath phasors (first bounce plus second-order
-// echo), on-path flags and reachability.
-func (p *Plane) buildPairCore(tx, rx NodeID) *pairCore {
+// buildPairGeom computes the cheap part of a directed pair's appliance
+// geometry: on-path flags, reachability, and their bitmask mirrors.
+func (p *Plane) buildPairGeom(tx, rx NodeID) *pairCore {
 	g := p.g
-	n := len(p.freqs)
 	na := len(g.Appliances)
 	pc := &pairCore{
-		pathVec: make([]complex128, na*n),
-		onPath:  make([]bool, na),
-		reach:   make([]bool, na),
-		na:      na,
-		n:       n,
+		tx:     tx,
+		rx:     rx,
+		onPath: make([]bool, na),
+		reach:  make([]bool, na),
+		na:     na,
+		n:      len(p.freqs),
 	}
 	for i, a := range g.Appliances {
 		dTx := g.rawDist(tx, a.Node)
 		dRx := g.rawDist(rx, a.Node)
 		pc.onPath[i] = !math.IsInf(dTx, 1) && !math.IsInf(dRx, 1) &&
 			dTx+dRx <= g.rawDist(tx, rx)+1.0
+		if pc.onPath[i] {
+			pc.onPathBits |= 1 << uint(i)
+		}
 		if math.IsInf(dTx, 1) || math.IsInf(dRx, 1) {
 			continue // appliance electrically unreachable
 		}
 		pc.reach[i] = true
+		pc.reachBits |= 1 << uint(i)
+	}
+	return pc
+}
+
+// ensureVec materialises the per-carrier multipath phasors of a pair core
+// (first bounce plus second-order echo per reachable appliance). The
+// computation is identical, value for value, to the historical eager
+// build; only its timing moved to the first SNR materialisation of a
+// link over this pair.
+func (p *Plane) ensureVec(pc *pairCore) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pc.pathVec != nil {
+		return
+	}
+	g := p.g
+	n := pc.n
+	vec := make([]complex128, pc.na*n)
+	for i, a := range g.Appliances[:pc.na] {
+		if !pc.reach[i] {
+			continue
+		}
+		dTx := g.rawDist(pc.tx, a.Node)
+		dRx := g.rawDist(pc.rx, a.Node)
 		dRefl := dTx + dRx + stubExtraM
-		lossDB := g.tapSumDB(tx, a.Node) + g.tapSumDB(a.Node, rx)
+		lossDB := g.tapSumDB(pc.tx, a.Node) + g.tapSumDB(a.Node, pc.rx)
 		sign := a.ReflectionSign()
-		row := pc.row(i)
+		row := vec[i*n : (i+1)*n]
 		for c, f := range p.freqs {
 			base := math.Pow(10, -(attDB(f, dRefl)+lossDB)/20)
 			p1 := -2 * math.Pi * f * dRefl / propVelocity
@@ -362,7 +386,7 @@ func (p *Plane) buildPairCore(tx, rx NodeID) *pairCore {
 				(cmplx.Rect(base, p1) + complex(echoGain, 0)*cmplx.Rect(a2, p2))
 		}
 	}
-	return pc
+	pc.pathVec = vec
 }
 
 // siteFor returns the receiver-side noise geometry at an outlet, shared
@@ -397,6 +421,9 @@ func (p *Plane) siteFor(rx NodeID) *rxSite {
 			wsum += lin
 		}
 		s.noiseW[i] = wsum / float64(n)
+		if s.noiseW[i] != 0 {
+			s.wBits |= 1 << uint(i)
+		}
 	}
 	p.sites[rx] = s
 	return s

@@ -185,18 +185,179 @@ func TestConcurrentLinksShareOnePlane(t *testing.T) {
 	wg.Wait()
 }
 
-// TestMaskMemoMatchesStateMask: the plane's memoised mask equals a direct
-// schedule evaluation at arbitrary instants.
-func TestMaskMemoMatchesStateMask(t *testing.T) {
+// TestMaskAtMatchesStateMask: the plane's timeline-served mask equals a
+// direct schedule evaluation at arbitrary instants (including repeated
+// reads, which come from the cached transition interval).
+func TestMaskAtMatchesStateMask(t *testing.T) {
 	g := officeGrid()
 	p := g.planeFor(testFreqs())
 	for _, tt := range []time.Duration{0, 7 * time.Hour, 12*time.Hour + 13*time.Second, 26 * time.Hour, 100 * time.Hour} {
 		if p.maskAt(tt) != g.StateMask(tt) {
-			t.Fatalf("mask memo diverged at %v", tt)
+			t.Fatalf("timeline mask diverged at %v", tt)
 		}
-		// Second read hits the memo and must agree too.
+		// Second read is served from the built horizon and must agree too.
 		if p.maskAt(tt) != g.StateMask(tt) {
-			t.Fatalf("memoised mask diverged at %v", tt)
+			t.Fatalf("cached timeline mask diverged at %v", tt)
+		}
+	}
+}
+
+// sparseGrid builds two electrically disconnected segments: a quiet
+// station run (always-on infrastructure only) and a switching-heavy
+// island. Every transition the timeline reports comes from the island,
+// so the station links' dirty sets are empty at every one of them.
+func sparseGrid() *Grid {
+	g := New(DefaultConfig())
+	prev := g.AddNode(0, 0, 0)
+	for i := 1; i <= 4; i++ {
+		cur := g.AddNode(float64(i)*8, 0, 0)
+		g.AddCable(prev, cur, 8)
+		prev = cur
+	}
+	g.Plug(ClassRouter, 2)
+	g.Plug(ClassServerRack, 4)
+	island := g.AddNode(0, 60, 1)
+	for k := 0; k < 6; k++ {
+		cur := g.AddNode(float64(k)*5, 65, 1)
+		g.AddCable(island, cur, 5)
+		g.Plug(ClassPhoneCharger, cur)
+		g.Plug(ClassKettle, cur)
+		island = cur
+	}
+	return g
+}
+
+// TestDirtySkipDisconnectedExact is the dirty-tracking property test for
+// the untouched side: a link whose reachable appliance set no transition
+// intersects must (a) keep its epoch pinned across every transition and
+// (b) stay bit-identical to a from-scratch rebuild at every one of them
+// — reuse is exact, not approximate.
+func TestDirtySkipDisconnectedExact(t *testing.T) {
+	g := sparseGrid()
+	freqs := testFreqs()
+	l := g.NewLink(0, 4, freqs)
+	from, to := 10*time.Hour, 16*time.Hour
+	trs := g.MaskTransitions(from, to)
+	if len(trs) < 10 {
+		t.Fatalf("island churn too low: %d transitions", len(trs)-1)
+	}
+	e0 := l.Advance(from)
+	l.SNRBase(0) // materialise up front so every transition hits the live path
+	for _, tr := range trs[1:] {
+		if e := l.Advance(tr.At); e != e0 {
+			t.Fatalf("epoch moved to %d on an unreachable transition at %v", e, tr.At)
+		}
+		if l.mask != tr.Mask {
+			t.Fatalf("skipped transition must still track the mask: %x vs %x", l.mask, tr.Mask)
+		}
+		fresh := g.NewLink(0, 4, freqs)
+		fresh.Advance(tr.At)
+		for s := 0; s < mains.Slots; s++ {
+			a, b := l.SNRBase(s), fresh.SNRBase(s)
+			for c := range a {
+				if a[c] != b[c] {
+					t.Fatalf("at %v slot %d carrier %d: reused %v != rebuilt %v", tr.At, s, c, a[c], b[c])
+				}
+			}
+		}
+		if a, b := l.ShiftDB(tr.At), fresh.ShiftDB(tr.At); a != b {
+			t.Fatalf("at %v: reused shift %v != rebuilt %v", tr.At, a, b)
+		}
+	}
+}
+
+// TestLazyReplayMatchesEagerExact is the dirty-tracking property test
+// for the replay machinery: a link that records a random toggle sequence
+// unmaterialised and replays it on first read must be bit-identical to a
+// link that materialised up front and applied every transition eagerly —
+// at every prefix of the sequence, not just the end.
+func TestLazyReplayMatchesEagerExact(t *testing.T) {
+	g := driftGrid(0)
+	freqs := testFreqs()
+	eager := g.NewLink(0, 8, freqs)
+
+	// A pseudo-random march across duty cells (mask churn on most steps).
+	r := lcg(42)
+	steps := make([]time.Duration, 120)
+	cur := 9 * time.Hour
+	for i := range steps {
+		cur += r.randDur(time.Minute, 25*time.Minute)
+		steps[i] = cur
+	}
+
+	eager.Advance(steps[0])
+	eager.SNRBase(0) // materialise immediately: the historical eager path
+	for k, tt := range steps {
+		eager.Advance(tt)
+		eager.SNRBase(k % mains.Slots) // keep every toggle applied live
+
+		if k%17 != 0 {
+			continue
+		}
+		// A fresh link replays the same prefix lazily and must land on
+		// bit-identical state once its first read forces materialisation.
+		lazy := g.NewLink(0, 8, freqs)
+		for _, pt := range steps[:k+1] {
+			lazy.Advance(pt)
+		}
+		if lazy.epoch != eager.epoch {
+			t.Fatalf("prefix %d: lazy epoch %d != eager %d", k, lazy.epoch, eager.epoch)
+		}
+		for s := 0; s < mains.Slots; s++ {
+			a, b := lazy.SNRBase(s), eager.SNRBase(s)
+			for c := range a {
+				if a[c] != b[c] {
+					t.Fatalf("prefix %d slot %d carrier %d: lazy %v != eager %v", k, s, c, a[c], b[c])
+				}
+			}
+		}
+	}
+}
+
+// TestSharedCoreMaterializationOrder: a symmetric pair shares one core
+// between its two directions; which direction materialises the shared
+// phasors first must not change a single bit of either direction's
+// state.
+func TestSharedCoreMaterializationOrder(t *testing.T) {
+	build := func() *Grid {
+		g := New(DefaultConfig())
+		s0 := g.AddNode(0, 0, 0)
+		s1 := g.AddNode(8, 0, 0)
+		s2 := g.AddNode(16, 0, 0)
+		g.AddCable(s0, s1, 8)
+		g.AddCable(s1, s2, 8)
+		g.Plug(ClassDesktopPC, s1)
+		g.Plug(ClassKettle, s1)
+		g.Plug(ClassPhoneCharger, s2)
+		return g
+	}
+	freqs := testFreqs()
+	read := func(g *Grid, matFwdFirst bool) ([]float64, []float64) {
+		f := g.NewLink(0, 2, freqs)
+		r := g.NewLink(2, 0, freqs)
+		if f.pg != r.pg {
+			t.Fatal("symmetric pair must share one geometry core")
+		}
+		tt := 11 * time.Hour
+		f.Advance(tt)
+		r.Advance(tt)
+		if matFwdFirst {
+			f.SNRBase(0)
+			r.SNRBase(0)
+		} else {
+			r.SNRBase(0)
+			f.SNRBase(0)
+		}
+		fa := append([]float64(nil), f.SNRBase(0)...)
+		ra := append([]float64(nil), r.SNRBase(0)...)
+		return fa, ra
+	}
+	g1, g2 := build(), build()
+	f1, r1 := read(g1, true)
+	f2, r2 := read(g2, false)
+	for c := range f1 {
+		if f1[c] != f2[c] || r1[c] != r2[c] {
+			t.Fatalf("carrier %d: materialisation order changed link state", c)
 		}
 	}
 }

@@ -105,8 +105,33 @@ type Estimator struct {
 	sustainOK    [mains.Slots]bool
 	sustainEpoch uint64
 
+	// CurrentPBerr memo: snapshot paths ask for the same (t, epoch)
+	// repeatedly per tick. The computation is deterministic given the
+	// estimator state and the channel epoch, so the pair keys an exact
+	// memo; any estimator mutation invalidates it (touch).
+	pbMemoT     time.Duration
+	pbMemoEpoch uint64
+	pbMemoV     float64
+	pbMemoOK    bool
+
+	// stateVer counts estimator-state mutations; snapshot caches
+	// downstream use it to decide whether a cached LinkState can still
+	// be served (see al.Versioned).
+	stateVer uint64
+
 	updates int64
 }
+
+// touch records an estimator-state mutation: memoised outputs are stale
+// and the externally visible state version moves.
+func (e *Estimator) touch() {
+	e.stateVer++
+	e.pbMemoOK = false
+}
+
+// StateVersion reports a counter that changes whenever the estimator's
+// observable state may have changed.
+func (e *Estimator) StateVersion() uint64 { return e.stateVer }
 
 // NewEstimator creates an estimator over a channel. The tone maps start as
 // the ROBO default until traffic triggers the first estimation.
@@ -136,6 +161,7 @@ func (e *Estimator) Reset() {
 	for s := range e.sustainOK {
 		e.sustainOK[s] = false
 	}
+	e.touch()
 }
 
 // Maps exposes the current tone-map set.
@@ -240,6 +266,7 @@ func (e *Estimator) estimate(t time.Duration, errorTriggered bool) {
 	e.estimated = true
 	e.lastEst = t
 	e.updates++
+	e.touch()
 	if !errorTriggered {
 		// A clean map restarts the error window at its engineered rate;
 		// error-triggered maps keep the window so sustained bursts keep
@@ -318,13 +345,22 @@ func pow10(x float64) float64 {
 // CurrentPBerr returns the live PB error rate averaged over the mains
 // slots — the quantity the ampstat management message reports.
 func (e *Estimator) CurrentPBerr(t time.Duration) float64 {
+	// Advance is an O(1) interval lookup between transitions, so it is
+	// cheap to key the memo on the channel epoch as well as the instant:
+	// a hit is exact (the computation is deterministic given estimator
+	// state, epoch and t; estimator mutations invalidate via touch).
 	epoch := e.ch.Advance(t)
+	if e.pbMemoOK && t == e.pbMemoT && epoch == e.pbMemoEpoch {
+		return e.pbMemoV
+	}
 	shift := e.ch.ShiftDB(t)
 	var s float64
 	for slot := 0; slot < mains.Slots; slot++ {
 		s += e.slotPBerr(slot, epoch, shift)
 	}
-	return s / mains.Slots
+	v := s / mains.Slots
+	e.pbMemoT, e.pbMemoEpoch, e.pbMemoV, e.pbMemoOK = t, epoch, v, true
+	return v
 }
 
 // SlotPBerrAt returns the live PB error rate in the slot active at t.
@@ -386,6 +422,7 @@ func (e *Estimator) OnSACKSample(t time.Duration, pbErrFrac float64, nPBs int) {
 const windowRefPBs = 3
 
 func (e *Estimator) ingestPBerrSample(pb float64, nPBs int) {
+	e.touch()
 	if !e.windowSet {
 		e.windowPB, e.windowSet = pb, true
 		return

@@ -113,6 +113,24 @@ func TestSnapshotDisconnectedWiFiPair(t *testing.T) {
 		if l.Connected(at) {
 			t.Fatalf("per-link query disagrees on blind spot %d→%d", st.Src, st.Dst)
 		}
+		// The blind spot is geometric, not schedule-driven: march the pair
+		// across real appliance transitions and require it to stay dark at
+		// every one of them, with same-instant repeat snapshots served from
+		// the topology's version-keyed cache.
+		trs := tb.Grid.MaskTransitions(at, at+4*time.Hour)
+		if len(trs) < 2 {
+			t.Fatal("paper floor should switch appliances within four hours")
+		}
+		for _, tr := range trs[1:] {
+			s := topo.Snapshot(tr.At)
+			far, ok := s.State(st.Src, st.Dst, core.WiFi)
+			if !ok || far.Connected || far.Capacity != 0 || far.Goodput != 0 {
+				t.Fatalf("blind-spot pair %d→%d lit up at transition %v: %+v", st.Src, st.Dst, tr.At, far)
+			}
+			if topo.Snapshot(tr.At) != s {
+				t.Fatalf("repeat snapshot at %v not served from the cache", tr.At)
+			}
+		}
 		found = true
 		break
 	}

@@ -80,7 +80,22 @@ type Link struct {
 	mcsSel MCS
 	mcsOK  bool
 	mcsSet bool
+
+	// Memoized SNR sample: fade is a pure function of t, so the second
+	// read at one instant (Throughput's lag check after MCSAt) costs a
+	// comparison instead of two hash draws.
+	snrAt  time.Duration
+	snrVal float64
+	snrSet bool
+
+	// stateVer counts EWMA advances (the link's only mutable state);
+	// snapshot caches downstream key on it (see al.Versioned).
+	stateVer uint64
 }
+
+// StateVersion reports a counter that changes whenever the link's rate
+// adaptation state may have changed.
+func (l *Link) StateVersion() uint64 { return l.stateVer }
 
 // NewLink creates the directed WiFi link src→dst using the floor-plan
 // positions of the given grid nodes.
@@ -132,7 +147,12 @@ func (l *Link) fade(t time.Duration) float64 {
 
 // SNR returns the instantaneous SNR at time t in dB.
 func (l *Link) SNR(t time.Duration) float64 {
-	return l.meanSNR() + l.fade(t)
+	if l.snrSet && t == l.snrAt {
+		return l.snrVal
+	}
+	v := l.meanSNR() + l.fade(t)
+	l.snrAt, l.snrVal, l.snrSet = t, v, true
+	return v
 }
 
 // MCSAt performs rate adaptation at time t: the sender tracks an EWMA of
@@ -144,6 +164,7 @@ func (l *Link) MCSAt(t time.Duration) (MCS, bool) {
 		return l.mcsSel, l.mcsOK
 	}
 	snr := l.SNR(t)
+	l.stateVer++
 	if !l.ewmaSet {
 		l.snrEWMA, l.ewmaSet = snr, true
 	} else {

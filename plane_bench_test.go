@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/testbed"
 )
 
@@ -66,6 +67,70 @@ func BenchmarkChannelPlaneGenFloor40(b *testing.B) {
 // (19 stations, 2 networks).
 func BenchmarkChannelPlanePaperFloor(b *testing.B) {
 	benchTopologyFeed(b, "paper")
+}
+
+// BenchmarkChannelPlaneSparseActivity measures the event-driven read
+// path under sparse appliance activity: the station segment carries only
+// always-on appliances (zero transitions), while a second, electrically
+// disconnected segment hosts the grid's switching population. Every mask
+// transition the timeline reports misses the station links' reachable
+// sets, so Advance/ShiftDB across two virtual hours of 1 s ticks must
+// stay an interval lookup plus a dirty-skip per link — cost proportional
+// to queries, not to queries × appliance activity.
+func BenchmarkChannelPlaneSparseActivity(b *testing.B) {
+	b.ReportAllocs()
+	const (
+		stations = 12
+		ticks    = 7200 // 2 h at 1 s — hundreds of (irrelevant) transitions
+		step     = time.Second
+	)
+	for i := 0; i < b.N; i++ {
+		g := grid.New(grid.DefaultConfig())
+		// Station segment: a cable chain with always-on infrastructure.
+		nodes := make([]grid.NodeID, stations)
+		nodes[0] = g.AddNode(0, 0, 0)
+		for s := 1; s < stations; s++ {
+			nodes[s] = g.AddNode(float64(s)*6, 0, 0)
+			g.AddCable(nodes[s-1], nodes[s], 6)
+		}
+		for s := 0; s < stations; s += 3 {
+			g.Plug(grid.ClassRouter, nodes[s])
+		}
+		// Disconnected segment: the switching population, electrically
+		// unreachable from every station link.
+		classes := []*grid.ApplianceClass{
+			grid.ClassPhoneCharger, grid.ClassKettle, grid.ClassLabEquipment,
+		}
+		prev := g.AddNode(0, 100, 1)
+		for k := 0; k < 20; k++ {
+			cur := g.AddNode(float64(k)*5, 105, 1)
+			g.AddCable(prev, cur, 5)
+			g.Plug(classes[k%3], cur)
+			g.Plug(classes[(k+1)%3], cur)
+			prev = cur
+		}
+
+		freqs := make([]float64, 0, 145)
+		for f := 1.8e6; f <= 30e6; f += 8 * 24414.0 {
+			freqs = append(freqs, f)
+		}
+		links := make([]*grid.Link, 0, stations-1)
+		for s := 1; s < stations; s++ {
+			links = append(links, g.NewLink(nodes[0], nodes[s], freqs))
+		}
+		start := 11 * time.Hour
+		var sink float64
+		for tick := 0; tick < ticks; tick++ {
+			t := start + time.Duration(tick)*step
+			for _, l := range links {
+				l.Advance(t)
+				sink += l.ShiftDB(t)
+			}
+		}
+		if sink != sink { // NaN guard keeps the loop observable
+			b.Fatal("NaN shift")
+		}
+	}
 }
 
 // BenchmarkChannelPlaneBuildLargeOffice isolates floor assembly + topology
