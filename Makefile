@@ -2,10 +2,22 @@
 
 SHELL := /bin/bash -o pipefail
 
-.PHONY: test bench bench-pr5 bench-pr6 bench-gate
+.PHONY: test lint bench bench-pr5 bench-pr6 bench-gate
 
 test:
 	go build ./... && go test ./...
+
+# lint runs the repo's invariant suite (cmd/reprolint: wallclock, maporder,
+# guardedby, ctxloop) in both its standalone and `go vet -vettool` modes,
+# then staticcheck and govulncheck when they are installed (CI installs
+# pinned versions; offline dev boxes skip them with a notice).
+lint:
+	go run ./cmd/reprolint ./...
+	go build -o /tmp/reprolint ./cmd/reprolint && go vet -vettool=/tmp/reprolint ./...
+	@if command -v staticcheck >/dev/null; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipping (CI runs it)"; fi
+	@if command -v govulncheck >/dev/null; then govulncheck ./...; \
+	else echo "lint: govulncheck not installed, skipping (CI runs it)"; fi
 
 # bench runs the campaign + channel-plane benchmarks once, emitting
 # benchstat-comparable output (the same artifact CI uploads).

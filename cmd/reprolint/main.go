@@ -1,0 +1,165 @@
+// Command reprolint is the multichecker for the repo's invariant suite
+// (internal/analysis): wallclock, maporder, guardedby and ctxloop. It
+// runs in two modes:
+//
+// Standalone, over package patterns (the `make lint` path):
+//
+//	reprolint ./...
+//
+// As a go vet tool, speaking the vet unitchecker protocol (-V=full,
+// -flags, and the JSON .cfg handshake), so the suite composes with the
+// standard vet driver and its build cache:
+//
+//	go vet -vettool=$(command -v reprolint) ./...
+//
+// Exit status is non-zero when any diagnostic survives suppression.
+// Suppressions use `//reprolint:allow <analyzer> -- <reason>` on or
+// directly above the flagged line; the reason is mandatory.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && strings.HasPrefix(args[0], "-V="):
+		printVersion()
+	case len(args) == 1 && args[0] == "-flags":
+		// The vet driver queries supported analyzer flags; reprolint
+		// has none.
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(unitcheck(args[0]))
+	case len(args) >= 1 && (args[0] == "-h" || args[0] == "-help" || args[0] == "--help"):
+		usage(os.Stdout)
+	default:
+		os.Exit(standalone(args))
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, "usage: reprolint [packages]\n\nAnalyzers:\n")
+	for _, a := range analysis.Analyzers() {
+		fmt.Fprintf(w, "  %-10s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(w, "\nAlso usable via: go vet -vettool=$(command -v reprolint) ./...\n")
+	fmt.Fprintf(w, "Suppress with: //reprolint:allow <analyzer> -- <reason>\n")
+}
+
+// printVersion implements the -V=full handshake the go command uses to
+// fingerprint vet tools for its build cache: the output must be
+// "<name> version devel ... buildID=<content hash>".
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("reprolint version devel buildID=%x\n", h.Sum(nil))
+}
+
+// standalone loads the given patterns (default ./...) with the go/list
+// loader and runs the full suite.
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 2
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		pkg.StripTestFiles()
+		diags, err := analysis.RunAnalyzers(pkg, analysis.Analyzers())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// vetConfig mirrors the JSON configuration cmd/go writes for vet tools
+// (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single package described by a vet .cfg file.
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+	// reprolint produces no facts, but the driver expects the vetx
+	// output file to exist for caching.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := analysis.NewVetImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	pkg, err := analysis.TypeCheck(fset, cfg.ImportPath, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 2
+	}
+	pkg.Dir = cfg.Dir
+	pkg.StripTestFiles()
+	diags, err := analysis.RunAnalyzers(pkg, analysis.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	return 2
+}

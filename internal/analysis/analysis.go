@@ -1,0 +1,223 @@
+// Package analysis is reprolint's invariant suite: repo-specific static
+// analyzers that machine-check the correctness disciplines the codebase
+// depends on — wall-clock-free simulation code, map-iteration-safe
+// deterministic artifacts, lock-discipline on annotated fields, and
+// context-aware long-running loops. The DESIGN.md section "Invariants and
+// static analysis" documents the rules and how to add an analyzer.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis (an
+// Analyzer runs once per package over a type-checked Pass and reports
+// Diagnostics) but is built on the standard library only: packages are
+// loaded via `go list -export` and type-checked with the stdlib gc
+// export-data importer (see load.go), so the suite needs no module
+// dependencies. cmd/reprolint is the multichecker driver; it also speaks
+// the `go vet -vettool` unitchecker protocol.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Run is invoked once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //reprolint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run reports violations through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	// Path is the package import path.
+	Path string
+	Fset *token.FileSet
+	// Files holds the parsed syntax trees. Test files (*_test.go) are
+	// excluded by the driver: the invariants govern simulation and
+	// artifact code, not test-harness timing.
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported violation, with its position resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{WallClock, MapOrder, GuardedBy, CtxLoop}
+}
+
+// allowPrefix is the suppression directive marker. The full form is
+//
+//	//reprolint:allow <analyzer> -- <reason>
+//
+// placed on the flagged line or on its own line immediately above. The
+// reason is mandatory; a directive without one is itself a diagnostic.
+const allowPrefix = "//reprolint:allow"
+
+// directive is one parsed //reprolint:allow comment.
+type directive struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+var directiveRe = regexp.MustCompile(`^//reprolint:allow\s+([a-z]+)\s+--\s+(\S.*)$`)
+
+// parseDirectives extracts the allow directives of a file, keyed by the
+// line they suppress. Malformed directives are reported as diagnostics
+// of the pseudo-analyzer "reprolint".
+func parseDirectives(fset *token.FileSet, f *ast.File) (map[int]directive, []Diagnostic) {
+	var bad []Diagnostic
+	out := map[int]directive{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			m := directiveRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				bad = append(bad, Diagnostic{
+					Analyzer: "reprolint",
+					Pos:      pos,
+					Message:  "malformed directive: want //reprolint:allow <analyzer> -- <reason>",
+				})
+				continue
+			}
+			if !knownAnalyzer(m[1]) {
+				bad = append(bad, Diagnostic{
+					Analyzer: "reprolint",
+					Pos:      pos,
+					Message:  fmt.Sprintf("directive names unknown analyzer %q", m[1]),
+				})
+				continue
+			}
+			out[pos.Line] = directive{analyzer: m[1], reason: m[2], pos: pos}
+		}
+	}
+	return out, bad
+}
+
+func knownAnalyzer(name string) bool {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies the given analyzers to one loaded package and
+// returns the surviving diagnostics: violations not covered by an allow
+// directive, plus any malformed directives. Diagnostics are sorted by
+// position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	// Directives are collected per file line so suppression can match a
+	// diagnostic on the directive's own line or the line below it.
+	type fileLine struct {
+		file string
+		line int
+	}
+	allows := map[fileLine]directive{}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ds, bad := parseDirectives(pkg.Fset, f)
+		diags = append(diags, bad...)
+		for line, d := range ds {
+			allows[fileLine{d.pos.Filename, line}] = d
+		}
+	}
+
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Path:      pkg.Path,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+
+	for _, d := range raw {
+		if dir, ok := allows[fileLine{d.Pos.Filename, d.Pos.Line}]; ok && dir.analyzer == d.Analyzer {
+			continue
+		}
+		// A directive on its own line suppresses the line below it.
+		if dir, ok := allows[fileLine{d.Pos.Filename, d.Pos.Line - 1}]; ok && dir.analyzer == d.Analyzer {
+			continue
+		}
+		diags = append(diags, d)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// funcFor returns the innermost and outermost function nodes enclosing
+// pos, using the file's declaration structure. Analyzers use the
+// outermost function as the scope for lock/sort dominance heuristics.
+func outermostFunc(f *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the named package-level function
+// pkgPath.name.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness mirrors golang.org/x/tools' analysistest: packages
+// under testdata/src form their own module (`fixtures`), each exercising
+// one analyzer, with expected diagnostics declared in the source as
+//
+//	expr // want `regex`
+//
+// comments. A fixture fails the test both ways: a diagnostic with no
+// matching want, and a want with no matching diagnostic. Suppression
+// directives are exercised in-fixture — a suppressed site simply carries
+// no want.
+
+var wantMarkerRe = regexp.MustCompile(`// want (.+)$`)
+var wantArgRe = regexp.MustCompile("`([^`]+)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func (e *expectation) String() string {
+	return fmt.Sprintf("%s:%d: want `%s`", filepath.Base(e.file), e.line, e.re)
+}
+
+// loadExpectations scans the package's own source files for want comments.
+func loadExpectations(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantMarkerRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+			if len(args) == 0 {
+				t.Fatalf("%s:%d: want comment with no backquoted pattern", name, i+1)
+			}
+			for _, a := range args {
+				re, err := regexp.Compile(a[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern: %v", name, i+1, err)
+				}
+				out = append(out, &expectation{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// runFixture loads one fixture package and checks the given analyzers'
+// diagnostics against its want comments.
+func runFixture(t *testing.T, rel string, analyzers ...*Analyzer) {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(src, "./"+rel)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", rel, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: loaded %d packages, want 1", rel, len(pkgs))
+	}
+	pkg := pkgs[0]
+	exps := loadExpectations(t, pkg)
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		matched := false
+		for _, e := range exps {
+			if !e.hit && e.file == d.Pos.Filename && e.line == d.Pos.Line && e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range exps {
+		if !e.hit {
+			t.Errorf("expected diagnostic never reported: %s", e)
+		}
+	}
+}
+
+func TestWallClockFixture(t *testing.T) { runFixture(t, "wallclock", WallClock) }
+func TestMapOrderFixture(t *testing.T)  { runFixture(t, "maporder", MapOrder) }
+func TestGuardedByFixture(t *testing.T) { runFixture(t, "guardedby", GuardedBy) }
+func TestCtxLoopFixture(t *testing.T)   { runFixture(t, "ctxloop", CtxLoop) }
+
+// TestCtxLoopExperimentsFixture pins the package-scoped rule: the fixture
+// module's internal/experiments path triggers the must-use-ctx check.
+func TestCtxLoopExperimentsFixture(t *testing.T) {
+	runFixture(t, "internal/experiments", CtxLoop)
+}
+
+// TestSuiteCleanOnTree is the acceptance gate in test form: the full
+// suite over the whole repository reports nothing. Every legitimate
+// wall-clock or lock-free site carries its //reprolint:allow rationale.
+func TestSuiteCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		pkg.StripTestFiles()
+		diags, err := RunAnalyzers(pkg, Analyzers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxLoop enforces cancellation discipline in long-running loops. A
+// function that accepts a context.Context promises its caller prompt
+// cancellation; the campaign engine relies on every harness honouring
+// that between measurement windows. Within any function (and the
+// closures it contains) that has a ctx parameter, loops that can run
+// long — infinite `for {}` loops, condition-only `for cond {}` loops,
+// and virtual-time sweeps (`for t := ...; t < end; t += step` over
+// time.Duration) — must touch the context: check ctx.Err(), select on
+// ctx.Done(), or forward ctx to a callee that does. Bounded integer
+// loops are exempt. In internal/experiments, every top-level function
+// taking a ctx must additionally use it at all: a runner that accepts
+// and ignores ctx silently breaks campaign cancellation for its whole
+// cost share.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc:  "require ctx.Err()/ctx.Done() checks in unbounded and virtual-time loops",
+	Run:  runCtxLoop,
+}
+
+func runCtxLoop(pass *Pass) error {
+	isExperiments := strings.HasSuffix(pass.Path, "internal/experiments")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hasContextParam(pass, fd.Type) {
+				continue
+			}
+			if isExperiments && !mentionsContext(pass, fd.Body) {
+				pass.Reportf(fd.Name.Pos(),
+					"%s accepts a context.Context but never checks or forwards it; campaign cancellation cannot reach this harness", fd.Name.Name)
+				continue
+			}
+			checkLoops(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkLoops flags long-running for-loops in body that never touch a
+// context value.
+func checkLoops(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		kind := loopKind(pass, loop)
+		if kind == "" {
+			return true
+		}
+		if mentionsContext(pass, loop.Body) {
+			return true
+		}
+		pass.Reportf(loop.Pos(),
+			"%s loop in a context-carrying function never checks ctx.Err() or ctx.Done(); cancellation cannot interrupt it", kind)
+		return true
+	})
+}
+
+// loopKind classifies a for statement: "unbounded" (no condition, or
+// condition-only), "virtual-time sweep" (induction variable of type
+// time.Duration), or "" for loops the analyzer exempts.
+func loopKind(pass *Pass, loop *ast.ForStmt) string {
+	if loop.Cond == nil || (loop.Init == nil && loop.Post == nil) {
+		return "unbounded"
+	}
+	init, ok := loop.Init.(*ast.AssignStmt)
+	if !ok {
+		return ""
+	}
+	for _, lhs := range init.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		if named, ok := obj.Type().(*types.Named); ok {
+			tn := named.Obj()
+			if tn.Pkg() != nil && tn.Pkg().Path() == "time" && tn.Name() == "Duration" {
+				return "virtual-time sweep"
+			}
+		}
+	}
+	return ""
+}
+
+// hasContextParam reports whether the function type declares a
+// context.Context parameter.
+func hasContextParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil && isContextType(obj.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// mentionsContext reports whether n references any context-typed value:
+// a ctx.Err()/ctx.Done() check, a select arm, or forwarding ctx to a
+// callee all qualify.
+func mentionsContext(pass *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && isContextType(obj.Type()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// GuardedBy enforces the repo's lock annotation convention: a struct
+// field whose comment starts with `guarded by <mu>` may only be accessed
+// in functions that demonstrably hold that mutex — the function locks it
+// (Lock/RLock anywhere in the outermost enclosing function, matching the
+// coarse lock-then-call-helpers shape the codebase uses), its doc
+// comment carries the "Caller holds <mu>" contract, or the access is on
+// a value the function itself just constructed (not yet shared).
+// Fields of sync/atomic types are checked unconditionally: they may only
+// be touched through their atomic methods, never read or copied raw.
+//
+// This is a convention checker, not a prover: it is deliberately lenient
+// about control flow (a Lock anywhere in the function clears the whole
+// function) so that every report is a missing annotation, a missing
+// lock, or a deliberate lock-free access that deserves an explicit
+// //reprolint:allow guardedby -- <reason>.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "check `guarded by <mu>` field annotations and atomic-field access discipline",
+	Run:  runGuardedBy,
+}
+
+// guardedRe matches a field annotation. The comment must start with the
+// phrase (prose may follow after a colon); comments merely mentioning a
+// guard in passing ("append guarded by mu; rows immutable") do not bind.
+var guardedRe = regexp.MustCompile(`^\s*guarded by ([A-Za-z_][\w.]*)`)
+
+var lockMethods = map[string]bool{"Lock": true, "RLock": true, "Unlock": true, "RUnlock": true}
+
+func runGuardedBy(pass *Pass) error {
+	guarded := collectGuardedFields(pass)
+	for _, f := range pass.Files {
+		checkGuardedFile(pass, f, guarded)
+	}
+	return nil
+}
+
+// collectGuardedFields maps annotated field objects to the name of the
+// mutex guarding them (the last component of a dotted annotation).
+func collectGuardedFields(pass *Pass) map[types.Object]string {
+	out := map[types.Object]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := fieldGuard(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fieldGuard extracts the guarding mutex name from a field's line or doc
+// comment, or "" when the field is unannotated.
+func fieldGuard(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := c.Text
+			switch {
+			case len(text) >= 2 && text[:2] == "//":
+				text = text[2:]
+			case len(text) >= 4:
+				text = text[2 : len(text)-2]
+			}
+			if m := guardedRe.FindStringSubmatch(text); m != nil {
+				name := m[1]
+				for i := len(name) - 1; i >= 0; i-- {
+					if name[i] == '.' {
+						return name[i+1:]
+					}
+				}
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// checkGuardedFile walks one file with an enclosing-node stack, checking
+// every field selection against the guard rules.
+func checkGuardedFile(pass *Pass, f *ast.File, guarded map[types.Object]string) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		obj := s.Obj()
+		if isAtomicType(obj.Type()) {
+			if !isMethodCallReceiver(stack, sel) {
+				pass.Reportf(sel.Sel.Pos(),
+					"atomic field %s must be accessed through its atomic methods, not read or copied directly", obj.Name())
+			}
+			return true
+		}
+		mu, ok := guarded[obj]
+		if !ok {
+			return true
+		}
+		fd := outermostFunc(f, sel.Pos())
+		if fd == nil {
+			return true // package-level initialisation
+		}
+		if funcLocks(pass, fd, mu) || docDeclaresHeld(fd, mu) || constructedLocally(pass, fd, sel) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"field %s is guarded by %s, but %s neither locks it nor documents \"Caller holds %s\"",
+			obj.Name(), mu, funcName(fd), mu)
+		return true
+	})
+}
+
+func funcName(fd *ast.FuncDecl) string { return fd.Name.Name }
+
+// isAtomicType reports whether t is a named type of package sync/atomic
+// (atomic.Uint64, atomic.Bool, atomic.Pointer[T], ...).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// isMethodCallReceiver reports whether sel is the receiver of a method
+// call, i.e. the x.F in x.F.Load(...).
+func isMethodCallReceiver(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	parent, ok := stack[len(stack)-2].(*ast.SelectorExpr)
+	if !ok || parent.X != sel {
+		return false
+	}
+	call, ok := stack[len(stack)-3].(*ast.CallExpr)
+	return ok && call.Fun == parent
+}
+
+// funcLocks reports whether fd's body contains any Lock/RLock/Unlock
+// call on a mutex named mu.
+func funcLocks(pass *Pass, fd *ast.FuncDecl, mu string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		m, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !lockMethods[m.Sel.Name] {
+			return true
+		}
+		switch x := m.X.(type) {
+		case *ast.Ident:
+			found = x.Name == mu
+		case *ast.SelectorExpr:
+			found = x.Sel.Name == mu
+		}
+		return !found
+	})
+	return found
+}
+
+var callerHoldsRe = regexp.MustCompile(`[Cc]aller(s)? (must )?hold`)
+
+// docDeclaresHeld reports whether fd's doc comment states the "Caller
+// holds <mu>" contract for the given mutex.
+func docDeclaresHeld(fd *ast.FuncDecl, mu string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	text := fd.Doc.Text()
+	if !callerHoldsRe.MatchString(text) {
+		return false
+	}
+	return regexp.MustCompile(`\b` + regexp.QuoteMeta(mu) + `\b`).MatchString(text)
+}
+
+// constructedLocally reports whether the base variable of the selection
+// was built from a composite literal inside fd — a value the function
+// owns exclusively, which needs no lock yet.
+func constructedLocally(pass *Pass, fd *ast.FuncDecl, sel *ast.SelectorExpr) bool {
+	base := sel.X
+	for {
+		switch x := base.(type) {
+		case *ast.ParenExpr:
+			base = x.X
+		case *ast.StarExpr:
+			base = x.X
+		case *ast.SelectorExpr:
+			base = x.X
+		case *ast.IndexExpr:
+			base = x.X
+		default:
+			id, ok := base.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			if obj == nil {
+				return false
+			}
+			return isCompositeLocal(pass, fd, obj)
+		}
+	}
+}
+
+// isCompositeLocal reports whether obj is assigned from a composite
+// literal (possibly &-addressed) within fd.
+func isCompositeLocal(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || pass.TypesInfo.ObjectOf(id) != obj || len(as.Rhs) <= i {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if u, ok := rhs.(*ast.UnaryExpr); ok {
+				rhs = u.X
+			}
+			if _, ok := rhs.(*ast.CompositeLit); ok {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

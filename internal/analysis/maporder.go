@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose body builds ordered output —
+// appending to a slice that is never subsequently sorted, writing to an
+// encoder/writer, printing, or sending on a channel. Go's map iteration
+// order is deliberately randomised, so any artifact assembled this way
+// differs run to run; the campaign plane's byte-identical JSON contract
+// (and the PR 3 isolated-rig tap ordering bug) are exactly this class.
+// Commutative folds — writes keyed by the ranged map's own keys, counter
+// and sum accumulation — are not flagged, and an append is cleared by a
+// dominating sort: a sort.*/slices.Sort* call on the accumulated slice
+// after the loop in the same function.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration that builds ordered output without a dominating sort",
+	Run:  runMapOrder,
+}
+
+// orderedSinkMethods are method names that emit to an order-sensitive
+// sink (encoders, writers, printers).
+var orderedSinkMethods = map[string]bool{
+	"Encode": true, "Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Print": true, "Printf": true, "Println": true,
+}
+
+// sortFuncs are the package-level sort entry points that establish a
+// deterministic order over a collected slice.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, file, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	fn := outermostFunc(file, rng.Pos())
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration emits values in nondeterministic order")
+		case *ast.AssignStmt:
+			reportUnsortedAppend(pass, fn, rng, n)
+		case *ast.CallExpr:
+			reportOrderedSink(pass, n)
+		}
+		return true
+	})
+}
+
+// reportUnsortedAppend flags `v = append(v, ...)` inside a map range when
+// v outlives the loop and is never sorted afterwards. Index-expression
+// targets (m2[k] = append(m2[k], ...)) are keyed accumulation —
+// commutative — and are skipped.
+func reportUnsortedAppend(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(as.Lhs) <= i {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || pass.TypesInfo.Uses[id] != types.Universe.Lookup("append") {
+			continue
+		}
+		target, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue // keyed (commutative) or field accumulation
+		}
+		obj := pass.TypesInfo.ObjectOf(target)
+		if obj == nil || obj.Pos() == 0 {
+			continue
+		}
+		if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+			continue // loop-local accumulator, consumed per iteration
+		}
+		if fn != nil && sortedAfter(pass, fn, rng, obj) {
+			continue
+		}
+		pass.Reportf(as.Pos(),
+			"append to %s inside map iteration without a dominating sort makes its order nondeterministic (sort %s after the loop, or range over sorted keys)",
+			target.Name, target.Name)
+	}
+}
+
+// reportOrderedSink flags calls that emit to an order-sensitive sink:
+// fmt printers and encoder/writer methods.
+func reportOrderedSink(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil {
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			name := fn.Name()
+			if name != "Errorf" && name != "Sprintf" && name != "Sprint" && name != "Sprintln" {
+				pass.Reportf(call.Pos(), "fmt.%s inside map iteration prints in nondeterministic order", name)
+			}
+			return
+		}
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal && orderedSinkMethods[sel.Sel.Name] {
+		pass.Reportf(call.Pos(), "%s call inside map iteration writes in nondeterministic order", sel.Sel.Name)
+	}
+}
+
+// sortedAfter reports whether obj (a slice variable appended to inside
+// rng) is passed to a sort call after the loop in the same function.
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		cfn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || cfn.Pkg() == nil {
+			return true
+		}
+		names := sortFuncs[cfn.Pkg().Path()]
+		if names == nil || !names[cfn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,89 @@
+// Package ctxloop exercises the ctxloop analyzer's loop rules: unbounded
+// and virtual-time-sweep loops inside context-carrying functions must
+// observe the context. sweepBad is the PR 1 harness shape (a time sweep
+// with no cancellation check) that PR 7 fixed across the experiment
+// harnesses.
+package ctxloop
+
+import (
+	"context"
+	"time"
+)
+
+func sweepBad(ctx context.Context, dur time.Duration) error {
+	for t := time.Duration(0); t < dur; t += time.Second { // want `virtual-time sweep loop`
+		step(t)
+	}
+	return nil
+}
+
+func sweepGood(ctx context.Context, dur time.Duration) error {
+	for t := time.Duration(0); t < dur; t += time.Second {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		step(t)
+	}
+	return nil
+}
+
+func drainBad(ctx context.Context, ch chan int) {
+	for { // want `unbounded loop`
+		v, ok := <-ch
+		if !ok {
+			return
+		}
+		step(time.Duration(v))
+	}
+}
+
+func drainGood(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v, ok := <-ch:
+			if !ok {
+				return
+			}
+			step(time.Duration(v))
+		}
+	}
+}
+
+// boundedCounter loops over an integer induction variable — exempt, they
+// cannot run unboundedly long.
+func boundedCounter(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// reorderBuffer is repro.go's drain shape: syntactically unbounded but
+// strictly emptying a bounded buffer, so it carries an allow directive.
+func reorderBuffer(ctx context.Context, pending map[int]int) []int {
+	var out []int
+	next := 0
+	//reprolint:allow ctxloop -- drains a bounded buffer; every iteration removes an entry, so it terminates without waiting
+	for {
+		v, ok := pending[next]
+		if !ok {
+			break
+		}
+		delete(pending, next)
+		next++
+		out = append(out, v)
+	}
+	return out
+}
+
+func step(time.Duration) {}
+
+var _ = sweepBad
+var _ = sweepGood
+var _ = drainBad
+var _ = drainGood
+var _ = boundedCounter
+var _ = reorderBuffer

@@ -1,0 +1,66 @@
+// Package guardedby exercises the guardedby analyzer. The plane struct
+// mirrors internal/grid's shared channel plane: mu-guarded memo caches
+// next to a lock-free atomic generation counter (the PR 5/6 shape).
+package guardedby
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type plane struct {
+	mu    sync.Mutex
+	pairs map[int]int // guarded by mu
+	hits  int         // guarded by mu
+	gen   atomic.Uint64
+
+	// Append guarded by mu; rows are immutable once written, so reads
+	// may go lock-free. (Prose mention — deliberately not binding.)
+	app []int
+}
+
+func (p *plane) lookupLocked(k int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hits++
+	return p.pairs[k]
+}
+
+func (p *plane) lookupRacy(k int) int {
+	return p.pairs[k] // want `field pairs is guarded by mu`
+}
+
+// flushLocked clears the memo. Caller holds mu.
+func (p *plane) flushLocked() {
+	p.pairs = map[int]int{}
+}
+
+// newPlane touches guarded fields on a value it just built and has not
+// shared yet — no lock needed.
+func newPlane() *plane {
+	p := &plane{pairs: map[int]int{}}
+	p.hits = 0
+	return p
+}
+
+func (p *plane) bump() uint64 {
+	return p.gen.Add(1)
+}
+
+func (p *plane) rawCopy() atomic.Uint64 {
+	return p.gen // want `atomic field gen must be accessed through its atomic methods`
+}
+
+// rowAt reads an immutable row lock-free; the prose comment on app does
+// not bind, so this is clean by design.
+func (p *plane) rowAt(i int) int {
+	return p.app[i]
+}
+
+var _ = (*plane).lookupLocked
+var _ = (*plane).lookupRacy
+var _ = (*plane).flushLocked
+var _ = newPlane
+var _ = (*plane).bump
+var _ = (*plane).rawCopy
+var _ = (*plane).rowAt

@@ -1,0 +1,37 @@
+// Package experiments mirrors the real harness package path. In any
+// package whose import path ends in internal/experiments, the ctxloop
+// analyzer additionally requires every context-accepting function to use
+// its context at all: a runner that ignores ctx silently breaks campaign
+// cancellation for its whole cost share.
+package experiments
+
+import (
+	"context"
+	"time"
+)
+
+type result struct{ N int }
+
+// runIgnoresCtx is the pre-fix runner shape: accepts ctx, never checks it.
+func runIgnoresCtx(ctx context.Context, dur time.Duration) (*result, error) { // want `runIgnoresCtx accepts a context\.Context but never checks or forwards it`
+	r := &result{}
+	for t := time.Duration(0); t < dur; t += time.Second {
+		r.N++
+	}
+	return r, nil
+}
+
+// runChecksCtx is the fixed shape, matching the fig04 idiom.
+func runChecksCtx(ctx context.Context, dur time.Duration) (*result, error) {
+	r := &result{}
+	for t := time.Duration(0); t < dur; t += time.Second {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r.N++
+	}
+	return r, nil
+}
+
+var _ = runIgnoresCtx
+var _ = runChecksCtx

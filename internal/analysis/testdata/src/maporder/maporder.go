@@ -1,0 +1,82 @@
+// Package maporder exercises the maporder analyzer. collectTapsBad is the
+// PR 3 isolated-rig bug distilled: tap node IDs collected from a map into
+// a slice that feeds an ordered artifact, without a sort.
+package maporder
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+func collectTapsBad(taps map[int]float64) []int {
+	var nodes []int
+	for n := range taps {
+		nodes = append(nodes, n) // want `append to nodes inside map iteration`
+	}
+	return nodes
+}
+
+// collectTapsGood is the fixed shape: the sort after the loop dominates
+// the append, so iteration order cannot leak into the artifact.
+func collectTapsGood(taps map[int]float64) []int {
+	var nodes []int
+	for n := range taps {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	return nodes
+}
+
+// keyedFold accumulates under the ranged map's own keys — commutative,
+// never flagged.
+func keyedFold(m map[string][]int) map[string][]int {
+	out := map[string][]int{}
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}
+
+// localAccumulator appends to a slice that dies with each iteration; its
+// order cannot escape the loop.
+func localAccumulator(m map[string][]float64) float64 {
+	total := 0.0
+	for _, vs := range m {
+		var tmp []float64
+		tmp = append(tmp, vs...)
+		total += tmp[len(tmp)-1]
+	}
+	return total
+}
+
+func printBad(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside map iteration`
+	}
+}
+
+func sendBad(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside map iteration`
+	}
+}
+
+func encodeBad(m map[string]int, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for k := range m {
+		if err := enc.Encode(k); err != nil { // want `Encode call inside map iteration`
+			return err
+		}
+	}
+	return nil
+}
+
+var _ = collectTapsBad
+var _ = collectTapsGood
+var _ = keyedFold
+var _ = localAccumulator
+var _ = printBad
+var _ = sendBad
+var _ = encodeBad

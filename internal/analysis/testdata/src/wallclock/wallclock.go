@@ -1,0 +1,49 @@
+// Package wallclock exercises the wallclock analyzer. The bad shapes are
+// distilled from the campaign runner's Elapsed measurement — the one real
+// wall-clock site in the tree, which carries an allow directive there.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// runJob mirrors internal/campaign/run.go's outcome timing, pre-annotation.
+func runJob() time.Duration {
+	begin := time.Now() // want `time\.Now reads the wall clock`
+	work()
+	return time.Since(begin) // want `time\.Since reads the wall clock`
+}
+
+// allowedTiming is the annotated variant: harness wall-time accounting.
+func allowedTiming() time.Duration {
+	begin := time.Now() //reprolint:allow wallclock -- harness wall-time accounting, never fed into simulated results
+	work()
+	elapsed := time.Since(begin) //reprolint:allow wallclock -- harness wall-time accounting, never fed into simulated results
+	return elapsed
+}
+
+func jitter() float64 {
+	return rand.Float64() // want `math/rand\.Float64 draws from the global random stream`
+}
+
+// seededJitter is the sanctioned alternative: a locally owned generator.
+func seededJitter(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// badDirective shows that a directive without the mandatory reason is
+// itself reported and suppresses nothing.
+func badDirective() time.Duration {
+	//reprolint:allow wallclock missing the separator // want `malformed directive`
+	return time.Since(time.Unix(0, 0)) // want `time\.Since reads the wall clock`
+}
+
+func work() {}
+
+var _ = runJob
+var _ = allowedTiming
+var _ = jitter
+var _ = seededJitter
+var _ = badDirective

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock forbids wall-clock reads and the global math/rand stream in
+// simulation code. Results must be a pure function of (scenario, seed,
+// virtual time): time.Now/Since/Until smuggle host time into a run, and
+// the package-level math/rand functions draw from a process-global
+// stream whose state depends on everything else that ran. Simulation
+// code uses virtual time.Duration instants, seeded *rand.Rand streams,
+// or internal/detrand pure hashes. The few legitimate wall-clock sites
+// (campaign wall-time accounting, benchmark harnesses) carry
+// //reprolint:allow wallclock -- <reason> directives.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/Since/Until and global math/rand in simulation-deterministic code",
+	Run:  runWallClock,
+}
+
+// wallClockFuncs are the forbidden time package functions.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are the math/rand functions that build seeded,
+// locally owned generators — the required alternative, never flagged.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runWallClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(id.Pos(),
+						"time.%s reads the wall clock; simulation code must be a function of virtual time (or annotate: //reprolint:allow wallclock -- <reason>)",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					pass.Reportf(id.Pos(),
+						"%s.%s draws from the global random stream; use a seeded *rand.Rand or internal/detrand",
+						fn.Pkg().Path(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -267,9 +267,9 @@ func runOne(ctx context.Context, cfg experiments.Config, job Job, worker int, ti
 		defer sess.Close()
 	}
 	emit(Event{Kind: EventStarted, Job: job, Worker: worker})
-	begin := time.Now()
+	begin := time.Now() //reprolint:allow wallclock -- JobOutcome.Elapsed reports real harness cost; it never feeds simulated results
 	res, err := runExperiment(runCtx, job.Experiment.ID, cfg)
-	elapsed := time.Since(begin)
+	elapsed := time.Since(begin) //reprolint:allow wallclock -- wall-clock half of the Elapsed measurement above
 	if err != nil {
 		// Failed harnesses return typed-nil results through the Result
 		// interface; normalise so JobOutcome.Result == nil holds.

@@ -109,6 +109,9 @@ func RunFig03(ctx context.Context, cfg Config) (*Fig03Result, error) {
 		// throughput sample per 100 ms interval (the paper measures the
 		// two back to back; the channel regime is identical either way).
 		for t := start; t < start+dur; t += step {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			pl.Saturate(t, t+step, step)
 			pSer = append(pSer, pl.Throughput(t+step))
 			wSer = append(wSer, wl.Throughput(t))

@@ -103,6 +103,9 @@ func RunFig07(ctx context.Context, cfg Config) (*Fig07Result, error) {
 			var pbSum float64
 			var pbN int
 			for t := start; t < start+dur; t += 200 * time.Millisecond {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				l.Saturate(t, t+200*time.Millisecond, 200*time.Millisecond)
 				pbSum += l.PBerr(t + 200*time.Millisecond)
 				pbN++

@@ -85,6 +85,9 @@ func RunFig11(ctx context.Context, cfg Config) (*Fig11Result, error) {
 		l.Est.OnUpdate = func(t time.Duration) { updateTimes = append(updateTimes, t) }
 		ser := &stats.Series{}
 		for t := nightStart; t < nightStart+dur; t += 50 * time.Millisecond {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			l.Saturate(t, t+50*time.Millisecond, 50*time.Millisecond)
 			ser.Add(t, l.AvgBLE())
 		}

@@ -93,6 +93,9 @@ func RunFig16(ctx context.Context, cfg Config) (*Fig16Result, error) {
 		}
 		nextSample := nightStart
 		for t := nightStart; t < nightStart+dur; t += interval {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			l.Probe(t, 1300, 1)
 			if t >= nextSample {
 				c.Curve.Add(t-nightStart, l.AvgBLE())
@@ -198,12 +201,18 @@ func RunFig17(ctx context.Context, cfg Config) (*Fig17Result, error) {
 		l.Est.Reset()
 		const interval = time.Second / 20
 		for t := nightStart; t < nightStart+warm; t += interval {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			l.Probe(t, 1300, 1)
 		}
 		before := l.AvgBLE()
 		resume := nightStart + warm + pause
 		// First probes after the pause (one second's worth).
 		for t := resume; t < resume+time.Second; t += interval {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			l.Probe(t, 1300, 1)
 		}
 		after := l.AvgBLE()

@@ -97,6 +97,9 @@ func RunFig18(ctx context.Context, cfg Config) (*Fig18Result, error) {
 		}
 		l.Est.Reset()
 		for t := nightStart; t < nightStart+dur; t += time.Second {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			l.Probe(t, size, 1)
 		}
 		final := l.AvgBLE()

@@ -92,6 +92,9 @@ func RunFig19(ctx context.Context, cfg Config) (*Fig19Result, error) {
 		warmLink(l, nightStart)
 		ser := &stats.Series{}
 		for t := nightStart; t < nightStart+dur; t += 50 * time.Millisecond {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			l.Saturate(t, t+50*time.Millisecond, 50*time.Millisecond)
 			ser.Add(t, l.AvgBLE())
 		}

@@ -118,6 +118,9 @@ func RunFig20(ctx context.Context, cfg Config) (*Fig20Result, error) {
 		plcAL := al.NewPLC(pl, al.WithCapacityProbe(1300, 1))
 		// Warm PLC estimation with probe traffic.
 		for t := workingHoursStart - 30*time.Second; t < workingHoursStart; t += time.Second {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			plcAL.ProbeTrain(t, 1300, 1)
 		}
 		return []al.Link{al.NewWiFi(a, b, wl), plcAL}, nil

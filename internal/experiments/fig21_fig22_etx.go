@@ -209,6 +209,9 @@ func RunFig22(ctx context.Context, cfg Config) (*Fig22Result, error) {
 		var counts []int
 		var pbSum float64
 		for t := workingHoursStart; t < workingHoursStart+dur; t += 75 * time.Millisecond {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			r := l.SendUnicast(t, 1500, u)
 			counts = append(counts, r.Transmissions)
 			pbSum += l.PBerr(t)

@@ -70,9 +70,9 @@ type Grid struct {
 	// geometry now materialises lazily on first SNR read, which may
 	// happen from concurrently driven links.
 	routeMu  sync.Mutex
-	distRows [][]float64 // per-source Dijkstra rows, indexed by NodeID
-	tapLoss  []float64   // per-node structural tap loss (dB)
-	tapRows  [][]float64 // per-source tap-loss sums, indexed by NodeID
+	distRows [][]float64 // guarded by routeMu: per-source Dijkstra rows, indexed by NodeID
+	tapLoss  []float64   // guarded by routeMu: per-node structural tap loss (dB)
+	tapRows  [][]float64 // guarded by routeMu: per-source tap-loss sums, indexed by NodeID
 
 	// planes are the shared channel engines, one per carrier plan in
 	// use (see Plane). Links created over the same plan share all
@@ -85,13 +85,13 @@ type Grid struct {
 	// binary search instead of a schedule walk. tlGen ties per-link
 	// interval caches to the current appliance population.
 	tlMu    sync.Mutex
-	tlGen   atomic.Uint64
-	tlValid bool
-	tlFrom  time.Duration
-	tlTo    time.Duration
-	tlMask0 uint64
-	tlTimes []time.Duration
-	tlMasks []uint64
+	tlGen   atomic.Uint64   // bumped under tlMu; read lock-free by Link.Advance
+	tlValid bool            // guarded by tlMu
+	tlFrom  time.Duration   // guarded by tlMu
+	tlTo    time.Duration   // guarded by tlMu
+	tlMask0 uint64          // guarded by tlMu
+	tlTimes []time.Duration // guarded by tlMu
+	tlMasks []uint64        // guarded by tlMu
 
 	seed         int64
 	resyncEpochs int

@@ -51,17 +51,19 @@ type Plane struct {
 	bgW   float64   // band average
 
 	// Per-appliance shared electrical constants, grown on demand.
+	// Append guarded by mu; rows are immutable once written, so the
+	// hot paths (coeff, tapFactor, addNoise) index them lock-free.
 	app []applianceShared
 
-	pairs map[pairKey]*pairEntry
-	sites map[NodeID]*rxSite
+	pairs map[pairKey]*pairEntry // guarded by mu
+	sites map[NodeID]*rxSite     // guarded by mu
 
 	// Flicker/impulse factors at one instant, shared by every link's
 	// ShiftDB (the per-appliance factor is mask- and pair-independent).
-	shiftT    time.Duration
-	shiftInit bool
-	shiftOK   []bool
-	shiftVal  []float64
+	shiftT    time.Duration // guarded by mu
+	shiftInit bool          // guarded by mu
+	shiftOK   []bool        // guarded by mu
+	shiftVal  []float64     // guarded by mu
 }
 
 // applianceShared bundles the per-appliance constants every link used to

@@ -1,0 +1,97 @@
+package grid
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdvanceIntervalRaceStress pins the tlGen protocol behind Link.Advance's
+// lock-free interval fast path: concurrent readers sweep their own links
+// through virtual time — crossing chunk boundaries (horizon extensions) and
+// making random jumps (horizon restarts) — while another goroutine bumps the
+// timeline generation through invalidateTimeline, the timeline half of Plug.
+// The invariant each reader asserts is the one the fast path must preserve:
+// after Advance(t), the link's applied mask equals a direct schedule walk at
+// t, no matter how the generation moved underneath it. Real Plug calls (which
+// also grow the appliance population and therefore the plane's shared rows)
+// happen only at barriers between phases, because appliance growth is not
+// part of the lock-free contract; each phase gets a fresh link so the plane
+// state covers the new population before readers restart.
+//
+// Run with -race: the assertions catch stale-interval bugs, the detector
+// catches any unsynchronised access the tlGen/tlMu protocol fails to order.
+func TestAdvanceIntervalRaceStress(t *testing.T) {
+	g := officeGrid()
+	freqs := testFreqs()
+
+	const readers = 8
+	links := make([]*Link, readers)
+	for i := range links {
+		links[i] = g.NewLink(NodeID(i%11), NodeID(11+i%5), freqs)
+	}
+
+	for phase := 0; phase < 3; phase++ {
+		// Each phase spans more than two horizon chunks so extension and
+		// restart both happen while the invalidator is racing.
+		start := 2*time.Hour + time.Duration(phase)*16*time.Hour
+		window := 14 * time.Hour
+
+		stop := make(chan struct{})
+		var inval sync.WaitGroup
+		inval.Add(1)
+		go func() {
+			defer inval.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					g.invalidateTimeline()
+					runtime.Gosched()
+				}
+			}
+		}()
+
+		var wg sync.WaitGroup
+		for i, l := range links {
+			wg.Add(1)
+			go func(l *Link, id int) {
+				defer wg.Done()
+				r := lcg(uint64(phase*readers + id + 1))
+				step := window / time.Duration(2000+137*id)
+				lastEpoch := l.Epoch()
+				for tt := start; tt < start+window; {
+					ep := l.Advance(tt)
+					if ep < lastEpoch {
+						t.Errorf("link %d: epoch went backwards at %v: %d -> %d", id, tt, lastEpoch, ep)
+						return
+					}
+					lastEpoch = ep
+					if want := g.StateMask(tt); l.mask != want {
+						t.Errorf("link %d: after Advance(%v) mask %x, StateMask %x", id, tt, l.mask, want)
+						return
+					}
+					if r.next()%64 == 0 {
+						tt = r.randDur(start, start+window) // force horizon restarts
+					} else {
+						tt += step
+					}
+				}
+			}(l, i)
+		}
+		wg.Wait()
+		close(stop)
+		inval.Wait()
+		if t.Failed() {
+			return
+		}
+
+		// Barrier: grow the appliance population the way campaigns do, then
+		// lease a fresh link so the plane's shared per-appliance rows cover
+		// the newcomer before the next phase's lock-free reads.
+		g.Plug(ClassDesktopPC, NodeID(11+phase))
+		links[phase%readers] = g.NewLink(NodeID(phase%11), NodeID(11+phase%5), freqs)
+	}
+}

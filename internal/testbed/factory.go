@@ -18,9 +18,9 @@ import (
 // not (each experiment drives its own).
 type Factory struct {
 	mu     sync.Mutex
-	idle   map[Options][]*Testbed
-	built  int
-	reused int
+	idle   map[Options][]*Testbed // guarded by mu
+	built  int                    // guarded by mu
+	reused int                    // guarded by mu
 }
 
 // NewFactory returns an empty testbed pool.
@@ -80,7 +80,7 @@ func (f *Factory) put(tb *Testbed) {
 type Session struct {
 	f      *Factory
 	mu     sync.Mutex
-	leased []*Testbed
+	leased []*Testbed // guarded by mu
 }
 
 // Session opens a new lease scope on the pool.

@@ -359,6 +359,7 @@ func RunAll(ctx context.Context, w io.Writer, cfg ExperimentConfig) ([]Experimen
 stream:
 	for o := range run.Outcomes() {
 		pending[index[o.Job]] = o
+		//reprolint:allow ctxloop -- drains the bounded pending reorder buffer; every iteration deletes an entry, so it terminates without waiting
 		for {
 			head, ok := pending[next]
 			if !ok {
