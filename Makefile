@@ -19,10 +19,10 @@ lint:
 	@if command -v govulncheck >/dev/null; then govulncheck ./...; \
 	else echo "lint: govulncheck not installed, skipping (CI runs it)"; fi
 
-# bench runs the campaign + channel-plane benchmarks once, emitting
-# benchstat-comparable output (the same artifact CI uploads).
+# bench runs the campaign + channel-plane + floor-fanout benchmarks once,
+# emitting benchstat-comparable output (the same artifact CI uploads).
 bench:
-	go test -run NONE -bench 'Campaign|ChannelPlane' -benchtime 1x -count 1 . | tee bench.txt
+	go test -run NONE -bench 'Campaign|ChannelPlane|FloorFanout' -benchtime 1x -count 1 . | tee bench.txt
 
 # bench-pr5 regenerates BENCH_PR5.json's "current" measurements on this
 # machine (the pinned pre-refactor baseline block is preserved) and the

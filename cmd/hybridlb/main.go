@@ -4,6 +4,11 @@
 // per-second goodput for WiFi-only, PLC-only, the capacity-proportional
 // hybrid, and the round-robin baseline.
 //
+// The per-second loop is hosted on the floor runtime: a Runtime ticks the
+// pair at 1s cadence (ProbeTrain as the PreTick traffic source), and the
+// command consumes its own floor's diff stream like any remote tenant
+// would — folding updates into a state table with floor.Apply.
+//
 // Usage:
 //
 //	hybridlb -a 0 -b 4 -for 60s -spec AV500
@@ -19,6 +24,7 @@ import (
 	"repro/cmd/internal/cli"
 	"repro/internal/al"
 	"repro/internal/core"
+	"repro/internal/floor"
 	"repro/internal/hybrid"
 )
 
@@ -56,16 +62,45 @@ func main() {
 	topo.Add(wifiAL)
 	topo.Add(plcAL)
 
-	// Per-second loop on the batched read path: one probe keeps the PLC
-	// estimation fresh (the §7 rule — tone maps exist only under
-	// traffic), then a single topology snapshot evaluates both links once
-	// and prices every scheduler against it (repeated reads at one tick
-	// would hit the topology's version-checked snapshot cache).
+	// Host the pair on a floor runtime: every tick probes the PLC link
+	// (the §7 rule — tone maps exist only under traffic) and evaluates
+	// both links in one batched snapshot; the runtime publishes only the
+	// states that moved, and this command replays its own floor's stream
+	// exactly as a remote subscriber would.
+	rt, err := floor.New(floor.Config{
+		ID:       fmt.Sprintf("link-%d-%d", *a, *b),
+		Topology: topo,
+		Start:    start,
+		Cadence:  time.Second,
+		PreTick:  func(t time.Duration) { plcAL.ProbeTrain(t, 1300, 1) },
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridlb:", err)
+		os.Exit(1)
+	}
+	defer rt.Close()
+	sub, _, _ := rt.Subscribe() // before the first tick: no bootstrap yet
+	defer sub.Close()
+
+	wifiKey := floor.Key{Src: *a, Dst: *b, Medium: core.WiFi}
+	plcKey := floor.Key{Src: *a, Dst: *b, Medium: core.PLC}
+	var table map[floor.Key]al.LinkState
+
 	fmt.Printf("# link %d-%d: per-second goodput (Mb/s)\n", *a, *b)
 	fmt.Println("#    t   wifi    plc  hybrid  round-robin")
 	for t := start; t < start+*total; t += time.Second {
-		plcAL.ProbeTrain(t, 1300, 1)
-		states := topo.Snapshot(t).States()
+		if err := rt.AdvanceTo(t); err != nil {
+			fmt.Fprintln(os.Stderr, "hybridlb:", err)
+			os.Exit(1)
+		}
+		for {
+			u, _, ok := sub.TryNext()
+			if !ok {
+				break
+			}
+			table = floor.Apply(table, u)
+		}
+		states := []al.LinkState{table[wifiKey], table[plcKey]}
 		h := hybrid.AggregateFromStates(hybrid.Proportional{}, states)
 		rr := hybrid.AggregateFromStates(hybrid.RoundRobin{}, states)
 		fmt.Printf("%5.0fs  %5.1f  %5.1f  %6.1f  %11.1f\n",

@@ -92,6 +92,43 @@ func RegisterScenarioFlag() *string {
 	return scenarioFlag(flag.CommandLine)
 }
 
+// FleetFlags are the flags of the floor-hosting service: the shared
+// -seed/-spec/-decimate testbed trio applied to every tenant, plus the
+// -floors tenant list (the plural of -scenario, sharing its grammar).
+type FleetFlags struct {
+	Seed     *int64
+	Spec     *string
+	Decimate *int
+	Floors   *string
+}
+
+// RegisterFleetFlags installs the fleet flags on the default flag set.
+// Call before flag.Parse.
+func RegisterFleetFlags() *FleetFlags {
+	return RegisterFleetFlagsOn(flag.CommandLine)
+}
+
+// RegisterFleetFlagsOn is RegisterFleetFlags on an explicit flag set.
+func RegisterFleetFlagsOn(fs *flag.FlagSet) *FleetFlags {
+	def := testbed.DefaultOptions()
+	return &FleetFlags{
+		Seed:     seedFlag(fs, def.Seed),
+		Spec:     fs.String("spec", specFlagValue(def.Spec), "HomePlug generation: AV or AV500"),
+		Decimate: decimateFlag(fs, def.Decimate),
+		Floors: fs.String("floors", scenario.DefaultName+",flat",
+			fmt.Sprintf("comma-separated tenant floors: %s, gen: specs, or all", strings.Join(scenario.Names(), ", "))),
+	}
+}
+
+// Options assembles the testbed options every tenant floor shares.
+func (f *FleetFlags) Options() (testbed.Options, error) {
+	spec, err := ParseSpec(*f.Spec)
+	if err != nil {
+		return testbed.Options{}, err
+	}
+	return testbed.Options{Spec: spec, Decimate: *f.Decimate, Seed: *f.Seed}, nil
+}
+
 // SplitIDs parses a comma-separated id selection (-run fig20,fig03),
 // trimming whitespace and skipping empty entries.
 func SplitIDs(sel string) []string {

@@ -143,6 +143,43 @@ func TestSharedFlagRegistrations(t *testing.T) {
 	}
 }
 
+// TestFleetFlagRegistration checks the fleet set carries the same
+// -seed/-spec/-decimate trio as the testbed set (same defaults, same
+// help text), that -floors shares the scenario grammar, and that its
+// default expands to valid, buildable tenant specs.
+func TestFleetFlagRegistration(t *testing.T) {
+	tfs := flag.NewFlagSet("testbed", flag.ContinueOnError)
+	ffs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	RegisterTestbedFlagsOn(tfs)
+	ff := RegisterFleetFlagsOn(ffs)
+
+	for _, name := range []string{"seed", "spec", "decimate"} {
+		tf, flf := tfs.Lookup(name), ffs.Lookup(name)
+		if tf == nil || flf == nil {
+			t.Fatalf("-%s missing from a shared flag set", name)
+		}
+		if tf.DefValue != flf.DefValue || tf.Usage != flf.Usage {
+			t.Fatalf("-%s drifted: testbed (%q, %q) vs fleet (%q, %q)",
+				name, tf.DefValue, tf.Usage, flf.DefValue, flf.Usage)
+		}
+	}
+	if ffs.Lookup("scenario") != nil {
+		t.Fatal("fleet set must not carry -scenario (-floors is its plural)")
+	}
+	specs := SplitScenarios(*ff.Floors)
+	if len(specs) < 2 {
+		t.Fatalf("default -floors must name at least two tenants, got %v", specs)
+	}
+	for _, s := range specs {
+		if _, err := scenario.Parse(s); err != nil {
+			t.Fatalf("default -floors entry %q does not parse: %v", s, err)
+		}
+	}
+	if opts, err := ff.Options(); err != nil || opts.Seed != testbed.DefaultOptions().Seed {
+		t.Fatalf("fleet Options = %+v, %v", opts, err)
+	}
+}
+
 func TestSpecFlagValueRoundTrips(t *testing.T) {
 	for _, s := range []phy.Spec{phy.AV, phy.AV500} {
 		got, err := ParseSpec(specFlagValue(s))

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/floor"
+	"repro/internal/scenario"
+	"repro/internal/testbed"
+)
+
+// server is the HTTP face of a floor fleet. It owns no floor state of
+// its own — every handler reads through the fleet, so the pacing loop
+// and the handlers never share anything but the runtimes' locks.
+type server struct {
+	fleet   *floor.Fleet
+	opts    testbed.Options
+	cadence time.Duration
+	buffer  int
+	full    bool
+}
+
+func newServer(fleet *floor.Fleet, opts testbed.Options, cadence time.Duration, buffer int, full bool) *server {
+	return &server{fleet: fleet, opts: opts, cadence: cadence, buffer: buffer, full: full}
+}
+
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("GET /floors", s.listFloors)
+	m.HandleFunc("POST /floors", s.addFloor)
+	m.HandleFunc("GET /floors/{id}/snapshot", s.snapshot)
+	m.HandleFunc("GET /floors/{id}/stream", s.stream)
+	m.HandleFunc("DELETE /floors/{id}", s.removeFloor)
+	return m
+}
+
+// floorInfo is one tenant's row in the listing.
+type floorInfo struct {
+	ID          string  `json:"id"`
+	Scenario    string  `json:"scenario"`
+	Stations    int     `json:"stations"`
+	Links       int     `json:"links"`
+	CadenceS    float64 `json:"cadence_s"`
+	Seq         uint64  `json:"seq"`
+	AtS         float64 `json:"at_s"`
+	Subscribers int     `json:"subscribers"`
+	Status      string  `json:"status"`
+	Error       string  `json:"error,omitempty"`
+}
+
+func info(rt *floor.Runtime) floorInfo {
+	seq, at := rt.Seq()
+	fi := floorInfo{
+		ID:          rt.ID(),
+		Scenario:    rt.Scenario(),
+		Stations:    rt.Stations(),
+		Links:       rt.Links(),
+		CadenceS:    rt.Cadence().Seconds(),
+		Seq:         seq,
+		AtS:         at.Seconds(),
+		Subscribers: rt.Subscribers(),
+		Status:      "running",
+	}
+	if err := rt.Err(); err != nil {
+		fi.Status, fi.Error = "failed", err.Error()
+		if errors.Is(err, floor.ErrClosed) {
+			fi.Status, fi.Error = "closed", ""
+		}
+	}
+	return fi
+}
+
+func (s *server) listFloors(w http.ResponseWriter, r *http.Request) {
+	floors := s.fleet.Floors() // sorted by id
+	out := make([]floorInfo, len(floors))
+	for i, rt := range floors {
+		out[i] = info(rt)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// addFloor admits a new tenant at the shared clock: ?spec= selects the
+// scenario (preset name or gen: spec), ?id= optionally names the tenant
+// (default: the canonical spec).
+func (s *server) addFloor(w http.ResponseWriter, r *http.Request) {
+	spec := r.FormValue("spec")
+	if spec == "" {
+		httpError(w, http.StatusBadRequest, "missing ?spec= (scenario name or gen: spec)")
+		return
+	}
+	if _, err := scenario.Parse(spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	id := r.FormValue("id")
+	if id == "" {
+		id = spec
+	}
+	rt, err := floor.New(floor.Config{
+		ID:            id,
+		Scenario:      spec,
+		Options:       s.opts,
+		Start:         s.fleet.Now(),
+		Cadence:       s.cadence,
+		Buffer:        s.buffer,
+		FullSnapshots: s.full,
+	})
+	if err == nil {
+		err = s.fleet.Add(rt)
+		if err != nil {
+			rt.Close()
+		}
+	}
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info(rt))
+}
+
+func (s *server) removeFloor(w http.ResponseWriter, r *http.Request) {
+	if !s.fleet.Remove(r.PathValue("id")) {
+		httpError(w, http.StatusNotFound, "no floor %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// snapshot serves the floor's latest publication as a full snapshot —
+// cached and versioned: no link is re-evaluated, and every state
+// carries the version a streaming consumer can reconcile against.
+func (s *server) snapshot(w http.ResponseWriter, r *http.Request) {
+	rt, ok := s.fleet.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no floor %q", r.PathValue("id"))
+		return
+	}
+	u, ok := rt.Snapshot()
+	if !ok {
+		httpError(w, http.StatusServiceUnavailable, "floor %q has not ticked yet", rt.ID())
+		return
+	}
+	writeJSON(w, http.StatusOK, floor.Wire(u))
+}
+
+// stream serves the floor's publications as server-sent events. The
+// subscriber first receives a `snapshot` event (its consistent base),
+// then `diff` events per tick. A subscriber that falls behind its ring
+// buffer loses the oldest pending diffs; the handler detects the gap
+// and resynchronises with a fresh `snapshot` event instead — slow
+// readers degrade to coarser updates, never stall the publisher, and
+// never observe a torn state. The stream ends with an `end` event when
+// the floor closes or fails.
+func (s *server) stream(w http.ResponseWriter, r *http.Request) {
+	rt, ok := s.fleet.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no floor %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	sub, bootstrap, ok := rt.Subscribe()
+	defer sub.Close()
+	var lastSeq uint64
+	if ok {
+		if floor.WriteSSE(w, bootstrap) != nil {
+			return
+		}
+		lastSeq = bootstrap.Seq
+		flusher.Flush()
+	}
+
+	ctx := r.Context()
+	for {
+		u, dropped, err := sub.Next(ctx)
+		if err != nil {
+			if ctx.Err() == nil {
+				// Floor closed or failed — tell the consumer why,
+				// then end the stream cleanly.
+				fmt.Fprintf(w, "event: end\ndata: %q\n\n", err.Error())
+				flusher.Flush()
+			}
+			return
+		}
+		if dropped > 0 {
+			// The ring dropped its oldest events: this consumer's view
+			// has a gap, so serve the floor's current full snapshot and
+			// skip any remaining pre-gap diffs still buffered.
+			if full, ok := rt.Snapshot(); ok && full.Seq >= u.Seq {
+				u = full
+			}
+		}
+		if u.Seq <= lastSeq {
+			continue // stale relative to a resync snapshot
+		}
+		if floor.WriteSSE(w, u) != nil {
+			return
+		}
+		lastSeq = u.Seq
+		flusher.Flush()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf("planed: "+format, args...), status)
+}

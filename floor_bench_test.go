@@ -1,0 +1,87 @@
+package repro
+
+// Floor-fanout benchmarks: the publish cost of the long-lived metric
+// plane (internal/floor) — one hosted floor ticking at 1 s cadence into
+// N subscribers, measured for the diff protocol against the
+// full-snapshot baseline. The diff path is what lets a steady-state
+// floor with many subscribers cost near-nothing per tick: only links
+// whose state moved are published, and most ticks move nothing. Each
+// subscriber's updates are also marshalled to wire JSON, so the numbers
+// reflect what a planed deployment would actually pay per tick,
+// fan-out and serialisation included.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/floor"
+	"repro/internal/floor/fanout"
+	"repro/internal/testbed"
+)
+
+// benchFloorFanout ticks one hosted floor across a stretch of virtual
+// time with n attached subscribers, every subscriber draining and
+// marshalling each update. Floor assembly sits outside the timer — the
+// steady-state publish path is the measurement.
+func benchFloorFanout(b *testing.B, subscribers int, fullSnapshots bool) {
+	b.ReportAllocs()
+	opts := testbed.DefaultOptions()
+	rt, err := floor.New(floor.Config{
+		ID:            "bench",
+		Scenario:      "paper",
+		Options:       opts,
+		Start:         11 * time.Hour,
+		Cadence:       time.Second,
+		Buffer:        4, // small rings: the drop path is part of the cost
+		FullSnapshots: fullSnapshots,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	subs := make([]*subDrain, subscribers)
+	for i := range subs {
+		sub, _, _ := rt.Subscribe()
+		subs[i] = &subDrain{sub: sub}
+		defer sub.Close()
+	}
+
+	t := 11 * time.Hour
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for tick := 0; tick < 10; tick++ {
+			t += time.Second
+			if err := rt.AdvanceTo(t); err != nil {
+				b.Fatal(err)
+			}
+			for _, s := range subs {
+				s.drain(b)
+			}
+		}
+	}
+}
+
+// subDrain drains one subscriber, marshalling every update to wire JSON.
+type subDrain struct {
+	sub   *fanout.Sub[floor.Update]
+	bytes int
+}
+
+func (s *subDrain) drain(b *testing.B) {
+	for {
+		u, _, ok := s.sub.TryNext()
+		if !ok {
+			return
+		}
+		data, err := floor.MarshalUpdate(u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.bytes += len(data)
+	}
+}
+
+func BenchmarkFloorFanoutDiff1(b *testing.B)  { benchFloorFanout(b, 1, false) }
+func BenchmarkFloorFanoutDiff8(b *testing.B)  { benchFloorFanout(b, 8, false) }
+func BenchmarkFloorFanoutDiff64(b *testing.B) { benchFloorFanout(b, 64, false) }
+func BenchmarkFloorFanoutFull8(b *testing.B)  { benchFloorFanout(b, 8, true) }

@@ -1,0 +1,106 @@
+package al
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func diffKeys(states []LinkState) []core.Medium {
+	out := make([]core.Medium, len(states))
+	for i, st := range states {
+		out[i] = st.Medium
+	}
+	return out
+}
+
+func TestDiffNilPrevIsFullSnapshot(t *testing.T) {
+	a := &scripted{src: 0, dst: 1, med: core.PLC, cap: 45, good: 40, conn: true}
+	b := &scripted{src: 0, dst: 1, med: core.WiFi, cap: 30, good: 25, conn: true}
+	snap := NewSnapshot(time.Second, a, b)
+	if diff := snap.Diff(nil); len(diff) != 2 {
+		t.Fatalf("Diff(nil) must return every state, got %v", diffKeys(diff))
+	}
+}
+
+func TestDiffVersionEqualSkipsWithoutValueCompare(t *testing.T) {
+	v := &versioned{evaluated: evaluated{scripted: scripted{src: 0, dst: 1, med: core.PLC, cap: 50, conn: true}}}
+	prev := NewSnapshot(time.Second, v)
+	// Mutate the value but hold the version: the Versioned contract says
+	// this cannot happen, and Diff must trust it — the equal version is
+	// the cheap skip path, so the changed value must NOT be noticed.
+	v.cap = 60
+	next := NewSnapshot(2*time.Second, v)
+	if diff := next.Diff(prev); len(diff) != 0 {
+		t.Fatalf("equal versions must skip the link without comparing values, got %v", diff)
+	}
+}
+
+func TestDiffVersionMovedButValueEqualExcluded(t *testing.T) {
+	// The WiFi rate-adaptation EWMA advances the version on every
+	// evaluation even at steady state; a moved version alone must not
+	// publish the link.
+	v := &versioned{evaluated: evaluated{scripted: scripted{src: 0, dst: 1, med: core.WiFi, cap: 30, good: 25, conn: true}}}
+	prev := NewSnapshot(time.Second, v)
+	v.ver++
+	next := NewSnapshot(2*time.Second, v)
+	if diff := next.Diff(prev); len(diff) != 0 {
+		t.Fatalf("a moved version with unchanged values must diff to nothing, got %v", diff)
+	}
+}
+
+func TestDiffVersionMovedAndValueChangedIncluded(t *testing.T) {
+	v := &versioned{evaluated: evaluated{scripted: scripted{src: 0, dst: 1, med: core.PLC, cap: 50, conn: true}}}
+	prev := NewSnapshot(time.Second, v)
+	v.ver++
+	v.cap = 60
+	next := NewSnapshot(2*time.Second, v)
+	diff := next.Diff(prev)
+	if len(diff) != 1 || diff[0].Capacity != 60 {
+		t.Fatalf("a real state move must be published, got %v", diff)
+	}
+}
+
+func TestDiffUnversionedComparedByValue(t *testing.T) {
+	plain := &evaluated{scripted: scripted{src: 0, dst: 1, med: core.WiFi, cap: 30, good: 25, conn: true}}
+	prev := NewSnapshot(time.Second, plain)
+	// Unchanged values at a later instant: only Metrics.UpdatedAt moved,
+	// which Changed excludes — no publication.
+	next := NewSnapshot(2*time.Second, plain)
+	if diff := next.Diff(prev); len(diff) != 0 {
+		t.Fatalf("an UpdatedAt-only change must not publish, got %v", diff)
+	}
+	plain.good = 20
+	moved := NewSnapshot(3*time.Second, plain)
+	diff := moved.Diff(prev)
+	if len(diff) != 1 || diff[0].Goodput != 20 {
+		t.Fatalf("an unversioned value change must be published, got %v", diff)
+	}
+}
+
+func TestDiffNewLinkIncluded(t *testing.T) {
+	a := &versioned{evaluated: evaluated{scripted: scripted{src: 0, dst: 1, med: core.PLC, cap: 50, conn: true}}}
+	prev := NewSnapshot(time.Second, a)
+	b := &versioned{evaluated: evaluated{scripted: scripted{src: 0, dst: 2, med: core.WiFi, cap: 20, conn: true}}}
+	next := NewSnapshot(2*time.Second, a, b)
+	diff := next.Diff(prev)
+	if len(diff) != 1 || diff[0].Dst != 2 {
+		t.Fatalf("a link absent from prev must be published, got %v", diff)
+	}
+}
+
+func TestDiffMixedTopologyOrderPreserved(t *testing.T) {
+	a := &versioned{evaluated: evaluated{scripted: scripted{src: 0, dst: 1, med: core.PLC, cap: 50, conn: true}}}
+	b := &evaluated{scripted: scripted{src: 0, dst: 1, med: core.WiFi, cap: 30, conn: true}}
+	c := &versioned{evaluated: evaluated{scripted: scripted{src: 1, dst: 0, med: core.PLC, cap: 40, conn: true}}}
+	prev := NewSnapshot(time.Second, a, b, c)
+	a.ver, a.cap = a.ver+1, 55 // moves
+	b.cap = 35                 // moves (unversioned, by value)
+	// c holds: version-equal skip
+	next := NewSnapshot(2*time.Second, a, b, c)
+	diff := next.Diff(prev)
+	if len(diff) != 2 || diff[0].Capacity != 55 || diff[1].Capacity != 35 {
+		t.Fatalf("diff must keep evaluation order over the moved links, got %v", diff)
+	}
+}

@@ -22,6 +22,15 @@ type LinkState struct {
 	Goodput   float64
 	Metrics   core.LinkMetrics
 	Connected bool
+
+	// Version is the link's StateVersion recorded after evaluation, and
+	// VersionOK reports whether the link could version itself at all
+	// (Versioned). A version-equal pair of evaluations of one link is
+	// guaranteed observably identical, which is what lets Diff skip the
+	// link without comparing values; an unversioned link (VersionOK
+	// false) is compared by value on every diff.
+	Version   uint64
+	VersionOK bool
 }
 
 // Versioned is implemented by links that can report a monotonic counter
@@ -51,7 +60,20 @@ type StateEvaluator interface {
 // the link's own accessors, including Capacity — so an adapter whose
 // Capacity injects probe traffic MUST implement StateEvaluator to keep
 // snapshots passive (PLCLink does; see WithCapacityProbe).
+//
+// The link's StateVersion is recorded *after* the evaluation (evaluating
+// may advance the link's own adaptation state, e.g. the WiFi SNR EWMA),
+// so an equal Version on two evaluations proves they observed identical
+// state — the invariant Snapshot.Diff relies on.
 func EvalLink(l Link, t time.Duration) LinkState {
+	st := evalLink(l, t)
+	if v, ok := l.(Versioned); ok {
+		st.Version, st.VersionOK = v.StateVersion(), true
+	}
+	return st
+}
+
+func evalLink(l Link, t time.Duration) LinkState {
 	if se, ok := l.(StateEvaluator); ok {
 		return se.State(t)
 	}
@@ -63,6 +85,18 @@ func EvalLink(l Link, t time.Duration) LinkState {
 		Metrics:   l.Metrics(t),
 		Connected: l.Connected(t),
 	}
+}
+
+// Changed reports whether two evaluations of one link differ observably.
+// Metrics.UpdatedAt is excluded: it tracks the evaluation instant, not
+// the link, and would otherwise mark every re-evaluation as a change.
+func (st LinkState) Changed(prev LinkState) bool {
+	return st.Capacity != prev.Capacity ||
+		st.Goodput != prev.Goodput ||
+		st.Connected != prev.Connected ||
+		st.Metrics.Medium != prev.Metrics.Medium ||
+		st.Metrics.CapacityMbps != prev.Metrics.CapacityMbps ||
+		st.Metrics.Loss != prev.Metrics.Loss
 }
 
 // Snapshot is the batched evaluation of a set of links at one instant,
@@ -123,6 +157,47 @@ func (s *Snapshot) Between(src, dst int) []LinkState {
 	out := make([]LinkState, len(idxs))
 	for i, idx := range idxs {
 		out[i] = s.states[idx]
+	}
+	return out
+}
+
+// Diff returns the states of s whose links moved since prev, in
+// evaluation order — the publish payload of a long-lived metric plane,
+// where a steady-state floor (no mask transition reached any link, no
+// probe traffic) diffs to nothing.
+//
+// A link is included when it is new (absent from prev), or when its
+// state moved: for versioned links an unchanged Version skips the link
+// without touching its values (the Versioned contract — equal versions
+// imply identical observable state), while a moved Version is confirmed
+// by value (Changed) before publishing, because a version counter may
+// advance without observable effect (the WiFi rate-adaptation EWMA
+// steps on every evaluation even when the selected MCS and goodput are
+// unchanged). Unversioned links are compared by value on every call.
+// Diff assumes prev evaluated a subset of s's links (a floor's topology
+// only grows); links present only in prev are not reported.
+//
+// Diff(nil) returns every state — the full-snapshot publish a fresh
+// subscriber bootstraps from.
+func (s *Snapshot) Diff(prev *Snapshot) []LinkState {
+	if prev == nil {
+		return s.states
+	}
+	var out []LinkState
+	for i := range s.states {
+		st := &s.states[i]
+		idx, ok := prev.byKey[linkKey{st.Src, st.Dst, st.Medium}]
+		if !ok {
+			out = append(out, *st)
+			continue
+		}
+		old := &prev.states[idx]
+		if st.VersionOK && old.VersionOK && st.Version == old.Version {
+			continue
+		}
+		if st.Changed(*old) {
+			out = append(out, *st)
+		}
 	}
 	return out
 }

@@ -1,0 +1,178 @@
+package fanout
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func drain(t *testing.T, s *Sub[int]) (evs []int, dropped uint64) {
+	t.Helper()
+	for {
+		ev, d, ok := s.TryNext()
+		if !ok {
+			return evs, dropped
+		}
+		evs = append(evs, ev)
+		dropped += d
+	}
+}
+
+func TestDeliveryOrder(t *testing.T) {
+	h := NewHub[int]()
+	s := h.Subscribe(8)
+	for i := 1; i <= 5; i++ {
+		h.Publish(i)
+	}
+	evs, dropped := drain(t, s)
+	if len(evs) != 5 || dropped != 0 {
+		t.Fatalf("got %v (dropped %d), want 1..5 with no drops", evs, dropped)
+	}
+	for i, ev := range evs {
+		if ev != i+1 {
+			t.Fatalf("order broken: %v", evs)
+		}
+	}
+}
+
+func TestSlowSubscriberDropsOldestOnly(t *testing.T) {
+	h := NewHub[int]()
+	slow := h.Subscribe(4)
+	fast := h.Subscribe(16)
+	for i := 1; i <= 10; i++ {
+		h.Publish(i)
+	}
+
+	// The fast subscriber is untouched by its neighbour's lag.
+	evs, dropped := drain(t, fast)
+	if len(evs) != 10 || dropped != 0 {
+		t.Fatalf("fast sub affected by slow neighbour: %v (dropped %d)", evs, dropped)
+	}
+
+	// The slow ring kept the *newest* 4 events; the first read reports
+	// the gap (6 lost) ending at the event it returns.
+	ev, d, ok := slow.TryNext()
+	if !ok || ev != 7 || d != 6 {
+		t.Fatalf("first slow read = (%d, dropped %d, %v), want (7, 6, true)", ev, d, ok)
+	}
+	evs, dropped = drain(t, slow)
+	if len(evs) != 3 || evs[0] != 8 || evs[2] != 10 || dropped != 0 {
+		t.Fatalf("slow tail = %v (dropped %d), want 8..10 clean", evs, dropped)
+	}
+}
+
+func TestCloseDrainsThenReportsError(t *testing.T) {
+	h := NewHub[int]()
+	s := h.Subscribe(8)
+	h.Publish(1)
+	h.Publish(2)
+	boom := errors.New("floor failed")
+	h.Close(boom)
+	h.Close(errors.New("second close loses")) // idempotent: first error wins
+
+	ctx := context.Background()
+	for want := 1; want <= 2; want++ {
+		ev, _, err := s.Next(ctx)
+		if err != nil || ev != want {
+			t.Fatalf("buffered events must drain after close: got (%d, %v)", ev, err)
+		}
+	}
+	if _, _, err := s.Next(ctx); !errors.Is(err, boom) {
+		t.Fatalf("drained sub must report the close error, got %v", err)
+	}
+
+	// Subscribing after close reports the same terminal state immediately.
+	late := h.Subscribe(8)
+	if _, _, err := late.Next(ctx); !errors.Is(err, boom) {
+		t.Fatalf("late subscriber must see the close error, got %v", err)
+	}
+	if h.Len() != 0 {
+		t.Fatalf("closed hub must hold no subscribers, have %d", h.Len())
+	}
+}
+
+func TestCloseWithoutErrorIsErrClosed(t *testing.T) {
+	h := NewHub[int]()
+	s := h.Subscribe(2)
+	h.Close(nil)
+	if _, _, err := s.Next(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("nil close reason must surface as ErrClosed, got %v", err)
+	}
+}
+
+func TestSubCloseDetaches(t *testing.T) {
+	h := NewHub[int]()
+	s := h.Subscribe(4)
+	h.Publish(1)
+	s.Close()
+	s.Close() // idempotent
+	if h.Len() != 0 {
+		t.Fatalf("Close must detach from the hub, Len=%d", h.Len())
+	}
+	h.Publish(2) // no longer delivered
+	ev, _, err := s.Next(context.Background())
+	if err != nil || ev != 1 {
+		t.Fatalf("buffered event must survive local close: (%d, %v)", ev, err)
+	}
+	if _, _, err := s.Next(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("drained local close must be ErrClosed, got %v", err)
+	}
+}
+
+func TestNextHonoursContext(t *testing.T) {
+	h := NewHub[int]()
+	s := h.Subscribe(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.Next(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx must abort Next, got %v", err)
+	}
+}
+
+// TestFanoutStress drives one publisher against many concurrent consumers
+// under the race detector: every event a consumer does not receive must be
+// accounted for by its drop counter, and sequence numbers must stay
+// strictly increasing per consumer.
+func TestFanoutStress(t *testing.T) {
+	const (
+		subs   = 12
+		events = 5000
+	)
+	h := NewHub[int]()
+	var wg sync.WaitGroup
+	for i := 0; i < subs; i++ {
+		sub := h.Subscribe(8 << (i % 4)) // mixed ring sizes: 8..64
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var got, dropped uint64
+			last := 0
+			ctx := context.Background()
+			for {
+				ev, d, err := sub.Next(ctx)
+				if err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("consumer ended with %v", err)
+					}
+					break
+				}
+				if ev <= last {
+					t.Errorf("sequence went backwards: %d after %d", ev, last)
+					return
+				}
+				last = ev
+				got++
+				dropped += d
+			}
+			if got+dropped != events {
+				t.Errorf("accounting broken: got %d + dropped %d != %d", got, dropped, events)
+			}
+		}()
+	}
+	for i := 1; i <= events; i++ {
+		h.Publish(i)
+	}
+	h.Close(nil)
+	wg.Wait()
+}

@@ -1,0 +1,135 @@
+package floor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fleet hosts many independent floor runtimes on one shared virtual
+// clock. Advance ticks every tenant concurrently; a tenant that panics
+// is failed in place (its subscribers receive the panic as their stream
+// error) while every other tenant keeps streaming — per-tenant
+// isolation is the fleet's contract. Failed floors stay listed until
+// removed, so operators can see *why* a tenant died.
+type Fleet struct {
+	mu     sync.Mutex
+	now    time.Duration       // shared virtual clock, guarded by mu
+	floors map[string]*Runtime // guarded by mu
+	closed bool                // guarded by mu
+}
+
+// NewFleet returns an empty fleet whose clock starts at the given
+// virtual instant.
+func NewFleet(start time.Duration) *Fleet {
+	return &Fleet{now: start, floors: make(map[string]*Runtime)}
+}
+
+// Now reports the shared virtual clock.
+func (f *Fleet) Now() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Add registers a runtime under its ID. A floor joining a fleet whose
+// clock has already advanced is fast-forwarded to the shared now — it
+// starts live rather than replaying the missed virtual window.
+func (f *Fleet) Add(rt *Runtime) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if _, dup := f.floors[rt.ID()]; dup {
+		return fmt.Errorf("floor: duplicate id %q", rt.ID())
+	}
+	rt.SeekTo(f.now)
+	f.floors[rt.ID()] = rt
+	return nil
+}
+
+// Get returns the runtime registered under id.
+func (f *Fleet) Get(id string) (*Runtime, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rt, ok := f.floors[id]
+	return rt, ok
+}
+
+// Floors lists the registered runtimes sorted by id.
+func (f *Fleet) Floors() []*Runtime {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sortedLocked()
+}
+
+// sortedLocked collects the registered runtimes sorted by id.
+// Caller holds mu.
+func (f *Fleet) sortedLocked() []*Runtime {
+	out := make([]*Runtime, 0, len(f.floors))
+	for _, rt := range f.floors {
+		out = append(out, rt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// Remove closes the runtime registered under id and drops it from the
+// fleet. Its subscribers drain and end with ErrClosed; every other
+// tenant is untouched.
+func (f *Fleet) Remove(id string) bool {
+	f.mu.Lock()
+	rt, ok := f.floors[id]
+	delete(f.floors, id)
+	f.mu.Unlock()
+	if ok {
+		rt.Close()
+	}
+	return ok
+}
+
+// Advance moves the shared clock forward by dt and ticks every tenant
+// up to the new instant, each on its own goroutine. A tick that panics
+// fails only its own floor; a floor already failed or closed is
+// skipped. Advance returns the new clock value once every tenant has
+// finished (or failed) its ticks.
+func (f *Fleet) Advance(dt time.Duration) time.Duration {
+	f.mu.Lock()
+	f.now += dt
+	target := f.now
+	floors := f.sortedLocked()
+	f.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, rt := range floors {
+		wg.Add(1)
+		go func(rt *Runtime) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					rt.Fail(fmt.Errorf("floor %s: tick panicked: %v", rt.ID(), p))
+				}
+			}()
+			// The terminal error of a failed floor is surfaced through
+			// Err and the subscribers' streams; Advance keeps going for
+			// the healthy tenants.
+			_ = rt.AdvanceTo(target)
+		}(rt)
+	}
+	wg.Wait()
+	return target
+}
+
+// Close closes every tenant and refuses further Adds. Idempotent.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	f.closed = true
+	floors := f.sortedLocked()
+	f.floors = make(map[string]*Runtime)
+	f.mu.Unlock()
+	for _, rt := range floors {
+		rt.Close()
+	}
+}

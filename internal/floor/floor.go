@@ -1,0 +1,314 @@
+// Package floor turns a testbed from a batch artifact into a long-lived
+// tenant: a Runtime owns one assembled floor, advances its channel plane
+// on a virtual clock at a configurable cadence, and publishes versioned
+// al.LinkState updates to any number of subscribers. Publications are
+// *diffs* — only the links whose state actually moved since the previous
+// tick (al.Snapshot.Diff) — so a steady-state floor whose mask
+// transitions are dirty-skipped publishes near-zero bytes; a fresh
+// subscriber bootstraps from the cached full snapshot and applies diffs
+// from there. A Fleet hosts many independent runtimes on one shared
+// clock with per-tenant isolation: one floor's failure or removal never
+// affects another's stream.
+//
+// The batch run plane (internal/campaign) keeps using the same
+// primitives — testbeds, topologies, snapshots — directly; a Runtime is
+// the hosting wrapper, not a replacement.
+package floor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/al"
+	"repro/internal/floor/fanout"
+	"repro/internal/scenario"
+	"repro/internal/testbed"
+)
+
+// ErrClosed is returned by operations on a runtime that has been closed.
+var ErrClosed = errors.New("floor: runtime closed")
+
+// Update is one publication of a floor's metric plane.
+type Update struct {
+	// Floor is the publishing runtime's id.
+	Floor string
+	// Seq numbers publications from 1, with no gaps at the publisher —
+	// a subscriber that observes a gap (or a fanout drop report) lost
+	// events to backpressure and should resynchronise from a snapshot.
+	Seq uint64
+	// At is the virtual instant of the tick.
+	At time.Duration
+	// Full marks States as the complete floor; otherwise States holds
+	// only the links whose state moved since the previous publication
+	// (possibly none — an empty diff is still published so consumers
+	// observe the clock advancing).
+	Full bool
+	// States are the changed (or, when Full, all) link states, in
+	// topology order. Shared — consumers must not mutate.
+	States []al.LinkState
+}
+
+// Config assembles a Runtime.
+type Config struct {
+	// ID names the floor (the daemon's tenant key). Required.
+	ID string
+	// Scenario selects the deployment (registry name or gen: spec) when
+	// no Topology is supplied; it overrides Options.Scenario.
+	Scenario string
+	// Options are the testbed build options (spec, decimate, seed).
+	Options testbed.Options
+	// Topology, when non-nil, is served directly: the runtime builds no
+	// testbed and takes no ownership of the links' backing resources
+	// (the hybridlb path — a hand-assembled pair of links).
+	Topology *al.Topology
+	// Start is the virtual instant of the first tick.
+	Start time.Duration
+	// Cadence is the virtual time between ticks (default 1s).
+	Cadence time.Duration
+	// Buffer is the default per-subscriber ring capacity
+	// (fanout.DefaultCapacity when <= 0).
+	Buffer int
+	// FullSnapshots publishes the complete floor every tick instead of
+	// diffs — the wire-cost baseline (BenchmarkFloorFanout) and a
+	// debugging aid; the protocol is otherwise identical.
+	FullSnapshots bool
+	// PreTick, when set, runs at the start of every tick before the
+	// floor is evaluated — the place to drive traffic-dependent
+	// estimation (the §7 rule: tone maps exist only under traffic).
+	PreTick func(t time.Duration)
+}
+
+// Runtime hosts one floor. All methods are safe for concurrent use; the
+// underlying testbed and topology are confined behind the runtime's
+// lock (links are not concurrency-safe).
+type Runtime struct {
+	id      string
+	scen    string
+	cadence time.Duration
+	buffer  int
+	full    bool
+	preTick func(t time.Duration)
+	hub     *fanout.Hub[Update]
+
+	mu   sync.Mutex
+	tb   *testbed.Testbed // owned floor; nil over an external Topology. guarded by mu
+	topo *al.Topology     // guarded by mu
+	next time.Duration    // virtual instant of the next tick, guarded by mu
+	seq  uint64           // last published sequence number, guarded by mu
+	last *al.Snapshot     // last published snapshot, guarded by mu
+	err  error            // terminal failure, guarded by mu
+	done bool             // guarded by mu
+}
+
+// New assembles a runtime. With cfg.Topology nil the runtime builds and
+// owns its own testbed from (Scenario, Options) and releases it on
+// Close; with a Topology supplied, the caller keeps ownership of
+// whatever backs the links.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("floor: Config.ID is required")
+	}
+	if cfg.Cadence <= 0 {
+		cfg.Cadence = time.Second
+	}
+	rt := &Runtime{
+		id:      cfg.ID,
+		scen:    cfg.Scenario,
+		cadence: cfg.Cadence,
+		buffer:  cfg.Buffer,
+		full:    cfg.FullSnapshots,
+		preTick: cfg.PreTick,
+		hub:     fanout.NewHub[Update](),
+		topo:    cfg.Topology,
+		next:    cfg.Start,
+	}
+	if rt.topo == nil {
+		opts := cfg.Options
+		if cfg.Scenario != "" {
+			opts.Scenario = cfg.Scenario
+		}
+		bp, err := scenario.Parse(opts.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("floor %s: %w", cfg.ID, err)
+		}
+		tb, err := testbed.Build(bp, opts)
+		if err != nil {
+			return nil, fmt.Errorf("floor %s: %w", cfg.ID, err)
+		}
+		topo, err := tb.Topology()
+		if err != nil {
+			tb.Close()
+			return nil, fmt.Errorf("floor %s: %w", cfg.ID, err)
+		}
+		rt.tb, rt.topo = tb, topo
+		rt.scen = bp.Name
+	}
+	return rt, nil
+}
+
+// ID reports the floor's tenant id.
+func (rt *Runtime) ID() string { return rt.id }
+
+// Scenario reports the scenario the floor serves ("" over a hand-built
+// topology with no named scenario).
+func (rt *Runtime) Scenario() string { return rt.scen }
+
+// Cadence reports the virtual time between ticks.
+func (rt *Runtime) Cadence() time.Duration { return rt.cadence }
+
+// AdvanceTo ticks the floor at every due cadence instant <= t: the
+// PreTick hook runs, the whole topology is evaluated in one batched
+// snapshot (advancing the shared channel plane), and the diff against
+// the previous publication is fanned out. A closed or failed runtime
+// returns its terminal error without ticking.
+func (rt *Runtime) AdvanceTo(t time.Duration) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for rt.next <= t {
+		if err := rt.state(); err != nil {
+			return err
+		}
+		at := rt.next
+		if rt.preTick != nil {
+			rt.preTick(at)
+		}
+		snap := rt.topo.Snapshot(at)
+		states := snap.Diff(rt.last)
+		full := rt.last == nil
+		if rt.full && !full {
+			states, full = snap.States(), true
+		}
+		rt.seq++
+		rt.last = snap
+		rt.next = at + rt.cadence
+		rt.hub.Publish(Update{Floor: rt.id, Seq: rt.seq, At: at, Full: full, States: states})
+	}
+	return rt.state()
+}
+
+// state reports the terminal error, if any. Caller holds mu.
+func (rt *Runtime) state() error {
+	if rt.err != nil {
+		return rt.err
+	}
+	if rt.done {
+		return ErrClosed
+	}
+	return nil
+}
+
+// SeekTo fast-forwards a floor that has not yet ticked past t, so a
+// tenant added to a long-running fleet starts at the shared clock
+// instead of replaying the entire missed virtual window. Ticks already
+// published are never rewound.
+func (rt *Runtime) SeekTo(t time.Duration) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.next < t {
+		rt.next = t
+	}
+}
+
+// Snapshot returns the floor's latest publication as a full snapshot
+// (cached — no link is re-evaluated), and ok=false before the first
+// tick.
+func (rt *Runtime) Snapshot() (Update, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.last == nil {
+		return Update{}, false
+	}
+	return Update{Floor: rt.id, Seq: rt.seq, At: rt.last.At, Full: true, States: rt.last.States()}, true
+}
+
+// Subscribe attaches a subscriber (ring capacity per Config.Buffer) and
+// returns its bootstrap: the current full snapshot, already pushed into
+// the ring ahead of any future diff, so the subscriber's very first read
+// is a consistent base state. Before the first tick there is no base
+// yet (ok=false) and the first published update is itself full.
+// Subscribing to a closed floor yields a subscription that reports the
+// floor's terminal error immediately.
+func (rt *Runtime) Subscribe() (sub *fanout.Sub[Update], bootstrap Update, ok bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	sub = rt.hub.Subscribe(rt.buffer)
+	if rt.last == nil {
+		return sub, Update{}, false
+	}
+	bootstrap = Update{Floor: rt.id, Seq: rt.seq, At: rt.last.At, Full: true, States: rt.last.States()}
+	sub.Push(bootstrap)
+	return sub, bootstrap, true
+}
+
+// Subscribers reports the number of attached subscribers.
+func (rt *Runtime) Subscribers() int { return rt.hub.Len() }
+
+// Seq reports the last published sequence number and the virtual
+// instant it covered (0, 0 before the first tick).
+func (rt *Runtime) Seq() (seq uint64, at time.Duration) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.last == nil {
+		return rt.seq, 0
+	}
+	return rt.seq, rt.last.At
+}
+
+// Links reports the floor's directed link count across media.
+func (rt *Runtime) Links() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.topo.Links())
+}
+
+// Stations reports the floor's station count.
+func (rt *Runtime) Stations() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.topo.Stations())
+}
+
+// Err reports the floor's terminal failure (nil while healthy; ErrClosed
+// after a clean Close).
+func (rt *Runtime) Err() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.state()
+}
+
+// Fail marks the floor terminally failed: subscribers drain what they
+// have buffered and then receive err, and further AdvanceTo calls
+// return it. The first failure wins. Fleet.Advance calls this when a
+// tick panics, converting one tenant's crash into its own subscribers'
+// error instead of the process's.
+func (rt *Runtime) Fail(err error) {
+	if err == nil {
+		err = errors.New("floor: failed")
+	}
+	rt.mu.Lock()
+	if rt.err == nil && !rt.done {
+		rt.err = err
+	}
+	rt.mu.Unlock()
+	rt.hub.Close(err)
+}
+
+// Close ends the floor: subscribers drain and then see ErrClosed, and
+// the owned testbed (if any) is released. Idempotent.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	if rt.done {
+		rt.mu.Unlock()
+		return
+	}
+	rt.done = true
+	tb := rt.tb
+	rt.tb = nil
+	rt.mu.Unlock()
+	rt.hub.Close(ErrClosed)
+	if tb != nil {
+		tb.Close()
+	}
+}

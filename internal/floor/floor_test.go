@@ -1,0 +1,448 @@
+package floor
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/al"
+	"repro/internal/core"
+	"repro/internal/testbed"
+)
+
+// fakeLink is a minimal versioned StateEvaluator link: the tests mutate
+// its value and version between ticks to script exactly which diffs a
+// runtime must publish. Mutations are sequenced against ticks by the
+// callers (Advance returns only after every tick goroutine finished).
+type fakeLink struct {
+	src, dst int
+	med      core.Medium
+	cap      float64
+	good     float64
+	ver      uint64
+}
+
+func (f *fakeLink) Endpoints() (int, int)          { return f.src, f.dst }
+func (f *fakeLink) Medium() core.Medium            { return f.med }
+func (f *fakeLink) Capacity(time.Duration) float64 { return f.cap }
+func (f *fakeLink) Goodput(time.Duration) float64  { return f.good }
+func (f *fakeLink) Connected(time.Duration) bool   { return true }
+func (f *fakeLink) StateVersion() uint64           { return f.ver }
+func (f *fakeLink) Metrics(t time.Duration) core.LinkMetrics {
+	return core.LinkMetrics{Medium: f.med, CapacityMbps: f.cap, UpdatedAt: t}
+}
+func (f *fakeLink) State(t time.Duration) al.LinkState {
+	return al.LinkState{
+		Link: f, Src: f.src, Dst: f.dst, Medium: f.med,
+		Capacity: f.cap, Goodput: f.good, Metrics: f.Metrics(t), Connected: true,
+	}
+}
+
+func fakeFloor(t *testing.T, id string, links ...*fakeLink) *Runtime {
+	t.Helper()
+	topo := al.NewTopology()
+	for _, l := range links {
+		topo.Add(l)
+	}
+	rt, err := New(Config{ID: id, Topology: topo, Cadence: time.Second})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func next(t *testing.T, sub interface {
+	TryNext() (Update, uint64, bool)
+}) Update {
+	t.Helper()
+	u, _, ok := sub.TryNext()
+	if !ok {
+		t.Fatal("expected a buffered update")
+	}
+	return u
+}
+
+func TestRuntimeDiffStream(t *testing.T) {
+	a := &fakeLink{src: 0, dst: 1, med: core.PLC, cap: 50, good: 45, ver: 1}
+	b := &fakeLink{src: 0, dst: 1, med: core.WiFi, cap: 30, good: 25, ver: 1}
+	rt := fakeFloor(t, "pair", a, b)
+	sub, _, ok := rt.Subscribe()
+	if ok {
+		t.Fatal("no bootstrap exists before the first tick")
+	}
+	defer sub.Close()
+
+	// First tick: a full snapshot.
+	if err := rt.AdvanceTo(0); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	u := next(t, sub)
+	if u.Seq != 1 || !u.Full || len(u.States) != 2 || u.Floor != "pair" {
+		t.Fatalf("first publication must be full: %+v", u)
+	}
+
+	// Steady state: the diff is empty but still published (heartbeat).
+	if err := rt.AdvanceTo(time.Second); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	u = next(t, sub)
+	if u.Seq != 2 || u.Full || len(u.States) != 0 || u.At != time.Second {
+		t.Fatalf("steady-state tick must publish an empty diff: %+v", u)
+	}
+
+	// One link moves: the diff carries exactly that link.
+	a.cap, a.good, a.ver = 60, 55, 2
+	if err := rt.AdvanceTo(2 * time.Second); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	u = next(t, sub)
+	if u.Seq != 3 || u.Full || len(u.States) != 1 {
+		t.Fatalf("diff must carry only the moved link: %+v", u)
+	}
+	if st := u.States[0]; st.Medium != core.PLC || st.Capacity != 60 {
+		t.Fatalf("wrong link in diff: %+v", st)
+	}
+
+	// A version bump with unchanged values publishes nothing (the WiFi
+	// EWMA churn case).
+	b.ver = 2
+	if err := rt.AdvanceTo(3 * time.Second); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	if u = next(t, sub); len(u.States) != 0 {
+		t.Fatalf("version churn without value change must diff to nothing: %+v", u)
+	}
+}
+
+func TestRuntimeFullSnapshotsMode(t *testing.T) {
+	a := &fakeLink{src: 0, dst: 1, med: core.PLC, cap: 50, ver: 1}
+	topo := al.NewTopology()
+	topo.Add(a)
+	rt, err := New(Config{ID: "full", Topology: topo, Cadence: time.Second, FullSnapshots: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer rt.Close()
+	sub, _, _ := rt.Subscribe()
+	defer sub.Close()
+	if err := rt.AdvanceTo(2 * time.Second); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if u := next(t, sub); !u.Full || len(u.States) != 1 {
+			t.Fatalf("FullSnapshots must publish the whole floor every tick: %+v", u)
+		}
+	}
+}
+
+func TestRuntimeSnapshotCachedAndMidStreamBootstrap(t *testing.T) {
+	a := &fakeLink{src: 0, dst: 1, med: core.PLC, cap: 50, good: 45, ver: 1}
+	rt := fakeFloor(t, "boot", a)
+	if _, ok := rt.Snapshot(); ok {
+		t.Fatal("no snapshot exists before the first tick")
+	}
+	if err := rt.AdvanceTo(2 * time.Second); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+
+	full, ok := rt.Snapshot()
+	if !ok || !full.Full || full.Seq != 3 || full.At != 2*time.Second || len(full.States) != 1 {
+		t.Fatalf("cached snapshot wrong: %+v ok=%v", full, ok)
+	}
+
+	// A mid-stream subscriber bootstraps from that snapshot and then sees
+	// the very next diff — no gap, no duplicate.
+	sub, bootstrap, ok := rt.Subscribe()
+	if !ok || bootstrap.Seq != 3 || !bootstrap.Full {
+		t.Fatalf("bootstrap wrong: %+v ok=%v", bootstrap, ok)
+	}
+	defer sub.Close()
+	if u := next(t, sub); u.Seq != 3 || !u.Full {
+		t.Fatalf("bootstrap must be the first ring read: %+v", u)
+	}
+	a.cap, a.ver = 60, 2
+	if err := rt.AdvanceTo(3 * time.Second); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	if u := next(t, sub); u.Seq != 4 || u.Full || len(u.States) != 1 {
+		t.Fatalf("first post-bootstrap update wrong: %+v", u)
+	}
+}
+
+func TestRuntimeCloseTerminatesStream(t *testing.T) {
+	rt := fakeFloor(t, "bye", &fakeLink{src: 0, dst: 1, med: core.PLC, cap: 50, ver: 1})
+	if err := rt.AdvanceTo(0); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	sub, _, _ := rt.Subscribe()
+	defer sub.Close()
+	rt.Close()
+	rt.Close() // idempotent
+	if err := rt.AdvanceTo(time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("AdvanceTo after Close = %v, want ErrClosed", err)
+	}
+	if !errors.Is(rt.Err(), ErrClosed) {
+		t.Fatalf("Err after Close = %v", rt.Err())
+	}
+	// The bootstrap drains, then the stream ends with ErrClosed.
+	if _, _, err := sub.Next(context.Background()); err != nil {
+		t.Fatalf("buffered bootstrap must drain: %v", err)
+	}
+	if _, _, err := sub.Next(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("stream must end with ErrClosed, got %v", err)
+	}
+}
+
+func TestRuntimeRealScenario(t *testing.T) {
+	opts := testbed.DefaultOptions()
+	opts.Decimate = 16
+	rt, err := New(Config{ID: "real", Scenario: "flat", Options: opts, Start: 11 * time.Hour})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer rt.Close()
+	if rt.Scenario() != "flat" || rt.Stations() == 0 || rt.Links() == 0 {
+		t.Fatalf("floor empty: scenario=%q stations=%d links=%d", rt.Scenario(), rt.Stations(), rt.Links())
+	}
+	sub, _, _ := rt.Subscribe()
+	defer sub.Close()
+	if err := rt.AdvanceTo(11*time.Hour + 2*time.Second); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	u := next(t, sub)
+	if !u.Full || len(u.States) != rt.Links() || u.At != 11*time.Hour {
+		t.Fatalf("first tick of a real floor must be the full link set: full=%v states=%d links=%d at=%v",
+			u.Full, len(u.States), rt.Links(), u.At)
+	}
+	// Later ticks are diffs, and a diff is never larger than the floor.
+	for {
+		u, _, ok := sub.TryNext()
+		if !ok {
+			break
+		}
+		if u.Full || len(u.States) > rt.Links() {
+			t.Fatalf("later ticks must be diffs: %+v", u)
+		}
+	}
+}
+
+func TestFleetIsolationOnPanic(t *testing.T) {
+	healthy := fakeFloor(t, "healthy", &fakeLink{src: 0, dst: 1, med: core.PLC, cap: 50, ver: 1})
+	crashTopo := al.NewTopology()
+	crashTopo.Add(&fakeLink{src: 0, dst: 1, med: core.WiFi, cap: 30, ver: 1})
+	crashing, err := New(Config{
+		ID: "crashing", Topology: crashTopo, Cadence: time.Second,
+		PreTick: func(t time.Duration) {
+			if t >= 2*time.Second {
+				panic("estimator exploded")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer crashing.Close()
+
+	fleet := NewFleet(0)
+	if err := fleet.Add(healthy); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := fleet.Add(crashing); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := fleet.Add(healthy); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate id must be refused, got %v", err)
+	}
+
+	hSub, _, _ := healthy.Subscribe()
+	defer hSub.Close()
+	cSub, _, _ := crashing.Subscribe()
+	defer cSub.Close()
+
+	fleet.Advance(time.Second) // ticks 0s and 1s: both healthy
+	if now := fleet.Advance(time.Second); now != 2*time.Second {
+		t.Fatalf("clock = %v, want 2s", now)
+	}
+
+	// The crashing tenant failed in place with the panic as its error...
+	if err := crashing.Err(); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("crashing floor must record the panic, got %v", err)
+	}
+	for {
+		_, _, err := cSub.Next(context.Background())
+		if err != nil {
+			if !strings.Contains(err.Error(), "panicked") {
+				t.Fatalf("crashed floor's stream must end with the panic, got %v", err)
+			}
+			break
+		}
+	}
+
+	// ...while the healthy tenant never noticed.
+	fleet.Advance(time.Second)
+	if err := healthy.Err(); err != nil {
+		t.Fatalf("healthy floor affected by neighbour crash: %v", err)
+	}
+	seq, at := healthy.Seq()
+	if seq != 4 || at != 3*time.Second {
+		t.Fatalf("healthy floor must keep ticking: seq=%d at=%v", seq, at)
+	}
+	drained := 0
+	for {
+		if _, _, ok := hSub.TryNext(); !ok {
+			break
+		}
+		drained++
+	}
+	if drained != 4 {
+		t.Fatalf("healthy subscriber got %d updates, want 4", drained)
+	}
+
+	// The failed tenant stays listed (with its reason) until removed.
+	if got := len(fleet.Floors()); got != 2 {
+		t.Fatalf("failed floor must stay listed, have %d", got)
+	}
+	if !fleet.Remove("crashing") {
+		t.Fatal("Remove must find the failed floor")
+	}
+	if _, ok := fleet.Get("crashing"); ok {
+		t.Fatal("removed floor still resolvable")
+	}
+}
+
+func TestFleetRemoveLeavesOthersStreaming(t *testing.T) {
+	a := fakeFloor(t, "a", &fakeLink{src: 0, dst: 1, med: core.PLC, cap: 50, ver: 1})
+	b := fakeFloor(t, "b", &fakeLink{src: 0, dst: 1, med: core.WiFi, cap: 30, ver: 1})
+	fleet := NewFleet(0)
+	if err := fleet.Add(a); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := fleet.Add(b); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	aSub, _, _ := a.Subscribe()
+	defer aSub.Close()
+	bSub, _, _ := b.Subscribe()
+	defer bSub.Close()
+	fleet.Advance(time.Second)
+
+	if !fleet.Remove("b") {
+		t.Fatal("Remove failed")
+	}
+	// b's stream drains and ends; a keeps publishing.
+	for {
+		if _, _, err := bSub.Next(context.Background()); errors.Is(err, ErrClosed) {
+			break
+		} else if err != nil {
+			t.Fatalf("removed floor's stream error = %v, want ErrClosed", err)
+		}
+	}
+	fleet.Advance(time.Second)
+	seq, _ := a.Seq()
+	if seq != 3 {
+		t.Fatalf("surviving floor must keep ticking, seq=%d", seq)
+	}
+}
+
+func TestFleetAddAfterStartSeeksToSharedClock(t *testing.T) {
+	fleet := NewFleet(0)
+	fleet.Advance(10 * time.Second) // clock runs before the tenant joins
+	late := fakeFloor(t, "late", &fakeLink{src: 0, dst: 1, med: core.PLC, cap: 50, ver: 1})
+	if err := fleet.Add(late); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	sub, _, _ := late.Subscribe()
+	defer sub.Close()
+	fleet.Advance(time.Second)
+	u := next(t, sub)
+	if u.At != 10*time.Second || !u.Full {
+		t.Fatalf("late tenant must start at the shared clock, not replay: %+v", u)
+	}
+	if u = next(t, sub); u.At != 11*time.Second {
+		t.Fatalf("second tick wrong: %+v", u)
+	}
+	if _, _, ok := sub.TryNext(); ok {
+		t.Fatal("the missed virtual window must not be replayed")
+	}
+}
+
+func TestFleetCloseRefusesAdds(t *testing.T) {
+	fleet := NewFleet(0)
+	a := fakeFloor(t, "a", &fakeLink{src: 0, dst: 1, med: core.PLC, cap: 50, ver: 1})
+	if err := fleet.Add(a); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	fleet.Close()
+	fleet.Close() // idempotent
+	if !errors.Is(a.Err(), ErrClosed) {
+		t.Fatalf("fleet close must close tenants, Err=%v", a.Err())
+	}
+	b := fakeFloor(t, "b", &fakeLink{src: 0, dst: 1, med: core.WiFi, cap: 30, ver: 1})
+	if err := fleet.Add(b); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Add after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestFleetStress runs many subscribers against concurrently advancing
+// floors under the race detector: per-subscriber sequence numbers must
+// stay strictly increasing and every published update must be either
+// received or counted as dropped.
+func TestFleetStress(t *testing.T) {
+	const (
+		ticks        = 300
+		subsPerFloor = 6
+	)
+	floors := []*Runtime{
+		fakeFloor(t, "s1", &fakeLink{src: 0, dst: 1, med: core.PLC, cap: 50, ver: 1}),
+		fakeFloor(t, "s2", &fakeLink{src: 0, dst: 1, med: core.WiFi, cap: 30, ver: 1}),
+	}
+	fleet := NewFleet(0)
+	for _, rt := range floors {
+		if err := fleet.Add(rt); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, rt := range floors {
+		for i := 0; i < subsPerFloor; i++ {
+			sub, _, _ := rt.Subscribe()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer sub.Close()
+				var got, dropped, last uint64
+				for {
+					u, d, err := sub.Next(context.Background())
+					if err != nil {
+						if !errors.Is(err, ErrClosed) {
+							t.Errorf("stream ended with %v", err)
+						}
+						break
+					}
+					if u.Seq <= last {
+						t.Errorf("sequence went backwards: %d after %d", u.Seq, last)
+						return
+					}
+					last = u.Seq
+					got++
+					dropped += d
+				}
+				// The first Advance ticks both the start instant and the
+				// new clock, so N advances publish N+1 updates.
+				if got+dropped != ticks+1 {
+					t.Errorf("accounting broken: got %d + dropped %d != %d", got, dropped, ticks+1)
+				}
+			}()
+		}
+	}
+	for i := 0; i < ticks; i++ {
+		fleet.Advance(time.Second)
+	}
+	fleet.Close()
+	wg.Wait()
+}

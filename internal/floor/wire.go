@@ -1,0 +1,104 @@
+package floor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/al"
+	"repro/internal/core"
+)
+
+// WireState is the JSON shape of one link's state on the metric-plane
+// wire — the subset of al.LinkState a remote subscriber can use (the
+// live Link handle stays process-local).
+type WireState struct {
+	Src       int     `json:"src"`
+	Dst       int     `json:"dst"`
+	Medium    string  `json:"medium"`
+	Capacity  float64 `json:"capacity_mbps"`
+	Goodput   float64 `json:"goodput_mbps"`
+	Loss      float64 `json:"loss"`
+	Connected bool    `json:"connected"`
+	// Version is the link's state version at evaluation (0 when the
+	// link cannot version itself); it lets a consumer discard the
+	// stale copy of a link it already holds newer state for.
+	Version uint64 `json:"version,omitempty"`
+}
+
+// WireUpdate is the JSON shape of one publication.
+type WireUpdate struct {
+	Floor string `json:"floor"`
+	Seq   uint64 `json:"seq"`
+	// AtSeconds is the virtual instant of the tick, in seconds.
+	AtSeconds float64     `json:"at_s"`
+	Full      bool        `json:"full"`
+	States    []WireState `json:"states"`
+}
+
+// Wire converts an update to its JSON shape.
+func Wire(u Update) WireUpdate {
+	states := make([]WireState, len(u.States))
+	for i, st := range u.States {
+		states[i] = WireState{
+			Src:       st.Src,
+			Dst:       st.Dst,
+			Medium:    st.Medium.String(),
+			Capacity:  st.Capacity,
+			Goodput:   st.Goodput,
+			Loss:      st.Metrics.Loss,
+			Connected: st.Connected,
+			Version:   st.Version,
+		}
+	}
+	return WireUpdate{
+		Floor:     u.Floor,
+		Seq:       u.Seq,
+		AtSeconds: u.At.Seconds(),
+		Full:      u.Full,
+		States:    states,
+	}
+}
+
+// MarshalUpdate renders an update as its wire JSON.
+func MarshalUpdate(u Update) ([]byte, error) {
+	return json.Marshal(Wire(u))
+}
+
+// WriteSSE writes one update as a server-sent event: the event name is
+// "snapshot" for full publications and "diff" otherwise, the id field
+// carries the sequence number, and the data line is the wire JSON.
+func WriteSSE(w io.Writer, u Update) error {
+	name := "diff"
+	if u.Full {
+		name = "snapshot"
+	}
+	data, err := MarshalUpdate(u)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", name, u.Seq, data)
+	return err
+}
+
+// Apply folds an update into a subscriber-side state table keyed by
+// (src, dst, medium) — the client half of the diff protocol. A full
+// update replaces the table; a diff upserts its states. The updated
+// table is returned (a nil table is allocated), so a consumer's loop is
+// `table = floor.Apply(table, u)`.
+func Apply(table map[Key]al.LinkState, u Update) map[Key]al.LinkState {
+	if table == nil || u.Full {
+		table = make(map[Key]al.LinkState, len(u.States))
+	}
+	for _, st := range u.States {
+		table[Key{Src: st.Src, Dst: st.Dst, Medium: st.Medium}] = st
+	}
+	return table
+}
+
+// Key identifies one directed link on one medium in a subscriber-side
+// state table.
+type Key struct {
+	Src, Dst int
+	Medium   core.Medium
+}

@@ -1,0 +1,98 @@
+package floor
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/al"
+	"repro/internal/core"
+)
+
+func wireUpdate() Update {
+	return Update{
+		Floor: "pair", Seq: 7, At: 11*time.Hour + 3*time.Second, Full: false,
+		States: []al.LinkState{{
+			Src: 0, Dst: 4, Medium: core.PLC,
+			Capacity: 51.5, Goodput: 48.25, Connected: true,
+			Metrics: core.LinkMetrics{Medium: core.PLC, CapacityMbps: 51.5, Loss: 0.125},
+			Version: 42, VersionOK: true,
+		}},
+	}
+}
+
+func TestMarshalUpdateShape(t *testing.T) {
+	data, err := MarshalUpdate(wireUpdate())
+	if err != nil {
+		t.Fatalf("MarshalUpdate: %v", err)
+	}
+	var w WireUpdate
+	if err := json.Unmarshal(data, &w); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if w.Floor != "pair" || w.Seq != 7 || w.AtSeconds != 39603 || w.Full {
+		t.Fatalf("header wrong: %+v", w)
+	}
+	if len(w.States) != 1 {
+		t.Fatalf("states wrong: %+v", w.States)
+	}
+	st := w.States[0]
+	if st.Src != 0 || st.Dst != 4 || st.Medium != core.PLC.String() ||
+		st.Capacity != 51.5 || st.Goodput != 48.25 || st.Loss != 0.125 ||
+		!st.Connected || st.Version != 42 {
+		t.Fatalf("state wrong: %+v", st)
+	}
+}
+
+func TestWriteSSEFraming(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSSE(&sb, wireUpdate()); err != nil {
+		t.Fatalf("WriteSSE: %v", err)
+	}
+	got := sb.String()
+	if !strings.HasPrefix(got, "event: diff\nid: 7\ndata: {") {
+		t.Fatalf("diff framing wrong: %q", got)
+	}
+	if !strings.HasSuffix(got, "}\n\n") {
+		t.Fatalf("event must end with a blank line: %q", got)
+	}
+
+	sb.Reset()
+	full := wireUpdate()
+	full.Full = true
+	if err := WriteSSE(&sb, full); err != nil {
+		t.Fatalf("WriteSSE: %v", err)
+	}
+	if !strings.HasPrefix(sb.String(), "event: snapshot\n") {
+		t.Fatalf("full update must frame as snapshot: %q", sb.String())
+	}
+}
+
+func TestApplyFoldsDiffsAndReplacesOnFull(t *testing.T) {
+	plc := al.LinkState{Src: 0, Dst: 1, Medium: core.PLC, Capacity: 50}
+	wifi := al.LinkState{Src: 0, Dst: 1, Medium: core.WiFi, Capacity: 30}
+	table := Apply(nil, Update{Seq: 1, Full: true, States: []al.LinkState{plc, wifi}})
+	if len(table) != 2 {
+		t.Fatalf("full update must seed the table: %v", table)
+	}
+
+	// A diff upserts only its states.
+	plc.Capacity = 60
+	table = Apply(table, Update{Seq: 2, States: []al.LinkState{plc}})
+	if len(table) != 2 ||
+		table[Key{0, 1, core.PLC}].Capacity != 60 ||
+		table[Key{0, 1, core.WiFi}].Capacity != 30 {
+		t.Fatalf("diff must upsert without touching the rest: %v", table)
+	}
+
+	// A later full update replaces the table wholesale (a resync after
+	// drops must not leave stale links behind).
+	table = Apply(table, Update{Seq: 3, Full: true, States: []al.LinkState{wifi}})
+	if len(table) != 1 {
+		t.Fatalf("full update must replace the table: %v", table)
+	}
+	if _, stale := table[Key{0, 1, core.PLC}]; stale {
+		t.Fatal("resync left a stale link behind")
+	}
+}

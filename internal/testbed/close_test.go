@@ -1,0 +1,70 @@
+package testbed
+
+import (
+	"testing"
+
+	"repro/internal/plc/phy"
+)
+
+func TestTestbedCloseReleasesAndIsIdempotent(t *testing.T) {
+	tb := New(Options{Spec: phy.AV, Decimate: 8, Seed: 1})
+	if tb.Closed() {
+		t.Fatal("fresh testbed reports closed")
+	}
+	tb.Close()
+	if !tb.Closed() {
+		t.Fatal("Close must mark the testbed closed")
+	}
+	tb.Close() // idempotent
+}
+
+func TestFactoryCloseDrainsPoolAndStopsMemoizing(t *testing.T) {
+	opts := Options{Spec: phy.AV, Decimate: 8, Seed: 1}
+	f := NewFactory()
+
+	// Seed the pool with one idle floor.
+	s := f.Session()
+	s.Get(opts)
+	s.Close()
+	if built, reused := f.Stats(); built != 1 || reused != 0 {
+		t.Fatalf("setup: built %d reused %d", built, reused)
+	}
+
+	f.Close()
+	f.Close() // idempotent
+
+	// A closed factory is a pass-through: leases still work but build
+	// fresh floors instead of reusing the (now released) pool.
+	s = f.Session()
+	tb := s.Get(opts)
+	if tb.Closed() {
+		t.Fatal("a lease from a closed factory must still be usable")
+	}
+	s.Close() // the return is dropped, not repooled
+	if _, reused := f.Stats(); reused != 0 {
+		t.Fatal("closed factory must never serve from the pool")
+	}
+	s = f.Session()
+	defer s.Close()
+	if s.Get(opts) == tb {
+		t.Fatal("closed factory repooled a returned testbed")
+	}
+}
+
+func TestFactoryDropsClosedReturns(t *testing.T) {
+	opts := Options{Spec: phy.AV, Decimate: 8, Seed: 1}
+	f := NewFactory()
+	s := f.Session()
+	tb := s.Get(opts)
+	tb.Close() // the session's floor dies mid-lease
+	s.Close()  // the return must not resurrect it into the pool
+
+	s = f.Session()
+	defer s.Close()
+	if s.Get(opts) == tb {
+		t.Fatal("a closed testbed must never be handed out again")
+	}
+	if built, _ := f.Stats(); built != 2 {
+		t.Fatalf("built %d, want a fresh build after the closed return was dropped", built)
+	}
+}

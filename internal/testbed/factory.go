@@ -14,6 +14,13 @@ import (
 // configuration therefore skip the expensive grid/channel construction
 // while still observing a bit-identical fresh floor.
 //
+// Ownership is explicit: a leased testbed belongs to the session until
+// Close returns it, and the pool itself belongs to whoever constructed
+// the factory — Factory.Close releases every idle testbed and turns the
+// factory into a pass-through (leases still work, returns are dropped),
+// so a long-lived process can retire the memoizing cache without
+// tracking down outstanding leases.
+//
 // Factory and Session are safe for concurrent use; a leased *Testbed is
 // not (each experiment drives its own).
 type Factory struct {
@@ -21,6 +28,7 @@ type Factory struct {
 	idle   map[Options][]*Testbed // guarded by mu
 	built  int                    // guarded by mu
 	reused int                    // guarded by mu
+	closed bool                   // guarded by mu
 }
 
 // NewFactory returns an empty testbed pool.
@@ -63,15 +71,47 @@ func (f *Factory) get(opts Options) *Testbed {
 	return New(opts)
 }
 
-// put resets a testbed and returns it to the idle pool.
+// put resets a testbed and returns it to the idle pool. Returns to a
+// closed factory (or of an already-closed testbed) release the floor
+// instead of repopulating the cache.
 func (f *Factory) put(tb *Testbed) {
-	if tb.opts.Estimator != nil {
+	if tb.opts.Estimator != nil || tb.Closed() {
+		tb.Close()
 		return // not memoizable; drop
+	}
+	f.mu.Lock()
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		tb.Close()
+		return
 	}
 	tb.Reset()
 	f.mu.Lock()
+	if f.closed { // closed while resetting
+		f.mu.Unlock()
+		tb.Close()
+		return
+	}
 	f.idle[tb.opts] = append(f.idle[tb.opts], tb)
 	f.mu.Unlock()
+}
+
+// Close releases every idle testbed and stops the factory memoizing:
+// later Gets build fresh floors and later returns are dropped, so a
+// long-lived host tearing down its campaign plane frees the pool
+// without waiting for outstanding sessions. Idempotent.
+func (f *Factory) Close() {
+	f.mu.Lock()
+	idle := f.idle
+	f.idle = make(map[Options][]*Testbed)
+	f.closed = true
+	f.mu.Unlock()
+	for _, q := range idle {
+		for _, tb := range q {
+			tb.Close()
+		}
+	}
 }
 
 // Session tracks the testbeds one experiment checks out, so they can all

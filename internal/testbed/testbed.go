@@ -213,6 +213,25 @@ func (tb *Testbed) assemble() {
 	tb.wifiLinks = make(map[[2]int]*wifi.Link)
 }
 
+// Close releases the floor: the deployment, the WiFi link cache and the
+// grid reference are dropped so a long-lived holder (a hosted floor
+// runtime, a factory pool being torn down) returns the floor's memory
+// without waiting for its own death. Close is idempotent; the testbed
+// must not be used afterwards.
+func (tb *Testbed) Close() {
+	tb.Grid = nil
+	tb.Dep = nil
+	tb.Stations = nil
+	tb.wifiLinks = nil
+	tb.stationNodes = nil
+	tb.stationNets = nil
+	tb.ccoStations = nil
+	tb.bp = nil
+}
+
+// Closed reports whether Close released the testbed.
+func (tb *Testbed) Closed() bool { return tb.Grid == nil }
+
 // Reset discards every piece of mutable measurement state — PLC links with
 // their channel and estimator state, sniffer hooks, management-message
 // throttles, and WiFi rate-adaptation caches — by rebuilding the
