@@ -2,7 +2,7 @@
 
 SHELL := /bin/bash -o pipefail
 
-.PHONY: test lint bench bench-pr5 bench-pr6 bench-gate
+.PHONY: test lint bench bench-pr5 bench-pr6 bench-pr9 bench-gate
 
 test:
 	go build ./... && go test ./...
@@ -19,10 +19,11 @@ lint:
 	@if command -v govulncheck >/dev/null; then govulncheck ./...; \
 	else echo "lint: govulncheck not installed, skipping (CI runs it)"; fi
 
-# bench runs the campaign + channel-plane + floor-fanout benchmarks once,
-# emitting benchstat-comparable output (the same artifact CI uploads).
+# bench runs the campaign + channel-plane + floor-fanout + traffic-tick
+# benchmarks once, emitting benchstat-comparable output (the same
+# artifact CI uploads).
 bench:
-	go test -run NONE -bench 'Campaign|ChannelPlane|FloorFanout' -benchtime 1x -count 1 . | tee bench.txt
+	go test -run NONE -bench 'Campaign|ChannelPlane|FloorFanout|TrafficTick' -benchtime 1x -count 1 . | tee bench.txt
 
 # bench-pr5 regenerates BENCH_PR5.json's "current" measurements on this
 # machine (the pinned pre-refactor baseline block is preserved) and the
@@ -39,8 +40,20 @@ bench-pr6:
 		-desc "event-driven channel plane: epoch-indexed mask transitions, dirty-tracked pair cores, reusable snapshots" \
 		-raw bench_pr6.txt
 
-# bench-gate compares a fresh bench log against BENCH_PR6.json's current
-# block and fails on a >10% geomean ns/op regression — the same check the
-# CI bench job runs.
+# bench-pr9 regenerates BENCH_PR9.json's measurements (the traffic
+# plane is a new subsystem, so there is no pre-refactor baseline block)
+# and the raw log. The artifact's claim is the 8->512 flow sweep: the
+# per-tick cost is a function of the tick's dirty links, not flows x
+# links, so the 64x flow count costs nowhere near 64x.
+bench-pr9:
+	go run ./cmd/benchplane -o BENCH_PR9.json -pr 9 -bench TrafficTick \
+		-desc "traffic plane: multi-flow workload engine — one batched snapshot per tick, route re-evaluation only on dirty links" \
+		-raw bench_pr9.txt
+
+# bench-gate compares a fresh bench log against the checked-in artifacts'
+# current blocks and fails on a >10% geomean ns/op regression — the same
+# check the CI bench job runs. Each gate only reads the benchmarks its
+# artifact pins, so one log serves both.
 bench-gate: bench
 	go run ./cmd/benchplane -o BENCH_PR6.json -gate bench.txt
+	go run ./cmd/benchplane -o BENCH_PR9.json -gate bench.txt

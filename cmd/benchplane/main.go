@@ -74,7 +74,10 @@ type File struct {
 	Benchmarks     map[string]*Entry `json:"benchmarks"`
 }
 
-var benchLine = regexp.MustCompile(`^Benchmark([\w/]+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+// benchLine parses one `go test -bench` result line. Custom
+// b.ReportMetric columns may sit between ns/op and B/op (they print in
+// metric-name order), so the B/op capture skips over them lazily.
+var benchLine = regexp.MustCompile(`^Benchmark([\w/]+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
 
 func main() {
 	var (

@@ -96,7 +96,8 @@ func realMain() int {
 		return 0
 	}
 
-	cfg := experiments.Config{Seed: *shared.Seed, Scale: *scale, Decimate: *shared.Decimate, Scenario: *shared.Scenario}
+	cfg := experiments.Config{Seed: *shared.Seed, Scale: *scale, Decimate: *shared.Decimate,
+		Scenario: *shared.Scenario, Workload: *shared.Workload}
 	planOpts := []campaign.PlanOption{campaign.PlanConfig(cfg)}
 	if *run != "all" {
 		ids := cli.SplitIDs(*run)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/plc/phy"
 	"repro/internal/scenario"
 	"repro/internal/testbed"
+	"repro/internal/traffic"
 )
 
 // TestbedFlags are the common testbed-construction flags.
@@ -33,6 +34,7 @@ type ExperimentFlags struct {
 	Seed     *int64
 	Decimate *int
 	Scenario *string
+	Workload *string
 }
 
 // Shared flag registrations: every tool spells -seed, -decimate and
@@ -49,6 +51,12 @@ func decimateFlag(fs *flag.FlagSet, def int) *int {
 func scenarioFlag(fs *flag.FlagSet) *string {
 	return fs.String("scenario", scenario.DefaultName,
 		fmt.Sprintf("deployment scenario: %s, or gen:stations=N,boards=M,seed=S", strings.Join(scenario.Names(), ", ")))
+}
+
+func workloadFlag(fs *flag.FlagSet, def string) *string {
+	return fs.String("wl", def,
+		fmt.Sprintf("traffic workload: auto (match the scenario), %s, or wl:arrival=poisson,rate=R,...",
+			strings.Join(traffic.Presets(), ", ")))
 }
 
 // RegisterTestbedFlags installs -seed, -spec, -decimate and -scenario on
@@ -83,6 +91,7 @@ func RegisterExperimentFlagsOn(fs *flag.FlagSet) *ExperimentFlags {
 		Seed:     seedFlag(fs, def.Seed),
 		Decimate: decimateFlag(fs, def.Decimate),
 		Scenario: scenarioFlag(fs),
+		Workload: workloadFlag(fs, "auto"),
 	}
 }
 
@@ -94,12 +103,17 @@ func RegisterScenarioFlag() *string {
 
 // FleetFlags are the flags of the floor-hosting service: the shared
 // -seed/-spec/-decimate testbed trio applied to every tenant, plus the
-// -floors tenant list (the plural of -scenario, sharing its grammar).
+// -floors tenant list (the plural of -scenario, sharing its grammar)
+// and the traffic-plane pair — -wl selects the workload every tenant
+// hosts ("" = bare metric plane, no traffic) and -policy its routing
+// policy.
 type FleetFlags struct {
 	Seed     *int64
 	Spec     *string
 	Decimate *int
 	Floors   *string
+	Workload *string
+	Policy   *string
 }
 
 // RegisterFleetFlags installs the fleet flags on the default flag set.
@@ -117,6 +131,9 @@ func RegisterFleetFlagsOn(fs *flag.FlagSet) *FleetFlags {
 		Decimate: decimateFlag(fs, def.Decimate),
 		Floors: fs.String("floors", scenario.DefaultName+",flat",
 			fmt.Sprintf("comma-separated tenant floors: %s, gen: specs, or all", strings.Join(scenario.Names(), ", "))),
+		Workload: workloadFlag(fs, ""),
+		Policy: fs.String("policy", "hybrid",
+			fmt.Sprintf("traffic routing policy: %s", strings.Join(traffic.Policies(), ", "))),
 	}
 }
 

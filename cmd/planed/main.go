@@ -4,11 +4,18 @@
 // cadence, and serves the 1905-style link-state plane over HTTP — the
 // §7–§8 hybrid vision as a long-lived service rather than a batch sweep.
 //
-//	GET    /floors                 tenant listing with status
-//	POST   /floors?spec=S[&id=I]   add a tenant at the shared clock
-//	GET    /floors/{id}/snapshot   cached full snapshot (versioned)
-//	GET    /floors/{id}/stream     SSE stream of LinkState diffs
-//	DELETE /floors/{id}            close one tenant; others unaffected
+//	GET    /floors                               tenant listing with status
+//	POST   /floors?spec=S[&id=I][&wl=W][&policy=P]  add a tenant at the shared clock
+//	GET    /floors/{id}/snapshot                 cached full snapshot (versioned)
+//	GET    /floors/{id}/stream                   SSE stream of LinkState diffs
+//	DELETE /floors/{id}                          close one tenant; others unaffected
+//
+// With -wl the daemon attaches the traffic plane to every hosted floor:
+// a deterministic multi-flow workload (internal/traffic preset or wl:
+// spec) drives the channel plane, and each publication carries the live
+// flow summary (active flows, completions, fairness, FCT percentiles)
+// in its `traffic` field. Per-tenant ?wl=/?policy= override the daemon
+// defaults; ?wl=none opts a tenant out.
 //
 // The stream carries `snapshot` events (full floor state: on subscribe,
 // and as resync after subscriber lag) and `diff` events (only links
@@ -22,6 +29,7 @@
 //	planed -floors paper,flat -cadence 1s -tick 1s
 //	planed -floors all -listen :9190
 //	planed -floors 'gen:stations=24;boards=2;seed=3,apartment' -tick 100ms
+//	planed -floors paper -wl bursty -policy hybrid
 package main
 
 import (
@@ -61,6 +69,11 @@ func main() {
 
 	fleet := floor.NewFleet(*start)
 	for _, spec := range cli.SplitScenarios(*ff.Floors) {
+		tf, err := trafficFactory(*ff.Workload, *ff.Policy, spec, *ff.Seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "planed:", err)
+			os.Exit(1)
+		}
 		rt, err := floor.New(floor.Config{
 			ID:            spec,
 			Scenario:      spec,
@@ -69,6 +82,7 @@ func main() {
 			Cadence:       *cadence,
 			Buffer:        *buffer,
 			FullSnapshots: *full,
+			Traffic:       tf,
 		})
 		if err == nil {
 			err = fleet.Add(rt)
@@ -80,7 +94,7 @@ func main() {
 		log.Printf("planed: hosting floor %q (%d stations, %d links)", rt.ID(), rt.Stations(), rt.Links())
 	}
 
-	srv := newServer(fleet, opts, *cadence, *buffer, *full)
+	srv := newServer(fleet, opts, *cadence, *buffer, *full, *ff.Workload, *ff.Policy)
 	httpSrv := &http.Server{Addr: *listen, Handler: srv.mux()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

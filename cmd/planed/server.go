@@ -7,9 +7,11 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/al"
 	"repro/internal/floor"
 	"repro/internal/scenario"
 	"repro/internal/testbed"
+	"repro/internal/traffic"
 )
 
 // server is the HTTP face of a floor fleet. It owns no floor state of
@@ -21,10 +23,37 @@ type server struct {
 	cadence time.Duration
 	buffer  int
 	full    bool
+	wl      string // default workload selection ("" = bare metric plane)
+	policy  string // default traffic routing policy
 }
 
-func newServer(fleet *floor.Fleet, opts testbed.Options, cadence time.Duration, buffer int, full bool) *server {
-	return &server{fleet: fleet, opts: opts, cadence: cadence, buffer: buffer, full: full}
+func newServer(fleet *floor.Fleet, opts testbed.Options, cadence time.Duration, buffer int, full bool, wl, policy string) *server {
+	return &server{fleet: fleet, opts: opts, cadence: cadence, buffer: buffer, full: full, wl: wl, policy: policy}
+}
+
+// trafficFactory resolves a workload/policy selection for one floor into
+// the floor.Config.Traffic hook factory, or nil when wlSel is empty (a
+// bare metric plane). Selections resolve eagerly — a bad -wl or ?wl=
+// fails the floor's admission, not its first tick.
+func trafficFactory(wlSel, polSel, scen string, seed int64) (func(*al.Topology) (func(time.Duration), func(time.Duration, *al.Snapshot) any, error), error) {
+	if wlSel == "" {
+		return nil, nil
+	}
+	wl, err := traffic.ResolveFor(wlSel, scen)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := traffic.ParsePolicy(polSel)
+	if err != nil {
+		return nil, err
+	}
+	return func(topo *al.Topology) (func(time.Duration), func(time.Duration, *al.Snapshot) any, error) {
+		h, err := traffic.NewHooks(topo, wl, traffic.EngineConfig{Policy: pol, Seed: seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		return h.PreTick, h.OnTick, nil
+	}, nil
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -84,7 +113,9 @@ func (s *server) listFloors(w http.ResponseWriter, r *http.Request) {
 
 // addFloor admits a new tenant at the shared clock: ?spec= selects the
 // scenario (preset name or gen: spec), ?id= optionally names the tenant
-// (default: the canonical spec).
+// (default: the canonical spec), ?wl= and ?policy= override the
+// daemon's default workload/policy for this tenant (?wl=none forces a
+// bare metric plane even when the daemon default carries traffic).
 func (s *server) addFloor(w http.ResponseWriter, r *http.Request) {
 	spec := r.FormValue("spec")
 	if spec == "" {
@@ -99,6 +130,21 @@ func (s *server) addFloor(w http.ResponseWriter, r *http.Request) {
 	if id == "" {
 		id = spec
 	}
+	wl, policy := s.wl, s.policy
+	if v := r.FormValue("wl"); v != "" {
+		wl = v
+	}
+	if wl == "none" {
+		wl = ""
+	}
+	if v := r.FormValue("policy"); v != "" {
+		policy = v
+	}
+	tf, err := trafficFactory(wl, policy, spec, s.opts.Seed)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad traffic selection: %v", err)
+		return
+	}
 	rt, err := floor.New(floor.Config{
 		ID:            id,
 		Scenario:      spec,
@@ -107,6 +153,7 @@ func (s *server) addFloor(w http.ResponseWriter, r *http.Request) {
 		Cadence:       s.cadence,
 		Buffer:        s.buffer,
 		FullSnapshots: s.full,
+		Traffic:       tf,
 	})
 	if err == nil {
 		err = s.fleet.Add(rt)

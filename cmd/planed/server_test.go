@@ -32,7 +32,7 @@ func newTestServer(t *testing.T, ids ...string) (*server, *floor.Fleet) {
 			t.Fatalf("add %s: %v", id, err)
 		}
 	}
-	return newServer(fleet, opts, time.Second, 16, false), fleet
+	return newServer(fleet, opts, time.Second, 16, false, "", "hybrid"), fleet
 }
 
 func getJSON(t *testing.T, h http.Handler, url string, into any) int {

@@ -1,0 +1,50 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestFlowsCampaignDeterministicAcrossWorkers: the traffic-plane
+// experiments must export byte-identical campaign JSON whatever the
+// worker count — the engine's draws are pure functions of (workload,
+// seeds, topology), so concurrency and scheduling cannot leak into the
+// rows. Two runs at different worker counts stand in for two process
+// runs: no state survives between them.
+func TestFlowsCampaignDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flows campaign is slow")
+	}
+	plan := NewPlan(
+		PlanConfig(testCfg()),
+		PlanExperiments("fig_flows_churn"),
+		PlanScenarios("flat"),
+		PlanSeeds(1),
+	)
+	render := func(workers int) []byte {
+		outs, err := Collect(context.Background(), plan, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exports := make([]experiments.Export, 0, len(outs))
+		for _, o := range outs {
+			if o.Claim != nil {
+				t.Fatalf("claim failed: %v", o.Claim)
+			}
+			exports = append(exports, experiments.NewExport(o.Result))
+		}
+		b, err := json.Marshal(exports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := render(1), render(4)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("flows campaign JSON diverged across worker counts:\n%s\n----\n%s", a, b)
+	}
+}

@@ -23,7 +23,12 @@ import (
 // over the full registry and rendering each outcome exactly the way
 // cmd/experiments -json -scenarios did (scenario + experiments.Export +
 // claim, one indented JSON array). The renderer below reproduces that
-// envelope from the new JobOutcome stream.
+// envelope from the new JobOutcome stream. The plan pins the experiment
+// set the golden was captured from, so experiments registered since
+// (fig_flows_*) extend the registry without invalidating the proof —
+// and the pinned set keeps witnessing that their shared machinery
+// (snapshots, contention, campaign rows) still renders fig23/fig24 and
+// friends byte for byte.
 func TestPlanMatchesPreRedesignSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-registry parity campaign is slow")
@@ -35,6 +40,12 @@ func TestPlanMatchesPreRedesignSweep(t *testing.T) {
 
 	outs, err := Collect(context.Background(), NewPlan(
 		PlanConfig(testCfg()),
+		PlanExperiments(
+			"fig03", "fig04", "fig06", "fig07", "fig09", "fig10", "fig11",
+			"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+			"fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
+			"table1", "table2", "table3",
+		),
 		PlanScenarios("paper"),
 		PlanSeeds(1),
 	), Options{Workers: 4})

@@ -49,6 +49,10 @@ type Config struct {
 	// the session's pool instead of rebuilding it. Nil always builds
 	// fresh testbeds.
 	Testbeds *testbed.Session
+	// Workload selects the demand profile the traffic-plane experiments
+	// drive (a preset name or wl: spec, see internal/traffic); empty or
+	// "auto" resolves a default matched to the scenario.
+	Workload string
 }
 
 // DefaultConfig runs experiments at a laptop-friendly scale that still

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/plc/mac"
+	"repro/internal/traffic"
 )
 
 // contentionRun is one probe-vs-background contention scenario on the
@@ -136,8 +137,12 @@ func runContention(ctx context.Context, cfg Config, label string, probePat, bgPa
 
 	probe := &mac.Flow{ID: 0, Pat: probePat, Est: probeLink.Est, MeanRxSNRdB: probeLink.Ch.MeanSNRdB(0)}
 	bg := &mac.Flow{ID: 1, Pat: bgPat, Est: bgLink.Est, MeanRxSNRdB: bgLink.Ch.MeanSNRdB(0)}
-	m := mac.NewMedium(rand.New(rand.NewSource(cfg.Seed+23)), probe, bg)
-	m.InterferenceSNRdB = func(victim, interferer *mac.Flow) float64 {
+	// The sweep runs through the workload plane's slot-level contention
+	// domain — same queues, same stepping as the engine's calibration
+	// counterpart — so observation instants (and the campaign artifact)
+	// are unchanged from the old private loop.
+	cd := traffic.NewContention(rand.New(rand.NewSource(cfg.Seed+23)), probe, bg)
+	cd.M.InterferenceSNRdB = func(victim, interferer *mac.Flow) float64 {
 		if victim == probe {
 			return victim.MeanRxSNRdB - captureAdvDB
 		}
@@ -145,16 +150,14 @@ func runContention(ctx context.Context, cfg Config, label string, probePat, bgPa
 	}
 
 	run := contentionRun{Label: label}
-	m.FastForward(warmEnd) // align the medium clock with the warm-up
-	end := warmEnd + dur
-	for t := m.Now(); t < end; t = m.Now() {
-		if err := ctx.Err(); err != nil {
-			return contentionRun{}, err
-		}
-		m.Run(t + time.Second)
+	cd.FastForward(warmEnd) // align the medium clock with the warm-up
+	err = cd.Run(ctx, warmEnd+dur, time.Second, func(time.Duration) {
 		if w := probeLink.Est.WindowPBerr(); w > run.PeakPBerr {
 			run.PeakPBerr = w
 		}
+	})
+	if err != nil {
+		return contentionRun{}, err
 	}
 	run.BLERatio = probeLink.AvgBLE() / maxf(clean, 0.01)
 	return run, nil

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigFlowsFairnessClaims: the policy race runs at minimal scale on
+// the paper floor, the checker passes, and the rows carry
+// policy-prefixed metrics for cross-seed aggregation.
+func TestFigFlowsFairnessClaims(t *testing.T) {
+	r, err := RunFigFlowsFairness(bg, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Check(); err != nil {
+		t.Fatalf("claim: %v", err)
+	}
+	if len(r.Runs) != 4 {
+		t.Fatalf("runs = %d, want the 4 policies", len(r.Runs))
+	}
+	if r.HybridVsBestSticky <= 0 {
+		t.Fatalf("hybrid/best-sticky ratio = %v", r.HybridVsBestSticky)
+	}
+	rows := r.Rows()
+	var sawHybrid, sawComparison bool
+	for _, row := range rows {
+		if _, ok := row["hybrid_mean_fct_s"]; ok {
+			sawHybrid = true
+		}
+		if row["kind"] == "comparison" {
+			sawComparison = true
+		}
+	}
+	if !sawHybrid || !sawComparison {
+		t.Fatalf("rows lack policy-prefixed metrics or the comparison row: %v", rows)
+	}
+	if !strings.Contains(r.Table(), "hybrid") || !strings.Contains(r.Summary(), "fairness") {
+		t.Fatalf("rendering broken:\n%s\n%s", r.Summary(), r.Table())
+	}
+}
+
+// TestFigFlowsChurnClaims: adaptive re-routing under churn holds its
+// fairness floor and actually exercises the adaptive path.
+func TestFigFlowsChurnClaims(t *testing.T) {
+	r, err := RunFigFlowsChurn(bg, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Check(); err != nil {
+		t.Fatalf("claim: %v", err)
+	}
+	hyb := r.find("hybrid")
+	if hyb.Reroutes == 0 && hyb.Resplits == 0 {
+		t.Fatal("adaptive policy never re-evaluated a route")
+	}
+	if !strings.Contains(r.Workload, "churn") && r.Workload != "churny" {
+		t.Fatalf("churn experiment ran a churn-free workload: %q", r.Workload)
+	}
+}
+
+// TestFlowsWorkloadOverride: Config.Workload reaches the harness (an
+// explicit preset overrides the scenario's auto resolution).
+func TestFlowsWorkloadOverride(t *testing.T) {
+	cfg := testCfg()
+	cfg.Workload = "elephants"
+	r, err := RunFigFlowsFairness(bg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workload != "elephants" {
+		t.Fatalf("workload = %q, want elephants", r.Workload)
+	}
+}

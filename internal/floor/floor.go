@@ -48,6 +48,12 @@ type Update struct {
 	// States are the changed (or, when Full, all) link states, in
 	// topology order. Shared — consumers must not mutate.
 	States []al.LinkState
+	// Traffic is the workload plane's live summary for the tick (nil on
+	// floors without a traffic hook). The runtime treats it as opaque:
+	// it rides every publication and snapshot verbatim, so a subscriber
+	// that resynchronised after ring drops still reads coherent
+	// (cumulative) flow counters.
+	Traffic any
 }
 
 // Config assembles a Runtime.
@@ -78,6 +84,16 @@ type Config struct {
 	// floor is evaluated — the place to drive traffic-dependent
 	// estimation (the §7 rule: tone maps exist only under traffic).
 	PreTick func(t time.Duration)
+	// Traffic, when set, attaches a workload plane to the floor: New
+	// invokes it once with the assembled topology, and the returned
+	// hooks join the tick (see AdvanceTo's phase contract) — preTick
+	// runs with Config.PreTick before the floor is evaluated (either
+	// may be nil), and onTick runs against the tick's snapshot, its
+	// non-nil return riding the publication as Update.Traffic. The
+	// factory keeps the dependency direction clean: floor stays
+	// workload-agnostic, the caller (cmd/planed, a test) wires in
+	// whatever engine it wants.
+	Traffic func(topo *al.Topology) (preTick func(t time.Duration), onTick func(t time.Duration, snap *al.Snapshot) any, err error)
 }
 
 // Runtime hosts one floor. All methods are safe for concurrent use; the
@@ -92,14 +108,17 @@ type Runtime struct {
 	preTick func(t time.Duration)
 	hub     *fanout.Hub[Update]
 
-	mu   sync.Mutex
-	tb   *testbed.Testbed // owned floor; nil over an external Topology. guarded by mu
-	topo *al.Topology     // guarded by mu
-	next time.Duration    // virtual instant of the next tick, guarded by mu
-	seq  uint64           // last published sequence number, guarded by mu
-	last *al.Snapshot     // last published snapshot, guarded by mu
-	err  error            // terminal failure, guarded by mu
-	done bool             // guarded by mu
+	mu      sync.Mutex
+	tb      *testbed.Testbed                             // owned floor; nil over an external Topology. guarded by mu
+	topo    *al.Topology                                 // guarded by mu
+	trPre   func(t time.Duration)                        // traffic pre-tick hook, guarded by mu
+	trTick  func(t time.Duration, snap *al.Snapshot) any // traffic evaluate hook, guarded by mu
+	traffic any                                          // last traffic summary, republished on resync. guarded by mu
+	next    time.Duration                                // virtual instant of the next tick, guarded by mu
+	seq     uint64                                       // last published sequence number, guarded by mu
+	last    *al.Snapshot                                 // last published snapshot, guarded by mu
+	err     error                                        // terminal failure, guarded by mu
+	done    bool                                         // guarded by mu
 }
 
 // New assembles a runtime. With cfg.Topology nil the runtime builds and
@@ -145,6 +164,16 @@ func New(cfg Config) (*Runtime, error) {
 		rt.tb, rt.topo = tb, topo
 		rt.scen = bp.Name
 	}
+	if cfg.Traffic != nil {
+		pre, tick, err := cfg.Traffic(rt.topo)
+		if err != nil {
+			if rt.tb != nil {
+				rt.tb.Close()
+			}
+			return nil, fmt.Errorf("floor %s: traffic: %w", cfg.ID, err)
+		}
+		rt.trPre, rt.trTick = pre, tick
+	}
 	return rt, nil
 }
 
@@ -158,11 +187,26 @@ func (rt *Runtime) Scenario() string { return rt.scen }
 // Cadence reports the virtual time between ticks.
 func (rt *Runtime) Cadence() time.Duration { return rt.cadence }
 
-// AdvanceTo ticks the floor at every due cadence instant <= t: the
-// PreTick hook runs, the whole topology is evaluated in one batched
-// snapshot (advancing the shared channel plane), and the diff against
-// the previous publication is fanned out. A closed or failed runtime
-// returns its terminal error without ticking.
+// AdvanceTo ticks the floor at every due cadence instant <= t. Each
+// tick follows a fixed, documented phase order — the contract traffic
+// injection relies on (TestTickPhaseOrder regresses it):
+//
+//  1. PreTick: Config.PreTick, then the traffic plane's pre-tick hook,
+//     both before any link is evaluated — the phase that may inject
+//     traffic and mutate links (drive estimation, churn appliances).
+//  2. Advance + evaluate: the whole topology is evaluated in ONE
+//     batched snapshot (advancing the shared channel plane to the tick
+//     instant). No hook runs between link evaluations, so no observer
+//     ever sees a half-advanced plane.
+//  3. Traffic evaluate: the traffic plane's onTick hook runs against
+//     the finished snapshot — reads only, the snapshot is immutable —
+//     and returns the tick's summary.
+//  4. Publish: the diff against the previous publication fans out,
+//     carrying the summary, under the same lock hold — subscribers
+//     never observe phase 4 of tick N after phase 1 of tick N+1.
+//
+// A closed or failed runtime returns its terminal error without
+// ticking.
 func (rt *Runtime) AdvanceTo(t time.Duration) error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -171,10 +215,21 @@ func (rt *Runtime) AdvanceTo(t time.Duration) error {
 			return err
 		}
 		at := rt.next
+		// Phase 1: pre-tick hooks (may mutate links).
 		if rt.preTick != nil {
 			rt.preTick(at)
 		}
+		if rt.trPre != nil {
+			rt.trPre(at)
+		}
+		// Phase 2: one batched evaluation of the whole floor.
 		snap := rt.topo.Snapshot(at)
+		// Phase 3: traffic plane prices the finished snapshot.
+		var traffic any
+		if rt.trTick != nil {
+			traffic = rt.trTick(at, snap)
+		}
+		// Phase 4: publish the diff (with the summary) atomically.
 		states := snap.Diff(rt.last)
 		full := rt.last == nil
 		if rt.full && !full {
@@ -182,8 +237,9 @@ func (rt *Runtime) AdvanceTo(t time.Duration) error {
 		}
 		rt.seq++
 		rt.last = snap
+		rt.traffic = traffic
 		rt.next = at + rt.cadence
-		rt.hub.Publish(Update{Floor: rt.id, Seq: rt.seq, At: at, Full: full, States: states})
+		rt.hub.Publish(Update{Floor: rt.id, Seq: rt.seq, At: at, Full: full, States: states, Traffic: traffic})
 	}
 	return rt.state()
 }
@@ -220,7 +276,7 @@ func (rt *Runtime) Snapshot() (Update, bool) {
 	if rt.last == nil {
 		return Update{}, false
 	}
-	return Update{Floor: rt.id, Seq: rt.seq, At: rt.last.At, Full: true, States: rt.last.States()}, true
+	return Update{Floor: rt.id, Seq: rt.seq, At: rt.last.At, Full: true, States: rt.last.States(), Traffic: rt.traffic}, true
 }
 
 // Subscribe attaches a subscriber (ring capacity per Config.Buffer) and
@@ -237,7 +293,7 @@ func (rt *Runtime) Subscribe() (sub *fanout.Sub[Update], bootstrap Update, ok bo
 	if rt.last == nil {
 		return sub, Update{}, false
 	}
-	bootstrap = Update{Floor: rt.id, Seq: rt.seq, At: rt.last.At, Full: true, States: rt.last.States()}
+	bootstrap = Update{Floor: rt.id, Seq: rt.seq, At: rt.last.At, Full: true, States: rt.last.States(), Traffic: rt.traffic}
 	sub.Push(bootstrap)
 	return sub, bootstrap, true
 }

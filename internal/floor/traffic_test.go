@@ -1,0 +1,137 @@
+package floor
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/al"
+	"repro/internal/core"
+)
+
+// evalRecorder is a fakeLink that records when the runtime evaluates it,
+// so the tests can observe exactly where phase 2 falls in a tick.
+type evalRecorder struct {
+	fakeLink
+	trace *[]string
+}
+
+func (r *evalRecorder) State(t time.Duration) al.LinkState {
+	*r.trace = append(*r.trace, "eval")
+	return r.fakeLink.State(t)
+}
+
+// TestTickPhaseOrder regresses AdvanceTo's documented phase contract:
+// Config.PreTick, then the traffic pre-tick hook, then ONE batched
+// evaluation of the floor, then the traffic evaluate hook against the
+// finished snapshot, then the publish carrying the hook's summary.
+func TestTickPhaseOrder(t *testing.T) {
+	var trace []string
+	link := &evalRecorder{fakeLink: fakeLink{src: 0, dst: 1, med: core.PLC, cap: 50, good: 45, ver: 1}, trace: &trace}
+	topo := al.NewTopology()
+	topo.Add(link)
+
+	tick := 0
+	rt, err := New(Config{
+		ID: "phases", Topology: topo, Cadence: time.Second,
+		PreTick: func(at time.Duration) { trace = append(trace, "pre") },
+		Traffic: func(got *al.Topology) (func(time.Duration), func(time.Duration, *al.Snapshot) any, error) {
+			if got != topo {
+				t.Fatal("traffic factory must receive the runtime's topology")
+			}
+			pre := func(at time.Duration) { trace = append(trace, "trpre") }
+			on := func(at time.Duration, snap *al.Snapshot) any {
+				if snap == nil || snap.At != at {
+					t.Fatalf("onTick must see the tick's finished snapshot (at=%v)", at)
+				}
+				trace = append(trace, "trtick")
+				tick++
+				return map[string]int{"tick": tick}
+			}
+			return pre, on, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer rt.Close()
+
+	sub, _, _ := rt.Subscribe()
+	defer sub.Close()
+	if err := rt.AdvanceTo(time.Second); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+
+	// Two ticks, each in strict phase order. The second tick's evaluation
+	// is dirty-skipped per link only when nothing moved, but the snapshot
+	// always evaluates links whose state version advanced; this fake link
+	// never moves, so the second tick may legitimately skip its eval — the
+	// invariant under test is ordering, not eval count.
+	want := []string{"pre", "trpre", "eval", "trtick"}
+	if len(trace) < len(want) {
+		t.Fatalf("trace too short: %v", trace)
+	}
+	for i, w := range want {
+		if trace[i] != w {
+			t.Fatalf("tick 1 phase order wrong: %v", trace)
+		}
+	}
+	rest := trace[len(want):]
+	pos := func(s string) int {
+		for i, x := range rest {
+			if x == s {
+				return i
+			}
+		}
+		return -1
+	}
+	if p, tr := pos("pre"), pos("trtick"); p < 0 || tr < 0 || p > tr {
+		t.Fatalf("tick 2 phase order wrong: %v", rest)
+	}
+	if p, e := pos("trpre"), pos("eval"); e >= 0 && p > e {
+		t.Fatalf("traffic pre-tick must precede evaluation: %v", rest)
+	}
+
+	// The summary rides each publication.
+	u := next(t, sub)
+	if m, ok := u.Traffic.(map[string]int); !ok || m["tick"] != 1 {
+		t.Fatalf("first publication must carry the first summary: %+v", u.Traffic)
+	}
+	u = next(t, sub)
+	if m, ok := u.Traffic.(map[string]int); !ok || m["tick"] != 2 {
+		t.Fatalf("second publication must carry the second summary: %+v", u.Traffic)
+	}
+}
+
+// TestTrafficRidesSnapshotAndBootstrap: the latest summary must ride the
+// cached snapshot and every mid-stream bootstrap — the resync path. A
+// subscriber that lost diffs to ring drops re-reads cumulative flow
+// counters from the snapshot and stays coherent.
+func TestTrafficRidesSnapshotAndBootstrap(t *testing.T) {
+	a := &fakeLink{src: 0, dst: 1, med: core.PLC, cap: 50, good: 45, ver: 1}
+	topo := al.NewTopology()
+	topo.Add(a)
+	ticks := 0
+	rt, err := New(Config{
+		ID: "resync", Topology: topo, Cadence: time.Second,
+		Traffic: func(*al.Topology) (func(time.Duration), func(time.Duration, *al.Snapshot) any, error) {
+			return nil, func(time.Duration, *al.Snapshot) any { ticks++; return ticks }, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer rt.Close()
+
+	if err := rt.AdvanceTo(2 * time.Second); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	snap, ok := rt.Snapshot()
+	if !ok || snap.Traffic != 3 {
+		t.Fatalf("cached snapshot must carry the latest summary: %+v ok=%v", snap.Traffic, ok)
+	}
+	sub, bootstrap, ok := rt.Subscribe()
+	if !ok || bootstrap.Traffic != 3 {
+		t.Fatalf("bootstrap must carry the latest summary: %+v ok=%v", bootstrap.Traffic, ok)
+	}
+	sub.Close()
+}

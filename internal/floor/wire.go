@@ -34,6 +34,10 @@ type WireUpdate struct {
 	AtSeconds float64     `json:"at_s"`
 	Full      bool        `json:"full"`
 	States    []WireState `json:"states"`
+	// Traffic is the workload plane's summary for the tick, passed
+	// through opaquely (a traffic.Summary on traffic-loaded floors;
+	// absent otherwise).
+	Traffic any `json:"traffic,omitempty"`
 }
 
 // Wire converts an update to its JSON shape.
@@ -57,6 +61,7 @@ func Wire(u Update) WireUpdate {
 		AtSeconds: u.At.Seconds(),
 		Full:      u.Full,
 		States:    states,
+		Traffic:   u.Traffic,
 	}
 }
 

@@ -1,0 +1,32 @@
+package scenario
+
+import "strings"
+
+// workloadSpecs maps preset scenario names to the traffic workload
+// preset that matches the deployment's character (internal/traffic
+// presets): the paper's office floor and the flat see steady always-on
+// demand, a large office is dominated by synchronized bursty
+// sync/backup batches, and an apartment block's demand is a few
+// residents moving large media blobs.
+var workloadSpecs = map[string]string{
+	"paper":        "steady",
+	"flat":         "steady",
+	"large-office": "bursty",
+	"apartment":    "elephants",
+}
+
+// WorkloadSpec returns the recommended traffic workload selection for a
+// scenario — a preset name or wl: spec understood by traffic.Parse.
+// Unknown and procedurally generated (gen:) scenarios recommend the
+// steady default; the mapping is advisory, callers can always pin an
+// explicit wl: spec instead.
+func WorkloadSpec(scenarioName string) string {
+	name := strings.TrimSpace(scenarioName)
+	if name == "" {
+		name = DefaultName
+	}
+	if wl, ok := workloadSpecs[name]; ok {
+		return wl
+	}
+	return "steady"
+}

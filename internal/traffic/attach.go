@@ -1,0 +1,89 @@
+package traffic
+
+import (
+	"time"
+
+	"repro/internal/al"
+	"repro/internal/core"
+)
+
+// Hooks couples an Engine to a floor's tick cycle in the shape
+// floor.Config.Traffic expects, without traffic importing floor: PreTick
+// is the phase-1 hook (drives PLC estimation — the §7 rule that tone
+// maps exist only under traffic), OnTick is the phase-3 hook (prices the
+// tick's batched snapshot and returns the live Summary that rides the
+// publication).
+type Hooks struct {
+	// E is the engine under the hooks — callers read Report, Log and the
+	// workload/policy identity through it.
+	E *Engine
+
+	plc    map[[2]int]*al.PLCLink
+	order  [][2]int // probe order: topology order, the determinism anchor
+	warmed bool
+	seen   map[[2]int]bool // per-tick probe dedup, reused
+}
+
+// NewHooks builds the workload plane for topo and returns it wired as
+// tick hooks. The first PreTick sounds every PLC link once (the
+// association-time tone-map exchange — without it a passive snapshot
+// reads every unprobed PLC link as dark and no policy would ever route
+// onto the medium); subsequent ticks probe only the links carrying
+// active flows, keeping their estimates live.
+func NewHooks(topo *al.Topology, wl Workload, cfg EngineConfig) (*Hooks, error) {
+	e, err := NewEngine(topo, wl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hooks{E: e, plc: map[[2]int]*al.PLCLink{}, seen: map[[2]int]bool{}}
+	for _, l := range topo.Links() {
+		if l.Medium() != core.PLC {
+			continue
+		}
+		if pl, ok := l.(*al.PLCLink); ok {
+			src, dst := l.Endpoints()
+			h.plc[[2]int{src, dst}] = pl
+			h.order = append(h.order, [2]int{src, dst})
+		}
+	}
+	return h, nil
+}
+
+// probeSize/probeCount shape the per-tick estimation train: one MTU-ish
+// probe per active pair per tick, the §7.2 pacing fig20 uses.
+const (
+	probeSize  = 1300
+	probeCount = 1
+)
+
+// PreTick drives PLC estimation for the tick (floor phase 1 — before
+// any link is evaluated). Probe order is topology order then flow
+// admission order, both deterministic.
+func (h *Hooks) PreTick(t time.Duration) {
+	if !h.warmed {
+		h.warmed = true
+		for _, pr := range h.order {
+			h.plc[pr].ProbeTrain(t, probeSize, probeCount)
+		}
+		return
+	}
+	for pr := range h.seen {
+		delete(h.seen, pr)
+	}
+	h.E.ActivePairs(func(src, dst int) {
+		pr := [2]int{src, dst}
+		if h.seen[pr] {
+			return
+		}
+		h.seen[pr] = true
+		if pl, ok := h.plc[pr]; ok {
+			pl.ProbeTrain(t, probeSize, probeCount)
+		}
+	})
+}
+
+// OnTick advances the engine against the tick's batched snapshot (floor
+// phase 3) and returns the live Summary for the publication.
+func (h *Hooks) OnTick(t time.Duration, snap *al.Snapshot) any {
+	return h.E.Tick(t, snap)
+}

@@ -1,0 +1,54 @@
+package traffic
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"repro/internal/plc/mac"
+)
+
+// Contention wraps the slot-level IEEE 1901 CSMA/CA DES (mac.Medium)
+// behind the workload plane's drive loop: per-flow MAC queues contend
+// for one PLC collision domain slot by slot — the exact model whose
+// airtime shares the Engine's analytic contention factors approximate.
+// The Fig. 23/24 harnesses run their probe-vs-background sweeps through
+// it instead of hand-rolling the stepping.
+type Contention struct {
+	// M is the underlying slot-level medium; callers configure capture
+	// behaviour (InterferenceSNRdB) on it directly.
+	M *mac.Medium
+}
+
+// NewContention builds a slot-level contention domain over the given
+// MAC flows (each flow owns its queue, traffic pattern and estimator
+// binding, per mac.Flow).
+func NewContention(rng *rand.Rand, flows ...*mac.Flow) *Contention {
+	return &Contention{M: mac.NewMedium(rng, flows...)}
+}
+
+// FastForward aligns the medium clock with a warm-up that happened
+// outside the DES (an estimator warmed by Link.Saturate).
+func (c *Contention) FastForward(t time.Duration) { c.M.FastForward(t) }
+
+// Run drives the contention domain to end in steps (default 1s),
+// honouring ctx between steps and invoking observe (if non-nil) with
+// the medium clock after each step — where harnesses sample estimator
+// windows. The loop re-reads the medium clock each iteration, exactly
+// like the harness loops it replaces, so observation instants are
+// identical and downstream campaign artifacts stay byte-for-byte.
+func (c *Contention) Run(ctx context.Context, end, step time.Duration, observe func(now time.Duration)) error {
+	if step <= 0 {
+		step = time.Second
+	}
+	for t := c.M.Now(); t < end; t = c.M.Now() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c.M.Run(t + step)
+		if observe != nil {
+			observe(c.M.Now())
+		}
+	}
+	return nil
+}

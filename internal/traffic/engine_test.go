@@ -1,0 +1,276 @@
+package traffic
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/al"
+	"repro/internal/core"
+)
+
+// constLink is a fixed-state link for engine tests: the engine's inputs
+// are whatever the snapshot says, so constant links isolate the queueing
+// and routing machinery from the channel models.
+type constLink struct {
+	src, dst  int
+	med       core.Medium
+	cap, good float64
+	conn      bool
+}
+
+func (l *constLink) Endpoints() (int, int)          { return l.src, l.dst }
+func (l *constLink) Medium() core.Medium            { return l.med }
+func (l *constLink) Capacity(time.Duration) float64 { return l.cap }
+func (l *constLink) Goodput(time.Duration) float64  { return l.good }
+func (l *constLink) Connected(time.Duration) bool   { return l.conn }
+func (l *constLink) Metrics(t time.Duration) core.LinkMetrics {
+	return core.LinkMetrics{Medium: l.med, CapacityMbps: l.cap, UpdatedAt: t}
+}
+
+// triadTopo builds a 3-station full mesh over both media with constant
+// rates: PLC faster than WiFi, all links up.
+func triadTopo() *al.Topology {
+	topo := al.NewTopology()
+	for _, src := range []int{0, 1, 2} {
+		for _, dst := range []int{0, 1, 2} {
+			if src == dst {
+				continue
+			}
+			topo.Add(&constLink{src: src, dst: dst, med: core.PLC, cap: 40, good: 36, conn: true})
+			topo.Add(&constLink{src: src, dst: dst, med: core.WiFi, cap: 25, good: 22, conn: true})
+		}
+	}
+	return topo
+}
+
+// drive ticks the engine from start for dur at 1s cadence, then seals
+// and drains the backlog.
+func drive(t *testing.T, topo *al.Topology, wl Workload, cfg EngineConfig, dur time.Duration) *Engine {
+	t.Helper()
+	e, err := NewEngine(topo, wl, cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	start := 11 * time.Hour
+	end := start + dur
+	for at := start; at <= end; at += time.Second {
+		e.Tick(at, topo.Snapshot(at))
+	}
+	e.SealArrivals()
+	for at := end + time.Second; e.ActiveFlows() > 0 && at <= end+4*dur; at += time.Second {
+		e.Tick(at, topo.Snapshot(at))
+	}
+	return e
+}
+
+// TestEngineDeterminism: equal workloads, seeds and topologies must
+// reproduce the flow event log byte for byte — the package's determinism
+// witness (two fresh engines stand in for two process runs: no state is
+// shared, and every draw is a pure function of the inputs).
+func TestEngineDeterminism(t *testing.T) {
+	wl, err := Parse("wl:rate=6,size=512,sigma=1,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() string {
+		e := drive(t, triadTopo(), wl, EngineConfig{Seed: 7, LogEvents: true}, 60*time.Second)
+		return e.Log()
+	}
+	a, b := run(), b2(run)
+	if a == "" {
+		t.Fatal("event log empty: the workload admitted nothing")
+	}
+	if a != b {
+		t.Fatalf("equal inputs produced diverging logs:\n--- a ---\n%s\n--- b ---\n%s", head(a), head(b))
+	}
+	for _, want := range []string{"arrive", "route", "complete"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("log lacks %q events:\n%s", want, head(a))
+		}
+	}
+	// A different engine seed must change the draws (the log), or seeds
+	// are not actually mixed in.
+	e := drive(t, triadTopo(), wl, EngineConfig{Seed: 8, LogEvents: true}, 60*time.Second)
+	if e.Log() == a {
+		t.Fatal("different engine seed reproduced the identical log")
+	}
+}
+
+func b2(f func() string) string { return f() }
+
+func head(s string) string {
+	lines := strings.SplitN(s, "\n", 12)
+	if len(lines) > 10 {
+		lines = lines[:10]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestEngineFCTNonNegative: interpolated completions must never precede
+// the flow's arrival (the mid-tick admission case).
+func TestEngineFCTNonNegative(t *testing.T) {
+	wl, _ := Parse("wl:rate=30,size=64,sigma=1")
+	e := drive(t, triadTopo(), wl, EngineConfig{LogEvents: true}, 60*time.Second)
+	if e.Report().Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	for _, ln := range strings.Split(e.Log(), "\n") {
+		i := strings.Index(ln, "fct=")
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(ln[i+4:], "s"), 64)
+		if err != nil {
+			t.Fatalf("bad fct in %q: %v", ln, err)
+		}
+		if v < 0 {
+			t.Fatalf("negative completion time: %q", ln)
+		}
+	}
+	if r := e.Report(); r.MeanFCTs <= 0 {
+		t.Fatalf("mean FCT = %v, want > 0", r.MeanFCTs)
+	}
+}
+
+// TestEngineSealDrain: SealArrivals stops admission; the drain then
+// completes every admitted flow on a healthy floor (no survivor bias in
+// cross-policy comparisons).
+func TestEngineSealDrain(t *testing.T) {
+	wl, _ := Parse("wl:rate=6,size=512")
+	e := drive(t, triadTopo(), wl, EngineConfig{}, 60*time.Second)
+	r := e.Report()
+	if e.ActiveFlows() != 0 {
+		t.Fatalf("%d flows still active after drain", e.ActiveFlows())
+	}
+	if r.Arrivals == 0 || r.Completed+r.Dropped != r.Arrivals {
+		t.Fatalf("flow accounting broken: arrivals=%d completed=%d dropped=%d",
+			r.Arrivals, r.Completed, r.Dropped)
+	}
+	// Sealed means sealed: further ticks admit nothing.
+	before := e.Report().Arrivals
+	e.Tick(13*time.Hour, triadTopo().Snapshot(13*time.Hour))
+	if after := e.Report().Arrivals; after != before {
+		t.Fatalf("sealed engine admitted %d flows", after-before)
+	}
+}
+
+// TestContentionFactorsMonotone: both airtime-efficiency models must be
+// 1 at a single station and degrade monotonically (never below 0, never
+// above 1) as the collision domain fills — the property the contended
+// candidate view relies on.
+func TestContentionFactorsMonotone(t *testing.T) {
+	for name, f := range map[string]func(int) float64{
+		"plc":  plcContentionFactor,
+		"wifi": wifiContentionFactor,
+	} {
+		if got := f(1); got != 1 {
+			t.Fatalf("%s factor(1) = %v, want 1", name, got)
+		}
+		prev := 1.0
+		for n := 2; n <= 64; n++ {
+			got := f(n)
+			if got <= 0 || got > 1 {
+				t.Fatalf("%s factor(%d) = %v, out of (0, 1]", name, n, got)
+			}
+			// The PLC model's min-of-n backoff keeps shrinking after the
+			// collision probability saturates, so the factor can tick up by
+			// ~1e-6 at large n; only material non-monotonicity is a bug.
+			if got > prev+1e-4 {
+				t.Fatalf("%s factor not monotone at n=%d: %v after %v", name, n, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestFIFOHeadOfLine: under FIFO the oldest backlogged flow of a station
+// owns the medium, so two same-station flows complete in arrival order;
+// DRR shares airtime instead. Both disciplines drain the same flow set.
+func TestFIFOQueueDiffersFromDRR(t *testing.T) {
+	wl, _ := Parse("wl:rate=20,size=2048")
+	fifo := drive(t, triadTopo(), wl, EngineConfig{Discipline: FIFO, LogEvents: true}, 45*time.Second)
+	drr := drive(t, triadTopo(), wl, EngineConfig{Discipline: DRR, LogEvents: true}, 45*time.Second)
+	fr, dr := fifo.Report(), drr.Report()
+	if fr.Arrivals != dr.Arrivals {
+		t.Fatalf("disciplines saw different workloads: %d vs %d arrivals", fr.Arrivals, dr.Arrivals)
+	}
+	if fr.Completed == 0 || dr.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if fifo.Log() == drr.Log() {
+		t.Fatal("FIFO and DRR produced identical schedules on a contended floor")
+	}
+	// Head-of-line blocking shows up as worse flow fairness (rates
+	// concentrate on the head flow while others starve).
+	if fr.FlowFairness > dr.FlowFairness+1e-9 {
+		t.Fatalf("FIFO flow fairness %.3f should not beat DRR's %.3f", fr.FlowFairness, dr.FlowFairness)
+	}
+}
+
+// TestActivePairsDedup: one callback per distinct in-flight pair, in
+// admission order, repeatable across calls.
+func TestActivePairsDedup(t *testing.T) {
+	wl, _ := Parse("wl:rate=30,size=8192")
+	topo := triadTopo()
+	e, err := NewEngine(topo, wl, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := 11 * time.Hour
+	for at := start; at <= start+20*time.Second; at += time.Second {
+		e.Tick(at, topo.Snapshot(at))
+	}
+	collect := func() [][2]int {
+		var out [][2]int
+		e.ActivePairs(func(src, dst int) { out = append(out, [2]int{src, dst}) })
+		return out
+	}
+	a := collect()
+	if len(a) == 0 {
+		t.Fatal("no active pairs on a backlogged floor")
+	}
+	seen := map[[2]int]bool{}
+	for _, pr := range a {
+		if seen[pr] {
+			t.Fatalf("pair %v reported twice", pr)
+		}
+		seen[pr] = true
+	}
+	b := collect()
+	if len(a) != len(b) {
+		t.Fatalf("ActivePairs not repeatable: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ActivePairs order drifted at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSamplerDecimation: the sampler stays bounded and deterministic
+// under far more offers than its cap.
+func TestSamplerDecimation(t *testing.T) {
+	var a, b sampler
+	const n = samplerCap*4 + 17
+	for i := 0; i < n; i++ {
+		a.add(float64(i))
+		b.add(float64(i))
+	}
+	if len(a.vals) == 0 || len(a.vals) >= samplerCap {
+		t.Fatalf("sampler holds %d values, want (0, %d)", len(a.vals), samplerCap)
+	}
+	if len(a.vals) != len(b.vals) {
+		t.Fatalf("samplers diverged: %d vs %d", len(a.vals), len(b.vals))
+	}
+	for i := range a.vals {
+		if a.vals[i] != b.vals[i] {
+			t.Fatalf("samplers diverged at %d", i)
+		}
+	}
+	// Retained values span the stream, not just its head.
+	if last := a.vals[len(a.vals)-1]; last < n/2 {
+		t.Fatalf("decimation kept only the head: last retained = %v", last)
+	}
+}

@@ -1,0 +1,117 @@
+package traffic
+
+// Summary is one tick's live view of the workload plane — the payload a
+// hosted floor publishes next to its link-state diff, sized for a wire
+// (fixed field count, no per-flow detail). Counter fields are cumulative
+// since the engine started, so a subscriber that lost ticks to
+// backpressure resynchronises coherently: counters never go backwards.
+type Summary struct {
+	// AtS is the tick instant in virtual seconds.
+	AtS float64 `json:"at_s"`
+	// ActiveFlows counts in-flight flows (including frozen ones whose
+	// endpoint churned away); ActiveStations counts stations present.
+	ActiveFlows    int `json:"active_flows"`
+	ActiveStations int `json:"active_stations"`
+	// Arrivals, CompletedFlows, DroppedFlows and Reroutes are cumulative.
+	Arrivals       uint64 `json:"arrivals"`
+	CompletedFlows uint64 `json:"completed_flows"`
+	DroppedFlows   uint64 `json:"dropped_flows"`
+	Reroutes       uint64 `json:"reroutes"`
+	// DeliveredMbps is the aggregate goodput over this tick; Fairness is
+	// Jain's index over the serving flows' rates (1 when idle).
+	DeliveredMbps float64 `json:"delivered_mbps"`
+	Fairness      float64 `json:"fairness"`
+	// QueuedBytes is the total backlog across every station queue.
+	QueuedBytes int64 `json:"queued_bytes"`
+}
+
+// Report is the engine's end-of-run metrics surface: completion-time
+// and queue-depth tails, fairness and aggregate throughput — the
+// campaign-row material of the flow experiments.
+type Report struct {
+	Workload string
+	Policy   string
+
+	Arrivals  uint64
+	Completed uint64
+	Dropped   uint64
+	// Reroutes counts material weight migrations (L1 shift past the
+	// migrate threshold); Resplits counts every route re-evaluation of an
+	// already-routed flow — the adaptivity signal on floors too small for
+	// the proportional split to ever migrate.
+	Reroutes uint64
+	Resplits uint64
+
+	// MeanFCTs and the percentiles summarise flow completion times in
+	// seconds (NaN percentiles when nothing completed).
+	MeanFCTs float64
+	P50FCTs  float64
+	P95FCTs  float64
+	P99FCTs  float64
+
+	// FlowFairness is Jain's index over completed flows' mean rates;
+	// StationFairness is Jain's index over per-station delivered bytes.
+	FlowFairness    float64
+	StationFairness float64
+
+	// DeliveredMbps is aggregate delivered traffic over the run window.
+	DeliveredMbps float64
+
+	// QueueP50KB/P95KB/P99KB are per-station queue-depth tails sampled
+	// once per tick per station holding traffic.
+	QueueP50KB float64
+	QueueP95KB float64
+	QueueP99KB float64
+}
+
+// jainIndex is Jain's fairness index (Σx)²/(n·Σx²) over non-negative
+// allocations: 1 when all equal, →1/n under maximal skew, and 1 for an
+// empty or all-zero set (nothing is being shared unfairly).
+func jainIndex(xs []float64) float64 {
+	var s, ss float64
+	for _, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		s += x
+		ss += x * x
+	}
+	if len(xs) == 0 || ss == 0 {
+		return 1
+	}
+	return s * s / (float64(len(xs)) * ss)
+}
+
+// samplerCap bounds a sampler's retained values; at the cap the sampler
+// decimates deterministically (keep every other value, double the
+// stride) so long-lived hosted floors hold bounded memory while tails
+// stay representative.
+const samplerCap = 1 << 15
+
+// sampler retains a bounded, deterministically decimated sample stream
+// for percentile queries.
+type sampler struct {
+	vals   []float64
+	stride int // keep every stride-th offered value
+	skip   int
+}
+
+func (s *sampler) add(x float64) {
+	if s.stride == 0 {
+		s.stride = 1
+	}
+	s.skip++
+	if s.skip < s.stride {
+		return
+	}
+	s.skip = 0
+	s.vals = append(s.vals, x)
+	if len(s.vals) >= samplerCap {
+		keep := s.vals[:0]
+		for i := 0; i < len(s.vals); i += 2 {
+			keep = append(keep, s.vals[i])
+		}
+		s.vals = keep
+		s.stride *= 2
+	}
+}

@@ -1,0 +1,206 @@
+package traffic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/al"
+	"repro/internal/core"
+	"repro/internal/hybrid"
+)
+
+// Policy selects a flow's traffic split across its candidate links.
+//
+// Split receives the flow's previous weights (nil at admission) and the
+// candidate link states in topology order. The states the engine passes
+// are *contended*: Capacity and Goodput are scaled to the rate the flow
+// would actually see given the current backlog on each medium's
+// collision domain, so an adaptive policy migrates away from congestion
+// even when the raw link estimate never moved. On unprobed links (whose
+// passive capacity estimate is still 0) the engine substitutes the
+// delivered goodput for Capacity before scaling, so capacity-weighted
+// policies never read a working medium as dark. Split returns one weight
+// per candidate; weights need not be normalised — only ratios matter
+// (the engine's DRR shares airtime proportionally) — and an all-zero
+// vector stalls the flow until conditions change.
+//
+// Policies must be pure functions of their arguments: the engine
+// re-evaluates them on link state-version changes and station churn,
+// and determinism of the flow event log depends on them.
+type Policy interface {
+	// Name identifies the policy in specs, events and result rows.
+	Name() string
+	// Split picks the weight per candidate link state.
+	Split(prev []float64, states []al.LinkState) []float64
+	// Adaptive reports whether the engine should re-run Split after
+	// admission (on snapshot version movement and churn). Non-adaptive
+	// policies keep their admission-time split for the flow's lifetime.
+	Adaptive() bool
+}
+
+// Sticky routes each flow once, at admission, onto the single best
+// candidate by contended goodput, and never migrates — the baseline an
+// adaptive policy has to beat.
+type Sticky struct{}
+
+// Name implements Policy.
+func (Sticky) Name() string { return "sticky" }
+
+// Adaptive implements Policy.
+func (Sticky) Adaptive() bool { return false }
+
+// Split implements Policy.
+func (Sticky) Split(prev []float64, states []al.LinkState) []float64 {
+	if prev != nil {
+		return prev
+	}
+	return bestOf(states)
+}
+
+// Pinned routes every flow onto one medium for its whole lifetime — the
+// "sticky single-medium" deployment that never heard of the other NIC.
+// A pair with no usable link on the pinned medium (a WiFi blind-spot
+// pair, a cross-network PLC pair) falls back to the best other
+// candidate at admission, else the flow could never complete.
+type Pinned struct{ Medium core.Medium }
+
+// Name implements Policy.
+func (p Pinned) Name() string {
+	return "sticky-" + strings.ToLower(p.Medium.String())
+}
+
+// Adaptive implements Policy.
+func (Pinned) Adaptive() bool { return false }
+
+// Split implements Policy.
+func (p Pinned) Split(prev []float64, states []al.LinkState) []float64 {
+	if prev != nil {
+		return prev
+	}
+	w := make([]float64, len(states))
+	for i, st := range states {
+		if st.Medium == p.Medium && st.Connected && st.Goodput > 0 {
+			w[i] = 1
+			return w
+		}
+	}
+	return bestOf(states)
+}
+
+// Greedy migrates each flow onto whichever candidate currently offers
+// the best contended goodput, with hysteresis: the incumbent link keeps
+// the flow unless a challenger is better by more than Hysteresis
+// (fraction, default 0.1), so ties and noise do not flap routes.
+type Greedy struct {
+	// Hysteresis is the minimum relative improvement a challenger needs
+	// to steal the flow (0 resolves to 0.1).
+	Hysteresis float64
+}
+
+// Name implements Policy.
+func (Greedy) Name() string { return "greedy" }
+
+// Adaptive implements Policy.
+func (Greedy) Adaptive() bool { return true }
+
+// Split implements Policy.
+func (g Greedy) Split(prev []float64, states []al.LinkState) []float64 {
+	h := g.Hysteresis
+	if h <= 0 {
+		h = 0.1
+	}
+	best := bestOf(states)
+	if prev == nil {
+		return best
+	}
+	// Challenger must beat the incumbent's current rate by the margin.
+	var cur, top float64
+	for i, st := range states {
+		r := usableGoodput(st)
+		if i < len(prev) && prev[i] > 0 && r > cur {
+			cur = r
+		}
+		if best[i] > 0 {
+			top = r
+		}
+	}
+	if cur > 0 && top < cur*(1+h) {
+		return prev
+	}
+	return best
+}
+
+// Hybrid splits each flow across all usable candidates proportionally
+// to their contended capacity — the §7.4 proportional scheduler
+// (hybrid.Proportional) lifted from one transfer to every flow on the
+// floor, re-split as contention moves.
+type Hybrid struct{}
+
+// Name implements Policy.
+func (Hybrid) Name() string { return "hybrid" }
+
+// Adaptive implements Policy.
+func (Hybrid) Adaptive() bool { return true }
+
+// Split implements Policy.
+func (Hybrid) Split(prev []float64, states []al.LinkState) []float64 {
+	return hybrid.Proportional{}.WeightsFromStates(states)
+}
+
+// policies registers the selectable policies by name.
+var policies = map[string]func() Policy{
+	"sticky":      func() Policy { return Sticky{} },
+	"sticky-wifi": func() Policy { return Pinned{Medium: core.WiFi} },
+	"sticky-plc":  func() Policy { return Pinned{Medium: core.PLC} },
+	"greedy":      func() Policy { return Greedy{} },
+	"hybrid":      func() Policy { return Hybrid{} },
+}
+
+// Policies lists the selectable policy names in sorted order.
+func Policies() []string {
+	out := make([]string, 0, len(policies))
+	for n := range policies {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParsePolicy resolves a policy by name ("" means hybrid).
+func ParsePolicy(name string) (Policy, error) {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		name = "hybrid"
+	}
+	mk, ok := policies[name]
+	if !ok {
+		return nil, fmt.Errorf("traffic: unknown policy %q (have %s)", name, strings.Join(Policies(), ", "))
+	}
+	return mk(), nil
+}
+
+// usableGoodput is a candidate's contended goodput, zero when dark.
+func usableGoodput(st al.LinkState) float64 {
+	if !st.Connected || st.Goodput <= 0 {
+		return 0
+	}
+	return st.Goodput
+}
+
+// bestOf puts weight 1 on the single best candidate by contended
+// goodput (first wins ties — candidate order is topology order, so the
+// choice is deterministic), or all zeros when every candidate is dark.
+func bestOf(states []al.LinkState) []float64 {
+	w := make([]float64, len(states))
+	best, bestR := -1, 0.0
+	for i, st := range states {
+		if r := usableGoodput(st); r > bestR {
+			best, bestR = i, r
+		}
+	}
+	if best >= 0 {
+		w[best] = 1
+	}
+	return w
+}

@@ -1,0 +1,100 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/al"
+	"repro/internal/core"
+)
+
+func st(m core.Medium, cap, good float64, conn bool) al.LinkState {
+	return al.LinkState{Medium: m, Capacity: cap, Goodput: good, Connected: conn}
+}
+
+// TestParsePolicy: every registered name resolves, "" defaults to
+// hybrid, junk errors.
+func TestParsePolicy(t *testing.T) {
+	for _, name := range Policies() {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%s): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("policy %q reports name %q", name, p.Name())
+		}
+	}
+	if p, err := ParsePolicy(""); err != nil || p.Name() != "hybrid" {
+		t.Fatalf("empty selection must default to hybrid: %v, %v", p, err)
+	}
+	if _, err := ParsePolicy("teleport"); err == nil {
+		t.Fatal("unknown policy must error")
+	}
+}
+
+// TestStickyKeepsSplit: sticky routes once onto the best goodput and
+// never migrates, whatever the states do afterwards.
+func TestStickyKeepsSplit(t *testing.T) {
+	states := []al.LinkState{st(core.PLC, 40, 36, true), st(core.WiFi, 25, 22, true)}
+	w := Sticky{}.Split(nil, states)
+	if w[0] != 1 || w[1] != 0 {
+		t.Fatalf("admission split = %v, want the PLC link", w)
+	}
+	flipped := []al.LinkState{st(core.PLC, 1, 1, true), st(core.WiFi, 99, 99, true)}
+	if got := (Sticky{}).Split(w, flipped); &got[0] != &w[0] && (got[0] != 1 || got[1] != 0) {
+		t.Fatalf("sticky migrated: %v", got)
+	}
+	if (Sticky{}).Adaptive() {
+		t.Fatal("sticky must not be adaptive")
+	}
+}
+
+// TestPinnedFallsBack: a pinned policy uses its medium when usable and
+// falls back to the best other candidate when the pair lacks it.
+func TestPinnedFallsBack(t *testing.T) {
+	p := Pinned{Medium: core.WiFi}
+	both := []al.LinkState{st(core.PLC, 40, 36, true), st(core.WiFi, 25, 22, true)}
+	if w := p.Split(nil, both); w[1] != 1 || w[0] != 0 {
+		t.Fatalf("pinned split = %v, want the WiFi link", w)
+	}
+	dark := []al.LinkState{st(core.PLC, 40, 36, true), st(core.WiFi, 25, 0, false)}
+	if w := p.Split(nil, dark); w[0] != 1 || w[1] != 0 {
+		t.Fatalf("blind-spot fallback = %v, want the PLC link", w)
+	}
+}
+
+// TestGreedyHysteresis: the incumbent keeps the flow against a
+// marginally better challenger; a clear winner steals it.
+func TestGreedyHysteresis(t *testing.T) {
+	g := Greedy{Hysteresis: 0.1}
+	states := []al.LinkState{st(core.PLC, 40, 36, true), st(core.WiFi, 25, 22, true)}
+	w := g.Split(nil, states)
+	if w[0] != 1 {
+		t.Fatalf("admission split = %v", w)
+	}
+	// WiFi now 5% better: within hysteresis, incumbent holds.
+	close := []al.LinkState{st(core.PLC, 40, 36, true), st(core.WiFi, 40, 37.5, true)}
+	if got := g.Split(w, close); got[0] != 1 {
+		t.Fatalf("hysteresis violated: %v", got)
+	}
+	// WiFi now 2x better: migrate.
+	far := []al.LinkState{st(core.PLC, 40, 36, true), st(core.WiFi, 80, 72, true)}
+	if got := g.Split(w, far); got[1] != 1 || got[0] != 0 {
+		t.Fatalf("clear winner not taken: %v", got)
+	}
+}
+
+// TestHybridProportional: the hybrid policy is the §7.4 proportional
+// scheduler per flow — weights track contended capacity ratios.
+func TestHybridProportional(t *testing.T) {
+	states := []al.LinkState{st(core.PLC, 30, 27, true), st(core.WiFi, 10, 9, true)}
+	w := Hybrid{}.Split(nil, states)
+	if len(w) != 2 || w[0] <= w[1] || w[0]+w[1] < 0.99 || w[0]+w[1] > 1.01 {
+		t.Fatalf("proportional split = %v", w)
+	}
+	if r := w[0] / w[1]; r < 2.9 || r > 3.1 {
+		t.Fatalf("weight ratio %v, want ~3 (capacity ratio)", r)
+	}
+	if !(Hybrid{}).Adaptive() {
+		t.Fatal("hybrid must be adaptive")
+	}
+}

@@ -1,0 +1,282 @@
+// Package traffic is the heavy-traffic workload plane: a deterministic
+// multi-flow engine that runs on the virtual clock above the metric
+// plane. Where internal/hybrid splits ONE transfer across media (§7.4),
+// this package models the production regime the paper's §7-8 hybrid
+// vision points at — many concurrent flows per floor contending for
+// WiFi airtime and PLC mains cycles, with per-station queues, adaptive
+// medium selection under churn, and fairness/latency tails as
+// first-class outputs.
+//
+// The pieces:
+//
+//   - Workload: seeded arrival processes (Poisson, on/off bursty), flow
+//     size distributions and station churn declared as data — presets
+//     plus a "wl:" grammar mirroring the scenario package's "gen:"
+//     specs.
+//   - Engine: per-station FIFO/DRR queues feeding an analytic
+//     contention model (IEEE 1901 CSMA/CA airtime shares for PLC, an
+//     802.11 airtime-share model for WiFi) whose capacities come from
+//     one batched al.Snapshot per tick — a tick evaluates the topology
+//     once regardless of flow count.
+//   - Policy: pluggable per-flow medium selection (sticky, greedy
+//     goodput, hybrid proportional reusing the §7.4 scheduler weights),
+//     re-evaluated on link state-version changes and station churn.
+//   - Contention: the slot-level CSMA/CA drive loop shared with the
+//     Fig. 23/24 harnesses — the exact counterpart the engine's
+//     analytic airtime model approximates.
+//
+// Everything is a pure function of (workload, seeds, topology): equal
+// inputs reproduce the flow event log byte for byte, whatever worker
+// count or process runs them.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// Arrival process kinds.
+const (
+	// ArrivalPoisson draws exponential interarrival times at RatePerMin.
+	ArrivalPoisson = "poisson"
+	// ArrivalOnOff is bursty: Poisson arrivals at RatePerMin during "on"
+	// windows of OnSec seconds, silence for OffSec seconds between them
+	// (per-station phase offsets decorrelate the bursts).
+	ArrivalOnOff = "onoff"
+)
+
+// Workload declares a multi-flow demand profile as data. The zero value
+// of any field resolves to the preset-independent default; equal
+// resolved workloads (plus seeds) reproduce runs bit for bit.
+type Workload struct {
+	// Name is the canonical identifier: a preset name or the canonical
+	// wl: spec.
+	Name string
+	// Arrival selects the arrival process (ArrivalPoisson default).
+	Arrival string
+	// RatePerMin is the mean flow-arrival rate per active station per
+	// virtual minute (during on-windows for ArrivalOnOff).
+	RatePerMin float64
+	// OnSec/OffSec shape the on/off cycle of ArrivalOnOff (seconds).
+	OnSec, OffSec float64
+	// SizeKB is the mean flow size in KB; SizeSigma the lognormal shape
+	// (0 = fixed sizes). The size distribution is mean-preserving.
+	SizeKB    float64
+	SizeSigma float64
+	// MaxFlows caps concurrent in-flight flows; arrivals beyond it are
+	// dropped (PLC queues are non-blocking, §7.4 fn. 11).
+	MaxFlows int
+	// ChurnSec, when positive, cycles a ChurnFrac fraction of stations
+	// through ChurnSec seconds present / ChurnSec seconds away (with
+	// per-station phase offsets) — the station-churn regime adaptive
+	// re-routing is measured under.
+	ChurnSec  float64
+	ChurnFrac float64
+	// Seed offsets every workload draw. It is independent of the floor
+	// seed: one demand profile can be replayed over many channel seeds
+	// and vice versa.
+	Seed int64
+}
+
+// withDefaults resolves zero fields.
+func (w Workload) withDefaults() Workload {
+	if w.Arrival == "" {
+		w.Arrival = ArrivalPoisson
+	}
+	if w.RatePerMin <= 0 {
+		w.RatePerMin = 3
+	}
+	if w.OnSec <= 0 {
+		w.OnSec = 20
+	}
+	if w.OffSec <= 0 {
+		w.OffSec = 60
+	}
+	if w.SizeKB <= 0 {
+		w.SizeKB = 2048
+	}
+	if w.SizeSigma < 0 {
+		w.SizeSigma = 0
+	}
+	if w.MaxFlows <= 0 {
+		w.MaxFlows = 512
+	}
+	if w.ChurnSec < 0 {
+		w.ChurnSec = 0
+	}
+	if w.ChurnFrac <= 0 || w.ChurnSec == 0 {
+		w.ChurnFrac = 0
+	}
+	if w.ChurnFrac > 1 {
+		w.ChurnFrac = 1
+	}
+	return w
+}
+
+// Spec renders the canonical wl: spelling of the resolved workload —
+// accepted back by Parse, so specs round-trip like gen: scenarios.
+func (w Workload) Spec() string {
+	w = w.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "wl:arrival=%s,rate=%g", w.Arrival, w.RatePerMin)
+	if w.Arrival == ArrivalOnOff {
+		fmt.Fprintf(&b, ",on=%g,off=%g", w.OnSec, w.OffSec)
+	}
+	fmt.Fprintf(&b, ",size=%g,sigma=%g,maxflows=%d", w.SizeKB, w.SizeSigma, w.MaxFlows)
+	if w.ChurnSec > 0 {
+		fmt.Fprintf(&b, ",churn=%g,churnfrac=%g", w.ChurnSec, w.ChurnFrac)
+	}
+	fmt.Fprintf(&b, ",seed=%d", w.Seed)
+	return b.String()
+}
+
+// presets maps workload preset names to their declarations, mirroring
+// the scenario registry: a preset resolves to a fresh value each call.
+var presets = map[string]func() Workload{
+	// steady: moderate Poisson arrivals of medium transfers — the
+	// always-on office floor.
+	"steady": func() Workload {
+		return Workload{Name: "steady", Arrival: ArrivalPoisson, RatePerMin: 3, SizeKB: 2048, SizeSigma: 1}
+	},
+	// bursty: on/off batches — synchronized sync/backup bursts with
+	// idle gaps, the short-term-unfairness regime of §2.2.
+	"bursty": func() Workload {
+		return Workload{Name: "bursty", Arrival: ArrivalOnOff, RatePerMin: 12, OnSec: 20, OffSec: 60,
+			SizeKB: 1024, SizeSigma: 1}
+	},
+	// elephants: rare huge transfers — the long-lived flows that pin
+	// queues and expose completion-time gains of medium aggregation.
+	"elephants": func() Workload {
+		return Workload{Name: "elephants", Arrival: ArrivalPoisson, RatePerMin: 0.5, SizeKB: 32768, SizeSigma: 0.5}
+	},
+	// churny: steady demand with half the stations cycling in and out —
+	// the re-routing stressor of the churn experiment.
+	"churny": func() Workload {
+		return Workload{Name: "churny", Arrival: ArrivalPoisson, RatePerMin: 3, SizeKB: 2048, SizeSigma: 1,
+			ChurnSec: 120, ChurnFrac: 0.5}
+	},
+}
+
+// Presets lists the workload preset names in sorted order.
+func Presets() []string {
+	out := make([]string, 0, len(presets))
+	for n := range presets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse resolves a workload selection: a preset name, a
+// "wl:key=value,..." spec (keys: preset, arrival, rate, on, off, size,
+// sigma, maxflows, churn, churnfrac, seed — a preset key seeds the
+// other fields, later keys overlay it), or the empty string (the
+// "steady" preset). Terms separate on ',' or ';' like gen: specs.
+func Parse(sel string) (Workload, error) {
+	sel = strings.TrimSpace(sel)
+	if sel == "" {
+		return presets["steady"]().withDefaults(), nil
+	}
+	if mk, ok := presets[sel]; ok {
+		return mk().withDefaults(), nil
+	}
+	if !strings.HasPrefix(sel, "wl:") {
+		return Workload{}, fmt.Errorf("traffic: unknown workload %q (have %s, or wl:arrival=poisson,rate=R,...)",
+			sel, strings.Join(Presets(), ", "))
+	}
+	var w Workload
+	for _, kv := range strings.FieldsFunc(strings.TrimPrefix(sel, "wl:"), func(r rune) bool { return r == ',' || r == ';' }) {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return w, fmt.Errorf("traffic: bad wl spec term %q (want key=value)", kv)
+		}
+		v = strings.TrimSpace(v)
+		var err error
+		switch strings.TrimSpace(k) {
+		case "preset":
+			mk, ok := presets[v]
+			if !ok {
+				return w, fmt.Errorf("traffic: unknown workload preset %q (have %s)", v, strings.Join(Presets(), ", "))
+			}
+			w = mk()
+		case "arrival":
+			if v != ArrivalPoisson && v != ArrivalOnOff {
+				return w, fmt.Errorf("traffic: unknown arrival process %q (have %s, %s)", v, ArrivalPoisson, ArrivalOnOff)
+			}
+			w.Arrival = v
+		case "rate":
+			w.RatePerMin, err = parsePositive(k, v)
+		case "on":
+			w.OnSec, err = parsePositive(k, v)
+		case "off":
+			w.OffSec, err = parsePositive(k, v)
+		case "size":
+			w.SizeKB, err = parsePositive(k, v)
+		case "sigma":
+			w.SizeSigma, err = parseNonNegative(k, v)
+		case "maxflows":
+			var n int
+			n, err = strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return w, fmt.Errorf("traffic: bad maxflows %q", v)
+			}
+			w.MaxFlows = n
+		case "churn":
+			w.ChurnSec, err = parseNonNegative(k, v)
+		case "churnfrac":
+			w.ChurnFrac, err = parseNonNegative(k, v)
+			if err == nil && w.ChurnFrac > 1 {
+				return w, fmt.Errorf("traffic: churnfrac %q exceeds 1", v)
+			}
+		case "seed":
+			var n int64
+			n, err = strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return w, fmt.Errorf("traffic: bad seed %q", v)
+			}
+			w.Seed = n
+		default:
+			return w, fmt.Errorf("traffic: unknown wl spec key %q", k)
+		}
+		if err != nil {
+			return w, err
+		}
+	}
+	w = w.withDefaults()
+	w.Name = w.Spec()
+	return w, nil
+}
+
+// ResolveFor resolves a workload selection in a scenario's context: an
+// empty or "auto" selection takes the scenario's recommended preset
+// (scenario.WorkloadSpec), anything else parses as usual. This is how a
+// campaign sweep or a planed fleet gives every floor a demand profile
+// shaped like its deployment without spelling one per floor.
+func ResolveFor(sel, scenarioName string) (Workload, error) {
+	sel = strings.TrimSpace(sel)
+	if sel == "" || sel == "auto" {
+		sel = scenario.WorkloadSpec(scenarioName)
+	}
+	return Parse(sel)
+}
+
+func parsePositive(key, v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+		return 0, fmt.Errorf("traffic: bad %s %q (want a positive number)", key, v)
+	}
+	return f, nil
+}
+
+func parseNonNegative(key, v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+		return 0, fmt.Errorf("traffic: bad %s %q (want a non-negative number)", key, v)
+	}
+	return f, nil
+}

@@ -1,0 +1,96 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpecRoundTrip: the canonical wl: spelling must parse back to the
+// identical resolved workload (the gen: scenario idiom).
+func TestSpecRoundTrip(t *testing.T) {
+	for _, name := range Presets() {
+		wl, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%s): %v", name, err)
+		}
+		back, err := Parse(wl.Spec())
+		if err != nil {
+			t.Fatalf("Parse(%s spec %q): %v", name, wl.Spec(), err)
+		}
+		// Name differs by construction (preset name vs canonical spec);
+		// every behavioural field must survive the round trip.
+		wl.Name, back.Name = "", ""
+		if wl != back {
+			t.Fatalf("%s round trip drifted:\n  %+v\n  %+v", name, wl, back)
+		}
+		if back2, _ := Parse(back.Spec()); func() bool { back2.Name = ""; return back2 != back }() {
+			t.Fatalf("%s spec not a fixpoint: %q vs %q", name, back.Spec(), back2.Spec())
+		}
+	}
+}
+
+// TestParseSpecGrammar covers the wl: grammar: preset overlay, ';'
+// separators, and the error cases.
+func TestParseSpecGrammar(t *testing.T) {
+	wl, err := Parse("wl:preset=bursty;rate=7,seed=42")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if wl.Arrival != ArrivalOnOff || wl.RatePerMin != 7 || wl.Seed != 42 || wl.OnSec != 20 {
+		t.Fatalf("preset overlay wrong: %+v", wl)
+	}
+	if wl.Name != wl.Spec() {
+		t.Fatalf("parsed spec must carry its canonical name: %q", wl.Name)
+	}
+	for _, bad := range []string{
+		"nope",                 // unknown preset
+		"wl:rate",              // no '='
+		"wl:rate=-1",           // negative
+		"wl:rate=x",            // not a number
+		"wl:arrival=telepathy", // unknown process
+		"wl:preset=nope",       // unknown preset key
+		"wl:maxflows=0",        // below 1
+		"wl:churnfrac=1.5",     // above 1
+		"wl:frobnicate=1",      // unknown key
+		"wl:seed=deadbeef",     // non-integer seed
+		"wl:sigma=NaN",         // NaN
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) must fail", bad)
+		}
+	}
+}
+
+// TestResolveFor: empty/auto take the scenario's recommended preset;
+// explicit selections win.
+func TestResolveFor(t *testing.T) {
+	auto, err := ResolveFor("auto", "large-office")
+	if err != nil {
+		t.Fatalf("ResolveFor: %v", err)
+	}
+	if auto.Name != "bursty" {
+		t.Fatalf("large-office auto workload = %q, want bursty", auto.Name)
+	}
+	empty, err := ResolveFor("", "nonesuch-floor")
+	if err != nil || empty.Name != "steady" {
+		t.Fatalf("unknown scenario must default to steady: %+v, %v", empty, err)
+	}
+	explicit, err := ResolveFor("elephants", "large-office")
+	if err != nil || explicit.Name != "elephants" {
+		t.Fatalf("explicit selection must win: %+v, %v", explicit, err)
+	}
+}
+
+// TestPresetsListed: every preset parses and the flag help can list them.
+func TestPresetsListed(t *testing.T) {
+	names := Presets()
+	if len(names) < 4 {
+		t.Fatalf("presets = %v, want at least steady/bursty/elephants/churny", names)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"steady", "bursty", "elephants", "churny"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("preset %q missing from %v", want, names)
+		}
+	}
+}

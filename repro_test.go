@@ -31,8 +31,8 @@ func TestFacadeMeasureLink(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 23 {
-		t.Fatalf("experiments = %d, want 23 (20 figures/traces + 3 tables)", len(ids))
+	if len(ids) != 25 {
+		t.Fatalf("experiments = %d, want 25 (20 figures/traces + 3 tables + 2 flow experiments)", len(ids))
 	}
 	for _, id := range ids {
 		if DescribeExperiment(id) == "" {

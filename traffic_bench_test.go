@@ -1,0 +1,75 @@
+package repro
+
+// Traffic-plane benchmarks: the steady-state per-tick cost of the
+// multi-flow workload engine (internal/traffic) on the large-office
+// floor at 8, 64 and 512 persistent flows. A tick prices the topology
+// through ONE batched snapshot and re-evaluates routes only for flows
+// whose links' state versions moved, so the cost should scale with the
+// tick's dirty links — not with flows × links. The 8→512 sweep is the
+// witness: a 64x flow count must not cost anywhere near 64x per tick.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+// benchTrafficTick drives one engine over the large-office floor with a
+// saturating elephant workload capped at exactly `flows` concurrent
+// flows: admission refills the cap as flows complete, so every timed
+// tick serves a full house. Assembly and warm-up (filling the cap,
+// first-tick PLC probe sweep) sit outside the timer.
+func benchTrafficTick(b *testing.B, flows int) {
+	b.ReportAllocs()
+	opts := testbed.DefaultOptions()
+	opts.Scenario = "large-office"
+	opts.Decimate = 16
+	tb := testbed.New(opts)
+	topo, err := tb.Topology()
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := traffic.Workload{
+		Name:       "bench-saturate",
+		Arrival:    traffic.ArrivalPoisson,
+		RatePerMin: 600,     // refill the cap within a tick of any completion
+		SizeKB:     1 << 20, // 1 GB elephants: flows persist across the window
+		MaxFlows:   flows,
+	}
+	pol, err := traffic.ParsePolicy("hybrid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := traffic.NewHooks(topo, wl, traffic.EngineConfig{Policy: pol, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	t := 11 * time.Hour
+	tick := func() {
+		t += time.Second
+		h.PreTick(t)
+		h.OnTick(t, topo.Snapshot(t))
+	}
+	for warm := 0; warm < 30 && h.E.ActiveFlows() < flows; warm++ {
+		tick()
+	}
+	if got := h.E.ActiveFlows(); got < flows {
+		b.Fatalf("warm-up admitted %d flows, want %d", got, flows)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := 0; n < 10; n++ {
+			tick()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(h.E.ActiveFlows()), "active-flows")
+}
+
+func BenchmarkTrafficTick8Flows(b *testing.B)   { benchTrafficTick(b, 8) }
+func BenchmarkTrafficTick64Flows(b *testing.B)  { benchTrafficTick(b, 64) }
+func BenchmarkTrafficTick512Flows(b *testing.B) { benchTrafficTick(b, 512) }
