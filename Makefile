@@ -2,7 +2,7 @@
 
 SHELL := /bin/bash -o pipefail
 
-.PHONY: test lint bench bench-pr5 bench-pr6 bench-pr9 bench-gate
+.PHONY: test lint bench bench-pr5 bench-pr6 bench-pr9 bench-pr10 bench-gate
 
 test:
 	go build ./... && go test ./...
@@ -20,10 +20,10 @@ lint:
 	else echo "lint: govulncheck not installed, skipping (CI runs it)"; fi
 
 # bench runs the campaign + channel-plane + floor-fanout + traffic-tick
-# benchmarks once, emitting benchstat-comparable output (the same
-# artifact CI uploads).
+# + incremental-snapshot benchmarks once, emitting benchstat-comparable
+# output (the same artifact CI uploads).
 bench:
-	go test -run NONE -bench 'Campaign|ChannelPlane|FloorFanout|TrafficTick' -benchtime 1x -count 1 . | tee bench.txt
+	go test -run NONE -bench 'Campaign|ChannelPlane|FloorFanout|TrafficTick|SnapshotIncremental' -benchtime 1x -count 1 . | tee bench.txt
 
 # bench-pr5 regenerates BENCH_PR5.json's "current" measurements on this
 # machine (the pinned pre-refactor baseline block is preserved) and the
@@ -50,10 +50,21 @@ bench-pr9:
 		-desc "traffic plane: multi-flow workload engine — one batched snapshot per tick, route re-evaluation only on dirty links" \
 		-raw bench_pr9.txt
 
+# bench-pr10 regenerates BENCH_PR10.json's "current" measurements (the
+# pinned pre-optimisation baseline block — PR 9's traffic-tick numbers —
+# is preserved) and the raw log. The artifact's claims are the >=3x
+# ns/op and >=5x allocs/op wins on the tick loop plus the dirty-fraction
+# scaling of the incremental snapshot (Dirty0 << Dirty100).
+bench-pr10:
+	go run ./cmd/benchplane -o BENCH_PR10.json -pr 10 -bench 'TrafficTick|SnapshotIncremental' \
+		-desc "flat per-tick cost killed: incremental snapshot evaluation, pooled tick scratch, encode-once fan-out" \
+		-raw bench_pr10.txt
+
 # bench-gate compares a fresh bench log against the checked-in artifacts'
-# current blocks and fails on a >10% geomean ns/op regression — the same
-# check the CI bench job runs. Each gate only reads the benchmarks its
-# artifact pins, so one log serves both.
+# current blocks and fails on a >10% geomean ns/op (or allocs/op)
+# regression — the same check the CI bench job runs. Each gate only
+# reads the benchmarks its artifact pins, so one log serves all.
 bench-gate: bench
 	go run ./cmd/benchplane -o BENCH_PR6.json -gate bench.txt
 	go run ./cmd/benchplane -o BENCH_PR9.json -gate bench.txt
+	go run ./cmd/benchplane -o BENCH_PR10.json -gate bench.txt

@@ -16,7 +16,8 @@
 //
 //	-gate <bench.txt> compares a bench log against the checked-in
 //	artifact's "current" block and fails on a >tolerance geomean ns/op
-//	regression across the ChannelPlane benchmarks — the CI guard.
+//	regression (or a >tolerance-allocs geomean allocs/op regression)
+//	across the benchmarks present in both — the CI guard.
 //
 // Usage:
 //
@@ -96,6 +97,7 @@ func main() {
 
 		gate      = flag.String("gate", "", "bench log to gate against the artifact's current block instead of benchmarking")
 		tolerance = flag.Float64("tolerance", 0.10, "-gate: maximum allowed geomean ns/op regression (0.10 = 10%)")
+		tolAllocs = flag.Float64("tolerance-allocs", 0.10, "-gate: maximum allowed geomean allocs/op regression (0.10 = 10%)")
 	)
 	flag.Parse()
 
@@ -104,7 +106,7 @@ func main() {
 		return
 	}
 	if *gate != "" {
-		runGate(*out, *gate, *tolerance)
+		runGate(*out, *gate, *tolerance, *tolAllocs)
 		return
 	}
 
@@ -128,23 +130,7 @@ func main() {
 		}
 	}
 
-	samples := map[string][]Measurement{}
-	host := map[string]string{}
-	sc := bufio.NewScanner(strings.NewReader(string(outBytes)))
-	for sc.Scan() {
-		line := sc.Text()
-		for _, k := range []string{"goos", "goarch", "cpu"} {
-			if v, ok := strings.CutPrefix(line, k+": "); ok {
-				host[k] = v
-			}
-		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		ms := Measurement{NsPerOp: atof(m[2]), BytesPerOp: atof(m[3]), AllocsPerOp: atof(m[4])}
-		samples[m[1]] = append(samples[m[1]], ms)
-	}
+	samples, host := parseBenchLog(string(outBytes))
 	if len(samples) == 0 {
 		fmt.Fprintln(os.Stderr, "benchplane: no benchmark results parsed")
 		os.Exit(1)
@@ -156,6 +142,19 @@ func main() {
 		if rev, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
 			f.BaselineCommit = strings.TrimSpace(string(rev))
 		}
+	}
+	if f.BaselineCommit == "" {
+		// Every emitted artifact pins the commit its comparison base was
+		// measured on — an artifact without one cannot be audited (the
+		// PR9 file shipped with an empty field; never again). When the
+		// artifact carries no explicit baseline tree, the current HEAD is
+		// the base the numbers belong to.
+		rev, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchplane: artifact has no baseline_commit and git rev-parse failed (%v); refusing to emit an unpinned artifact\n", err)
+			os.Exit(1)
+		}
+		f.BaselineCommit = strings.TrimSpace(string(rev))
 	}
 	f.Methodology = fmt.Sprintf(
 		"go test -run NONE -bench %q -benchtime %s -count %d .; median per benchmark; see EXPERIMENTS.md",
@@ -328,35 +327,46 @@ func runEvents(scenarioName string, from, window time.Duration) {
 	}
 }
 
-// runGate compares a bench log against the artifact's "current" block:
-// the geomean ns/op ratio over the ChannelPlane benchmarks present in
-// both must not regress by more than the tolerance. Exit status 1 marks
-// a regression (the CI bench job's guard).
-func runGate(artifactPath, logPath string, tolerance float64) {
-	f := load(artifactPath, 0, "")
-	b, err := os.ReadFile(logPath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchplane: %v\n", err)
-		os.Exit(1)
-	}
-	samples := map[string][]Measurement{}
-	sc := bufio.NewScanner(strings.NewReader(string(b)))
+// parseBenchLog extracts per-benchmark measurement samples and the host
+// header lines (goos/goarch/cpu) from `go test -bench` output. Shared by
+// the artifact writer and the gate so the two can never disagree on what
+// a bench line is.
+func parseBenchLog(log string) (samples map[string][]Measurement, host map[string]string) {
+	samples = map[string][]Measurement{}
+	host = map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(log))
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		line := sc.Text()
+		for _, k := range []string{"goos", "goarch", "cpu"} {
+			if v, ok := strings.CutPrefix(line, k+": "); ok {
+				host[k] = v
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
-		samples[m[1]] = append(samples[m[1]],
-			Measurement{NsPerOp: atof(m[2]), BytesPerOp: atof(m[3]), AllocsPerOp: atof(m[4])})
+		ms := Measurement{NsPerOp: atof(m[2]), BytesPerOp: atof(m[3]), AllocsPerOp: atof(m[4])}
+		samples[m[1]] = append(samples[m[1]], ms)
 	}
+	return samples, host
+}
 
-	var logRatios float64
-	var n int
+// evalGate compares bench-log samples against the artifact's "current"
+// block along two axes: the geomean ns/op ratio over the benchmarks
+// present in both must not regress past tolNs, and the geomean allocs/op
+// ratio (over the subset that reports allocations on both sides) must
+// not regress past tolAllocs. Returns the per-benchmark report lines and
+// a non-nil error describing the first failed axis.
+func evalGate(f *File, samples map[string][]Measurement, tolNs, tolAllocs float64) (lines []string, err error) {
 	names := make([]string, 0, len(samples))
 	for name := range samples {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+
+	var nsLog, allocLog float64
+	var nsN, allocN int
 	for _, name := range names {
 		e := f.Benchmarks[name]
 		if e == nil || e.Current == nil || e.Current.NsPerOp <= 0 {
@@ -367,20 +377,57 @@ func runGate(artifactPath, logPath string, tolerance float64) {
 			continue
 		}
 		ratio := med.NsPerOp / e.Current.NsPerOp
-		logRatios += math.Log(ratio)
-		n++
-		fmt.Printf("%-36s %12.0f ns/op vs %12.0f checked in  (%.2fx)\n",
-			name, med.NsPerOp, e.Current.NsPerOp, ratio)
+		nsLog += math.Log(ratio)
+		nsN++
+		lines = append(lines, fmt.Sprintf("%-36s %12.0f ns/op vs %12.0f checked in  (%.2fx)",
+			name, med.NsPerOp, e.Current.NsPerOp, ratio))
+		if med.AllocsPerOp > 0 && e.Current.AllocsPerOp > 0 {
+			ar := med.AllocsPerOp / e.Current.AllocsPerOp
+			allocLog += math.Log(ar)
+			allocN++
+			lines = append(lines, fmt.Sprintf("%-36s %12.0f allocs/op vs %9.0f checked in  (%.2fx)",
+				"", med.AllocsPerOp, e.Current.AllocsPerOp, ar))
+		}
 	}
-	if n == 0 {
-		fmt.Fprintln(os.Stderr, "benchplane: gate found no benchmarks common to the log and the artifact")
+	if nsN == 0 {
+		return lines, fmt.Errorf("gate found no benchmarks common to the log and the artifact")
+	}
+	nsGeo := math.Exp(nsLog / float64(nsN))
+	lines = append(lines, fmt.Sprintf("geomean ns/op ratio over %d benchmarks: %.3f (tolerance %.2f)", nsN, nsGeo, 1+tolNs))
+	aGeo := 0.0
+	if allocN > 0 {
+		aGeo = math.Exp(allocLog / float64(allocN))
+		lines = append(lines, fmt.Sprintf("geomean allocs/op ratio over %d benchmarks: %.3f (tolerance %.2f)", allocN, aGeo, 1+tolAllocs))
+	}
+	if nsGeo > 1+tolNs {
+		return lines, fmt.Errorf("gate FAILED: geomean ns/op regression %.1f%% exceeds %.0f%%",
+			(nsGeo-1)*100, tolNs*100)
+	}
+	if allocN > 0 && aGeo > 1+tolAllocs {
+		return lines, fmt.Errorf("gate FAILED: geomean allocs/op regression %.1f%% exceeds %.0f%%",
+			(aGeo-1)*100, tolAllocs*100)
+	}
+	return lines, nil
+}
+
+// runGate compares a bench log against the artifact's "current" block:
+// the geomean ns/op and allocs/op ratios over the benchmarks present in
+// both must not regress by more than their tolerances. Exit status 1
+// marks a regression (the CI bench job's guard).
+func runGate(artifactPath, logPath string, tolNs, tolAllocs float64) {
+	f := load(artifactPath, 0, "")
+	b, err := os.ReadFile(logPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchplane: %v\n", err)
 		os.Exit(1)
 	}
-	geomean := math.Exp(logRatios / float64(n))
-	fmt.Printf("geomean ratio over %d benchmarks: %.3f (tolerance %.2f)\n", n, geomean, 1+tolerance)
-	if geomean > 1+tolerance {
-		fmt.Fprintf(os.Stderr, "benchplane: gate FAILED: geomean regression %.1f%% exceeds %.0f%%\n",
-			(geomean-1)*100, tolerance*100)
+	samples, _ := parseBenchLog(string(b))
+	lines, gateErr := evalGate(f, samples, tolNs, tolAllocs)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if gateErr != nil {
+		fmt.Fprintf(os.Stderr, "benchplane: %v\n", gateErr)
 		os.Exit(1)
 	}
 	fmt.Println("gate OK")

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func gateFixture() *File {
+	return &File{
+		Benchmarks: map[string]*Entry{
+			"TrafficTick8Flows": {Current: &Measurement{NsPerOp: 1_000_000, AllocsPerOp: 10_000}},
+			"ChannelPlaneCold":  {Current: &Measurement{NsPerOp: 500_000, AllocsPerOp: 2_000}},
+		},
+	}
+}
+
+func samplesAt(nsScale, allocScale float64) map[string][]Measurement {
+	return map[string][]Measurement{
+		"TrafficTick8Flows": {{NsPerOp: 1_000_000 * nsScale, AllocsPerOp: 10_000 * allocScale}},
+		"ChannelPlaneCold":  {{NsPerOp: 500_000 * nsScale, AllocsPerOp: 2_000 * allocScale}},
+	}
+}
+
+func TestEvalGatePasses(t *testing.T) {
+	lines, err := evalGate(gateFixture(), samplesAt(1.05, 1.05), 0.10, 0.10)
+	if err != nil {
+		t.Fatalf("gate should pass within tolerance: %v\n%s", err, strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "geomean ns/op ratio over 2 benchmarks") {
+		t.Fatalf("report missing ns/op geomean line:\n%s", joined)
+	}
+	if !strings.Contains(joined, "geomean allocs/op ratio over 2 benchmarks") {
+		t.Fatalf("report missing allocs/op geomean line:\n%s", joined)
+	}
+}
+
+func TestEvalGateFailsOnNsRegression(t *testing.T) {
+	_, err := evalGate(gateFixture(), samplesAt(1.25, 1.0), 0.10, 0.10)
+	if err == nil || !strings.Contains(err.Error(), "ns/op regression") {
+		t.Fatalf("want ns/op regression failure, got %v", err)
+	}
+}
+
+func TestEvalGateFailsOnAllocRegression(t *testing.T) {
+	// Wall time holds steady; only allocations blow past tolerance. The
+	// ns-only gate of earlier PRs let exactly this slip through.
+	_, err := evalGate(gateFixture(), samplesAt(1.0, 1.5), 0.10, 0.10)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op regression") {
+		t.Fatalf("want allocs/op regression failure, got %v", err)
+	}
+}
+
+func TestEvalGateNoCommonBenchmarks(t *testing.T) {
+	samples := map[string][]Measurement{"Unrelated": {{NsPerOp: 1}}}
+	_, err := evalGate(gateFixture(), samples, 0.10, 0.10)
+	if err == nil || !strings.Contains(err.Error(), "no benchmarks common") {
+		t.Fatalf("want no-common-benchmarks failure, got %v", err)
+	}
+}
+
+func TestEvalGateSkipsAllocAxisWhenUnreported(t *testing.T) {
+	samples := map[string][]Measurement{
+		"TrafficTick8Flows": {{NsPerOp: 1_000_000}},
+		"ChannelPlaneCold":  {{NsPerOp: 500_000}},
+	}
+	lines, err := evalGate(gateFixture(), samples, 0.10, 0.10)
+	if err != nil {
+		t.Fatalf("gate should pass when the log omits allocs: %v", err)
+	}
+	if strings.Contains(strings.Join(lines, "\n"), "allocs/op ratio") {
+		t.Fatal("allocs geomean should not be reported when no sample carries allocations")
+	}
+}
+
+func TestParseBenchLog(t *testing.T) {
+	log := `goos: linux
+goarch: amd64
+cpu: Fake CPU @ 2.00GHz
+BenchmarkTrafficTick8Flows-4   	       2	 5000000 ns/op	         8.000 active-flows	  240000 B/op	   13000 allocs/op
+BenchmarkSnapshotIncrementalDirty0 	       2	  285514 ns/op	   66016 B/op	      11 allocs/op
+PASS
+`
+	samples, host := parseBenchLog(log)
+	if host["cpu"] != "Fake CPU @ 2.00GHz" || host["goos"] != "linux" {
+		t.Fatalf("host header misparsed: %+v", host)
+	}
+	tt, ok := samples["TrafficTick8Flows"]
+	if !ok || len(tt) != 1 {
+		t.Fatalf("TrafficTick8Flows misparsed: %+v", samples)
+	}
+	// The custom active-flows metric sits between ns/op and B/op; the
+	// parser must skip it rather than capture 8.000 as bytes.
+	if tt[0].NsPerOp != 5000000 || tt[0].BytesPerOp != 240000 || tt[0].AllocsPerOp != 13000 {
+		t.Fatalf("TrafficTick8Flows fields wrong: %+v", tt[0])
+	}
+	if s, ok := samples["SnapshotIncrementalDirty0"]; !ok || s[0].AllocsPerOp != 11 {
+		t.Fatalf("SnapshotIncrementalDirty0 misparsed: %+v", samples)
+	}
+}

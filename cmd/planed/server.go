@@ -190,7 +190,17 @@ func (s *server) snapshot(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "floor %q has not ticked yet", rt.ID())
 		return
 	}
-	writeJSON(w, http.StatusOK, floor.Wire(u))
+	// The wire bytes are rendered once per tick and shared with every
+	// other snapshot request and SSE bootstrap of that tick — the handler
+	// never re-encodes an unchanged floor.
+	data, err := floor.WireBytes(u)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
 }
 
 // stream serves the floor's publications as server-sent events. The

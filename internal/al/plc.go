@@ -81,6 +81,23 @@ func (p *PLCLink) Connected(time.Duration) bool { return true }
 // sum of the two monotonic counters covers the adapter.
 func (p *PLCLink) StateVersion() uint64 { return p.l.Est.StateVersion() + p.l.Ch.Epoch() }
 
+// StableAt implements Stable: at a fixed StateVersion the only residual
+// t-dependence of the passive State read is the flicker/impulse noise
+// shift feeding the live PBerr. The state is therefore a constant of t
+// when either side of that product is inert: the estimator is shift-
+// stable (every slot ROBO/robust/dead — PBerr is the engineered target
+// whatever the shift is), or no volatile appliance is on, reachable and
+// audible at the current mask (the shift is identically zero). The mask's
+// relevant intersection cannot move without an epoch bump — a transition
+// that only touches unreachable appliances is exactly the dirty-skip case
+// — so the predicate is itself stable while the version holds. The
+// channel is advanced to t first so both the mask and the subsequent
+// StateVersion read are current.
+func (p *PLCLink) StableAt(t time.Duration) bool {
+	p.l.Ch.Advance(t)
+	return p.l.Est.ShiftStable() || p.l.Ch.NoiseShiftStatic()
+}
+
 // State implements StateEvaluator: the passive one-pass evaluation used
 // by snapshots. Unlike Capacity it never injects probe traffic — for PLC
 // the passive capacity estimate and the goodput coincide (both are the

@@ -43,6 +43,24 @@ type Versioned interface {
 	StateVersion() uint64
 }
 
+// Stable is implemented by links that can additionally prove, at a given
+// instant, that their observable state is a *constant of t* while their
+// StateVersion holds. Versioned alone is deliberately weaker: a version
+// pins the link's mutable state, but evaluation may still depend on the
+// instant itself (WiFi fade varies every tick at a fixed EWMA version, a
+// probed PLC link rides the flicker/impulse noise shift). StableAt(t)
+// closes that gap: when it reports true and the StateVersion matches a
+// prior evaluation's recorded Version, the prior LinkState is valid at t
+// verbatim (up to Metrics.UpdatedAt) — the contract the incremental
+// Topology.Snapshot path reuses cached states under.
+//
+// StableAt may advance the link's channel state to t (so the subsequent
+// StateVersion read is current) but must not inject traffic.
+type Stable interface {
+	Versioned
+	StableAt(t time.Duration) bool
+}
+
 // StateEvaluator is implemented by links that can evaluate their full
 // state in one pass. Links without it are evaluated by calling Capacity,
 // Goodput, Metrics and Connected in that order.
@@ -132,7 +150,10 @@ func NewSnapshot(t time.Duration, links ...Link) *Snapshot {
 }
 
 // States returns every evaluated link in evaluation order. The slice is
-// owned by the snapshot — callers must not mutate it.
+// owned by the snapshot — callers must not mutate it. For snapshots built
+// by Topology.Snapshot the backing slab is recycled after a bounded number
+// of subsequent calls — see that method's validity contract; callers that
+// retain states longer must copy them.
 func (s *Snapshot) States() []LinkState { return s.states }
 
 // Len reports the number of evaluated links.

@@ -63,7 +63,48 @@ func (w *WiFiLink) Connected(time.Duration) bool { return w.l.Connected() }
 // StateVersion implements Versioned: the evaluation depends on the rate
 // adaptation EWMA (counted by the driver) plus the pure fade function of
 // t, so the driver's version covers the adapter at a fixed instant.
+//
+// Note the adapter deliberately does NOT implement Stable: at a fixed
+// version the fade term still varies with t (the version only moves when
+// the EWMA steps, which happens lazily on evaluation), so a WiFi state is
+// never reusable across instants — incremental snapshots must always
+// re-evaluate WiFi links.
 func (w *WiFiLink) StateVersion() uint64 { return w.l.StateVersion() }
+
+// State implements StateEvaluator: the one-pass evaluation used by
+// snapshots. It reads the rate-adaptation decision and the instantaneous
+// SNR exactly once and derives capacity, goodput and metrics from them —
+// bit-identical to the generic accessor path (which the driver's per-t
+// memoisation already collapses to one MCS selection), minus the repeated
+// map/memo round-trips.
+func (w *WiFiLink) State(t time.Duration) LinkState {
+	mcs, ok := w.l.MCSAt(t)
+	snr := w.l.SNR(t)
+	var capEst, good float64
+	loss := 0.01
+	if ok {
+		capEst = mcs.Mbps * wifi.MACEfficiency
+		good = mcs.Mbps * wifi.MACEfficiency
+		if snr < mcs.MinSNRdB-1 {
+			good *= 0.3
+		}
+		if snr < mcs.MinSNRdB {
+			loss = 0.2
+		}
+	}
+	return LinkState{
+		Link: w, Src: w.src, Dst: w.dst, Medium: core.WiFi,
+		Capacity: capEst,
+		Goodput:  good,
+		Metrics: core.LinkMetrics{
+			Medium:       core.WiFi,
+			CapacityMbps: good,
+			Loss:         loss,
+			UpdatedAt:    t,
+		},
+		Connected: w.l.Connected(),
+	}
+}
 
 // Probe implements Prober: steps the rate adaptation every 100 ms over
 // [t, t+dur) so the SNR EWMA converges before metrics are read.

@@ -9,24 +9,43 @@ package detrand
 
 import "math"
 
-// Hash64 mixes the given words into a single 64-bit value using a
-// splitmix64-style xor-multiply mix. Values are stable across processes and
-// architectures, which is what makes whole simulations reproducible.
-func Hash64(words ...uint64) uint64 {
+// mix folds one word into the running hash state — one splitmix64-style
+// xor-multiply round. Hash64(w0..wn) == mix(...mix(mix(seed, w0), w1)..., wn),
+// so callers holding an intermediate state can fold extra words without
+// materialising a new argument slice.
+func mix(h, w uint64) uint64 {
+	h ^= w
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// hashState folds all words from the fixed seed, returning the running state.
+func hashState(words []uint64) uint64 {
 	var h uint64 = 0x9e3779b97f4a7c15
 	for _, w := range words {
-		h ^= w
-		h *= 0xbf58476d1ce4e5b9
-		h ^= h >> 27
-		h *= 0x94d049bb133111eb
-		h ^= h >> 31
+		h = mix(h, w)
 	}
 	return h
 }
 
+// Hash64 mixes the given words into a single 64-bit value using a
+// splitmix64-style xor-multiply mix. Values are stable across processes and
+// architectures, which is what makes whole simulations reproducible.
+func Hash64(words ...uint64) uint64 {
+	return hashState(words)
+}
+
+// toUniform maps a hash value onto [0, 1).
+func toUniform(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
 // Uniform returns a deterministic uniform value in [0, 1).
 func Uniform(words ...uint64) float64 {
-	return float64(Hash64(words...)>>11) / float64(1<<53)
+	return toUniform(hashState(words))
 }
 
 // UniformRange returns a deterministic uniform value in [lo, hi).
@@ -35,10 +54,14 @@ func UniformRange(lo, hi float64, words ...uint64) float64 {
 }
 
 // Gaussian returns a deterministic standard-normal value derived from the
-// given words (Box-Muller on two decorrelated uniforms).
+// given words (Box-Muller on two decorrelated uniforms). The two salts are
+// folded onto the shared running hash state rather than appended to the
+// argument slice, so the variadic slice never escapes to the heap — this is
+// bit-identical to hashing words+salt because the fold is sequential.
 func Gaussian(words ...uint64) float64 {
-	u1 := Uniform(append(words, 0x5ca1ab1e)...)
-	u2 := Uniform(append(words, 0xdecafbad)...)
+	h := hashState(words)
+	u1 := toUniform(mix(h, 0x5ca1ab1e))
+	u2 := toUniform(mix(h, 0xdecafbad))
 	if u1 < 1e-300 {
 		u1 = 1e-300
 	}

@@ -54,6 +54,12 @@ type Update struct {
 	// that resynchronised after ring drops still reads coherent
 	// (cumulative) flow counters.
 	Traffic any
+
+	// wire is the publication's shared lazy wire-JSON cache: every copy
+	// of this Update (one per subscriber ring, plus the runtime's cached
+	// full snapshot) points at the same cache, so the JSON is rendered at
+	// most once per publication however many consumers read it.
+	wire *wireCache
 }
 
 // Config assembles a Runtime.
@@ -119,6 +125,14 @@ type Runtime struct {
 	last    *al.Snapshot                                 // last published snapshot, guarded by mu
 	err     error                                        // terminal failure, guarded by mu
 	done    bool                                         // guarded by mu
+
+	// Cached full publication for the current tick, built lazily by the
+	// first Snapshot or Subscribe call after the tick: the states are
+	// copied out of the snapshot's recycled slab exactly once and the
+	// wire JSON encodes exactly once, shared by every bootstrap and
+	// /snapshot response until the next tick invalidates it.
+	lastFull   Update // guarded by mu
+	lastFullOK bool   // guarded by mu
 }
 
 // New assembles a runtime. With cfg.Topology nil the runtime builds and
@@ -235,11 +249,25 @@ func (rt *Runtime) AdvanceTo(t time.Duration) error {
 		if rt.full && !full {
 			states, full = snap.States(), true
 		}
+		if full {
+			// Full publications reference the snapshot's recycled slab
+			// (Diff against a previous snapshot already allocates fresh
+			// slices); subscriber rings retain updates indefinitely, so
+			// the states are copied out once here.
+			states = append([]al.LinkState(nil), states...)
+		}
 		rt.seq++
 		rt.last = snap
 		rt.traffic = traffic
 		rt.next = at + rt.cadence
-		rt.hub.Publish(Update{Floor: rt.id, Seq: rt.seq, At: at, Full: full, States: states, Traffic: traffic})
+		rt.lastFullOK = false
+		u := Update{Floor: rt.id, Seq: rt.seq, At: at, Full: full, States: states, Traffic: traffic, wire: &wireCache{}}
+		if full {
+			// The publication is itself the tick's full snapshot — let
+			// bootstraps and /snapshot share its copy and its encode.
+			rt.lastFull, rt.lastFullOK = u, true
+		}
+		rt.hub.Publish(u)
 	}
 	return rt.state()
 }
@@ -267,6 +295,23 @@ func (rt *Runtime) SeekTo(t time.Duration) {
 	}
 }
 
+// fullUpdate returns the tick's cached full publication, building it on
+// first use: one slab copy and one shared wire cache per tick, however
+// many bootstraps and snapshot requests land between ticks. Caller holds
+// mu and has checked rt.last != nil.
+func (rt *Runtime) fullUpdate() Update {
+	if !rt.lastFullOK {
+		rt.lastFull = Update{
+			Floor: rt.id, Seq: rt.seq, At: rt.last.At, Full: true,
+			States:  append([]al.LinkState(nil), rt.last.States()...),
+			Traffic: rt.traffic,
+			wire:    &wireCache{},
+		}
+		rt.lastFullOK = true
+	}
+	return rt.lastFull
+}
+
 // Snapshot returns the floor's latest publication as a full snapshot
 // (cached — no link is re-evaluated), and ok=false before the first
 // tick.
@@ -276,7 +321,7 @@ func (rt *Runtime) Snapshot() (Update, bool) {
 	if rt.last == nil {
 		return Update{}, false
 	}
-	return Update{Floor: rt.id, Seq: rt.seq, At: rt.last.At, Full: true, States: rt.last.States(), Traffic: rt.traffic}, true
+	return rt.fullUpdate(), true
 }
 
 // Subscribe attaches a subscriber (ring capacity per Config.Buffer) and
@@ -293,7 +338,7 @@ func (rt *Runtime) Subscribe() (sub *fanout.Sub[Update], bootstrap Update, ok bo
 	if rt.last == nil {
 		return sub, Update{}, false
 	}
-	bootstrap = Update{Floor: rt.id, Seq: rt.seq, At: rt.last.At, Full: true, States: rt.last.States(), Traffic: rt.traffic}
+	bootstrap = rt.fullUpdate()
 	sub.Push(bootstrap)
 	return sub, bootstrap, true
 }

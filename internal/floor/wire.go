@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/al"
 	"repro/internal/core"
@@ -70,15 +71,41 @@ func MarshalUpdate(u Update) ([]byte, error) {
 	return json.Marshal(Wire(u))
 }
 
+// wireCache lazily holds a publication's rendered wire JSON. The Update
+// struct is copied into every subscriber ring, but all copies share this
+// one pointer — whichever consumer renders first pays the marshal, every
+// other reader gets the same immutable bytes.
+type wireCache struct {
+	once sync.Once
+	data []byte
+	err  error
+}
+
+// WireBytes returns the update's wire JSON, encoding at most once per
+// publication: every SSE subscriber's write and the daemon's /snapshot
+// responses share one immutable byte slice. Callers must not mutate the
+// returned bytes. An update that did not come from a runtime (no cache
+// attached) falls back to a direct marshal.
+func WireBytes(u Update) ([]byte, error) {
+	if u.wire == nil {
+		return MarshalUpdate(u)
+	}
+	u.wire.once.Do(func() {
+		u.wire.data, u.wire.err = MarshalUpdate(u)
+	})
+	return u.wire.data, u.wire.err
+}
+
 // WriteSSE writes one update as a server-sent event: the event name is
 // "snapshot" for full publications and "diff" otherwise, the id field
-// carries the sequence number, and the data line is the wire JSON.
+// carries the sequence number, and the data line is the wire JSON
+// (rendered once per publication and shared across subscribers).
 func WriteSSE(w io.Writer, u Update) error {
 	name := "diff"
 	if u.Full {
 		name = "snapshot"
 	}
-	data, err := MarshalUpdate(u)
+	data, err := WireBytes(u)
 	if err != nil {
 		return err
 	}

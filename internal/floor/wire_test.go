@@ -96,3 +96,106 @@ func TestApplyFoldsDiffsAndReplacesOnFull(t *testing.T) {
 		t.Fatal("resync left a stale link behind")
 	}
 }
+
+// TestWireBytesEncodesOnce pins the encode-once contract: every
+// WireBytes call on a publication (and every copy of it — ring
+// deliveries share the wire cache) returns the same immutable byte
+// slice, marshalled exactly once. An Update without a cache (a
+// caller-constructed value) still encodes, just per call.
+func TestWireBytesEncodesOnce(t *testing.T) {
+	u := wireUpdate()
+	u.wire = &wireCache{}
+
+	a, err := WireBytes(u)
+	if err != nil {
+		t.Fatalf("WireBytes: %v", err)
+	}
+	cp := u // a ring delivery is a value copy sharing the cache pointer
+	b, err := WireBytes(cp)
+	if err != nil {
+		t.Fatalf("WireBytes(copy): %v", err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("copies of one publication must share one encoded buffer")
+	}
+	want, err := MarshalUpdate(u)
+	if err != nil {
+		t.Fatalf("MarshalUpdate: %v", err)
+	}
+	if string(a) != string(want) {
+		t.Fatalf("cached bytes diverge from MarshalUpdate:\n%s\n%s", a, want)
+	}
+
+	bare, err := WireBytes(wireUpdate()) // no cache: fallback marshal
+	if err != nil {
+		t.Fatalf("WireBytes(bare): %v", err)
+	}
+	if string(bare) != string(want) {
+		t.Fatalf("fallback bytes diverge:\n%s\n%s", bare, want)
+	}
+}
+
+// TestPublicationBytesSharedAcrossSubscribers drives a real runtime and
+// checks the fan-out half of encode-once: two subscribers' deliveries
+// of one tick serialise to the same backing array.
+func TestPublicationBytesSharedAcrossSubscribers(t *testing.T) {
+	l := &fakeLink{src: 0, dst: 1, med: core.PLC, cap: 50, good: 45, ver: 1}
+	rt := fakeFloor(t, "share", l)
+	s1, _, _ := rt.Subscribe()
+	defer s1.Close()
+	s2, _, _ := rt.Subscribe()
+	defer s2.Close()
+	if err := rt.AdvanceTo(time.Second); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	u1, _, ok1 := s1.TryNext()
+	u2, _, ok2 := s2.TryNext()
+	if !ok1 || !ok2 {
+		t.Fatal("both subscribers must see the tick")
+	}
+	b1, err := WireBytes(u1)
+	if err != nil {
+		t.Fatalf("WireBytes: %v", err)
+	}
+	b2, err := WireBytes(u2)
+	if err != nil {
+		t.Fatalf("WireBytes: %v", err)
+	}
+	if &b1[0] != &b2[0] {
+		t.Fatal("subscribers must share one encoded buffer per publication")
+	}
+}
+
+// TestFullPublicationSurvivesSlabRecycling retains a full publication
+// across more ticks than the snapshot slab ring is deep: the runtime
+// must have copied the states out of the topology's slab, so the
+// retained update keeps its original values while the floor moves on.
+func TestFullPublicationSurvivesSlabRecycling(t *testing.T) {
+	l := &fakeLink{src: 0, dst: 1, med: core.PLC, cap: 50, good: 45, ver: 1}
+	topo := al.NewTopology()
+	topo.Add(l)
+	rt, err := New(Config{ID: "slab", Topology: topo, Cadence: time.Second, FullSnapshots: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer rt.Close()
+	sub, _, _ := rt.Subscribe()
+	defer sub.Close()
+	if err := rt.AdvanceTo(time.Second); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	retained := next(t, sub)
+	if !retained.Full || retained.States[0].Capacity != 50 {
+		t.Fatalf("first full publication wrong: %+v", retained)
+	}
+	for i := 0; i < 5; i++ { // deeper than the snapshot slab ring
+		l.cap, l.ver = 100+float64(i), uint64(2+i)
+		if err := rt.AdvanceTo(time.Duration(2+i) * time.Second); err != nil {
+			t.Fatalf("AdvanceTo: %v", err)
+		}
+		next(t, sub)
+	}
+	if got := retained.States[0].Capacity; got != 50 {
+		t.Fatalf("retained full publication was recycled: capacity %v, want 50", got)
+	}
+}

@@ -295,6 +295,31 @@ func (l *Link) Advance(t time.Duration) uint64 {
 	}
 	m, lo, hi, gen := l.g.maskIntervalAt(t)
 	l.ivStart, l.ivEnd, l.ivGen = lo, hi, gen
+	if l.pg.na != len(l.g.Appliances) {
+		// The appliance population grew since this link's shared geometry
+		// was built (a mid-run Plug — the timeline bump that follows it is
+		// what got us past the interval fast path). Rebind to the plane's
+		// refreshed cores, which are sized for the new population, and
+		// rebuild the channel at the current mask: a structural event, so
+		// the epoch moves and every downstream cache re-evaluates.
+		l.pg = l.p.pairCoreFor(l.tx, l.rx)
+		l.site = l.p.siteFor(l.rx)
+		if l.started {
+			if l.matzd {
+				l.p.ensureVec(l.pg)
+				l.rebuild(m)
+			} else {
+				// Not yet materialised: restart the replay base at the
+				// current mask — exactly the state an eager rebuild at m
+				// would produce.
+				l.firstMask = m
+				l.pending = nil
+			}
+			l.mask = m
+			l.epoch++
+			return l.epoch
+		}
+	}
 	if !l.started {
 		l.started = true
 		l.firstMask = m
@@ -492,8 +517,16 @@ func (l *Link) ShiftDB(t time.Duration) float64 {
 	// intersection instead of scanning the appliance roster.
 	on := mask & l.pg.reachBits & l.site.wBits
 	// One plane lock spans the whole factor pass (links of one grid may
-	// be driven from different goroutines; see Plane.mu).
+	// be driven from different goroutines; see Plane.mu). The shift is a
+	// pure function of (site, on, t), so the site's memo returns the
+	// previously computed float verbatim for every other link sharing
+	// this receiver at the same instant.
 	l.p.mu.Lock()
+	if l.site.shiftMemoOK && l.site.shiftMemoT == t && l.site.shiftMemoOn == on {
+		v := l.site.shiftMemoVal
+		l.p.mu.Unlock()
+		return v
+	}
 	l.p.syncShift(t)
 	for rest := on; rest != 0; rest &= rest - 1 {
 		i := bits.TrailingZeros64(rest)
@@ -501,8 +534,29 @@ func (l *Link) ShiftDB(t time.Duration) float64 {
 		base += w
 		moved += w * l.p.shiftFactor(t, i)
 	}
+	v := 10 * math.Log10(moved/base)
+	l.site.shiftMemoT, l.site.shiftMemoOn = t, on
+	l.site.shiftMemoVal, l.site.shiftMemoOK = v, true
 	l.p.mu.Unlock()
-	return 10 * math.Log10(moved/base)
+	return v
+}
+
+// NoiseShiftStatic reports whether ShiftDB is a constant of t at the
+// link's current mask: no appliance that is simultaneously on, reachable,
+// audible and volatile (flicker or impulse terms in its class) remains, so
+// every contributing factor is exactly 1 and the shift is identically zero
+// until the next mask transition this link applies — which bumps the epoch
+// and therefore the link's state version. Callers must Advance(t) first so
+// the mask is current; an unstarted link conservatively reports false.
+func (l *Link) NoiseShiftStatic() bool {
+	if !l.started {
+		return false
+	}
+	on := l.mask & l.pg.reachBits & l.site.wBits
+	l.p.mu.Lock()
+	static := on&l.p.volatileBits == 0
+	l.p.mu.Unlock()
+	return static
 }
 
 // MeanSNRdB returns the carrier-average SNR in dB for a slot — a scalar

@@ -55,6 +55,12 @@ type Plane struct {
 	// hot paths (coeff, tapFactor, addNoise) index them lock-free.
 	app []applianceShared
 
+	// volatileBits masks the appliances whose class carries a fast-noise
+	// term (flicker or switching impulses): only their bits can make
+	// ShiftDB vary between instants at a fixed mask. Guarded by mu
+	// (rebuilt in ensureAppliances alongside app).
+	volatileBits uint64
+
 	pairs map[pairKey]*pairEntry // guarded by mu
 	sites map[NodeID]*rxSite     // guarded by mu
 
@@ -125,6 +131,16 @@ type rxSite struct {
 	noiseW   []float64 // band-average weights
 	wBits    uint64
 	na, n    int
+
+	// Single-entry ShiftDB memo: the shift is a pure function of
+	// (site, contributing-appliance set, instant), and every link towards
+	// one receiver on a fully reachable grid shares the same set — so one
+	// computation per site per instant serves the whole fan-in. ShiftDB
+	// computes and reads it under the plane's lock.
+	shiftMemoT   time.Duration // guarded by mu
+	shiftMemoOn  uint64        // guarded by mu
+	shiftMemoVal float64       // guarded by mu
+	shiftMemoOK  bool          // guarded by mu
 }
 
 func (s *rxSite) row(i int) []float64 { return s.noiseVec[i*s.n : (i+1)*s.n] }
@@ -196,6 +212,9 @@ func (p *Plane) ensureAppliances() {
 		p.app = append(p.app, s)
 		p.shiftOK = append(p.shiftOK, false)
 		p.shiftVal = append(p.shiftVal, 0)
+		if a.Class.FlickerDB != 0 || a.Class.ImpulseDB != 0 {
+			p.volatileBits |= 1 << uint(i)
+		}
 	}
 }
 

@@ -133,6 +133,25 @@ func (e *Estimator) touch() {
 // observable state may have changed.
 func (e *Estimator) StateVersion() uint64 { return e.stateVer }
 
+// ShiftStable reports whether the estimator's outputs are independent of
+// the channel's instantaneous noise shift: every slot's tone map is ROBO,
+// robust or dead, so slotPBerr returns the engineered PBerrTarget whatever
+// ShiftDB(t) is. At a fixed StateVersion and channel epoch such an
+// estimator's observable state is a constant of t — the predicate that
+// lets an incremental snapshot serve a cached LinkState without
+// re-evaluating (see al.Stable). An unestimated link (fresh ROBO maps) is
+// always shift-stable, which is what makes passive steady-state floors
+// cheap: only probed links ever leave this state.
+func (e *Estimator) ShiftStable() bool {
+	for s := range e.maps.Maps {
+		tm := &e.maps.Maps[s]
+		if !(tm.TMI == 0 || tm.Robust || tm.TotalBits <= 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // NewEstimator creates an estimator over a channel. The tone maps start as
 // the ROBO default until traffic triggers the first estimation.
 func NewEstimator(ch Channel, plan *CarrierPlan, cfg EstimatorConfig) *Estimator {

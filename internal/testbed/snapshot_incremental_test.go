@@ -1,0 +1,155 @@
+package testbed
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/al"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/scenario"
+)
+
+// stripLink clears the process-local Link handle so two evaluations of
+// the same floor compare by value (everything else in a LinkState is
+// comparable).
+func stripLink(st al.LinkState) al.LinkState {
+	st.Link = nil
+	return st
+}
+
+// requireStatesIdentical asserts two evaluations of one floor at one
+// instant are bit-identical, field by field (Version included).
+func requireStatesIdentical(t *testing.T, at time.Duration, inc, scratch []al.LinkState) {
+	t.Helper()
+	if len(inc) != len(scratch) {
+		t.Fatalf("t=%v: incremental snapshot has %d states, from-scratch %d", at, len(inc), len(scratch))
+	}
+	for i := range inc {
+		if a, b := stripLink(inc[i]), stripLink(scratch[i]); a != b {
+			t.Fatalf("t=%v link %d diverged:\nincremental:  %+v\nfrom-scratch: %+v", at, i, a, b)
+		}
+	}
+}
+
+// TestIncrementalSnapshotMatchesFromScratch: for every preset scenario,
+// a topology marched tick by tick (the incremental path — cached states
+// reused for links that prove themselves stable) must be bit-identical
+// at every tick to al.NewSnapshot evaluating the same links from scratch
+// at the same instant. Estimation is warmed first so the comparison
+// covers estimated (shift-riding) tone maps, not just ROBO defaults.
+func TestIncrementalSnapshotMatchesFromScratch(t *testing.T) {
+	for _, name := range scenario.Names() {
+		t.Run(name, func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.Scenario = name
+			opts.Decimate = 32
+			tb := New(opts)
+			topo, err := tb.Topology()
+			if err != nil {
+				t.Fatal(err)
+			}
+			at := 11 * time.Hour
+			const probe = 500 * time.Millisecond
+			warmEstimation(t, topo.Links(), at, probe)
+			links := topo.Links()
+			for tick := 0; tick < 8; tick++ {
+				read := at + probe + time.Duration(tick)*time.Second
+				inc := topo.Snapshot(read).States()
+				scratch := al.NewSnapshot(read, links...).States()
+				requireStatesIdentical(t, read, inc, scratch)
+			}
+		})
+	}
+}
+
+// TestIncrementalSnapshotAcrossTransitionsAndPlug marches the paper
+// floor across its real appliance mask transitions, requiring the
+// incremental snapshot to stay bit-identical to a from-scratch
+// evaluation at every one of them — including after a mid-run Plug
+// (membership of the *grid* changes while the topology's link set does
+// not: every PLC link's epoch moves and the whole floor lands in the
+// dirty set). A >35 m WiFi blind-spot pair is tracked throughout and
+// must stay disconnected (the §4.1 geometric claim is tick-invariant).
+func TestIncrementalSnapshotAcrossTransitionsAndPlug(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Decimate = 32
+	tb := New(opts)
+	topo, err := tb.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := 11 * time.Hour
+	const probe = 500 * time.Millisecond
+	warmEstimation(t, topo.Links(), at, probe)
+	start := at + probe
+
+	// Locate one guaranteed blind-spot pair before marching.
+	var farSrc, farDst int
+	found := false
+	for _, st := range topo.Snapshot(start).States() {
+		if st.Medium != core.WiFi || st.Connected {
+			continue
+		}
+		if tb.Grid.EuclidDist(tb.Stations[st.Src].Node, tb.Stations[st.Dst].Node) > 35 {
+			farSrc, farDst, found = st.Src, st.Dst, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("paper floor should contain at least one >35 m WiFi blind-spot pair")
+	}
+
+	trs := tb.Grid.MaskTransitions(start, start+4*time.Hour)
+	if len(trs) < 4 {
+		t.Fatal("paper floor should switch appliances within four hours")
+	}
+	links := topo.Links()
+	for i, tr := range trs {
+		if i == len(trs)/2 {
+			// Mid-run membership change on the electrical plane: a new
+			// volatile appliance joins, invalidating the schedule. The
+			// next snapshot must rebuild, not reuse stale states.
+			tb.Grid.Plug(grid.ClassKettle, tb.Stations[farSrc].Node)
+		}
+		inc := topo.Snapshot(tr.At).States()
+		scratch := al.NewSnapshot(tr.At, links...).States()
+		requireStatesIdentical(t, tr.At, inc, scratch)
+		far, ok := topo.Snapshot(tr.At).State(farSrc, farDst, core.WiFi)
+		if !ok || far.Connected || far.Capacity != 0 || far.Goodput != 0 {
+			t.Fatalf("blind-spot pair %d→%d lit up at transition %v: %+v", farSrc, farDst, tr.At, far)
+		}
+	}
+}
+
+// TestSnapshotConcurrentEvalStress drives the incremental snapshot's
+// bounded worker pool (forcing GOMAXPROCS past 1 so evalDirty actually
+// fans out) across ticks on a floor large enough to clear the parallel
+// threshold, and checks the result against a serial from-scratch
+// evaluation each tick. Run with -race this pins the pair-sharding
+// invariant: links sharing a symmetric pair core never evaluate
+// concurrently.
+func TestSnapshotConcurrentEvalStress(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	opts := DefaultOptions()
+	opts.Scenario = "large-office"
+	opts.Decimate = 16
+	tb := New(opts)
+	topo, err := tb.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := 11 * time.Hour
+	const probe = 500 * time.Millisecond
+	warmEstimation(t, topo.Links(), at, probe)
+	links := topo.Links()
+	for tick := 0; tick < 6; tick++ {
+		read := at + probe + time.Duration(tick)*time.Second
+		inc := topo.Snapshot(read).States()
+		scratch := al.NewSnapshot(read, links...).States()
+		requireStatesIdentical(t, read, inc, scratch)
+	}
+}

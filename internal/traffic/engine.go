@@ -140,6 +140,10 @@ type Engine struct {
 	qBits []float64
 	qHas  []bool
 
+	// Admission scratch, reused across ticks (owned by admit; valid only
+	// within one call).
+	pend dueQueue
+
 	// ActivePairs scratch.
 	pairSeen []bool
 	pairBuf  []int
@@ -525,6 +529,25 @@ func (e *Engine) updateActivity(t time.Duration) bool {
 // inside the window and its mean FCT reads unfairly worse.
 func (e *Engine) SealArrivals() { e.sealed = true }
 
+// due is one pending arrival gathered by admit before sorting.
+type due struct {
+	at   time.Duration
+	sIdx int
+}
+
+// dueQueue orders pending arrivals by time, ties by station index — a
+// typed sort.Interface so the per-tick stable sort stays reflection-free.
+type dueQueue []due
+
+func (q dueQueue) Len() int { return len(q) }
+func (q dueQueue) Less(a, b int) bool {
+	if q[a].at != q[b].at {
+		return q[a].at < q[b].at
+	}
+	return q[a].sIdx < q[b].sIdx
+}
+func (q dueQueue) Swap(a, b int) { q[a], q[b] = q[b], q[a] }
+
 // admit generates and admits the arrivals due in (prev, t], in time
 // order across stations (ties: station order, then id order) so the
 // MaxFlows cap drops the same arrivals in every run.
@@ -532,26 +555,18 @@ func (e *Engine) admit(t time.Duration) {
 	if e.sealed {
 		return
 	}
-	type due struct {
-		at   time.Duration
-		sIdx int
-	}
-	var pend []due
+	pend := e.pend[:0]
 	for i := range e.stations {
 		for e.arrNext[i] <= t {
 			pend = append(pend, due{e.arrNext[i], i})
 			e.arrNext[i] = e.nextArrival(i, e.arrNext[i])
 		}
 	}
-	sort.SliceStable(pend, func(a, b int) bool {
-		if pend[a].at != pend[b].at {
-			return pend[a].at < pend[b].at
-		}
-		return pend[a].sIdx < pend[b].sIdx
-	})
+	sort.Stable(pend)
 	for _, p := range pend {
 		e.admitOne(p.at, p.sIdx)
 	}
+	e.pend = pend[:0]
 }
 
 // admitOne creates one flow from station sIdx arriving at 'at'.

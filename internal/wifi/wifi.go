@@ -69,6 +69,7 @@ type Link struct {
 	dist    float64
 	shadow  float64 // per-link lognormal shadowing, symmetric
 	asymDB  float64 // per-direction offset
+	mean    float64 // meanSNR, fixed at construction (dist/shadow/asym are immutable)
 	snrEWMA float64 // rate-adaptation state
 	ewmaSet bool
 
@@ -110,6 +111,12 @@ func NewLink(g *grid.Grid, src, dst grid.NodeID, seed int64) *Link {
 	// real but mild, up to ~1.5x on good links).
 	l.shadow = shadowSigmaDB * detrand.Gaussian(uint64(seed), uint64(lo), uint64(hi), 0x5ad0)
 	l.asymDB = asymMaxDB * (2*detrand.Uniform(uint64(seed), uint64(src), uint64(dst), 0xa51) - 1)
+	d := l.dist
+	if d < 1 {
+		d = 1
+	}
+	pl := pathLossAt1m + 10*pathLossExp*math.Log10(d)
+	l.mean = txPowerDBm - pl - noiseFloorDBm + l.shadow + l.asymDB
 	return l
 }
 
@@ -117,14 +124,7 @@ func NewLink(g *grid.Grid, src, dst grid.NodeID, seed int64) *Link {
 func (l *Link) Distance() float64 { return l.dist }
 
 // meanSNR is the long-term SNR before fast fading.
-func (l *Link) meanSNR() float64 {
-	d := l.dist
-	if d < 1 {
-		d = 1
-	}
-	pl := pathLossAt1m + 10*pathLossExp*math.Log10(d)
-	return txPowerDBm - pl - noiseFloorDBm + l.shadow + l.asymDB
-}
+func (l *Link) meanSNR() float64 { return l.mean }
 
 // fade returns the fast-fading term at time t (dB), stronger during
 // working hours and with occasional deep fades (people, doors, rotation

@@ -1,0 +1,66 @@
+package repro
+
+// Incremental-snapshot benchmarks: the per-tick cost of Topology.Snapshot
+// as a function of how much of the floor is actually dirty. PLC links
+// with fresh ROBO tone maps are shift-stable (their passive state is a
+// constant of t at a fixed version), so an unprobed PLC-only floor
+// re-evaluates nothing tick over tick; probing links gives them real
+// (estimated, non-robust) tone maps that ride the flicker/impulse noise
+// shift and stay permanently dirty. The 0%/10%/100% sweep shows the
+// incremental path's cost scaling with the dirty set, not the floor size.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/al"
+	"repro/internal/core"
+	"repro/internal/testbed"
+)
+
+// benchSnapshotIncremental builds a PLC-only topology from the
+// large-office floor and probes every probeEvery-th link (0 = none,
+// 1 = all) so that fraction of the floor re-evaluates each tick. One op
+// is 10 ticks at one-second cadence.
+func benchSnapshotIncremental(b *testing.B, probeEvery int) {
+	b.ReportAllocs()
+	opts := testbed.DefaultOptions()
+	opts.Scenario = "large-office"
+	opts.Decimate = 16
+	tb := testbed.New(opts)
+	full, err := tb.Topology()
+	if err != nil {
+		b.Fatal(err)
+	}
+	at := 11 * time.Hour
+	const probe = 500 * time.Millisecond
+	topo := al.NewTopology()
+	plc := 0
+	for _, l := range full.Links() {
+		if l.Medium() != core.PLC {
+			continue
+		}
+		if probeEvery > 0 && plc%probeEvery == 0 {
+			if err := al.Probe(context.Background(), l, at, probe); err != nil {
+				b.Fatal(err)
+			}
+		}
+		topo.Add(l)
+		plc++
+	}
+	t := at + probe
+	topo.Snapshot(t) // prime the incremental base outside the timer
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := 0; n < 10; n++ {
+			t += time.Second
+			topo.Snapshot(t)
+		}
+	}
+}
+
+func BenchmarkSnapshotIncrementalDirty0(b *testing.B)   { benchSnapshotIncremental(b, 0) }
+func BenchmarkSnapshotIncrementalDirty10(b *testing.B)  { benchSnapshotIncremental(b, 10) }
+func BenchmarkSnapshotIncrementalDirty100(b *testing.B) { benchSnapshotIncremental(b, 1) }

@@ -21,7 +21,9 @@ import (
 // flows: admission refills the cap as flows complete, so every timed
 // tick serves a full house. Assembly and warm-up (filling the cap,
 // first-tick PLC probe sweep) sit outside the timer.
-func benchTrafficTick(b *testing.B, flows int) {
+func benchTrafficTick(b *testing.B, flows int) { benchTrafficTickMode(b, flows, false) }
+
+func benchTrafficTickMode(b *testing.B, flows int, seal bool) {
 	b.ReportAllocs()
 	opts := testbed.DefaultOptions()
 	opts.Scenario = "large-office"
@@ -59,6 +61,9 @@ func benchTrafficTick(b *testing.B, flows int) {
 	if got := h.E.ActiveFlows(); got < flows {
 		b.Fatalf("warm-up admitted %d flows, want %d", got, flows)
 	}
+	if seal {
+		h.E.SealArrivals()
+	}
 
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -73,3 +78,11 @@ func benchTrafficTick(b *testing.B, flows int) {
 func BenchmarkTrafficTick8Flows(b *testing.B)   { benchTrafficTick(b, 8) }
 func BenchmarkTrafficTick64Flows(b *testing.B)  { benchTrafficTick(b, 64) }
 func BenchmarkTrafficTick512Flows(b *testing.B) { benchTrafficTick(b, 512) }
+
+// BenchmarkTrafficTickSteadyState pins the floor of the per-tick cost:
+// arrivals are sealed after warm-up, so a timed tick draws no arrivals
+// and admits nothing — what remains is the incremental snapshot, the
+// pooled contention/drain arithmetic and the route change detection over
+// a warm engine. This is the allocation budget the pooled tick scratch
+// defends (one op = 10 ticks, like the sweep above).
+func BenchmarkTrafficTickSteadyState(b *testing.B) { benchTrafficTickMode(b, 8, true) }
